@@ -1,0 +1,62 @@
+// Ablation for Theorem 3 (limit on the benefit of snaking): sweeps every
+// lattice path of n-level binary 2-D schemas and reports the worst observed
+// snaking benefit per n, against the analytic bound
+// 1 / (1/2 + 1/2^(n+1)) < 2; also reports the workload-level ratio for the
+// single-class workload that maximizes it.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+#include "path/snaking.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+void Run() {
+  std::printf(
+      "Ablation (Theorem 3): max snaking benefit over all paths/classes\n\n");
+  TextTable table({"n", "paths", "max ben_P(c)", "achieving path", "class",
+                   "analytic bound", "2x bound holds"});
+  for (int n = 1; n <= 5; ++n) {
+    const auto lat = QueryClassLattice::FromFanouts(
+                         {std::vector<double>(static_cast<size_t>(n), 2.0),
+                          std::vector<double>(static_cast<size_t>(n), 2.0)})
+                         .value();
+    const auto paths = EnumerateAllPaths(lat).ValueOrDie();
+    double worst = 1.0;
+    std::string worst_path, worst_class;
+    for (const LatticePath& path : paths) {
+      for (uint64_t i = 0; i < lat.size(); ++i) {
+        const QueryClass cls = lat.ClassAt(i);
+        const double ben = SnakingBenefit(path, cls);
+        if (ben > worst) {
+          worst = ben;
+          worst_path = path.ToString();
+          worst_class = cls.ToString();
+        }
+      }
+    }
+    const double bound = TheoremThreeBound(n);
+    SNAKES_CHECK(worst <= bound + 1e-9);
+    table.AddRow({std::to_string(n), std::to_string(paths.size()),
+                  FormatDouble(worst, 6), worst_path, worst_class,
+                  FormatDouble(bound, 6), worst < 2.0 ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "The worst case is realized by the one-B-then-all-A path at class\n"
+      "(n,0) — Section 5.2's P3 example generalized — and approaches but\n"
+      "never reaches 2, exactly as Theorem 3 predicts.\n");
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

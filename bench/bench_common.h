@@ -1,0 +1,72 @@
+#ifndef SNAKES_BENCH_BENCH_COMMON_H_
+#define SNAKES_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the table-reproduction binaries: the Section-2 toy
+// schema, its named strategies (P1, P2, Hilbert in the paper's Figure-2b
+// orientation) and the three toy workloads of Table 2.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curves/hilbert.h"
+#include "curves/path_order.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+#include "util/logging.h"
+
+namespace snakes {
+namespace bench {
+
+/// The toy 2-D schema with 2 binary levels per dimension and fanout
+/// `fanout` at each level (fanout 2 = Figure 1's 4x4 grid).
+inline std::shared_ptr<const StarSchema> ToySchema(uint64_t fanout = 2) {
+  auto schema = StarSchema::Symmetric(2, 2, fanout);
+  SNAKES_CHECK(schema.ok());
+  return std::make_shared<StarSchema>(std::move(schema).value());
+}
+
+/// P1 = (0,0)-(0,1)-(0,2)-(1,2)-(2,2), the row-major path of Figure 1.
+inline LatticePath P1(const QueryClassLattice& lattice) {
+  auto path = LatticePath::FromSteps(lattice, {1, 1, 0, 0});
+  SNAKES_CHECK(path.ok());
+  return std::move(path).value();
+}
+
+/// P2 = (0,0)-(0,1)-(1,1)-(1,2)-(2,2), the quadrant path of Figure 2(a).
+inline LatticePath P2(const QueryClassLattice& lattice) {
+  auto path = LatticePath::FromSteps(lattice, {1, 0, 1, 0});
+  SNAKES_CHECK(path.ok());
+  return std::move(path).value();
+}
+
+/// Hilbert in the orientation the paper's Table 1 uses.
+inline std::unique_ptr<HilbertCurve> PaperHilbert(
+    std::shared_ptr<const StarSchema> schema) {
+  auto h = HilbertCurve::Make(std::move(schema), /*swap_first_two=*/true);
+  SNAKES_CHECK(h.ok());
+  return std::move(h).value();
+}
+
+/// The three workloads of Section 2 / Table 2.
+inline std::vector<Workload> ToyWorkloads(const QueryClassLattice& lattice) {
+  std::vector<Workload> workloads;
+  workloads.push_back(Workload::Uniform(lattice));
+  auto w2 = Workload::UniformOver(
+      lattice, {QueryClass{0, 0}, QueryClass{2, 2}, QueryClass{1, 0},
+                QueryClass{2, 0}, QueryClass{2, 1}, QueryClass{1, 2}});
+  SNAKES_CHECK(w2.ok());
+  workloads.push_back(std::move(w2).value());
+  auto w3 = Workload::UniformOver(lattice,
+                                  {QueryClass{0, 0}, QueryClass{0, 1},
+                                   QueryClass{0, 2}, QueryClass{1, 2}});
+  SNAKES_CHECK(w3.ok());
+  workloads.push_back(std::move(w3).value());
+  return workloads;
+}
+
+}  // namespace bench
+}  // namespace snakes
+
+#endif  // SNAKES_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,78 @@
+// Regenerates the paper's illustrative figures as ASCII:
+//   Figure 1  — the row-major clustering P1 of the toy sales grid;
+//   Figure 2  — (a) the quadrant/Z curve P2, (b) the Hilbert curve;
+//   Figure 3  — the query-class lattice of the toy star schema;
+//   Figure 5  — the snaked paths ~P1 and ~P2.
+// Grids print the 1-based visit rank of each cell, rows = dimension A
+// (location), columns = dimension B (jeans), matching the paper's layout.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "curves/z_curve.h"
+
+namespace snakes {
+namespace {
+
+void PrintGrid(const char* title, const Linearization& lin) {
+  std::printf("%s\n", title);
+  const StarSchema& schema = lin.schema();
+  const uint64_t rows = schema.extent(0);
+  const uint64_t cols = schema.extent(1);
+  std::vector<uint64_t> rank_of(rows * cols);
+  lin.Walk([&](uint64_t rank, const CellCoord& coord) {
+    rank_of[coord[0] * cols + coord[1]] = rank + 1;
+  });
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      std::printf("%3llu ",
+                  static_cast<unsigned long long>(rank_of[r * cols + c]));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void PrintLattice() {
+  std::printf(
+      "Figure 3: query-class lattice of the toy schema "
+      "(f(A,i) = f(B,i) = 2)\n\n"
+      "            (2,2)\n"
+      "           /     \\\n"
+      "       (1,2)     (2,1)\n"
+      "      /     \\   /     \\\n"
+      "  (0,2)     (1,1)     (2,0)\n"
+      "      \\     /   \\     /\n"
+      "       (0,1)     (1,0)\n"
+      "           \\     /\n"
+      "            (0,0)\n\n");
+}
+
+void Run() {
+  auto schema = bench::ToySchema();
+  const QueryClassLattice lattice(*schema);
+  const LatticePath p1 = bench::P1(lattice);
+  const LatticePath p2 = bench::P2(lattice);
+
+  PrintGrid("Figure 1: row-major clustering P1 = " ,
+            *PathOrder::Make(schema, p1, false).ValueOrDie());
+  PrintGrid("Figure 2(a): quadrant / Z-curve clustering P2",
+            *ZCurve::Make(schema).ValueOrDie());
+  PrintGrid("Figure 2(b): Hilbert curve Hd2",
+            *bench::PaperHilbert(schema));
+  PrintLattice();
+  PrintGrid("Figure 5(a): snaked lattice path ~P1",
+            *PathOrder::Make(schema, p1, true).ValueOrDie());
+  PrintGrid("Figure 5(b): snaked lattice path ~P2",
+            *PathOrder::Make(schema, p2, true).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// google-benchmark microbenchmarks backing the Section-4 complexity claims:
+// the DP runs in time linear in the lattice size (and quadratic in the
+// number of dimensions), and is invariant to the grid's physical size
+// (fanouts only enter as multiplications).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lattice/workload.h"
+#include "path/dp2d.h"
+#include "path/dpkd.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+// 2-D lattices of growing depth: lattice size (n+1)^2.
+void BM_OptimalPath2D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto lat = QueryClassLattice::FromFanouts(
+                       {std::vector<double>(static_cast<size_t>(n), 2.0),
+                        std::vector<double>(static_cast<size_t>(n), 2.0)})
+                       .value();
+  Rng rng(42);
+  const Workload mu = Workload::Random(lat, &rng);
+  for (auto _ : state) {
+    auto result = FindOptimalLatticePath2D(mu);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(lat.size()));
+}
+BENCHMARK(BM_OptimalPath2D)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+// Same lattice sizes through the k-D engine.
+void BM_OptimalPathKD2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto lat = QueryClassLattice::FromFanouts(
+                       {std::vector<double>(static_cast<size_t>(n), 2.0),
+                        std::vector<double>(static_cast<size_t>(n), 2.0)})
+                       .value();
+  Rng rng(42);
+  const Workload mu = Workload::Random(lat, &rng);
+  for (auto _ : state) {
+    auto result = FindOptimalLatticePath(mu);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(lat.size()));
+}
+BENCHMARK(BM_OptimalPathKD2)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+// Growing dimension count with ~constant lattice size (2 levels per dim):
+// exposes the O(k^2) factor.
+void BM_OptimalPathDims(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> fanouts(
+      static_cast<size_t>(k), std::vector<double>{2.0, 2.0});
+  const auto lat = QueryClassLattice::FromFanouts(fanouts).value();
+  Rng rng(7);
+  const Workload mu = Workload::Random(lat, &rng);
+  for (auto _ : state) {
+    auto result = FindOptimalLatticePath(mu);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimalPathDims)->DenseRange(2, 6);
+
+// The DP cost is independent of the fanout magnitude (grid can be huge).
+void BM_OptimalPathFanout(benchmark::State& state) {
+  const double f = static_cast<double>(state.range(0));
+  const auto lat =
+      QueryClassLattice::FromFanouts({{f, f, f}, {f, f, f}}).value();
+  Rng rng(9);
+  const Workload mu = Workload::Random(lat, &rng);
+  for (auto _ : state) {
+    auto result = FindOptimalLatticePath(mu);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimalPathFanout)->Arg(2)->Arg(32)->Arg(1024);
+
+}  // namespace
+}  // namespace snakes
+
+BENCHMARK_MAIN();

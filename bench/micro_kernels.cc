@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks for the hot kernels underneath the
+// reproduction: curve codecs (rank <-> cell), the exact edge-type cost
+// model, page packing, and exact per-class I/O measurement. These are the
+// costs a deployment pays to (re-)evaluate clusterings, so they are part of
+// the "cheap to compute" story of Sections 4-5.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cost/edge_model.h"
+#include "curves/hilbert.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "hierarchy/star_schema.h"
+#include "storage/executor.h"
+#include "storage/pager.h"
+#include "tpcd/dbgen.h"
+#include "util/logging.h"
+
+namespace snakes {
+namespace {
+
+std::shared_ptr<const StarSchema> Square(int n) {
+  return std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, n, 2).ValueOrDie());
+}
+
+void BM_HilbertCellAt(benchmark::State& state) {
+  auto schema = Square(static_cast<int>(state.range(0)));
+  auto curve = HilbertCurve::Make(schema).ValueOrDie();
+  const uint64_t n = curve->num_cells();
+  uint64_t rank = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->CellAt(rank));
+    rank = (rank + 0x9e3779b9) % n;
+  }
+}
+BENCHMARK(BM_HilbertCellAt)->Arg(4)->Arg(10);
+
+void BM_ZCurveCellAt(benchmark::State& state) {
+  auto schema = Square(static_cast<int>(state.range(0)));
+  auto curve = ZCurve::Make(schema).ValueOrDie();
+  const uint64_t n = curve->num_cells();
+  uint64_t rank = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->CellAt(rank));
+    rank = (rank + 0x9e3779b9) % n;
+  }
+}
+BENCHMARK(BM_ZCurveCellAt)->Arg(4)->Arg(10);
+
+void BM_SnakedPathRankOf(benchmark::State& state) {
+  auto schema = Square(static_cast<int>(state.range(0)));
+  const QueryClassLattice lattice(*schema);
+  const LatticePath path = LatticePath::RoundRobin(lattice);
+  auto order = PathOrder::Make(schema, path, true).ValueOrDie();
+  const uint64_t n = order->num_cells();
+  uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order->RankOf(schema->Unflatten(id)));
+    id = (id + 0x9e3779b9) % n;
+  }
+}
+BENCHMARK(BM_SnakedPathRankOf)->Arg(4)->Arg(10);
+
+// Exact per-class costs of a strategy: one linear sweep + lattice DP.
+void BM_MeasureClassCosts(benchmark::State& state) {
+  auto schema = Square(static_cast<int>(state.range(0)));
+  auto curve = HilbertCurve::Make(schema).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureClassCosts(*curve));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(schema->num_cells()));
+}
+BENCHMARK(BM_MeasureClassCosts)->Arg(4)->Arg(8)->Arg(10);
+
+// Packing the TPC-D fact table and measuring every class exactly.
+void BM_PackAndMeasureTpcd(benchmark::State& state) {
+  tpcd::Config config;
+  config.num_orders = 100'000;
+  const auto warehouse = tpcd::GenerateWarehouse(config).ValueOrDie();
+  auto lin = std::shared_ptr<const Linearization>(
+      RowMajorOrder::Make(warehouse.schema, {0, 1, 2}).ValueOrDie());
+  for (auto _ : state) {
+    auto layout = PackedLayout::Pack(lin, warehouse.facts).ValueOrDie();
+    benchmark::DoNotOptimize(IoSimulator(layout).MeasureAllClasses());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(warehouse.schema->num_cells()));
+}
+BENCHMARK(BM_PackAndMeasureTpcd);
+
+}  // namespace
+}  // namespace snakes
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Reproduces Table 3: how the relative expected cost of the best strategy
+// among {P1, P2, Hilbert} compares to the worst, as the per-level fanout of
+// the toy schema grows (2, 4, 32). The paper reports the ratio
+// best/worst as a percentage — smaller means a bigger win from choosing the
+// right clustering.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cost/workload_cost.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+void Run() {
+  std::printf(
+      "Table 3: Relative cost (best/worst among P1, P2, Hilbert) for "
+      "varying fanouts\n\n");
+  const std::vector<uint64_t> fanouts = {2, 4, 32};
+  TextTable table({"Workload", "fanout=2", "fanout=4", "fanout=32"});
+  // ratio[workload][fanout-index]
+  std::vector<std::vector<double>> ratios(3);
+
+  for (uint64_t fanout : fanouts) {
+    auto schema = bench::ToySchema(fanout);
+    const QueryClassLattice lattice(*schema);
+    const LatticePath p1 = bench::P1(lattice);
+    const LatticePath p2 = bench::P2(lattice);
+    auto hilbert = bench::PaperHilbert(schema);
+    std::fprintf(stderr, "measuring hilbert on %llu cells...\n",
+                 static_cast<unsigned long long>(schema->num_cells()));
+    const ClassCostTable hilbert_costs = MeasureClassCosts(*hilbert);
+
+    const std::vector<Workload> workloads = bench::ToyWorkloads(lattice);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      const Workload& mu = workloads[w];
+      const std::vector<double> costs = {
+          ExpectedPathCost(mu, p1), ExpectedPathCost(mu, p2),
+          ExpectedCost(mu, hilbert_costs)};
+      const double best = *std::min_element(costs.begin(), costs.end());
+      const double worst = *std::max_element(costs.begin(), costs.end());
+      ratios[w].push_back(best / worst);
+    }
+  }
+  for (size_t w = 0; w < 3; ++w) {
+    std::vector<std::string> row{std::to_string(w + 1)};
+    for (double r : ratios[w]) row.push_back(FormatPercent(r, 1));
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "paper reference: w1 72%% / 61%% / 52%%; w2 60%% / 42%% / 27%%;\n"
+      "w3 67%% / 30%% / 0.7%%.\n");
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

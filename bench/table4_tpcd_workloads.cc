@@ -1,0 +1,135 @@
+// Reproduces Table 4: expected I/O on the TPC-D LineItem warehouse for the
+// optimal lattice path, its snaked version, and the best/worst of the six
+// row-major orderings, across the 27 Section-6.2 workloads.
+//
+// Each cell prints "avg normalized blocks read (avg seeks per query)", as in
+// the paper. The paper reports a selection of rows (1, 5, 7, 13, 25); we
+// print all 27 and mark the paper's rows.
+//
+// Substrate note: the original experiments used TPC-D dbgen data; this
+// binary uses the library's statistically equivalent generator (see
+// src/tpcd/dbgen.h and DESIGN.md). Expect the same shape — snaked optimal
+// lowest on seeks, order-of-magnitude gaps to the worst row-major — not the
+// same decimals.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "path/dpkd.h"
+#include "storage/executor.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/workloads.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+struct MeasuredLayout {
+  std::string name;
+  std::vector<ClassIoStats> per_class;
+};
+
+MeasuredLayout MeasureLayout(std::shared_ptr<const Linearization> lin,
+                             std::shared_ptr<const FactTable> facts) {
+  auto layout = PackedLayout::Pack(std::move(lin), std::move(facts));
+  SNAKES_CHECK(layout.ok()) << layout.status().ToString();
+  const IoSimulator sim(*layout);
+  return MeasuredLayout{layout->linearization().name(),
+                        sim.MeasureAllClasses()};
+}
+
+std::string Cell(const WorkloadIoStats& io) {
+  return FormatDouble(io.expected_normalized_blocks, 2) + " (" +
+         FormatDouble(io.expected_seeks, 2) + ")";
+}
+
+void Run() {
+  tpcd::Config config;
+  std::fprintf(stderr, "generating ~%llu lineitems over %llu cells...\n",
+               static_cast<unsigned long long>(4 * config.num_orders),
+               static_cast<unsigned long long>(config.num_parts() * 10 * 84));
+  const auto warehouse = tpcd::GenerateWarehouse(config).ValueOrDie();
+  const QueryClassLattice lattice(*warehouse.schema);
+
+  // Row-major baselines: pack and measure each of the 6 orders once.
+  std::vector<MeasuredLayout> row_majors;
+  for (auto& rm : AllRowMajorOrders(warehouse.schema)) {
+    std::fprintf(stderr, "packing %s...\n", rm->name().c_str());
+    row_majors.push_back(MeasureLayout(std::move(rm), warehouse.facts));
+  }
+
+  // Optimal-path layouts are cached by (steps, snaked) across workloads.
+  std::map<std::string, MeasuredLayout> path_cache;
+  auto measure_path = [&](const LatticePath& path,
+                          bool snaked) -> const MeasuredLayout& {
+    std::string key = snaked ? "s:" : "p:";
+    for (int d : path.steps()) key += static_cast<char>('0' + d);
+    auto it = path_cache.find(key);
+    if (it == path_cache.end()) {
+      auto order = MakePathOrder(warehouse.schema, path, snaked);
+      SNAKES_CHECK(order.ok());
+      it = path_cache
+               .emplace(key, MeasureLayout(std::move(order).value(),
+                                           warehouse.facts))
+               .first;
+    }
+    return it->second;
+  };
+
+  std::printf(
+      "Table 4: Avg normalized blocks read (avg seeks per query), TPC-D\n"
+      "LineItem, %llu records; * marks the rows Table 4 of the paper "
+      "prints\n\n",
+      static_cast<unsigned long long>(warehouse.facts->total_records()));
+  TextTable table({"Workload", "(ramps)", "opt path", "snaked opt",
+                   "best row major", "worst row major"});
+  for (int id = 1; id <= 27; ++id) {
+    const Workload mu = tpcd::SectionSixWorkload(lattice, id).ValueOrDie();
+    const auto dp = FindOptimalLatticePath(mu).ValueOrDie();
+    const WorkloadIoStats opt_io =
+        IoSimulator::Expect(mu, measure_path(dp.path, false).per_class);
+    const WorkloadIoStats snaked_io =
+        IoSimulator::Expect(mu, measure_path(dp.path, true).per_class);
+
+    // Best/worst row-major, chosen per metric as the paper's table does
+    // (the best ordering "varies depending on the workload").
+    WorkloadIoStats best{1e300, 1e300}, worst{0.0, 0.0};
+    for (const MeasuredLayout& rm : row_majors) {
+      const WorkloadIoStats io = IoSimulator::Expect(mu, rm.per_class);
+      best.expected_seeks = std::min(best.expected_seeks, io.expected_seeks);
+      best.expected_normalized_blocks = std::min(
+          best.expected_normalized_blocks, io.expected_normalized_blocks);
+      worst.expected_seeks = std::max(worst.expected_seeks, io.expected_seeks);
+      worst.expected_normalized_blocks = std::max(
+          worst.expected_normalized_blocks, io.expected_normalized_blocks);
+    }
+
+    const bool paper_row =
+        id == 1 || id == 5 || id == 7 || id == 13 || id == 25;
+    table.AddRow({std::to_string(id) + (paper_row ? "*" : ""),
+                  tpcd::DescribeWorkload(id), Cell(opt_io), Cell(snaked_io),
+                  Cell(best), Cell(worst)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "paper reference rows (blocks (seeks)): 1: 1.53 (8.41) / 1.52 (7.71) "
+      "/ 2.08 (10.85) / 5.28 (39.96); 5: 2.22 (5.30) / 2.19 (5.10) / 1.49 "
+      "(6.60) / 3.98 (22.60); 7: 1.24 (4.08) / 1.25 (3.73) / 1.91 (5.53) / "
+      "5.25 (52.08); 13: 1.70 (4.83) / 1.65 (4.75) / 1.68 (5.81) / 9.94 "
+      "(40.98); 25: 1.74 (4.26) / 1.74 (3.83) / 1.74 (4.14) / 6.34 "
+      "(31.67).\n");
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Adaptive physical design: watch a drifting query stream through the
+// WorkloadEstimator, periodically re-run the snaked-cost DP, and compare the
+// adaptive clustering against the static one chosen on day 1. This is the
+// loop the paper's introduction motivates ("statistics compiled over the
+// query stream can be used to obtain a fairly good and stable
+// characterization of the distribution of queries across query classes"),
+// closed end to end.
+//
+//   $ ./adaptive_clustering
+
+#include <cstdio>
+#include <vector>
+
+#include "cost/workload_cost.h"
+#include "lattice/estimator.h"
+#include "path/snaked_dp.h"
+#include "tpcd/schema.h"
+#include "tpcd/workloads.h"
+#include "util/rng.h"
+#include "util/text_table.h"
+
+using namespace snakes;
+
+int main() {
+  tpcd::Config config;
+  const auto schema = tpcd::BuildSharedSchema(config).ValueOrDie();
+  const QueryClassLattice lattice(*schema);
+
+  // The "true" workload drifts across three phases: month-grain reporting,
+  // then manufacturer rollups, then supplier-centric probing.
+  const std::vector<Workload> phases = {
+      tpcd::SectionSixWorkload(lattice, 3).ValueOrDie(),   // time-heavy
+      tpcd::SectionSixWorkload(lattice, 19).ValueOrDie(),  // parts-heavy
+      tpcd::SectionSixWorkload(lattice, 7).ValueOrDie(),   // supplier probing
+  };
+
+  WorkloadEstimator estimator(lattice, /*smoothing=*/0.5, /*decay=*/0.999);
+  Rng rng(515);
+
+  // Static design: optimize once against the phase-1 estimate.
+  for (int q = 0; q < 2000; ++q) {
+    SNAKES_CHECK_OK(estimator.Observe(phases[0].Sample(&rng)));
+  }
+  const LatticePath static_path =
+      FindOptimalSnakedLatticePath(estimator.Estimate()).ValueOrDie().path;
+
+  std::printf(
+      "Adaptive vs static clustering under workload drift (expected seeks\n"
+      "per query on the current TRUE workload; lower is better)\n\n");
+  TextTable table({"phase", "queries seen", "adaptive path", "adaptive",
+                   "static (day-1)", "penalty of static"});
+  for (size_t phase = 0; phase < phases.size(); ++phase) {
+    const Workload& truth = phases[phase];
+    for (int q = 0; q < 4000; ++q) {
+      SNAKES_CHECK_OK(estimator.Observe(truth.Sample(&rng)));
+    }
+    const Workload estimate = estimator.Estimate();
+    const LatticePath adaptive_path =
+        FindOptimalSnakedLatticePath(estimate).ValueOrDie().path;
+    const double adaptive = ExpectedSnakedPathCost(truth, adaptive_path);
+    const double fixed = ExpectedSnakedPathCost(truth, static_path);
+    table.AddRow({std::to_string(phase + 1),
+                  FormatDouble(estimator.TotalObservations(), 0),
+                  adaptive_path.ToString(), FormatDouble(adaptive, 2),
+                  FormatDouble(fixed, 2),
+                  FormatPercent(fixed / adaptive - 1.0, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "The estimator's decayed counts follow the drift, the DP re-optimizes\n"
+      "in O(k^2 |L|), and re-clustering recovers the widening penalty of\n"
+      "the day-1 layout.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// A gallery of clustering strategies on an 8x8 grid (3-level binary
+// hierarchies): row-major, Z, Gray, Hilbert, and a snaked lattice path —
+// each printed as a visit-rank grid with its characteristic vector,
+// diagonal-edge count, and cost under two contrasting workloads. A compact
+// tour of Sections 2, 3 and 5.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cost/edge_model.h"
+#include "cost/workload_cost.h"
+#include "curves/hilbert.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "cv/characteristic_vector.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+
+using namespace snakes;
+
+namespace {
+
+void Show(const Linearization& lin, const Workload& uniform,
+          const Workload& skewed) {
+  const StarSchema& schema = lin.schema();
+  const uint64_t rows = schema.extent(0), cols = schema.extent(1);
+  std::vector<uint64_t> rank_of(rows * cols);
+  lin.Walk([&](uint64_t rank, const CellCoord& coord) {
+    rank_of[coord[0] * cols + coord[1]] = rank + 1;
+  });
+  std::printf("--- %s ---\n", lin.name().c_str());
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      std::printf("%3llu ",
+                  static_cast<unsigned long long>(rank_of[r * cols + c]));
+    }
+    std::printf("\n");
+  }
+  const EdgeHistogram hist = MeasureEdgeHistogram(lin);
+  const BinaryCV cv = BinaryCV::FromHistogram(hist).ValueOrDie();
+  const ClassCostTable costs = CostsFromHistogram(schema, hist);
+  std::printf("CV %s, %llu diagonal edges\n", cv.ToString().c_str(),
+              static_cast<unsigned long long>(hist.NumDiagonal()));
+  std::printf("expected cost: uniform %.3f | column-heavy %.3f\n\n",
+              ExpectedCost(uniform, costs), ExpectedCost(skewed, costs));
+}
+
+}  // namespace
+
+int main() {
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 3, 2).ValueOrDie());
+  const QueryClassLattice lattice(*schema);
+  const Workload uniform = Workload::Uniform(lattice);
+  // All mass on "one leaf column, all rows" queries — the class row-major
+  // orders handle worst.
+  QueryClass column{3, 0};
+  const Workload skewed = Workload::Point(lattice, column).ValueOrDie();
+
+  Show(*RowMajorOrder::Make(schema, {0, 1}).ValueOrDie(), uniform, skewed);
+  Show(*ZCurve::Make(schema).ValueOrDie(), uniform, skewed);
+  Show(*GrayCurve::Make(schema).ValueOrDie(), uniform, skewed);
+  Show(*HilbertCurve::Make(schema, true).ValueOrDie(), uniform, skewed);
+
+  const LatticePath round_robin = LatticePath::RoundRobin(lattice);
+  Show(*PathOrder::Make(schema, round_robin, false).ValueOrDie(), uniform,
+       skewed);
+  Show(*PathOrder::Make(schema, round_robin, true).ValueOrDie(), uniform,
+       skewed);
+
+  std::printf(
+      "Note how snaking zeroes the diagonal count of the round-robin path\n"
+      "and how the column-heavy workload inverts the ranking: the curves\n"
+      "that are good on average (Hilbert, Z) are beaten by a lattice path\n"
+      "aligned with the workload (Section 7's point).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// A realistic session against the TPC-D LineItem warehouse: generate the
+// data (dbgen substitute), pick one of the paper's 27 workloads, get a
+// clustering recommendation with measured I/O, then actually execute a few
+// grid queries (COUNT + SUM of the measure) against the packed layout.
+//
+//   $ ./warehouse_advisor [workload-id 1..27]   (default 7)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/advisor.h"
+#include "lattice/grid_query.h"
+#include "storage/executor.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+#include "tpcd/workloads.h"
+#include "util/rng.h"
+
+using namespace snakes;
+
+int main(int argc, char** argv) {
+  const int workload_id = argc > 1 ? std::atoi(argv[1]) : 7;
+
+  tpcd::Config config;
+  std::printf("generating TPC-D LineItem: %llu orders over a %llux%llux%llu "
+              "grid...\n",
+              static_cast<unsigned long long>(config.num_orders),
+              static_cast<unsigned long long>(config.num_parts()),
+              static_cast<unsigned long long>(config.num_suppliers),
+              static_cast<unsigned long long>(config.num_months()));
+  const auto warehouse = tpcd::GenerateWarehouse(config).ValueOrDie();
+  std::printf("%llu records, %llu of %llu cells occupied\n\n",
+              static_cast<unsigned long long>(warehouse.facts->total_records()),
+              static_cast<unsigned long long>(
+                  warehouse.facts->NumOccupiedCells()),
+              static_cast<unsigned long long>(warehouse.facts->num_cells()));
+
+  const ClusteringAdvisor advisor(warehouse.schema);
+  const Workload mu =
+      tpcd::SectionSixWorkload(advisor.Lattice(), workload_id).ValueOrDie();
+  std::printf("workload %d: %s\n\n", workload_id,
+              tpcd::DescribeWorkload(workload_id).c_str());
+
+  AdvisorOptions options;
+  options.measure_storage = true;
+  const Recommendation rec =
+      advisor.Advise(mu, options, warehouse.facts).ValueOrDie();
+  std::printf("%s\n", rec.ToString().c_str());
+
+  // Bulk-load along the recommendation and run a few queries for real.
+  auto order = advisor.RecommendedOrder(mu).ValueOrDie();
+  const auto layout =
+      PackedLayout::Pack(std::move(order), warehouse.facts).ValueOrDie();
+  const IoSimulator sim(layout);
+  std::printf("packed into %llu pages of %llu bytes\n\n",
+              static_cast<unsigned long long>(layout.num_pages()),
+              static_cast<unsigned long long>(layout.config().page_size_bytes));
+
+  Rng rng(2026);
+  std::printf("sample grid queries against the packed layout:\n");
+  for (const tpcd::BenchmarkQuery& bq : tpcd::BenchmarkQueries()) {
+    const GridQuery q = SampleQuery(*warehouse.schema, bq.cls, &rng);
+    const QueryIo io = sim.Measure(q);
+    // Aggregate the measure over the selected cells (a real SUM answer).
+    const CellBox box = BoxOf(*warehouse.schema, q);
+    double sum = 0.0;
+    for (uint64_t p = box.lo[0]; p < box.hi[0]; ++p) {
+      for (uint64_t s = box.lo[1]; s < box.hi[1]; ++s) {
+        for (uint64_t t = box.lo[2]; t < box.hi[2]; ++t) {
+          CellCoord coord;
+          coord.resize(3);
+          coord[0] = p;
+          coord[1] = s;
+          coord[2] = t;
+          sum += warehouse.facts->measure_sum(warehouse.schema->Flatten(coord));
+        }
+      }
+    }
+    std::printf(
+        "  %-4s class %s: %8llu rows, SUM(price*qty) = %14.2f | %5llu pages, "
+        "%3llu seeks (min %llu pages)\n",
+        bq.name.c_str(), bq.cls.ToString().c_str(),
+        static_cast<unsigned long long>(io.records), sum,
+        static_cast<unsigned long long>(io.pages),
+        static_cast<unsigned long long>(io.seeks),
+        static_cast<unsigned long long>(io.min_pages));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// How the optimal lattice path tracks the workload: sweeps a one-parameter
+// family of workloads on the TPC-D schema — interpolating from "all mass on
+// fine per-part queries" to "all mass on coarse rollups" — and reports the
+// DP's chosen path, its cost, the snaked cost, and the snaking benefit at
+// each step. Demonstrates the core thesis: clustering should follow the
+// workload, and the DP makes that cheap to recompute.
+
+#include <cstdio>
+#include <vector>
+
+#include "cost/workload_cost.h"
+#include "lattice/workload.h"
+#include "path/dpkd.h"
+#include "path/snaking.h"
+#include "tpcd/schema.h"
+#include "util/text_table.h"
+
+using namespace snakes;
+
+int main() {
+  tpcd::Config config;
+  const auto schema = tpcd::BuildSharedSchema(config).ValueOrDie();
+  const QueryClassLattice lattice(*schema);
+
+  std::printf(
+      "Optimal lattice path vs workload mix on the TPC-D schema\n"
+      "(alpha interpolates fine, per-part probing -> coarse rollups)\n\n");
+  TextTable table({"alpha", "optimal path (parts,supplier,time)", "cost",
+                   "snaked cost", "snaking gain"});
+  for (int step = 0; step <= 10; ++step) {
+    const double alpha = step / 10.0;
+    // Fine endpoint: drill-downs at part/supplier/month granularity.
+    // Coarse endpoint: rollups by manufacturer/year and full aggregates.
+    std::vector<std::pair<QueryClass, double>> masses = {
+        {QueryClass{0, 0, 0}, (1 - alpha) * 0.5},
+        {QueryClass{0, 1, 0}, (1 - alpha) * 0.3},
+        {QueryClass{0, 0, 1}, (1 - alpha) * 0.2},
+        {QueryClass{1, 1, 1}, alpha * 0.4},
+        {QueryClass{2, 1, 1}, alpha * 0.3},
+        {QueryClass{1, 1, 2}, alpha * 0.3},
+    };
+    const Workload mu =
+        Workload::FromMasses(lattice, masses, /*normalize=*/true)
+            .ValueOrDie();
+    const auto dp = FindOptimalLatticePath(mu).ValueOrDie();
+    const double snaked = ExpectedSnakedPathCost(mu, dp.path);
+    table.AddRow({FormatDouble(alpha, 1), dp.path.ToString(),
+                  FormatDouble(dp.cost, 3), FormatDouble(snaked, 3),
+                  FormatPercent(1.0 - snaked / dp.cost, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "As mass shifts to coarse classes the path climbs the dimensions in a\n"
+      "different order — physical design follows the query log, computed in\n"
+      "microseconds by the dynamic program (Section 4).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "cost/workload_cost.h"
+#include "curves/hilbert.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "path/dpkd.h"
+#include "path/snaked_dp.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace snakes {
+
+std::string Recommendation::ToString() const {
+  TextTable table({"strategy", "expected cost", "seeks/query", "norm blocks"});
+  for (const StrategyReport& report : ranked) {
+    std::vector<std::string> row{report.name,
+                                 FormatDouble(report.expected_cost, 4)};
+    if (report.io.has_value()) {
+      row.push_back(FormatDouble(report.io->expected_seeks, 2));
+      row.push_back(FormatDouble(report.io->expected_normalized_blocks, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::string out = "optimal lattice path: " + optimal_path.ToString() + "\n";
+  out += "cost " + FormatDouble(optimal_path_cost, 4) + " unsnaked, " +
+         FormatDouble(snaked_optimal_cost, 4) + " snaked\n";
+  out += "optimal snaked path:  " + optimal_snaked_path.ToString() +
+         ", cost " + FormatDouble(optimal_snaked_cost, 4) + "\n\n";
+  out += table.Render();
+  return out;
+}
+
+Result<Recommendation> ClusteringAdvisor::Advise(
+    const Workload& mu, const AdvisorOptions& options,
+    std::shared_ptr<const FactTable> facts) const {
+  if (options.measure_storage && facts == nullptr) {
+    return Status::InvalidArgument(
+        "measure_storage requires a fact table");
+  }
+  {
+    const QueryClassLattice expected(*schema_);
+    if (!(mu.lattice() == expected)) {
+      return Status::InvalidArgument(
+          "workload lattice does not match the advisor's schema");
+    }
+  }
+
+  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult dp, FindOptimalLatticePath(mu));
+  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult snaked_dp,
+                          FindOptimalSnakedLatticePath(mu));
+
+  Recommendation rec{dp.path,
+                     snaked_dp.path,
+                     dp.cost,
+                     ExpectedSnakedPathCost(mu, dp.path),
+                     snaked_dp.cost,
+                     {}};
+
+  // Candidate strategies: the snaked optimum, the (snaked and plain)
+  // Section-4 optimum, and the baselines.
+  std::vector<std::shared_ptr<const Linearization>> candidates;
+  {
+    SNAKES_ASSIGN_OR_RETURN(auto best_snaked,
+                            MakePathOrder(schema_, snaked_dp.path, true));
+    candidates.emplace_back(std::move(best_snaked));
+    if (snaked_dp.path != dp.path) {
+      SNAKES_ASSIGN_OR_RETURN(auto snaked,
+                              MakePathOrder(schema_, dp.path, true));
+      candidates.emplace_back(std::move(snaked));
+    }
+    SNAKES_ASSIGN_OR_RETURN(auto plain, MakePathOrder(schema_, dp.path, false));
+    candidates.emplace_back(std::move(plain));
+  }
+  if (options.include_row_majors) {
+    for (auto& rm : AllRowMajorOrders(schema_)) {
+      candidates.emplace_back(std::move(rm));
+    }
+  }
+  if (options.include_curves) {
+    if (auto z = ZCurve::Make(schema_); z.ok()) {
+      candidates.emplace_back(std::move(z).value());
+    }
+    if (auto g = GrayCurve::Make(schema_); g.ok()) {
+      candidates.emplace_back(std::move(g).value());
+    }
+    if (auto h = HilbertCurve::Make(schema_); h.ok()) {
+      candidates.emplace_back(std::move(h).value());
+    }
+  }
+
+  for (const auto& lin : candidates) {
+    StrategyReport report;
+    report.name = lin->name();
+    report.expected_cost = MeasureExpectedCost(mu, *lin);
+    if (options.measure_storage) {
+      SNAKES_ASSIGN_OR_RETURN(
+          PackedLayout layout,
+          PackedLayout::Pack(lin, facts, options.storage));
+      const IoSimulator sim(layout);
+      report.io = IoSimulator::Expect(mu, sim.MeasureAllClasses());
+    }
+    rec.ranked.push_back(std::move(report));
+  }
+  std::stable_sort(rec.ranked.begin(), rec.ranked.end(),
+                   [](const StrategyReport& x, const StrategyReport& y) {
+                     return x.expected_cost < y.expected_cost;
+                   });
+  return rec;
+}
+
+Result<std::unique_ptr<Linearization>> ClusteringAdvisor::RecommendedOrder(
+    const Workload& mu) const {
+  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult dp,
+                          FindOptimalSnakedLatticePath(mu));
+  return MakePathOrder(schema_, dp.path, /*snaked=*/true);
+}
+
+}  // namespace snakes

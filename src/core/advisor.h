@@ -1,0 +1,103 @@
+#ifndef SNAKES_CORE_ADVISOR_H_
+#define SNAKES_CORE_ADVISOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "curves/linearization.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+#include "storage/executor.h"
+#include "storage/fact_table.h"
+#include "storage/pager.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Knobs for ClusteringAdvisor::Advise.
+struct AdvisorOptions {
+  /// Evaluate every row-major axis order (k! strategies) as baselines.
+  bool include_row_majors = true;
+  /// Evaluate the classical curves where the schema shape permits
+  /// (power-of-two extents for Z/Gray; equal power-of-two for Hilbert).
+  bool include_curves = true;
+  /// Also pack a fact table and report measured page/seek I/O per strategy.
+  /// Requires `facts` in Advise.
+  bool measure_storage = false;
+  StorageConfig storage;
+};
+
+/// One evaluated strategy in a recommendation report.
+struct StrategyReport {
+  std::string name;
+  /// Expected seek cost under the analytic cell-granularity model
+  /// (cost_mu of Section 4 / the extended CV cost of Section 5).
+  double expected_cost = 0.0;
+  /// Measured expected I/O when options.measure_storage was set.
+  std::optional<WorkloadIoStats> io;
+};
+
+/// The advisor's answer for one workload.
+struct Recommendation {
+  /// The optimal lattice path from the dynamic program (Section 4).
+  LatticePath optimal_path;
+  /// The path whose snaked clustering is cheapest (the snaked-cost DP,
+  /// src/path/snaked_dp.h — Corollary 1's "optimal snaked lattice path").
+  /// Often equal to optimal_path; never worse snaked.
+  LatticePath optimal_snaked_path;
+  /// cost_mu of the optimal path, unsnaked / snaked, and of the snaked
+  /// optimum.
+  double optimal_path_cost = 0.0;
+  double snaked_optimal_cost = 0.0;
+  double optimal_snaked_cost = 0.0;
+  /// Every evaluated strategy, ascending expected cost. The first entry is
+  /// the recommendation; on complete binary 2-D schemas Theorem 2 makes the
+  /// optimal snaked path globally optimal, and it is first in almost every
+  /// practical configuration.
+  std::vector<StrategyReport> ranked;
+
+  const StrategyReport& best() const { return ranked.front(); }
+
+  /// Plain-text report table.
+  std::string ToString() const;
+};
+
+/// The library's top-level API: given a star schema and an expected workload
+/// over its query-class lattice, finds the optimal lattice path (DP), applies
+/// snaking, evaluates the requested baselines, and recommends a clustering.
+///
+///   auto schema = ...; Workload mu = ...;
+///   ClusteringAdvisor advisor(schema);
+///   Recommendation rec = advisor.Advise(mu).ValueOrDie();
+///   auto order = advisor.RecommendedOrder(mu).ValueOrDie();  // rank <-> cell
+class ClusteringAdvisor {
+ public:
+  explicit ClusteringAdvisor(std::shared_ptr<const StarSchema> schema)
+      : schema_(std::move(schema)) {}
+
+  const StarSchema& schema() const { return *schema_; }
+
+  /// Evaluates strategies under `mu`. `facts` is only consulted when
+  /// options.measure_storage is set.
+  Result<Recommendation> Advise(
+      const Workload& mu, const AdvisorOptions& options = {},
+      std::shared_ptr<const FactTable> facts = nullptr) const;
+
+  /// The physical cell order to hand to the storage layer: the snaked
+  /// clustering of the optimal snaked lattice path for `mu`.
+  Result<std::unique_ptr<Linearization>> RecommendedOrder(
+      const Workload& mu) const;
+
+  /// The workload's query-class lattice for this schema.
+  QueryClassLattice Lattice() const { return QueryClassLattice(*schema_); }
+
+ private:
+  std::shared_ptr<const StarSchema> schema_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_CORE_ADVISOR_H_

@@ -1,0 +1,132 @@
+#include "core/query_parser.h"
+
+#include <string>
+
+namespace snakes {
+
+namespace {
+
+// Splits into clauses on unquoted whitespace; double quotes may wrap any
+// part of a clause and are stripped. Single quotes are ordinary characters —
+// member labels like "levi's" contain them.
+Result<std::vector<std::string>> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  char quote = 0;
+  for (const char c : text) {
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      quote = c;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (quote != 0) {
+    return Status::InvalidArgument("unterminated quote in query");
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace
+
+Result<GridQuery> ParseGridQuery(const StarSchema& schema,
+                                 const std::vector<DimensionTable>& tables,
+                                 std::string_view text) {
+  if (static_cast<int>(tables.size()) != schema.num_dims()) {
+    return Status::InvalidArgument(
+        "need one dimension table per schema dimension");
+  }
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const DimensionTable& table = tables[static_cast<size_t>(d)];
+    if (table.name() != schema.dim(d).name() ||
+        table.hierarchy().num_leaves() != schema.dim(d).num_leaves()) {
+      return Status::InvalidArgument("dimension table '" + table.name() +
+                                     "' does not match schema dimension '" +
+                                     schema.dim(d).name() + "'");
+    }
+  }
+
+  GridQuery query;
+  query.cls = QueryClass(schema.num_dims());
+  query.block.resize(static_cast<size_t>(schema.num_dims()));
+  std::vector<bool> selected(static_cast<size_t>(schema.num_dims()), false);
+  // Default: the "all" member of every dimension.
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    query.cls.set_level(d, schema.dim(d).num_levels());
+    query.block[static_cast<size_t>(d)] = 0;
+  }
+
+  SNAKES_ASSIGN_OR_RETURN(std::vector<std::string> clauses, Tokenize(text));
+  for (const std::string& clause : clauses) {
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      return Status::InvalidArgument("clause '" + clause +
+                                     "' is not dimension=label");
+    }
+    std::string target = clause.substr(0, eq);
+    const std::string label = clause.substr(eq + 1);
+
+    std::string level_name;
+    if (const size_t dot = target.find('.'); dot != std::string::npos) {
+      level_name = target.substr(dot + 1);
+      target.erase(dot);
+    }
+
+    int dim = -1;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      if (schema.dim(d).name() == target) {
+        dim = d;
+        break;
+      }
+    }
+    if (dim < 0) {
+      return Status::NotFound("no dimension named '" + target + "'");
+    }
+    if (selected[static_cast<size_t>(dim)]) {
+      return Status::InvalidArgument("dimension '" + target +
+                                     "' selected twice");
+    }
+    const DimensionTable& table = tables[static_cast<size_t>(dim)];
+
+    int level = -1;
+    uint64_t block = 0;
+    if (!level_name.empty()) {
+      for (int l = 0; l <= table.hierarchy().num_levels(); ++l) {
+        if (table.hierarchy().level_name(l) == level_name) {
+          level = l;
+          break;
+        }
+      }
+      if (level < 0) {
+        return Status::NotFound("dimension '" + target + "' has no level '" +
+                                level_name + "'");
+      }
+      SNAKES_ASSIGN_OR_RETURN(block, table.BlockOf(level, label));
+    } else {
+      SNAKES_ASSIGN_OR_RETURN(auto found, table.Find(label));
+      level = found.first;
+      block = found.second;
+    }
+    query.cls.set_level(dim, level);
+    query.block[static_cast<size_t>(dim)] = block;
+    selected[static_cast<size_t>(dim)] = true;
+  }
+  return query;
+}
+
+}  // namespace snakes

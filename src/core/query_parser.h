@@ -1,0 +1,33 @@
+#ifndef SNAKES_CORE_QUERY_PARSER_H_
+#define SNAKES_CORE_QUERY_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "hierarchy/dimension_table.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Parses a textual member selection into a grid query — the surface form
+/// of the paper's Q1/Q2:
+///
+///   location=NY jeans=levi's          -> class (1,1) grid query
+///   location.state=ONT                -> class (1,2): jeans unselected
+///   jeans="men's levi's"              -> double-quoted labels may contain
+///                                        spaces (apostrophes are ordinary)
+///
+/// Each clause is `dimension=label` or `dimension.levelname=label`; the bare
+/// form searches the dimension's levels bottom-up. Dimensions without a
+/// clause select their "all" member (top level), exactly like a missing
+/// WHERE predicate. `tables` must hold one DimensionTable per schema
+/// dimension, in schema order.
+Result<GridQuery> ParseGridQuery(const StarSchema& schema,
+                                 const std::vector<DimensionTable>& tables,
+                                 std::string_view text);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CORE_QUERY_PARSER_H_

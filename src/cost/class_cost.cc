@@ -1,0 +1,124 @@
+#include "cost/class_cost.h"
+
+#include <vector>
+
+#include "lattice/grid_query.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+double DistToPath(const LatticePath& path, const QueryClass& cls) {
+  const QueryClass anchor = path.MaxPointBelow(cls);
+  return path.lattice().LenBetween(anchor, cls);
+}
+
+Result<ClassCostTable> AnalyticPathCosts(const StarSchema& schema,
+                                         const LatticePath& path) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (!schema.dim(d).is_uniform()) {
+      return Status::InvalidArgument(
+          "AnalyticPathCosts requires uniform hierarchies");
+    }
+  }
+  const QueryClassLattice lat(schema);
+  std::vector<uint64_t> fragments(lat.size());
+  std::vector<uint64_t> queries(lat.size());
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    const QueryClass anchor = path.MaxPointBelow(cls);
+    // Integer form of LenBetween for uniform hierarchies.
+    uint64_t dist = 1;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      for (int l = anchor.level(d) + 1; l <= cls.level(d); ++l) {
+        dist = CheckedMul(dist, schema.dim(d).uniform_fanout(l));
+      }
+    }
+    queries[i] = NumQueriesInClass(schema, cls);
+    fragments[i] = CheckedMul(dist, queries[i]);
+  }
+  return ClassCostTable(lat, std::move(fragments), std::move(queries));
+}
+
+namespace {
+
+struct Digit {
+  int dim;
+  int level;       // the loop enumerates level-1 children of level blocks
+  uint64_t edges;  // number of curve edges contributed by this loop
+};
+
+// Loop digits of the snaked order for `path` over a uniform schema, with
+// exact edge counts: digit t contributes (radix-1) * cells / (radix * place).
+std::vector<Digit> SnakedDigits(const StarSchema& schema,
+                                const LatticePath& path) {
+  std::vector<Digit> digits;
+  std::vector<int> level(static_cast<size_t>(schema.num_dims()), 0);
+  uint64_t place = 1;
+  const uint64_t cells = schema.num_cells();
+  for (int d : path.steps()) {
+    const int upper = ++level[static_cast<size_t>(d)];
+    const uint64_t radix = schema.dim(d).uniform_fanout(upper);
+    digits.push_back(
+        {d, upper, (radix - 1) * (cells / (radix * place))});
+    place = CheckedMul(place, radix);
+  }
+  return digits;
+}
+
+}  // namespace
+
+Result<ClassCostTable> AnalyticSnakedPathCosts(const StarSchema& schema,
+                                               const LatticePath& path) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (!schema.dim(d).is_uniform()) {
+      return Status::InvalidArgument(
+          "AnalyticSnakedPathCosts requires uniform hierarchies");
+    }
+  }
+  const std::vector<Digit> digits = SnakedDigits(schema, path);
+  const QueryClassLattice lat(schema);
+  const uint64_t cells = schema.num_cells();
+  std::vector<uint64_t> fragments(lat.size());
+  std::vector<uint64_t> queries(lat.size());
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    uint64_t absorbed = 0;
+    for (const Digit& digit : digits) {
+      if (cls.level(digit.dim) >= digit.level) absorbed += digit.edges;
+    }
+    SNAKES_CHECK(absorbed < cells);
+    queries[i] = NumQueriesInClass(schema, cls);
+    fragments[i] = cells - absorbed;
+  }
+  return ClassCostTable(lat, std::move(fragments), std::move(queries));
+}
+
+double DistToSnakedPath(const LatticePath& path, const QueryClass& cls) {
+  const QueryClassLattice& lat = path.lattice();
+  // Real-valued mirror of AnalyticSnakedPathCosts for fractional fanouts.
+  double cells = 1.0;
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    for (int l = 1; l <= lat.levels(d); ++l) cells *= lat.fanout(d, l);
+  }
+  std::vector<int> level(static_cast<size_t>(lat.num_dims()), 0);
+  double place = 1.0;
+  double absorbed = 0.0;
+  for (int d : path.steps()) {
+    const int upper = ++level[static_cast<size_t>(d)];
+    const double radix = lat.fanout(d, upper);
+    if (cls.level(d) >= upper) {
+      absorbed += (radix - 1.0) * (cells / (radix * place));
+    }
+    place *= radix;
+  }
+  double num_queries = 1.0;
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    for (int l = cls.level(d) + 1; l <= lat.levels(d); ++l) {
+      num_queries *= lat.fanout(d, l);
+    }
+  }
+  return (cells - absorbed) / num_queries;
+}
+
+}  // namespace snakes

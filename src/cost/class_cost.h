@@ -1,0 +1,38 @@
+#ifndef SNAKES_COST_CLASS_COST_H_
+#define SNAKES_COST_CLASS_COST_H_
+
+#include "cost/edge_model.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/lattice.h"
+#include "path/lattice_path.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// dist_P(u) (Section 4): the average seek cost of a class-u query under the
+/// (unsnaked) path strategy P — the product of the fanouts between u and the
+/// maximal path point dominated by u. Works on any lattice, including
+/// fractional average fanouts; exact for uniform hierarchies.
+double DistToPath(const LatticePath& path, const QueryClass& cls);
+
+/// Per-class costs of the unsnaked path strategy, exact, for uniform
+/// schemas: avg(c) = dist_P(c), total = dist * num_queries.
+Result<ClassCostTable> AnalyticPathCosts(const StarSchema& schema,
+                                         const LatticePath& path);
+
+/// Per-class costs of the snaked path strategy, exact, for uniform schemas:
+/// every curve edge is a loop-digit step of some (dim, level); class c
+/// absorbs the edges with c.level(dim) >= level, and
+/// avg(c) = (cells - absorbed) / num_queries (the paper's extended cost
+/// formula specialized to snaked paths).
+Result<ClassCostTable> AnalyticSnakedPathCosts(const StarSchema& schema,
+                                               const LatticePath& path);
+
+/// dist of a class under the snaked path, on the lattice cost model alone
+/// (no physical schema; fanouts may be fractional). Mirrors
+/// AnalyticSnakedPathCosts with real-valued edge counts.
+double DistToSnakedPath(const LatticePath& path, const QueryClass& cls);
+
+}  // namespace snakes
+
+#endif  // SNAKES_COST_CLASS_COST_H_

@@ -1,0 +1,88 @@
+#include "cost/edge_model.h"
+
+#include "lattice/grid_query.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+uint64_t EdgeHistogram::NumDiagonal() const {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < lattice.size(); ++i) {
+    if (count[i] == 0) continue;
+    const QueryClass t = lattice.ClassAt(i);
+    int nonzero = 0;
+    for (int d = 0; d < t.num_dims(); ++d) nonzero += t.level(d) > 0;
+    if (nonzero >= 2) total += count[i];
+  }
+  return total;
+}
+
+uint64_t EdgeHistogram::Total() const {
+  uint64_t total = 0;
+  for (uint64_t c : count) total += c;
+  return total;
+}
+
+EdgeHistogram MeasureEdgeHistogram(const Linearization& lin) {
+  const StarSchema& schema = lin.schema();
+  EdgeHistogram hist{QueryClassLattice(schema),
+                     std::vector<uint64_t>(QueryClassLattice(schema).size(), 0)};
+  const int k = schema.num_dims();
+  bool have_prev = false;
+  CellCoord prev;
+  QueryClass type(k);
+  lin.Walk([&](uint64_t rank, const CellCoord& coord) {
+    (void)rank;
+    if (have_prev) {
+      for (int d = 0; d < k; ++d) {
+        const uint64_t a = prev[static_cast<size_t>(d)];
+        const uint64_t b = coord[static_cast<size_t>(d)];
+        int level = 0;
+        if (a != b) {
+          const Hierarchy& h = schema.dim(d);
+          level = 1;
+          while (h.AncestorAt(a, level) != h.AncestorAt(b, level)) ++level;
+        }
+        type.set_level(d, level);
+      }
+      ++hist.count[hist.lattice.Index(type)];
+    }
+    prev = coord;
+    have_prev = true;
+  });
+  return hist;
+}
+
+ClassCostTable CostsFromHistogram(const StarSchema& schema,
+                                  const EdgeHistogram& hist) {
+  const QueryClassLattice& lat = hist.lattice;
+  const uint64_t size = lat.size();
+  // internal[c] = number of edges whose type is dominated by c, computed by
+  // the standard k-pass "sum over dominated points" sweep.
+  std::vector<uint64_t> internal = hist.count;
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    for (uint64_t i = 0; i < size; ++i) {
+      const QueryClass c = lat.ClassAt(i);
+      if (c.level(d) == 0) continue;
+      QueryClass below = c;
+      below.set_level(d, c.level(d) - 1);
+      internal[i] += internal[lat.Index(below)];
+    }
+  }
+  const uint64_t cells = schema.num_cells();
+  std::vector<uint64_t> fragments(size);
+  std::vector<uint64_t> queries(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    SNAKES_CHECK(internal[i] < cells)
+        << "edge counts exceed cell count; invalid linearization?";
+    fragments[i] = cells - internal[i];
+    queries[i] = NumQueriesInClass(schema, lat.ClassAt(i));
+  }
+  return ClassCostTable(lat, std::move(fragments), std::move(queries));
+}
+
+ClassCostTable MeasureClassCosts(const Linearization& lin) {
+  return CostsFromHistogram(lin.schema(), MeasureEdgeHistogram(lin));
+}
+
+}  // namespace snakes

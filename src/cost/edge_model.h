@@ -1,0 +1,93 @@
+#ifndef SNAKES_COST_EDGE_MODEL_H_
+#define SNAKES_COST_EDGE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curves/linearization.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/lattice.h"
+#include "lattice/query_class.h"
+#include "util/fraction.h"
+
+namespace snakes {
+
+/// The generalized characteristic vector (Definition 4) of a clustering
+/// strategy: for every pair of cells adjacent on the curve, the edge's type
+/// is the vector of per-dimension "join levels" — the lowest hierarchy level
+/// at which the two cells share an ancestor in that dimension (0 when the
+/// coordinate is unchanged). Types are lattice points, so the histogram is
+/// indexed by the query-class lattice.
+///
+/// In the paper's 2-D binary notation, type (i,0) is A_i, (0,j) is B_j and
+/// (i,j) with i,j >= 1 is the diagonal type D_ij.
+struct EdgeHistogram {
+  QueryClassLattice lattice;
+  /// count[lattice.Index(type)] = number of curve edges of that type.
+  std::vector<uint64_t> count;
+
+  /// Number of diagonal edges (types with >= 2 non-zero coordinates).
+  uint64_t NumDiagonal() const;
+
+  /// Total edges (= num_cells - 1 for a valid linearization).
+  uint64_t Total() const;
+
+  /// Edges of type `t`.
+  uint64_t OfType(const QueryClass& t) const { return count[lattice.Index(t)]; }
+};
+
+/// Scans `lin` once and tallies every curve edge by type. O(cells * levels).
+EdgeHistogram MeasureEdgeHistogram(const Linearization& lin);
+
+/// Exact per-query-class average costs of a clustering strategy, in the
+/// paper's seek-count surrogate: the average, over all grid queries of a
+/// class, of the number of contiguous curve fragments needed to cover the
+/// query. Stored as exact integers (total fragments over all queries of the
+/// class / number of queries), matching the "total/num" entries of Table 1.
+class ClassCostTable {
+ public:
+  ClassCostTable(QueryClassLattice lattice, std::vector<uint64_t> fragments,
+                 std::vector<uint64_t> queries)
+      : lattice_(std::move(lattice)),
+        fragments_(std::move(fragments)),
+        queries_(std::move(queries)) {}
+
+  const QueryClassLattice& lattice() const { return lattice_; }
+
+  /// Summed fragment count over every query of `cls`.
+  uint64_t TotalFragments(const QueryClass& cls) const {
+    return fragments_[lattice_.Index(cls)];
+  }
+
+  /// Number of grid queries in `cls`.
+  uint64_t NumQueries(const QueryClass& cls) const {
+    return queries_[lattice_.Index(cls)];
+  }
+
+  /// Average fragments per query of `cls`, exact.
+  Fraction Avg(const QueryClass& cls) const {
+    const uint64_t i = lattice_.Index(cls);
+    return Fraction(fragments_[i], queries_[i]);
+  }
+
+  double AvgDouble(const QueryClass& cls) const { return Avg(cls).ToDouble(); }
+
+ private:
+  QueryClassLattice lattice_;
+  std::vector<uint64_t> fragments_;
+  std::vector<uint64_t> queries_;
+};
+
+/// Converts an edge histogram into exact per-class costs using the
+/// internality identity (Section 5.1, extended cost definition): the summed
+/// fragment count of class c equals num_cells minus the number of edges whose
+/// type is dominated by c. Runs a k-pass subset-sum over the lattice.
+ClassCostTable CostsFromHistogram(const StarSchema& schema,
+                                  const EdgeHistogram& hist);
+
+/// MeasureEdgeHistogram + CostsFromHistogram.
+ClassCostTable MeasureClassCosts(const Linearization& lin);
+
+}  // namespace snakes
+
+#endif  // SNAKES_COST_EDGE_MODEL_H_

@@ -1,0 +1,30 @@
+#ifndef SNAKES_COST_WORKLOAD_COST_H_
+#define SNAKES_COST_WORKLOAD_COST_H_
+
+#include "cost/class_cost.h"
+#include "cost/edge_model.h"
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+
+namespace snakes {
+
+/// cost_mu(S) (Section 4): the expected per-query seek cost of a strategy
+/// whose per-class average costs are tabulated in `costs`, under workload mu.
+double ExpectedCost(const Workload& mu, const ClassCostTable& costs);
+
+/// Analytic cost_mu(P) for an unsnaked lattice path on the lattice cost
+/// model: sum_u p_u * dist_P(u). This is the objective the Figure-4 DP
+/// minimizes; exact for uniform hierarchies and defined for fractional
+/// average fanouts.
+double ExpectedPathCost(const Workload& mu, const LatticePath& path);
+
+/// Analytic cost_mu of the snaked version of `path` on the lattice model.
+double ExpectedSnakedPathCost(const Workload& mu, const LatticePath& path);
+
+/// Expected cost of an arbitrary linearization under `mu`, measured exactly
+/// with the edge model. O(cells * levels).
+double MeasureExpectedCost(const Workload& mu, const Linearization& lin);
+
+}  // namespace snakes
+
+#endif  // SNAKES_COST_WORKLOAD_COST_H_

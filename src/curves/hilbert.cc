@@ -1,0 +1,127 @@
+#include "curves/hilbert.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+namespace curve_internal {
+
+// Both routines are Skilling's public-domain algorithm ("Programming the
+// Hilbert curve", AIP Conf. Proc. 707, 2004), operating on the "transpose"
+// form of the Hilbert index: dimension i holds every (i mod dims)-th bit.
+
+void HilbertTransposeToAxes(uint32_t* x, int bits, int dims) {
+  const uint32_t big = uint32_t{2} << (bits - 1);
+  uint32_t t = x[dims - 1] >> 1;
+  for (int i = dims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  for (uint32_t q = 2; q != big; q <<= 1) {
+    const uint32_t p = q - 1;
+    for (int i = dims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        t = (x[0] ^ x[i]) & p;  // exchange low bits of x[0] and x[i]
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+void HilbertAxesToTranspose(uint32_t* x, int bits, int dims) {
+  const uint32_t most = uint32_t{1} << (bits - 1);
+  uint32_t t;
+  for (uint32_t q = most; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (int i = 0; i < dims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  for (int i = 1; i < dims; ++i) x[i] ^= x[i - 1];
+  t = 0;
+  for (uint32_t q = most; q > 1; q >>= 1) {
+    if (x[dims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < dims; ++i) x[i] ^= t;
+}
+
+}  // namespace curve_internal
+
+Result<std::unique_ptr<HilbertCurve>> HilbertCurve::Make(
+    std::shared_ptr<const StarSchema> schema, bool swap_first_two) {
+  const int k = schema->num_dims();
+  if (k < 2) {
+    return Status::InvalidArgument("Hilbert curve needs >= 2 dimensions");
+  }
+  const uint64_t extent0 = schema->extent(0);
+  if (!IsPowerOfTwo(extent0)) {
+    return Status::InvalidArgument(
+        "Hilbert curve requires power-of-two extents");
+  }
+  for (int d = 1; d < k; ++d) {
+    if (schema->extent(d) != extent0) {
+      return Status::InvalidArgument(
+          "Hilbert curve requires equal extents in every dimension");
+    }
+  }
+  const int bits = FloorLog2(extent0);
+  if (bits == 0) {
+    return Status::InvalidArgument("Hilbert curve needs extents >= 2");
+  }
+  if (bits * k > 62) {
+    return Status::InvalidArgument("Hilbert grid too large (2^" +
+                                   std::to_string(bits * k) + " cells)");
+  }
+  return std::unique_ptr<HilbertCurve>(
+      new HilbertCurve(std::move(schema), bits, swap_first_two));
+}
+
+CellCoord HilbertCurve::CellAt(uint64_t rank) const {
+  const int k = schema().num_dims();
+  uint32_t x[kMaxDimensions] = {0};
+  // Distribute rank bits into the transpose form: the most significant rank
+  // bit goes to x[0]'s top bit, the next to x[1]'s top bit, and so on.
+  const int total = bits_ * k;
+  for (int q = 0; q < total; ++q) {
+    const int from_msb = total - 1 - q;  // index from the top
+    const int dim = from_msb % k;
+    const int bit = bits_ - 1 - from_msb / k;
+    x[dim] |= static_cast<uint32_t>((rank >> q) & 1u) << bit;
+  }
+  curve_internal::HilbertTransposeToAxes(x, bits_, k);
+  if (swap_) std::swap(x[0], x[1]);
+  CellCoord coord;
+  coord.resize(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) coord[static_cast<size_t>(d)] = x[d];
+  return coord;
+}
+
+uint64_t HilbertCurve::RankOf(const CellCoord& coord) const {
+  const int k = schema().num_dims();
+  uint32_t x[kMaxDimensions];
+  for (int d = 0; d < k; ++d) {
+    x[d] = static_cast<uint32_t>(coord[static_cast<size_t>(d)]);
+  }
+  if (swap_) std::swap(x[0], x[1]);
+  curve_internal::HilbertAxesToTranspose(x, bits_, k);
+  uint64_t rank = 0;
+  const int total = bits_ * k;
+  for (int q = 0; q < total; ++q) {
+    const int from_msb = total - 1 - q;
+    const int dim = from_msb % k;
+    const int bit = bits_ - 1 - from_msb / k;
+    rank |= static_cast<uint64_t>((x[dim] >> bit) & 1u) << q;
+  }
+  return rank;
+}
+
+}  // namespace snakes

@@ -1,0 +1,56 @@
+#ifndef SNAKES_CURVES_HILBERT_H_
+#define SNAKES_CURVES_HILBERT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curves/linearization.h"
+
+namespace snakes {
+
+/// The Hilbert space-filling curve (Faloutsos & Roseman; Jagadish 1990) — the
+/// strongest classical baseline in the paper's related work. Implemented with
+/// Skilling's transpose algorithm, which supports any dimensionality k >= 2
+/// with equal power-of-two extents (2^b per dimension).
+///
+/// Consecutive cells always differ by 1 in exactly one dimension, so the
+/// Hilbert curve is a non-diagonal strategy in the paper's terminology.
+///
+/// `swap_first_two` reflects the curve by exchanging the roles of the first
+/// two dimensions; the paper's Figure 2(b) orientation on the toy grid
+/// corresponds to one of the two settings (pinned by the Table 1 tests).
+class HilbertCurve : public Linearization {
+ public:
+  static Result<std::unique_ptr<HilbertCurve>> Make(
+      std::shared_ptr<const StarSchema> schema, bool swap_first_two = false);
+
+  std::string name() const override { return "hilbert"; }
+  CellCoord CellAt(uint64_t rank) const override;
+  uint64_t RankOf(const CellCoord& coord) const override;
+
+ private:
+  HilbertCurve(std::shared_ptr<const StarSchema> schema, int bits,
+               bool swap_first_two)
+      : Linearization(std::move(schema)),
+        bits_(bits),
+        swap_(swap_first_two) {}
+
+  int bits_;   // bits per dimension (equal extents 2^bits_)
+  bool swap_;  // exchange dimensions 0 and 1
+};
+
+namespace curve_internal {
+
+/// Skilling's TransposetoAxes: converts the transposed Hilbert index (one
+/// word of `bits` bits per dimension) into axis coordinates, in place.
+void HilbertTransposeToAxes(uint32_t* x, int bits, int dims);
+
+/// Skilling's AxestoTranspose: inverse of HilbertTransposeToAxes.
+void HilbertAxesToTranspose(uint32_t* x, int bits, int dims);
+
+}  // namespace curve_internal
+
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_HILBERT_H_

@@ -1,0 +1,106 @@
+#include "curves/linearization.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+void Linearization::Walk(
+    const std::function<void(uint64_t, const CellCoord&)>& fn) const {
+  const uint64_t n = num_cells();
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    fn(rank, CellAt(rank));
+  }
+}
+
+Status Linearization::Validate() const {
+  const uint64_t n = num_cells();
+  std::vector<bool> seen(n, false);
+  uint64_t expected_rank = 0;
+  Status status = Status::OK();
+  Walk([&](uint64_t rank, const CellCoord& coord) {
+    if (!status.ok()) return;
+    if (rank != expected_rank) {
+      status = Status::Internal("Walk ranks not sequential");
+      return;
+    }
+    ++expected_rank;
+    const CellId id = schema().Flatten(coord);
+    if (seen[id]) {
+      status = Status::Internal("cell visited twice: id " + std::to_string(id));
+      return;
+    }
+    seen[id] = true;
+    if (RankOf(coord) != rank) {
+      status = Status::Internal("RankOf(CellAt(r)) != r at rank " +
+                                std::to_string(rank));
+      return;
+    }
+    const CellCoord again = CellAt(rank);
+    if (schema().Flatten(again) != id) {
+      status = Status::Internal("CellAt(r) disagrees with Walk at rank " +
+                                std::to_string(rank));
+    }
+  });
+  SNAKES_RETURN_IF_ERROR(status);
+  if (expected_rank != n) {
+    return Status::Internal("Walk visited " + std::to_string(expected_rank) +
+                            " of " + std::to_string(n) + " cells");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MaterializedLinearization>>
+MaterializedLinearization::Make(std::shared_ptr<const StarSchema> schema,
+                                std::string name, std::vector<CellId> order) {
+  const uint64_t n = schema->num_cells();
+  if (order.size() != n) {
+    return Status::InvalidArgument("order has " + std::to_string(order.size()) +
+                                   " cells, schema has " + std::to_string(n));
+  }
+  std::vector<uint64_t> inverse(n, UINT64_MAX);
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    const CellId id = order[rank];
+    if (id >= n) {
+      return Status::InvalidArgument("cell id out of range: " +
+                                     std::to_string(id));
+    }
+    if (inverse[id] != UINT64_MAX) {
+      return Status::InvalidArgument("cell id repeated: " + std::to_string(id));
+    }
+    inverse[id] = rank;
+  }
+  return std::unique_ptr<MaterializedLinearization>(
+      new MaterializedLinearization(std::move(schema), std::move(name),
+                                    std::move(order), std::move(inverse)));
+}
+
+std::unique_ptr<MaterializedLinearization> MaterializedLinearization::From(
+    const Linearization& other) {
+  std::vector<CellId> order(other.num_cells());
+  other.Walk([&](uint64_t rank, const CellCoord& coord) {
+    order[rank] = other.schema().Flatten(coord);
+  });
+  auto result = Make(other.schema_ptr(), other.name(), std::move(order));
+  SNAKES_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+CellCoord MaterializedLinearization::CellAt(uint64_t rank) const {
+  SNAKES_DCHECK(rank < order_.size());
+  return schema().Unflatten(order_[rank]);
+}
+
+uint64_t MaterializedLinearization::RankOf(const CellCoord& coord) const {
+  return inverse_[schema().Flatten(coord)];
+}
+
+void MaterializedLinearization::Walk(
+    const std::function<void(uint64_t, const CellCoord&)>& fn) const {
+  for (uint64_t rank = 0; rank < order_.size(); ++rank) {
+    fn(rank, schema().Unflatten(order_[rank]));
+  }
+}
+
+}  // namespace snakes

@@ -1,0 +1,93 @@
+#ifndef SNAKES_CURVES_LINEARIZATION_H_
+#define SNAKES_CURVES_LINEARIZATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hierarchy/star_schema.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// A clustering strategy: a bijection between grid cells and disk ranks
+/// 0..num_cells()-1. Cells are laid out on disk in rank order; every cost
+/// model in the library consumes this interface.
+class Linearization {
+ public:
+  /// `schema` describes the grid being linearized; shared, immutable.
+  explicit Linearization(std::shared_ptr<const StarSchema> schema)
+      : schema_(std::move(schema)) {}
+  virtual ~Linearization() = default;
+
+  Linearization(const Linearization&) = delete;
+  Linearization& operator=(const Linearization&) = delete;
+
+  const StarSchema& schema() const { return *schema_; }
+  std::shared_ptr<const StarSchema> schema_ptr() const { return schema_; }
+  uint64_t num_cells() const { return schema_->num_cells(); }
+
+  /// Human-readable strategy name ("row-major(A,B)", "hilbert", ...).
+  virtual std::string name() const = 0;
+
+  /// The cell stored at disk position `rank`.
+  virtual CellCoord CellAt(uint64_t rank) const = 0;
+
+  /// The disk position of `coord` (inverse of CellAt).
+  virtual uint64_t RankOf(const CellCoord& coord) const = 0;
+
+  /// Visits every cell in rank order. The default loops over CellAt;
+  /// generative strategies override this with a cheaper sweep.
+  virtual void Walk(
+      const std::function<void(uint64_t rank, const CellCoord& coord)>& fn)
+      const;
+
+  /// Verifies that CellAt is a bijection consistent with RankOf and that
+  /// Walk visits the same sequence. O(num_cells) time and bitmap space.
+  Status Validate() const;
+
+ private:
+  std::shared_ptr<const StarSchema> schema_;
+};
+
+/// A linearization materialized as an explicit permutation (flattened cell
+/// ids in rank order). Accepts any generator; also the adapter that gives
+/// non-closed-form strategies (snaked paths over non-uniform hierarchies) a
+/// RankOf.
+class MaterializedLinearization : public Linearization {
+ public:
+  /// Takes the cells in rank order (flattened ids). Fails unless `order` is a
+  /// permutation of 0..num_cells-1.
+  static Result<std::unique_ptr<MaterializedLinearization>> Make(
+      std::shared_ptr<const StarSchema> schema, std::string name,
+      std::vector<CellId> order);
+
+  /// Copies another linearization into materialized form.
+  static std::unique_ptr<MaterializedLinearization> From(
+      const Linearization& other);
+
+  std::string name() const override { return name_; }
+  CellCoord CellAt(uint64_t rank) const override;
+  uint64_t RankOf(const CellCoord& coord) const override;
+  void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
+      const override;
+
+ private:
+  MaterializedLinearization(std::shared_ptr<const StarSchema> schema,
+                            std::string name, std::vector<CellId> order,
+                            std::vector<uint64_t> inverse)
+      : Linearization(std::move(schema)),
+        name_(std::move(name)),
+        order_(std::move(order)),
+        inverse_(std::move(inverse)) {}
+
+  std::string name_;
+  std::vector<CellId> order_;     // rank -> cell id
+  std::vector<uint64_t> inverse_; // cell id -> rank
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_LINEARIZATION_H_

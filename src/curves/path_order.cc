@@ -1,0 +1,257 @@
+#include "curves/path_order.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+namespace {
+
+Status CheckPathMatchesSchema(const StarSchema& schema,
+                              const LatticePath& path) {
+  const QueryClassLattice& lat = path.lattice();
+  if (lat.num_dims() != schema.num_dims()) {
+    return Status::InvalidArgument("path lattice dimensionality mismatch");
+  }
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (lat.levels(d) != schema.dim(d).num_levels()) {
+      return Status::InvalidArgument("path lattice level mismatch in dim " +
+                                     schema.dim(d).name());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PathOrder>> PathOrder::Make(
+    std::shared_ptr<const StarSchema> schema, const LatticePath& path,
+    bool snaked) {
+  SNAKES_RETURN_IF_ERROR(CheckPathMatchesSchema(*schema, path));
+  for (int d = 0; d < schema->num_dims(); ++d) {
+    if (!schema->dim(d).is_uniform()) {
+      return Status::InvalidArgument(
+          "PathOrder requires uniform hierarchies; use MakePathOrder");
+    }
+  }
+  // Walk the path bottom-up, tracking the level reached per dimension.
+  std::vector<LoopDigit> digits;
+  digits.reserve(path.steps().size());
+  std::vector<int> level(static_cast<size_t>(schema->num_dims()), 0);
+  uint64_t place = 1;
+  for (int d : path.steps()) {
+    const Hierarchy& h = schema->dim(d);
+    LoopDigit digit;
+    digit.dim = d;
+    digit.level = level[static_cast<size_t>(d)] + 1;
+    digit.radix = h.uniform_fanout(digit.level);
+    digit.place = place;
+    // Leaves covered by one step of this loop: the size of a block one level
+    // below the edge's upper end.
+    uint64_t unit = 1;
+    for (int i = 1; i < digit.level; ++i) unit *= h.uniform_fanout(i);
+    digit.coord_unit = unit;
+    place = CheckedMul(place, digit.radix);
+    digits.push_back(digit);
+    ++level[static_cast<size_t>(d)];
+  }
+  SNAKES_CHECK(place == schema->num_cells())
+      << "loop radices do not cover the grid";
+  return std::unique_ptr<PathOrder>(
+      new PathOrder(std::move(schema), path, snaked, std::move(digits)));
+}
+
+std::string PathOrder::name() const {
+  return std::string(snaked_ ? "snaked-path " : "path ") + path_.ToString();
+}
+
+CellCoord PathOrder::CellAt(uint64_t rank) const {
+  CellCoord coord;
+  coord.resize(static_cast<size_t>(schema().num_dims()));
+  for (const LoopDigit& digit : digits_) {
+    uint64_t value = (rank / digit.place) % digit.radix;
+    if (snaked_) {
+      const uint64_t sweeps = rank / (digit.place * digit.radix);
+      if (sweeps & 1) value = digit.radix - 1 - value;
+    }
+    coord[static_cast<size_t>(digit.dim)] += value * digit.coord_unit;
+  }
+  return coord;
+}
+
+uint64_t PathOrder::RankOf(const CellCoord& coord) const {
+  // Per-digit values in grid terms: the block index at the digit's lower
+  // level, relative to its parent block.
+  if (!snaked_) {
+    uint64_t rank = 0;
+    for (const LoopDigit& digit : digits_) {
+      const uint64_t value =
+          (coord[static_cast<size_t>(digit.dim)] / digit.coord_unit) %
+          digit.radix;
+      rank += value * digit.place;
+    }
+    return rank;
+  }
+  // Snaked: recover raw digits outermost-first; the direction of each digit
+  // depends on the parity of the integer formed by the raw digits above it.
+  uint64_t q = 0;
+  for (auto it = digits_.rbegin(); it != digits_.rend(); ++it) {
+    const LoopDigit& digit = *it;
+    const uint64_t value =
+        (coord[static_cast<size_t>(digit.dim)] / digit.coord_unit) %
+        digit.radix;
+    const uint64_t raw = (q & 1) ? digit.radix - 1 - value : value;
+    q = q * digit.radix + raw;
+  }
+  return q;
+}
+
+void PathOrder::Walk(
+    const std::function<void(uint64_t, const CellCoord&)>& fn) const {
+  // Odometer over raw digits with per-digit direction state: equivalent to
+  // CellAt for every rank but with O(1) amortized work per step.
+  const size_t t = digits_.size();
+  std::vector<uint64_t> raw(t, 0);
+  CellCoord coord;
+  coord.resize(static_cast<size_t>(schema().num_dims()));
+  // Direction of each loop: false = ascending. With all raw digits zero all
+  // sweep counts are zero, so all loops start ascending.
+  std::vector<bool> descending(t, false);
+  const uint64_t n = num_cells();
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    fn(rank, coord);
+    if (rank + 1 == n) break;
+    // Increment innermost digit; on wrap, flip that loop's direction and
+    // carry outward.
+    for (size_t i = 0; i < t; ++i) {
+      const LoopDigit& digit = digits_[i];
+      const uint64_t value = raw[i];
+      if (value + 1 < digit.radix) {
+        raw[i] = value + 1;
+        if (snaked_) {
+          const int64_t delta = descending[i] ? -1 : 1;
+          coord[static_cast<size_t>(digit.dim)] = static_cast<uint64_t>(
+              static_cast<int64_t>(coord[static_cast<size_t>(digit.dim)]) +
+              delta * static_cast<int64_t>(digit.coord_unit));
+        } else {
+          coord[static_cast<size_t>(digit.dim)] += digit.coord_unit;
+        }
+        break;
+      }
+      // Wrap this digit.
+      raw[i] = 0;
+      if (snaked_) {
+        // The loop completed a sweep: its scan direction flips; the
+        // coordinate stays where the sweep ended.
+        descending[i] = !descending[i];
+      } else {
+        coord[static_cast<size_t>(digit.dim)] -=
+            (digit.radix - 1) * digit.coord_unit;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Generative nested-loop sweep for non-uniform hierarchies. Produces the
+/// flattened cell ids in path order (optionally snaked) by recursing from the
+/// outermost loop inward; loop directions flip per re-entry when snaking.
+class GenerativeSweep {
+ public:
+  GenerativeSweep(const StarSchema& schema, const LatticePath& path,
+                  bool snaked)
+      : schema_(schema), snaked_(snaked) {
+    // Edges outermost-first, with the level they descend to per dimension.
+    std::vector<int> level(static_cast<size_t>(schema.num_dims()), 0);
+    for (int d : path.steps()) {
+      ++level[static_cast<size_t>(d)];
+      edges_.push_back({d, level[static_cast<size_t>(d)]});
+    }
+    std::reverse(edges_.begin(), edges_.end());
+    sweeps_.assign(edges_.size(), 0);
+    order_.reserve(schema.num_cells());
+    // Start with every dimension at its single top block.
+    FixedVector<uint64_t, kMaxDimensions> block(
+        static_cast<size_t>(schema.num_dims()), 0);
+    Recurse(0, block);
+    SNAKES_CHECK(order_.size() == schema.num_cells());
+  }
+
+  std::vector<CellId> Take() { return std::move(order_); }
+
+ private:
+  struct Edge {
+    int dim;
+    int upper_level;  // loop enumerates level (upper_level - 1) children
+  };
+
+  // `block[d]` is the current block id of dimension d at its current level
+  // (top level minus the number of processed edges of that dimension).
+  void Recurse(size_t e, FixedVector<uint64_t, kMaxDimensions> block) {
+    if (e == edges_.size()) {
+      CellCoord coord;
+      coord.resize(block.size());
+      for (size_t d = 0; d < block.size(); ++d) coord[d] = block[d];
+      order_.push_back(schema_.Flatten(coord));
+      return;
+    }
+    const Edge& edge = edges_[e];
+    const Hierarchy& h = schema_.dim(edge.dim);
+    // Children of the current block: the level-(upper-1) blocks covering the
+    // same leaves.
+    uint64_t first_leaf, last_leaf;
+    h.BlockLeafRange(edge.upper_level, block[static_cast<size_t>(edge.dim)],
+                     &first_leaf, &last_leaf);
+    const uint64_t child_lo = h.AncestorAt(first_leaf, edge.upper_level - 1);
+    const uint64_t child_hi = h.AncestorAt(last_leaf - 1, edge.upper_level - 1);
+    const bool reverse = snaked_ && (sweeps_[e] & 1);
+    ++sweeps_[e];
+    if (!reverse) {
+      for (uint64_t c = child_lo; c <= child_hi; ++c) {
+        block[static_cast<size_t>(edge.dim)] = c;
+        Recurse(e + 1, block);
+      }
+    } else {
+      for (uint64_t c = child_hi;; --c) {
+        block[static_cast<size_t>(edge.dim)] = c;
+        Recurse(e + 1, block);
+        if (c == child_lo) break;
+      }
+    }
+  }
+
+  const StarSchema& schema_;
+  const bool snaked_;
+  std::vector<Edge> edges_;
+  std::vector<uint64_t> sweeps_;
+  std::vector<CellId> order_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Linearization>> MakePathOrder(
+    std::shared_ptr<const StarSchema> schema, const LatticePath& path,
+    bool snaked) {
+  SNAKES_RETURN_IF_ERROR(CheckPathMatchesSchema(*schema, path));
+  bool uniform = true;
+  for (int d = 0; d < schema->num_dims(); ++d) {
+    uniform = uniform && schema->dim(d).is_uniform();
+  }
+  if (uniform) {
+    SNAKES_ASSIGN_OR_RETURN(std::unique_ptr<PathOrder> order,
+                            PathOrder::Make(schema, path, snaked));
+    return std::unique_ptr<Linearization>(std::move(order));
+  }
+  GenerativeSweep sweep(*schema, path, snaked);
+  const std::string name =
+      std::string(snaked ? "snaked-path " : "path ") + path.ToString();
+  SNAKES_ASSIGN_OR_RETURN(
+      std::unique_ptr<MaterializedLinearization> order,
+      MaterializedLinearization::Make(schema, name, sweep.Take()));
+  return std::unique_ptr<Linearization>(std::move(order));
+}
+
+}  // namespace snakes

@@ -1,0 +1,81 @@
+#ifndef SNAKES_CURVES_PATH_ORDER_H_
+#define SNAKES_CURVES_PATH_ORDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curves/linearization.h"
+#include "path/lattice_path.h"
+
+namespace snakes {
+
+/// The clustering strategy of a monotone lattice path (Section 3), with or
+/// without snaking (Definition 5).
+///
+/// Each path edge, bottom-up, is one nested loop (innermost first): the edge
+/// from (.., i_d, ..) to (.., i_d+1, ..) loops over the level-i_d children of
+/// the current level-(i_d+1) block of dimension d. Executing the loops yields
+/// a linear order over all cells.
+///
+/// Snaking reverses the direction of each loop index on every re-entry of
+/// that loop (a boustrophedon at every level). Consecutive cells of a snaked
+/// path order then differ in exactly one loop digit by +-1, so a snaked
+/// lattice path has no diagonal edges — the structural fact behind Theorem 2.
+///
+/// This class is the closed-form implementation for uniform hierarchies
+/// (every fanout exact). For schemas with varying per-node fanouts use
+/// MakePathOrder, which falls back to a materialized generative order with
+/// identical loop semantics.
+class PathOrder : public Linearization {
+ public:
+  /// Fails unless every dimension of `schema` is uniform and `path` belongs
+  /// to the schema's lattice shape.
+  static Result<std::unique_ptr<PathOrder>> Make(
+      std::shared_ptr<const StarSchema> schema, const LatticePath& path,
+      bool snaked);
+
+  std::string name() const override;
+  CellCoord CellAt(uint64_t rank) const override;
+  uint64_t RankOf(const CellCoord& coord) const override;
+  void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
+      const override;
+
+  const LatticePath& path() const { return path_; }
+  bool snaked() const { return snaked_; }
+
+  /// Loop digit descriptors, innermost first. Exposed for the analytic cost
+  /// model and the characteristic-vector extractor.
+  struct LoopDigit {
+    int dim;             // dimension stepped by this loop
+    int level;           // the edge climbs level-1 -> level in `dim`
+    uint64_t radix;      // loop count: uniform fanout f(dim, level)
+    uint64_t place;      // product of radices of inner digits
+    uint64_t coord_unit; // leaves per level-(level-1) block of `dim`
+  };
+  const std::vector<LoopDigit>& digits() const { return digits_; }
+
+ private:
+  PathOrder(std::shared_ptr<const StarSchema> schema, LatticePath path,
+            bool snaked, std::vector<LoopDigit> digits)
+      : Linearization(std::move(schema)),
+        path_(std::move(path)),
+        snaked_(snaked),
+        digits_(std::move(digits)) {}
+
+  LatticePath path_;
+  bool snaked_;
+  std::vector<LoopDigit> digits_;
+};
+
+/// Builds the (possibly snaked) order for `path` over any schema, choosing
+/// the closed-form PathOrder when all dimensions are uniform and otherwise
+/// materializing the recursive nested-loop sweep (identical semantics,
+/// O(num_cells) memory).
+Result<std::unique_ptr<Linearization>> MakePathOrder(
+    std::shared_ptr<const StarSchema> schema, const LatticePath& path,
+    bool snaked);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_PATH_ORDER_H_

@@ -1,0 +1,91 @@
+#include "curves/row_major.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<std::unique_ptr<RowMajorOrder>> RowMajorOrder::Make(
+    std::shared_ptr<const StarSchema> schema, std::vector<int> outer_to_inner) {
+  const int k = schema->num_dims();
+  if (static_cast<int>(outer_to_inner.size()) != k) {
+    return Status::InvalidArgument("axis order must list every dimension");
+  }
+  std::vector<bool> used(static_cast<size_t>(k), false);
+  for (int d : outer_to_inner) {
+    if (d < 0 || d >= k || used[static_cast<size_t>(d)]) {
+      return Status::InvalidArgument("axis order must be a permutation");
+    }
+    used[static_cast<size_t>(d)] = true;
+  }
+  std::vector<uint64_t> strides(static_cast<size_t>(k));
+  uint64_t stride = 1;
+  for (int pos = k - 1; pos >= 0; --pos) {
+    strides[static_cast<size_t>(pos)] = stride;
+    stride *= schema->extent(outer_to_inner[static_cast<size_t>(pos)]);
+  }
+  return std::unique_ptr<RowMajorOrder>(new RowMajorOrder(
+      std::move(schema), std::move(outer_to_inner), std::move(strides)));
+}
+
+std::string RowMajorOrder::name() const {
+  std::string out = "row-major(";
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (i) out += ",";
+    out += schema().dim(order_[i]).name();
+  }
+  out += ")";
+  return out;
+}
+
+CellCoord RowMajorOrder::CellAt(uint64_t rank) const {
+  CellCoord coord;
+  coord.resize(order_.size());
+  for (size_t pos = 0; pos < order_.size(); ++pos) {
+    const int d = order_[pos];
+    coord[static_cast<size_t>(d)] = rank / strides_[pos];
+    rank %= strides_[pos];
+  }
+  return coord;
+}
+
+uint64_t RowMajorOrder::RankOf(const CellCoord& coord) const {
+  uint64_t rank = 0;
+  for (size_t pos = 0; pos < order_.size(); ++pos) {
+    rank += coord[static_cast<size_t>(order_[pos])] * strides_[pos];
+  }
+  return rank;
+}
+
+void RowMajorOrder::Walk(
+    const std::function<void(uint64_t, const CellCoord&)>& fn) const {
+  // Odometer sweep: increment the innermost axis, carry outward.
+  const size_t k = order_.size();
+  CellCoord coord;
+  coord.resize(k);
+  const uint64_t n = num_cells();
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    fn(rank, coord);
+    for (size_t pos = k; pos-- > 0;) {
+      const int d = order_[pos];
+      if (++coord[static_cast<size_t>(d)] < schema().extent(d)) break;
+      coord[static_cast<size_t>(d)] = 0;
+    }
+  }
+}
+
+std::vector<std::unique_ptr<RowMajorOrder>> AllRowMajorOrders(
+    std::shared_ptr<const StarSchema> schema) {
+  std::vector<int> perm(static_cast<size_t>(schema->num_dims()));
+  for (size_t d = 0; d < perm.size(); ++d) perm[d] = static_cast<int>(d);
+  std::vector<std::unique_ptr<RowMajorOrder>> all;
+  do {
+    auto order = RowMajorOrder::Make(schema, perm);
+    SNAKES_CHECK(order.ok());
+    all.push_back(std::move(order).value());
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return all;
+}
+
+}  // namespace snakes

@@ -1,0 +1,48 @@
+#ifndef SNAKES_CURVES_ROW_MAJOR_H_
+#define SNAKES_CURVES_ROW_MAJOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curves/linearization.h"
+
+namespace snakes {
+
+/// Row-major clustering with an arbitrary axis order: the first dimension in
+/// `outer_to_inner` varies slowest. The paper's Section 6 baseline family is
+/// the k! row-major orders of a schema; on the lattice these are exactly the
+/// "staircase-free" paths that exhaust one dimension at a time.
+class RowMajorOrder : public Linearization {
+ public:
+  /// Fails unless `outer_to_inner` is a permutation of the dimensions.
+  static Result<std::unique_ptr<RowMajorOrder>> Make(
+      std::shared_ptr<const StarSchema> schema,
+      std::vector<int> outer_to_inner);
+
+  std::string name() const override;
+  CellCoord CellAt(uint64_t rank) const override;
+  uint64_t RankOf(const CellCoord& coord) const override;
+  void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
+      const override;
+
+  const std::vector<int>& outer_to_inner() const { return order_; }
+
+ private:
+  RowMajorOrder(std::shared_ptr<const StarSchema> schema,
+                std::vector<int> order, std::vector<uint64_t> strides)
+      : Linearization(std::move(schema)),
+        order_(std::move(order)),
+        strides_(std::move(strides)) {}
+
+  std::vector<int> order_;        // outermost first
+  std::vector<uint64_t> strides_; // stride of each position in order_
+};
+
+/// All k! row-major orders of `schema` (the Section 6 baseline family).
+std::vector<std::unique_ptr<RowMajorOrder>> AllRowMajorOrders(
+    std::shared_ptr<const StarSchema> schema);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_ROW_MAJOR_H_

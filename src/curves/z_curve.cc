@@ -1,0 +1,104 @@
+#include "curves/z_curve.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+namespace curve_internal {
+
+Result<std::vector<int>> AllocateBits(const StarSchema& schema) {
+  const int k = schema.num_dims();
+  std::vector<int> bits_left(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    const uint64_t extent = schema.extent(d);
+    if (!IsPowerOfTwo(extent)) {
+      return Status::InvalidArgument(
+          "bit-interleaved curves require power-of-two extents; dimension " +
+          schema.dim(d).name() + " has " + std::to_string(extent));
+    }
+    bits_left[static_cast<size_t>(d)] = FloorLog2(extent);
+  }
+  std::vector<int> owner;
+  // Round-robin from the last dimension (innermost) upward, LSB first.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int d = k - 1; d >= 0; --d) {
+      if (bits_left[static_cast<size_t>(d)] > 0) {
+        owner.push_back(d);
+        --bits_left[static_cast<size_t>(d)];
+        any = true;
+      }
+    }
+  }
+  return owner;
+}
+
+uint64_t Interleave(const std::vector<int>& bit_owner, const CellCoord& coord) {
+  // next_bit[d] = which bit of dimension d to emit next.
+  FixedVector<int, kMaxDimensions> next_bit(coord.size(), 0);
+  uint64_t value = 0;
+  for (size_t p = 0; p < bit_owner.size(); ++p) {
+    const int d = bit_owner[p];
+    const uint64_t bit =
+        (coord[static_cast<size_t>(d)] >> next_bit[static_cast<size_t>(d)]) &
+        1u;
+    value |= bit << p;
+    ++next_bit[static_cast<size_t>(d)];
+  }
+  return value;
+}
+
+CellCoord Deinterleave(const std::vector<int>& bit_owner, int num_dims,
+                       uint64_t value) {
+  CellCoord coord;
+  coord.resize(static_cast<size_t>(num_dims));
+  FixedVector<int, kMaxDimensions> next_bit(static_cast<size_t>(num_dims), 0);
+  for (size_t p = 0; p < bit_owner.size(); ++p) {
+    const int d = bit_owner[p];
+    const uint64_t bit = (value >> p) & 1u;
+    coord[static_cast<size_t>(d)] |= bit << next_bit[static_cast<size_t>(d)];
+    ++next_bit[static_cast<size_t>(d)];
+  }
+  return coord;
+}
+
+}  // namespace curve_internal
+
+Result<std::unique_ptr<ZCurve>> ZCurve::Make(
+    std::shared_ptr<const StarSchema> schema) {
+  SNAKES_ASSIGN_OR_RETURN(std::vector<int> owner,
+                          curve_internal::AllocateBits(*schema));
+  return std::unique_ptr<ZCurve>(new ZCurve(std::move(schema), std::move(owner)));
+}
+
+CellCoord ZCurve::CellAt(uint64_t rank) const {
+  return curve_internal::Deinterleave(bit_owner_, schema().num_dims(), rank);
+}
+
+uint64_t ZCurve::RankOf(const CellCoord& coord) const {
+  return curve_internal::Interleave(bit_owner_, coord);
+}
+
+Result<std::unique_ptr<GrayCurve>> GrayCurve::Make(
+    std::shared_ptr<const StarSchema> schema) {
+  SNAKES_ASSIGN_OR_RETURN(std::vector<int> owner,
+                          curve_internal::AllocateBits(*schema));
+  return std::unique_ptr<GrayCurve>(
+      new GrayCurve(std::move(schema), std::move(owner)));
+}
+
+CellCoord GrayCurve::CellAt(uint64_t rank) const {
+  const uint64_t gray = rank ^ (rank >> 1);
+  return curve_internal::Deinterleave(bit_owner_, schema().num_dims(), gray);
+}
+
+uint64_t GrayCurve::RankOf(const CellCoord& coord) const {
+  uint64_t gray = curve_internal::Interleave(bit_owner_, coord);
+  // Invert the binary-reflected Gray code.
+  uint64_t rank = gray;
+  while (gray >>= 1) rank ^= gray;
+  return rank;
+}
+
+}  // namespace snakes

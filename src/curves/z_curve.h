@@ -1,0 +1,76 @@
+#ifndef SNAKES_CURVES_Z_CURVE_H_
+#define SNAKES_CURVES_Z_CURVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curves/linearization.h"
+
+namespace snakes {
+
+/// The Z-order (bit-interleaving / Morton) curve of Orenstein & Merrett,
+/// one of the classical linearizations the paper compares against.
+///
+/// Requires every dimension extent to be a power of two. Unequal extents are
+/// handled by round-robin bit allocation: bit positions cycle over the
+/// dimensions that still have bits left, least significant first (dimension
+/// k-1 owns the lowest bit so the innermost 2x..x2 block is ordered like
+/// row-major, matching the paper's Figure 2(a)).
+class ZCurve : public Linearization {
+ public:
+  static Result<std::unique_ptr<ZCurve>> Make(
+      std::shared_ptr<const StarSchema> schema);
+
+  std::string name() const override { return "z-curve"; }
+  CellCoord CellAt(uint64_t rank) const override;
+  uint64_t RankOf(const CellCoord& coord) const override;
+
+ private:
+  ZCurve(std::shared_ptr<const StarSchema> schema,
+         std::vector<int> bit_owner)
+      : Linearization(std::move(schema)), bit_owner_(std::move(bit_owner)) {}
+
+  // bit_owner_[p] = dimension owning interleaved bit p (p = 0 is the LSB);
+  // bits of each dimension appear in increasing significance.
+  std::vector<int> bit_owner_;
+};
+
+/// The Gray-code curve (Faloutsos): cells are visited in the order of the
+/// binary-reflected Gray code of their interleaved bit representation.
+/// Same extent requirements and bit allocation as ZCurve.
+class GrayCurve : public Linearization {
+ public:
+  static Result<std::unique_ptr<GrayCurve>> Make(
+      std::shared_ptr<const StarSchema> schema);
+
+  std::string name() const override { return "gray-curve"; }
+  CellCoord CellAt(uint64_t rank) const override;
+  uint64_t RankOf(const CellCoord& coord) const override;
+
+ private:
+  GrayCurve(std::shared_ptr<const StarSchema> schema,
+            std::vector<int> bit_owner)
+      : Linearization(std::move(schema)), bit_owner_(std::move(bit_owner)) {}
+
+  std::vector<int> bit_owner_;
+};
+
+namespace curve_internal {
+
+/// Round-robin interleaved bit ownership for power-of-two extents; shared by
+/// ZCurve and GrayCurve. Returns an error if any extent is not a power of 2.
+Result<std::vector<int>> AllocateBits(const StarSchema& schema);
+
+/// Scatter per-dimension coordinates into an interleaved integer.
+uint64_t Interleave(const std::vector<int>& bit_owner, const CellCoord& coord);
+
+/// Inverse of Interleave.
+CellCoord Deinterleave(const std::vector<int>& bit_owner, int num_dims,
+                       uint64_t value);
+
+}  // namespace curve_internal
+
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_Z_CURVE_H_

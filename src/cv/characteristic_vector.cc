@@ -1,0 +1,142 @@
+#include "cv/characteristic_vector.h"
+
+#include "util/logging.h"
+
+namespace snakes {
+
+BinaryCV::BinaryCV(int n) : n_(n) {
+  SNAKES_CHECK(n >= 1 && n <= 31) << "BinaryCV level count out of range";
+  a_.assign(static_cast<size_t>(n), 0);
+  b_.assign(static_cast<size_t>(n), 0);
+  d_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0);
+}
+
+Result<BinaryCV> BinaryCV::Make(int n, std::vector<uint64_t> a,
+                                std::vector<uint64_t> b,
+                                std::vector<uint64_t> diag) {
+  if (n < 1 || n > 31) {
+    return Status::InvalidArgument("BinaryCV needs 1 <= n <= 31");
+  }
+  if (a.size() != static_cast<size_t>(n) || b.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("a and b need n entries each");
+  }
+  if (!diag.empty() && diag.size() != static_cast<size_t>(n) * n) {
+    return Status::InvalidArgument("diag needs n*n entries (or none)");
+  }
+  BinaryCV cv(n);
+  cv.a_ = std::move(a);
+  cv.b_ = std::move(b);
+  if (!diag.empty()) cv.d_ = std::move(diag);
+  return cv;
+}
+
+Result<BinaryCV> BinaryCV::FromHistogram(const EdgeHistogram& hist) {
+  const QueryClassLattice& lat = hist.lattice;
+  if (lat.num_dims() != 2 || lat.levels(0) != lat.levels(1)) {
+    return Status::InvalidArgument(
+        "BinaryCV needs a square 2-D lattice histogram");
+  }
+  const int n = lat.levels(0);
+  for (int d = 0; d < 2; ++d) {
+    for (int i = 1; i <= n; ++i) {
+      if (lat.fanout(d, i) != 2.0) {
+        return Status::InvalidArgument("BinaryCV needs all-binary fanouts");
+      }
+    }
+  }
+  BinaryCV cv(n);
+  for (uint64_t idx = 0; idx < lat.size(); ++idx) {
+    const uint64_t count = hist.count[idx];
+    if (count == 0) continue;
+    const QueryClass type = lat.ClassAt(idx);
+    const int i = type.level(0);
+    const int j = type.level(1);
+    SNAKES_CHECK(i > 0 || j > 0) << "self-edge in histogram";
+    if (j == 0) {
+      cv.set_a(i, cv.a(i) + count);
+    } else if (i == 0) {
+      cv.set_b(j, cv.b(j) + count);
+    } else {
+      cv.set_d(i, j, cv.d(i, j) + count);
+    }
+  }
+  return cv;
+}
+
+uint64_t BinaryCV::PrefixA(int l) const {
+  SNAKES_DCHECK(l >= 0 && l <= n_);
+  uint64_t sum = 0;
+  for (int i = 1; i <= l; ++i) sum += a(i);
+  return sum;
+}
+
+uint64_t BinaryCV::PrefixB(int q) const {
+  SNAKES_DCHECK(q >= 0 && q <= n_);
+  uint64_t sum = 0;
+  for (int j = 1; j <= q; ++j) sum += b(j);
+  return sum;
+}
+
+uint64_t BinaryCV::PrefixD(int l, int q) const {
+  uint64_t sum = 0;
+  for (int i = 1; i <= l; ++i) {
+    for (int j = 1; j <= q; ++j) sum += d(i, j);
+  }
+  return sum;
+}
+
+uint64_t BinaryCV::TotalEdges() const {
+  return PrefixA(n_) + PrefixB(n_) + PrefixD(n_, n_);
+}
+
+bool BinaryCV::IsNonDiagonal() const { return PrefixD(n_, n_) == 0; }
+
+Fraction BinaryCV::AvgClassCost(int i, int j) const {
+  SNAKES_CHECK(i >= 0 && i <= n_ && j >= 0 && j <= n_);
+  const uint64_t covered = PrefixA(i) + PrefixB(j) + PrefixD(i, j);
+  SNAKES_CHECK(covered < cells())
+      << "inconsistent vector: covered edges exceed cells";
+  const uint64_t queries = uint64_t{1} << (2 * n_ - i - j);
+  return Fraction(cells() - covered, queries);
+}
+
+double BinaryCV::CostMu(const Workload& mu) const {
+  const QueryClassLattice& lat = mu.lattice();
+  SNAKES_CHECK(lat.num_dims() == 2 && lat.levels(0) == n_ &&
+               lat.levels(1) == n_)
+      << "workload lattice does not match the CV schema";
+  double total = 0.0;
+  for (uint64_t idx = 0; idx < lat.size(); ++idx) {
+    const double p = mu.probability_at(idx);
+    if (p == 0.0) continue;
+    const QueryClass c = lat.ClassAt(idx);
+    total += p * AvgClassCost(c.level(0), c.level(1)).ToDouble();
+  }
+  return total;
+}
+
+std::string BinaryCV::ToString() const {
+  std::string out = "(";
+  for (int i = 1; i <= n_; ++i) {
+    if (i > 1) out += ",";
+    out += std::to_string(a(i));
+  }
+  out += ";";
+  for (int j = 1; j <= n_; ++j) {
+    if (j > 1) out += ",";
+    out += std::to_string(b(j));
+  }
+  if (!IsNonDiagonal()) {
+    out += ";";
+    for (int i = 1; i <= n_; ++i) {
+      for (int j = 1; j <= n_; ++j) {
+        if (i > 1 || j > 1) out += ",";
+        out += std::to_string(d(i, j));
+      }
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace snakes

@@ -1,0 +1,89 @@
+#ifndef SNAKES_CV_CHARACTERISTIC_VECTOR_H_
+#define SNAKES_CV_CHARACTERISTIC_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/edge_model.h"
+#include "lattice/workload.h"
+#include "util/fraction.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// A characteristic vector over the paper's representative schema: two
+/// dimensions with complete n-level binary hierarchies (Section 5). Entries
+/// count curve edges by type: a(i) edges of type A_i, b(j) of type B_j, and
+/// d(i, j) diagonal edges of type D_ij (1-based levels).
+///
+/// The vector need not come from an actual strategy — the sandwich machinery
+/// manipulates "virtual" vectors — so costs are defined directly on vectors
+/// via the paper's extended cost formula.
+class BinaryCV {
+ public:
+  /// The all-zero vector for an n-level schema (n >= 1).
+  explicit BinaryCV(int n);
+
+  /// Builds from explicit entries; `a` and `b` have n entries, `diag` has
+  /// n*n entries in row-major d_11, d_12, ..., d_nn order (or is empty for a
+  /// non-diagonal vector).
+  static Result<BinaryCV> Make(int n, std::vector<uint64_t> a,
+                               std::vector<uint64_t> b,
+                               std::vector<uint64_t> diag = {});
+
+  /// Extracts the CV of a measured strategy. The histogram's lattice must be
+  /// 2-dimensional with equal level counts and all-binary fanouts.
+  static Result<BinaryCV> FromHistogram(const EdgeHistogram& hist);
+
+  int n() const { return n_; }
+
+  /// Number of grid cells, 2^(2n).
+  uint64_t cells() const { return uint64_t{1} << (2 * n_); }
+
+  uint64_t a(int i) const { return a_[static_cast<size_t>(i - 1)]; }
+  uint64_t b(int j) const { return b_[static_cast<size_t>(j - 1)]; }
+  uint64_t d(int i, int j) const {
+    return d_[static_cast<size_t>((i - 1) * n_ + (j - 1))];
+  }
+  void set_a(int i, uint64_t v) { a_[static_cast<size_t>(i - 1)] = v; }
+  void set_b(int j, uint64_t v) { b_[static_cast<size_t>(j - 1)] = v; }
+  void set_d(int i, int j, uint64_t v) {
+    d_[static_cast<size_t>((i - 1) * n_ + (j - 1))] = v;
+  }
+
+  /// Prefix sums sum_{i<=l} a(i) etc.; PrefixD sums d over the (l, q) box.
+  uint64_t PrefixA(int l) const;
+  uint64_t PrefixB(int q) const;
+  uint64_t PrefixD(int l, int q) const;
+
+  uint64_t TotalEdges() const;
+  bool IsNonDiagonal() const;
+
+  /// The paper's extended per-class average cost: for class (i, j),
+  /// (2^(2n) - covered(i, j)) / 2^(2n-i-j), where covered counts the edges
+  /// internal to (i, j) blocks. Levels may be 0..n.
+  Fraction AvgClassCost(int i, int j) const;
+
+  /// cost_mu of the vector: expectation of AvgClassCost under `mu`, whose
+  /// lattice must match this schema shape.
+  double CostMu(const Workload& mu) const;
+
+  /// "(a1,..,an;b1,..,bn)" with the ";d11,..,dnn" tail only when diagonal.
+  std::string ToString() const;
+
+  bool operator==(const BinaryCV& o) const {
+    return n_ == o.n_ && a_ == o.a_ && b_ == o.b_ && d_ == o.d_;
+  }
+  bool operator!=(const BinaryCV& o) const { return !(*this == o); }
+
+ private:
+  int n_;
+  std::vector<uint64_t> a_;
+  std::vector<uint64_t> b_;
+  std::vector<uint64_t> d_;  // row-major n x n
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_CV_CHARACTERISTIC_VECTOR_H_

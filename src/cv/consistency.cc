@@ -1,0 +1,140 @@
+#include "cv/consistency.h"
+
+#include <algorithm>
+
+#include "lattice/grid_query.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+namespace {
+
+// RHS of the Lemma-2 constraint at (l, q): 2^(2n) - 2^(2n-l-q).
+uint64_t Bound(int n, int l, int q) {
+  return (uint64_t{1} << (2 * n)) - (uint64_t{1} << (2 * n - l - q));
+}
+
+}  // namespace
+
+std::vector<std::string> ConsistencyViolations(const BinaryCV& cv) {
+  const int n = cv.n();
+  std::vector<std::string> violations;
+  for (int l = 0; l <= n; ++l) {
+    for (int q = 0; q <= n; ++q) {
+      if (l == 0 && q == 0) continue;
+      const uint64_t lhs = cv.PrefixA(l) + cv.PrefixB(q) + cv.PrefixD(l, q);
+      const uint64_t rhs = Bound(n, l, q);
+      if (lhs > rhs) {
+        violations.push_back("prefix(" + std::to_string(l) + "," +
+                             std::to_string(q) + ") = " + std::to_string(lhs) +
+                             " > " + std::to_string(rhs));
+      }
+    }
+  }
+  const uint64_t total = cv.TotalEdges();
+  const uint64_t need = (uint64_t{1} << (2 * n)) - 1;
+  if (total != need) {
+    violations.push_back("total edges " + std::to_string(total) + " != " +
+                         std::to_string(need));
+  }
+  return violations;
+}
+
+bool IsConsistent(const BinaryCV& cv) {
+  return ConsistencyViolations(cv).empty();
+}
+
+bool PrecedesOrEquals(const BinaryCV& u, const BinaryCV& v) {
+  if (u.n() != v.n()) return false;
+  const int n = u.n();
+  auto side_ok = [n](auto get_u, auto get_v) {
+    for (int i = 1; i <= n; ++i) {
+      if (get_u(i) == get_v(i)) continue;
+      return get_u(i) > get_v(i);  // first difference: u must exceed v
+    }
+    return true;  // identical
+  };
+  return side_ok([&](int i) { return u.a(i); },
+                 [&](int i) { return v.a(i); }) &&
+         side_ok([&](int j) { return u.b(j); },
+                 [&](int j) { return v.b(j); });
+}
+
+Result<BinaryCV> Minimalize(const BinaryCV& cv) {
+  if (!cv.IsNonDiagonal()) {
+    return Status::FailedPrecondition(
+        "Minimalize needs a non-diagonal vector (run EliminateDiagonals)");
+  }
+  if (!IsConsistent(cv)) {
+    return Status::FailedPrecondition("Minimalize needs a consistent vector: " +
+                                      ConsistencyViolations(cv).front());
+  }
+  const int n = cv.n();
+  BinaryCV out = cv;
+
+  // Lexicographically maximize one side's entries, holding the other side
+  // and the side's total fixed. Constraints cap the prefix sums; caps grow
+  // with the level, so saturating greedily stays completable.
+  auto maximize = [n](uint64_t total, auto cap, auto get, auto set) {
+    uint64_t prefix = 0;
+    for (int l = 1; l <= n; ++l) {
+      uint64_t best = std::min(cap(l) - prefix, total - prefix);
+      set(l, best);
+      prefix += best;
+    }
+    SNAKES_CHECK(prefix == total) << "minimalization lost edge mass";
+    (void)get;
+  };
+
+  auto cap_a = [&](int l) {
+    uint64_t cap = UINT64_MAX;
+    for (int q = 0; q <= n; ++q) {
+      cap = std::min(cap, Bound(n, l, q) - out.PrefixB(q));
+    }
+    return cap;
+  };
+  maximize(
+      cv.PrefixA(n), cap_a, [&](int i) { return out.a(i); },
+      [&](int i, uint64_t v) { out.set_a(i, v); });
+
+  auto cap_b = [&](int q) {
+    uint64_t cap = UINT64_MAX;
+    for (int l = 0; l <= n; ++l) {
+      cap = std::min(cap, Bound(n, l, q) - out.PrefixA(l));
+    }
+    return cap;
+  };
+  maximize(
+      cv.PrefixB(n), cap_b, [&](int j) { return out.b(j); },
+      [&](int j, uint64_t v) { out.set_b(j, v); });
+
+  SNAKES_CHECK(IsConsistent(out)) << "minimalization broke consistency";
+  SNAKES_CHECK(PrecedesOrEquals(out, cv)) << "minimalization did not descend";
+  return out;
+}
+
+bool IsConsistentHistogram(const StarSchema& schema,
+                           const EdgeHistogram& hist) {
+  const QueryClassLattice& lat = hist.lattice;
+  const uint64_t size = lat.size();
+  // internal[c] = edges dominated by c (same sweep as CostsFromHistogram).
+  std::vector<uint64_t> internal = hist.count;
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    for (uint64_t i = 0; i < size; ++i) {
+      const QueryClass c = lat.ClassAt(i);
+      if (c.level(d) == 0) continue;
+      QueryClass below = c;
+      below.set_level(d, c.level(d) - 1);
+      internal[i] += internal[lat.Index(below)];
+    }
+  }
+  const uint64_t cells = schema.num_cells();
+  for (uint64_t i = 0; i < size; ++i) {
+    const uint64_t queries = NumQueriesInClass(schema, lat.ClassAt(i));
+    if (internal[i] > cells - queries) return false;
+  }
+  // Equality at the top: a curve through all cells has exactly cells-1 edges.
+  return internal[lat.Index(lat.Top())] == cells - 1;
+}
+
+}  // namespace snakes

@@ -1,0 +1,46 @@
+#ifndef SNAKES_CV_CONSISTENCY_H_
+#define SNAKES_CV_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/edge_model.h"
+#include "cv/characteristic_vector.h"
+
+namespace snakes {
+
+/// Lemma 2: every clustering strategy's CV satisfies, for all
+/// (l, q) != (0, 0),
+///   PrefixA(l) + PrefixB(q) + PrefixD(l, q) <= 2^(2n) - 2^(2n-l-q),
+/// with equality at (l, q) = (n, n) (a curve through 2^(2n) cells has exactly
+/// 2^(2n) - 1 edges). Definition 6 calls a vector satisfying all of them
+/// consistent.
+bool IsConsistent(const BinaryCV& cv);
+
+/// Human-readable list of violated Lemma-2 constraints (empty iff
+/// consistent). Used by tests and error messages.
+std::vector<std::string> ConsistencyViolations(const BinaryCV& cv);
+
+/// The paper's partial order on consistent vectors (Section 5.1): u <= v iff
+/// u's a-entries equal v's up to some i and exceed them at i+1 (or match
+/// entirely), and likewise for b. Lower is better: pushing edges toward low
+/// levels can only reduce cost.
+bool PrecedesOrEquals(const BinaryCV& u, const BinaryCV& v);
+
+/// Pushes edge counts toward low levels: lexicographically maximizes
+/// (a_1, a_2, ..., a_n) subject to the Lemma-2 constraints with b and the
+/// totals fixed, then does the same for b. The result is consistent,
+/// precedes the input in the paper's order, and costs no more on any
+/// workload (its prefix sums dominate the input's). Requires a non-diagonal
+/// consistent input.
+Result<BinaryCV> Minimalize(const BinaryCV& cv);
+
+/// Generalized Lemma-2 check for measured edge histograms over arbitrary
+/// schemas: for every class c, the edges internal to c-blocks can be at most
+/// num_cells - num_queries(c), with equality forced at the top. Property
+/// tests run this against every strategy in the library.
+bool IsConsistentHistogram(const StarSchema& schema, const EdgeHistogram& hist);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CV_CONSISTENCY_H_

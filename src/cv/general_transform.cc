@@ -1,0 +1,102 @@
+#include "cv/general_transform.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "lattice/grid_query.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+namespace {
+
+int NonZeroDims(const QueryClass& t) {
+  int nonzero = 0;
+  for (int d = 0; d < t.num_dims(); ++d) nonzero += t.level(d) > 0;
+  return nonzero;
+}
+
+// internal[c] = number of edges whose type is dominated by c.
+std::vector<uint64_t> InternalCounts(const QueryClassLattice& lat,
+                                     const std::vector<uint64_t>& count) {
+  std::vector<uint64_t> internal = count;
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    for (uint64_t i = 0; i < lat.size(); ++i) {
+      const QueryClass c = lat.ClassAt(i);
+      if (c.level(d) == 0) continue;
+      QueryClass below = c;
+      below.set_level(d, c.level(d) - 1);
+      internal[i] += internal[lat.Index(below)];
+    }
+  }
+  return internal;
+}
+
+}  // namespace
+
+bool IsNonDiagonalHistogram(const EdgeHistogram& hist) {
+  return hist.NumDiagonal() == 0;
+}
+
+Result<EdgeHistogram> EliminateDiagonalsGeneral(const StarSchema& schema,
+                                                const EdgeHistogram& hist) {
+  const QueryClassLattice& lat = hist.lattice;
+  const uint64_t size = lat.size();
+  const uint64_t cells = schema.num_cells();
+
+  // Generalized Lemma-2 bounds per class.
+  std::vector<uint64_t> bound(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    bound[i] = cells - NumQueriesInClass(schema, lat.ClassAt(i));
+  }
+  {
+    const std::vector<uint64_t> internal = InternalCounts(lat, hist.count);
+    for (uint64_t i = 0; i < size; ++i) {
+      if (internal[i] > bound[i]) {
+        return Status::FailedPrecondition(
+            "histogram violates the generalized Lemma-2 bounds at class " +
+            lat.ClassAt(i).ToString());
+      }
+    }
+  }
+
+  EdgeHistogram out{lat, hist.count};
+  for (uint64_t ti = 0; ti < size; ++ti) {
+    const QueryClass t = lat.ClassAt(ti);
+    if (NonZeroDims(t) < 2) continue;
+    uint64_t remaining = out.count[ti];
+    if (remaining == 0) continue;
+
+    for (int d = 0; d < lat.num_dims() && remaining > 0; ++d) {
+      if (t.level(d) == 0) continue;
+      // Single-dimension target type (0, ..., t_d, ..., 0).
+      QueryClass target(lat.num_dims());
+      target.set_level(d, t.level(d));
+      // Slack: moving x units from t to target raises internal(c) for
+      // exactly the classes with c_d >= t_d that do not dominate t.
+      const std::vector<uint64_t> internal = InternalCounts(lat, out.count);
+      uint64_t slack = UINT64_MAX;
+      for (uint64_t ci = 0; ci < size; ++ci) {
+        const QueryClass c = lat.ClassAt(ci);
+        if (c.level(d) < t.level(d)) continue;
+        if (t.DominatedBy(c)) continue;
+        slack = std::min(slack, bound[ci] - internal[ci]);
+      }
+      const uint64_t x = std::min(remaining, slack);
+      if (x == 0) continue;
+      out.count[ti] -= x;
+      out.count[lat.Index(target)] += x;
+      remaining -= x;
+    }
+    if (remaining > 0) {
+      return Status::Internal(
+          "cannot place " + std::to_string(remaining) +
+          " diagonal edges of type " + t.ToString() +
+          " — histogram is not the CV of a real strategy");
+    }
+  }
+  SNAKES_DCHECK(IsNonDiagonalHistogram(out));
+  return out;
+}
+
+}  // namespace snakes

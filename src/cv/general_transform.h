@@ -1,0 +1,38 @@
+#ifndef SNAKES_CV_GENERAL_TRANSFORM_H_
+#define SNAKES_CV_GENERAL_TRANSFORM_H_
+
+#include "cost/edge_model.h"
+#include "hierarchy/star_schema.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Lemma 4 generalized to any dimensionality and fanout profile — the case
+/// the paper claims but only proves for binary 2-D (Section 5: "the astute
+/// reader will see how to extend our arguments to the more general case").
+///
+/// Works on the generalized characteristic vector (EdgeHistogram): an edge
+/// type is a lattice point; a type is *diagonal* when two or more of its
+/// coordinates are non-zero. Every diagonal type t is split into the
+/// single-dimension types (d, t_d): a class c absorbs the single-dimension
+/// edge whenever c_d >= t_d, which is implied by (and weaker than) t <= c,
+/// so per-class covered counts only grow and the cost never increases on
+/// any workload. Feasibility of each move is constrained by the generalized
+/// Lemma-2 bounds internal(c) <= cells - queries(c); the splitter computes
+/// the slack interval per dimension and distributes the diagonal mass
+/// greedily (lowest-dimension first, matching Example 3's preference for
+/// the A side).
+///
+/// Returns the rewritten histogram, or Internal if some diagonal mass cannot
+/// be placed — which cannot happen for histograms measured from real
+/// strategies (verified by the randomized suite), only for hand-built
+/// inconsistent vectors.
+Result<EdgeHistogram> EliminateDiagonalsGeneral(const StarSchema& schema,
+                                                const EdgeHistogram& hist);
+
+/// True when the histogram has no diagonal types.
+bool IsNonDiagonalHistogram(const EdgeHistogram& hist);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CV_GENERAL_TRANSFORM_H_

@@ -1,0 +1,128 @@
+#include "cv/sandwich.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cv/consistency.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+Result<LatticePath> SnakedPathFromCV(const BinaryCV& cv) {
+  const int n = cv.n();
+  if (!cv.IsNonDiagonal()) {
+    return Status::InvalidArgument("snaked path CVs have no diagonal edges");
+  }
+  // Gather (count, dim, level); counts must be the distinct powers
+  // 2^0 .. 2^(2n-1) and each dimension's counts strictly decreasing in the
+  // level (inner loops carry more edges).
+  struct Entry {
+    uint64_t count;
+    int dim;
+  };
+  std::vector<Entry> entries;
+  for (int i = 1; i <= n; ++i) {
+    if (!IsPowerOfTwo(cv.a(i)) || !IsPowerOfTwo(cv.b(i))) {
+      return Status::InvalidArgument("entries must be powers of two: " +
+                                     cv.ToString());
+    }
+    if (i > 1 && (cv.a(i) >= cv.a(i - 1) || cv.b(i) >= cv.b(i - 1))) {
+      return Status::InvalidArgument(
+          "per-dimension entries must strictly decrease: " + cv.ToString());
+    }
+    entries.push_back({cv.a(i), 0});
+    entries.push_back({cv.b(i), 1});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& x, const Entry& y) { return x.count > y.count; });
+  for (int t = 0; t < 2 * n; ++t) {
+    if (entries[static_cast<size_t>(t)].count !=
+        (uint64_t{1} << (2 * n - 1 - t))) {
+      return Status::InvalidArgument(
+          "entries must be the distinct powers 2^0..2^(2n-1): " +
+          cv.ToString());
+    }
+  }
+  // Descending counts = innermost loop first = bottom-up path steps. The
+  // strictly-decreasing check above makes each dimension's levels appear in
+  // increasing order, as a monotone path requires.
+  std::vector<int> steps;
+  steps.reserve(entries.size());
+  for (const Entry& e : entries) steps.push_back(e.dim);
+  auto lattice = QueryClassLattice::FromFanouts(
+      {std::vector<double>(static_cast<size_t>(n), 2.0),
+       std::vector<double>(static_cast<size_t>(n), 2.0)});
+  SNAKES_CHECK(lattice.ok());
+  return LatticePath::FromSteps(lattice.value(), std::move(steps));
+}
+
+bool IsSnakedPathCV(const BinaryCV& cv) { return SnakedPathFromCV(cv).ok(); }
+
+Result<std::pair<BinaryCV, BinaryCV>> SandwichOnce(const BinaryCV& cv) {
+  if (!cv.IsNonDiagonal() || !IsConsistent(cv)) {
+    return Status::FailedPrecondition(
+        "SandwichOnce needs a consistent non-diagonal vector");
+  }
+  const int n = cv.n();
+  int i = 0, j = 0;
+  for (int l = 1; l <= n && i == 0; ++l) {
+    if (!IsPowerOfTwo(cv.a(l))) i = l;
+  }
+  for (int q = 1; q <= n && j == 0; ++q) {
+    if (!IsPowerOfTwo(cv.b(q))) j = q;
+  }
+  if (i == 0 && j == 0) {
+    return Status::FailedPrecondition("every entry is a power of two");
+  }
+  if (i == 0 || j == 0) {
+    return Status::FailedPrecondition(
+        "exactly one side has a non-power-of-two entry; vector is not "
+        "minimal: " +
+        cv.ToString());
+  }
+  const uint64_t low = uint64_t{1} << (2 * n - i - j);
+  if (cv.a(i) + cv.b(j) != 3 * low) {
+    return Status::FailedPrecondition(
+        "minimality saturation a_i + b_j = 3*2^(2n-i-j) fails for " +
+        cv.ToString() + "; run Minimalize first");
+  }
+  BinaryCV v1 = cv;
+  v1.set_a(i, low);
+  v1.set_b(j, 2 * low);
+  BinaryCV v2 = cv;
+  v2.set_a(i, 2 * low);
+  v2.set_b(j, low);
+  return std::make_pair(v1, v2);
+}
+
+Result<std::vector<BinaryCV>> SandwichToSnakedPaths(const BinaryCV& cv,
+                                                    size_t max_leaves) {
+  std::vector<BinaryCV> frontier;
+  frontier.push_back(cv);
+  std::vector<BinaryCV> leaves;
+  // Dedup by string form; the recursion often rediscovers the same vectors.
+  std::set<std::string> seen;
+  while (!frontier.empty()) {
+    BinaryCV current = std::move(frontier.back());
+    frontier.pop_back();
+    // Minimalize before each split so the saturation precondition holds
+    // (minimalizing never raises the cost on any workload).
+    SNAKES_ASSIGN_OR_RETURN(BinaryCV minimal, Minimalize(current));
+    if (!seen.insert(minimal.ToString()).second) continue;
+    if (IsSnakedPathCV(minimal)) {
+      leaves.push_back(std::move(minimal));
+      continue;
+    }
+    SNAKES_ASSIGN_OR_RETURN(auto pair, SandwichOnce(minimal));
+    if (leaves.size() + frontier.size() + 2 > max_leaves) {
+      return Status::OutOfRange("sandwich recursion exceeded " +
+                                std::to_string(max_leaves) + " vectors");
+    }
+    frontier.push_back(std::move(pair.first));
+    frontier.push_back(std::move(pair.second));
+  }
+  return leaves;
+}
+
+}  // namespace snakes

@@ -1,0 +1,47 @@
+#ifndef SNAKES_CV_SANDWICH_H_
+#define SNAKES_CV_SANDWICH_H_
+
+#include <utility>
+#include <vector>
+
+#include "cv/characteristic_vector.h"
+#include "path/lattice_path.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Lemma 3 construction: recovers the snaked lattice path whose CV is `cv`.
+/// Succeeds iff the entries are the 2n distinct powers 2^0..2^(2n-1) with
+/// each dimension's entries strictly decreasing (equivalently: cv is
+/// consistent, non-diagonal, minimal, all entries powers of two). The
+/// innermost loop is the entry with the largest count.
+Result<LatticePath> SnakedPathFromCV(const BinaryCV& cv);
+
+/// True iff `cv` is the CV of some snaked lattice path (SnakedPathFromCV
+/// succeeds).
+bool IsSnakedPathCV(const BinaryCV& cv);
+
+/// One step of the Theorem-2 sandwich construction: for a consistent,
+/// non-diagonal, minimal vector with some non-power-of-two entry, returns
+/// the two bracketing vectors v1/v2 obtained by replacing the first
+/// non-power-of-two a-entry (level i) and b-entry (level j) with the powers
+/// 2^(2n-i-j) and 2^(2n-i-j+1), assigned either way. On every workload at
+/// least one of the two costs no more than `cv` (verified exhaustively in
+/// the test suite).
+///
+/// Fails if every entry is already a power of two, or if the minimality
+/// saturation a_i + b_j = 3 * 2^(2n-i-j) does not hold (pass the vector
+/// through Minimalize first).
+Result<std::pair<BinaryCV, BinaryCV>> SandwichOnce(const BinaryCV& cv);
+
+/// Full Theorem-2 recursion: starting from any consistent non-diagonal
+/// vector, repeatedly minimalizes and sandwiches until every leaf vector is
+/// the CV of a snaked lattice path. The returned set (deduplicated) always
+/// contains, for every workload, a member whose cost is <= the input's —
+/// the "sandwich" that proves snaked lattice paths globally optimal.
+Result<std::vector<BinaryCV>> SandwichToSnakedPaths(const BinaryCV& cv,
+                                                    size_t max_leaves = 4096);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CV_SANDWICH_H_

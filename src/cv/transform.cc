@@ -1,0 +1,68 @@
+#include "cv/transform.h"
+
+#include <algorithm>
+
+#include "cv/consistency.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<BinaryCV> EliminateDiagonals(const BinaryCV& cv) {
+  if (!IsConsistent(cv)) {
+    return Status::FailedPrecondition(
+        "EliminateDiagonals needs a consistent vector: " +
+        ConsistencyViolations(cv).front());
+  }
+  const int n = cv.n();
+  const uint64_t cells = cv.cells();
+  auto bound = [&](int l, int q) {
+    return cells - (cells >> (l + q));
+  };
+  BinaryCV out = cv;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      const uint64_t dij = out.d(i, j);
+      if (dij == 0) continue;
+      // Split d_ij into x type-A_i and y = d_ij - x type-B_j edges. Only the
+      // constraints covering exactly one side of the split move:
+      //   l >= i, q <  j gain x;   l <  i, q >= j gain y;
+      // constraints covering both gain x + y = d_ij, i.e. stay unchanged
+      // (the mass just moves from PrefixD into PrefixA + PrefixB), and
+      // constraints covering neither are untouched. The feasible interval is
+      // therefore [d_ij - y_max, x_max]; Claim 1 guarantees it is non-empty.
+      uint64_t x_max = dij;
+      for (int l = i; l <= n; ++l) {
+        for (int q = 0; q < j; ++q) {
+          const uint64_t lhs =
+              out.PrefixA(l) + out.PrefixB(q) + out.PrefixD(l, q);
+          x_max = std::min(x_max, bound(l, q) - lhs);
+        }
+      }
+      uint64_t y_max = dij;
+      for (int l = 0; l < i; ++l) {
+        for (int q = j; q <= n; ++q) {
+          const uint64_t lhs =
+              out.PrefixA(l) + out.PrefixB(q) + out.PrefixD(l, q);
+          y_max = std::min(y_max, bound(l, q) - lhs);
+        }
+      }
+      if (x_max + y_max < dij) {
+        return Status::Internal(
+            "no consistent split for d(" + std::to_string(i) + "," +
+            std::to_string(j) + ") of " + cv.ToString() +
+            " — input is not the CV of a real strategy");
+      }
+      // Prefer the A side, as in Example 3.
+      const uint64_t x = x_max;
+      const uint64_t y = dij - x;
+      out.set_d(i, j, 0);
+      out.set_a(i, out.a(i) + x);
+      out.set_b(j, out.b(j) + y);
+      SNAKES_DCHECK(IsConsistent(out));
+    }
+  }
+  SNAKES_CHECK(IsConsistent(out)) << "diagonal elimination broke consistency";
+  return out;
+}
+
+}  // namespace snakes

@@ -1,0 +1,22 @@
+#ifndef SNAKES_CV_TRANSFORM_H_
+#define SNAKES_CV_TRANSFORM_H_
+
+#include "cv/characteristic_vector.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Lemma 4 (sub-optimality of diagonal strategies): rewrites a consistent
+/// vector into a consistent *non-diagonal* vector that costs no more on any
+/// workload, by splitting every diagonal entry d_ij into x type-A_i edges and
+/// y = d_ij - x type-B_j edges while preserving consistency (Claim 1 applied
+/// inductively, diagonals in lexicographic (i, j) order, preferring the A
+/// side as in Example 3).
+///
+/// Every A_i or B_j edge is internal to every class a D_ij edge is internal
+/// to (and more), so the per-class covered counts only grow.
+Result<BinaryCV> EliminateDiagonals(const BinaryCV& cv);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CV_TRANSFORM_H_

@@ -1,0 +1,122 @@
+#include "hierarchy/dimension_table.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<DimensionTable> DimensionTable::Make(
+    Hierarchy hierarchy, std::vector<std::vector<std::string>> labels) {
+  if (static_cast<int>(labels.size()) != hierarchy.num_levels() + 1) {
+    return Status::InvalidArgument(
+        "need one label vector per level (0.." +
+        std::to_string(hierarchy.num_levels()) + ") in dimension " +
+        hierarchy.name());
+  }
+  for (int l = 0; l <= hierarchy.num_levels(); ++l) {
+    const auto& level_labels = labels[static_cast<size_t>(l)];
+    if (level_labels.size() != hierarchy.num_blocks(l)) {
+      return Status::InvalidArgument(
+          "level " + std::to_string(l) + " of dimension " + hierarchy.name() +
+          " has " + std::to_string(hierarchy.num_blocks(l)) +
+          " members but " + std::to_string(level_labels.size()) + " labels");
+    }
+    std::set<std::string> seen;
+    for (const std::string& label : level_labels) {
+      if (!seen.insert(label).second) {
+        return Status::InvalidArgument("duplicate label '" + label +
+                                       "' at level " + std::to_string(l) +
+                                       " of dimension " + hierarchy.name());
+      }
+    }
+  }
+  return DimensionTable(std::move(hierarchy), std::move(labels));
+}
+
+namespace {
+
+int TreeDepth(const HierarchyNode& node) {
+  int depth = 0;
+  for (const auto& child : node.children) {
+    depth = std::max(depth, 1 + TreeDepth(child));
+  }
+  return depth;
+}
+
+// Mirrors hierarchy.cc's CollectCounts, but also records labels. A leaf
+// lifted through dummy levels contributes its own label at every spliced
+// level.
+void Collect(const HierarchyNode& node, int height,
+             std::vector<std::vector<uint64_t>>* counts,
+             std::vector<std::vector<std::string>>* labels) {
+  if (node.children.empty()) {
+    // Dummy chain nodes occupy levels height..1; the leaf itself sits at
+    // level 0. All of them carry the member's own label.
+    for (int h = height; h >= 1; --h) {
+      (*counts)[static_cast<size_t>(h - 1)].push_back(1);
+      (*labels)[static_cast<size_t>(h)].push_back(node.label);
+    }
+    (*labels)[0].push_back(node.label);
+    return;
+  }
+  (*labels)[static_cast<size_t>(height)].push_back(node.label);
+  (*counts)[static_cast<size_t>(height - 1)].push_back(
+      static_cast<uint64_t>(node.children.size()));
+  for (const auto& child : node.children) {
+    Collect(child, height - 1, counts, labels);
+  }
+}
+
+}  // namespace
+
+Result<DimensionTable> DimensionTable::FromTree(std::string name,
+                                                const HierarchyNode& root) {
+  const int depth = TreeDepth(root);
+  if (depth == 0) {
+    SNAKES_ASSIGN_OR_RETURN(Hierarchy h, Hierarchy::Uniform(name, {}));
+    return Make(std::move(h), {{root.label}});
+  }
+  std::vector<std::vector<uint64_t>> counts(static_cast<size_t>(depth));
+  // labels[l] for levels 0..depth; Collect writes level-l labels into
+  // labels[l] except leaves, which it appends to labels[0].
+  std::vector<std::vector<std::string>> labels(static_cast<size_t>(depth) + 1);
+  Collect(root, depth, &counts, &labels);
+  SNAKES_ASSIGN_OR_RETURN(Hierarchy h,
+                          Hierarchy::Explicit(name, std::move(counts)));
+  return Make(std::move(h), std::move(labels));
+}
+
+const std::string& DimensionTable::label(int level, uint64_t block) const {
+  SNAKES_CHECK(level >= 0 && level <= hierarchy_.num_levels());
+  SNAKES_CHECK(block < hierarchy_.num_blocks(level));
+  return labels_[static_cast<size_t>(level)][block];
+}
+
+Result<uint64_t> DimensionTable::BlockOf(int level,
+                                         std::string_view label) const {
+  if (level < 0 || level > hierarchy_.num_levels()) {
+    return Status::OutOfRange("level " + std::to_string(level) +
+                              " out of range in dimension " + name());
+  }
+  const auto& level_labels = labels_[static_cast<size_t>(level)];
+  for (uint64_t b = 0; b < level_labels.size(); ++b) {
+    if (level_labels[b] == label) return b;
+  }
+  return Status::NotFound("no member '" + std::string(label) +
+                          "' at level " + std::to_string(level) +
+                          " of dimension " + name());
+}
+
+Result<std::pair<int, uint64_t>> DimensionTable::Find(
+    std::string_view label) const {
+  for (int l = 0; l <= hierarchy_.num_levels(); ++l) {
+    auto block = BlockOf(l, label);
+    if (block.ok()) return std::make_pair(l, block.value());
+  }
+  return Status::NotFound("no member '" + std::string(label) +
+                          "' in dimension " + name());
+}
+
+}  // namespace snakes

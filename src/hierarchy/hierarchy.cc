@@ -1,0 +1,256 @@
+#include "hierarchy/hierarchy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+Result<Hierarchy> Hierarchy::Uniform(std::string name,
+                                     std::vector<uint64_t> fanouts,
+                                     std::vector<std::string> level_names) {
+  Hierarchy h;
+  h.name_ = std::move(name);
+  h.uniform_ = true;
+  const int levels = static_cast<int>(fanouts.size());
+  for (int i = 0; i < levels; ++i) {
+    if (fanouts[i] == 0) {
+      return Status::InvalidArgument("fanout at level " + std::to_string(i + 1) +
+                                     " must be >= 1 in dimension " + h.name_);
+    }
+  }
+  h.block_size_.resize(levels + 1);
+  h.num_blocks_.resize(levels + 1);
+  h.block_size_[0] = 1;
+  for (int i = 1; i <= levels; ++i) {
+    h.block_size_[i] = CheckedMul(h.block_size_[i - 1], fanouts[i - 1]);
+  }
+  for (int i = 0; i <= levels; ++i) {
+    h.num_blocks_[i] = h.block_size_[levels] / h.block_size_[i];
+  }
+  if (!level_names.empty()) {
+    if (static_cast<int>(level_names.size()) != levels + 1) {
+      return Status::InvalidArgument(
+          "level_names must have num_levels + 1 entries in dimension " +
+          h.name_);
+    }
+    h.level_names_ = std::move(level_names);
+  }
+  SNAKES_RETURN_IF_ERROR(h.Validate());
+  return h;
+}
+
+Result<Hierarchy> Hierarchy::Explicit(
+    std::string name, std::vector<std::vector<uint64_t>> children_per_level,
+    std::vector<std::string> level_names) {
+  // Check the telescoping shape: level L has a single root; the entry count
+  // at level i equals the number of children declared one level up.
+  const int levels = static_cast<int>(children_per_level.size());
+  if (levels == 0) return Uniform(std::move(name), {}, std::move(level_names));
+
+  // children_per_level[i-1] describes level i's nodes. Walk top-down.
+  uint64_t expected_nodes = 1;
+  for (int i = levels; i >= 1; --i) {
+    const auto& counts = children_per_level[i - 1];
+    if (counts.size() != expected_nodes) {
+      return Status::InvalidArgument(
+          "dimension " + name + ": level " + std::to_string(i) + " declares " +
+          std::to_string(counts.size()) + " nodes, expected " +
+          std::to_string(expected_nodes));
+    }
+    uint64_t total = 0;
+    for (uint64_t c : counts) {
+      if (c == 0) {
+        return Status::InvalidArgument("dimension " + name +
+                                       ": zero child count at level " +
+                                       std::to_string(i));
+      }
+      total = CheckedAdd(total, c);
+    }
+    expected_nodes = total;
+  }
+  const uint64_t num_leaves = expected_nodes;
+
+  Hierarchy h;
+  h.name_ = std::move(name);
+  h.num_blocks_.resize(levels + 1);
+  h.num_blocks_[0] = num_leaves;
+  for (int i = 1; i <= levels; ++i) {
+    h.num_blocks_[i] = children_per_level[i - 1].size();
+  }
+
+  // Detect the uniform case so the fast path still applies.
+  h.uniform_ = true;
+  for (int i = 1; i <= levels && h.uniform_; ++i) {
+    const auto& counts = children_per_level[i - 1];
+    for (uint64_t c : counts) {
+      if (c != counts[0]) {
+        h.uniform_ = false;
+        break;
+      }
+    }
+  }
+
+  if (h.uniform_) {
+    h.block_size_.resize(levels + 1);
+    h.block_size_[0] = 1;
+    for (int i = 1; i <= levels; ++i) {
+      h.block_size_[i] =
+          CheckedMul(h.block_size_[i - 1], children_per_level[i - 1][0]);
+    }
+  } else {
+    // Build leaf boundaries bottom-up: at level 1 the blocks partition leaves
+    // directly; at level i each block spans a run of level-(i-1) blocks.
+    h.boundaries_.resize(levels);
+    std::vector<uint64_t> below_start(num_leaves + 1);  // leaf start of each
+    for (uint64_t b = 0; b <= num_leaves; ++b) below_start[b] = b;
+    uint64_t below_count = num_leaves;
+    for (int i = 1; i <= levels; ++i) {
+      const auto& counts = children_per_level[i - 1];
+      auto& bounds = h.boundaries_[i - 1];
+      bounds.resize(counts.size() + 1);
+      uint64_t child = 0;
+      for (size_t b = 0; b < counts.size(); ++b) {
+        bounds[b] = below_start[child];
+        child += counts[b];
+      }
+      SNAKES_CHECK(child == below_count)
+          << "hierarchy level " << i << " child counts do not telescope";
+      bounds[counts.size()] = below_start[below_count];
+      // Prepare for next level: current blocks become the children.
+      below_start.assign(bounds.begin(), bounds.end());
+      below_count = counts.size();
+    }
+  }
+
+  if (!level_names.empty()) {
+    if (static_cast<int>(level_names.size()) != levels + 1) {
+      return Status::InvalidArgument(
+          "level_names must have num_levels + 1 entries in dimension " +
+          h.name_);
+    }
+    h.level_names_ = std::move(level_names);
+  }
+  SNAKES_RETURN_IF_ERROR(h.Validate());
+  return h;
+}
+
+namespace {
+
+int TreeDepth(const HierarchyNode& node) {
+  int depth = 0;
+  for (const auto& child : node.children) {
+    depth = std::max(depth, 1 + TreeDepth(child));
+  }
+  return depth;
+}
+
+// Collects, per level (1-based, counted from the *bottom* of the balanced
+// tree), the child count of every node in DFS order. Dummy chain nodes
+// (child count 1) are added above leaves shallower than `depth`.
+void CollectCounts(const HierarchyNode& node, int height,
+                   std::vector<std::vector<uint64_t>>* counts) {
+  // `height` = number of levels below this node in the balanced tree.
+  if (node.children.empty()) {
+    // A leaf lifted to height > 0 becomes a dummy chain down to level 0.
+    for (int h = height; h >= 1; --h) {
+      (*counts)[h - 1].push_back(1);
+    }
+    return;
+  }
+  (*counts)[height - 1].push_back(node.children.size());
+  for (const auto& child : node.children) {
+    CollectCounts(child, height - 1, counts);
+  }
+}
+
+}  // namespace
+
+Result<Hierarchy> Hierarchy::FromTree(std::string name,
+                                      const HierarchyNode& root) {
+  const int depth = TreeDepth(root);
+  if (depth == 0) return Uniform(std::move(name), {});
+  std::vector<std::vector<uint64_t>> counts(depth);
+  CollectCounts(root, depth, &counts);
+  // CollectCounts appends per level in DFS order, which for a balanced tree
+  // is exactly left-to-right within each level.
+  return Explicit(std::move(name), std::move(counts));
+}
+
+Status Hierarchy::Validate() const {
+  if (num_blocks_.empty() || num_blocks_.back() != 1) {
+    return Status::Internal("dimension " + name_ + ": no single root");
+  }
+  for (size_t i = 1; i < num_blocks_.size(); ++i) {
+    if (num_blocks_[i] > num_blocks_[i - 1]) {
+      return Status::Internal("dimension " + name_ +
+                              ": node counts must shrink going up");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Hierarchy::num_blocks(int level) const {
+  SNAKES_CHECK(level >= 0 && level <= num_levels())
+      << "level " << level << " out of range in dimension " << name_;
+  return num_blocks_[level];
+}
+
+double Hierarchy::avg_fanout(int level) const {
+  SNAKES_CHECK(level >= 1 && level <= num_levels())
+      << "fanout level " << level << " out of range in dimension " << name_;
+  return static_cast<double>(num_blocks_[level - 1]) /
+         static_cast<double>(num_blocks_[level]);
+}
+
+uint64_t Hierarchy::uniform_fanout(int level) const {
+  SNAKES_CHECK(uniform_) << "uniform_fanout on non-uniform dimension " << name_;
+  SNAKES_CHECK(level >= 1 && level <= num_levels())
+      << "fanout level " << level << " out of range in dimension " << name_;
+  return block_size_[level] / block_size_[level - 1];
+}
+
+uint64_t Hierarchy::AncestorAt(uint64_t leaf, int level) const {
+  SNAKES_DCHECK(leaf < num_leaves());
+  SNAKES_DCHECK(level >= 0 && level <= num_levels());
+  if (level == 0) return leaf;
+  if (uniform_) return leaf / block_size_[level];
+  const auto& bounds = boundaries_[level - 1];
+  // Find the block whose [bounds[b], bounds[b+1]) range contains the leaf.
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), leaf);
+  return static_cast<uint64_t>(it - bounds.begin()) - 1;
+}
+
+void Hierarchy::BlockLeafRange(int level, uint64_t block, uint64_t* first,
+                               uint64_t* last) const {
+  SNAKES_DCHECK(level >= 0 && level <= num_levels());
+  SNAKES_DCHECK(block < num_blocks(level));
+  if (level == 0) {
+    *first = block;
+    *last = block + 1;
+    return;
+  }
+  if (uniform_) {
+    *first = block * block_size_[level];
+    *last = *first + block_size_[level];
+    return;
+  }
+  const auto& bounds = boundaries_[level - 1];
+  *first = bounds[block];
+  *last = bounds[block + 1];
+}
+
+uint64_t Hierarchy::BlockLeafCount(int level, uint64_t block) const {
+  uint64_t first, last;
+  BlockLeafRange(level, block, &first, &last);
+  return last - first;
+}
+
+std::string Hierarchy::level_name(int level) const {
+  SNAKES_CHECK(level >= 0 && level <= num_levels());
+  if (!level_names_.empty()) return level_names_[level];
+  return "L" + std::to_string(level);
+}
+
+}  // namespace snakes

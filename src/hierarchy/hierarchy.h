@@ -1,0 +1,128 @@
+#ifndef SNAKES_HIERARCHY_HIERARCHY_H_
+#define SNAKES_HIERARCHY_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace snakes {
+
+/// Maximum number of dimensions supported by the fixed-capacity coordinate
+/// types. Real star schemas have a handful of dimensions; the paper uses 2-3.
+inline constexpr int kMaxDimensions = 8;
+
+/// A node of a user-supplied dimension-hierarchy tree, used to build
+/// (possibly unbalanced) hierarchies from explicit member trees. Leaves are
+/// nodes without children. See Hierarchy::FromTree.
+struct HierarchyNode {
+  /// Member label ("levi's", "NY", ...). Used in reports only.
+  std::string label;
+  std::vector<HierarchyNode> children;
+};
+
+/// A balanced level hierarchy on one dimension of a star schema.
+///
+/// Levels are counted from the leaves: level 0 is the leaf (finest) level and
+/// level `num_levels()` is the single root ("all"). `fanout(i)` for
+/// 1 <= i <= num_levels() is the paper's f(d, i): the average number of
+/// level-(i-1) children per level-i node.
+///
+/// Two representations are supported behind one interface:
+///  * uniform  — every level-i node has exactly the same child count; all
+///    block computations are closed-form (this covers the paper's balanced
+///    complete hierarchies and the TPC-D schema);
+///  * explicit — per-node child counts vary; leaf->ancestor maps use sorted
+///    block-boundary arrays. Unbalanced trees are first balanced by inserting
+///    dummy chain nodes (Section 4.1 of the paper), which yields per-level
+///    *average* fanouts that may be fractional.
+class Hierarchy {
+ public:
+  /// Builds a uniform hierarchy. `fanouts[i-1]` is the exact child count of
+  /// every node at level i, for i = 1..fanouts.size(). Every fanout must be
+  /// >= 1; an empty list yields the trivial one-cell hierarchy.
+  /// `level_names`, if non-empty, must have fanouts.size() + 1 entries naming
+  /// levels 0..num_levels (e.g. {"part", "mfgr", "all"}).
+  static Result<Hierarchy> Uniform(std::string name,
+                                   std::vector<uint64_t> fanouts,
+                                   std::vector<std::string> level_names = {});
+
+  /// Builds a (balanced) hierarchy with per-node child counts.
+  /// `children_per_level[i-1]` lists, left to right, the child count of every
+  /// node at level i; the node counts must telescope (the number of entries
+  /// at level i equals the sum of entries one level up, with a single root).
+  static Result<Hierarchy> Explicit(
+      std::string name, std::vector<std::vector<uint64_t>> children_per_level,
+      std::vector<std::string> level_names = {});
+
+  /// Builds a hierarchy from an explicit member tree whose leaves may sit at
+  /// different depths. The tree is balanced by splicing in dummy chain nodes
+  /// (one parent, one child) directly above shallow leaves, exactly as
+  /// Section 4.1 prescribes, then converted to the explicit representation.
+  static Result<Hierarchy> FromTree(std::string name,
+                                    const HierarchyNode& root);
+
+  /// Dimension name ("parts", "time", ...).
+  const std::string& name() const { return name_; }
+
+  /// Number of aggregation levels above the leaves (the paper's l_d). The
+  /// trivial hierarchy has 0.
+  int num_levels() const { return static_cast<int>(num_blocks_.size()) - 1; }
+
+  /// Total leaf count (the extent of this dimension in the data grid).
+  uint64_t num_leaves() const { return num_blocks_[0]; }
+
+  /// Number of blocks (nodes) at `level`; level 0 gives num_leaves() and
+  /// level num_levels() gives 1.
+  uint64_t num_blocks(int level) const;
+
+  /// Average fanout f(d, level) for 1 <= level <= num_levels():
+  /// num_blocks(level-1) / num_blocks(level). Integral for uniform
+  /// hierarchies; may be fractional after dummy-node balancing.
+  double avg_fanout(int level) const;
+
+  /// Exact integral fanout at `level` for uniform hierarchies. Requires
+  /// is_uniform().
+  uint64_t uniform_fanout(int level) const;
+
+  /// True when every node at each level has the same child count.
+  bool is_uniform() const { return uniform_; }
+
+  /// Index (within its level) of the level-`level` ancestor of `leaf`.
+  /// AncestorAt(x, 0) == x; AncestorAt(x, num_levels()) == 0.
+  uint64_t AncestorAt(uint64_t leaf, int level) const;
+
+  /// Half-open leaf range [first, last) covered by block `block` of `level`.
+  void BlockLeafRange(int level, uint64_t block, uint64_t* first,
+                      uint64_t* last) const;
+
+  /// Number of leaves under block `block` of `level`.
+  uint64_t BlockLeafCount(int level, uint64_t block) const;
+
+  /// Name of `level` if provided at construction, else "L<level>".
+  std::string level_name(int level) const;
+
+ private:
+  Hierarchy() = default;
+
+  Status Validate() const;
+
+  std::string name_;
+  std::vector<std::string> level_names_;
+  bool uniform_ = true;
+  // uniform representation: block_size_[i] = leaves per level-i block.
+  std::vector<uint64_t> block_size_;
+  // num_blocks_[i] = node count at level i (num_blocks_[0] = leaves).
+  std::vector<uint64_t> num_blocks_;
+  // explicit representation: boundaries_[i][b] = first leaf of block b at
+  // level i+1 (boundaries_[i] has num_blocks_[i+1] + 1 entries, the last
+  // being num_leaves()). Empty when uniform_.
+  std::vector<std::vector<uint64_t>> boundaries_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_HIERARCHY_HIERARCHY_H_

@@ -1,0 +1,54 @@
+#include "lattice/estimator.h"
+
+#include "util/logging.h"
+
+namespace snakes {
+
+WorkloadEstimator::WorkloadEstimator(QueryClassLattice lattice,
+                                     double smoothing, double decay)
+    : lattice_(std::move(lattice)),
+      smoothing_(smoothing),
+      decay_(decay),
+      counts_(lattice_.size(), 0.0) {
+  SNAKES_CHECK(smoothing_ >= 0.0) << "negative smoothing";
+  SNAKES_CHECK(decay_ > 0.0 && decay_ <= 1.0) << "decay must be in (0, 1]";
+}
+
+Status WorkloadEstimator::Observe(const QueryClass& cls) {
+  return ObserveCount(cls, 1.0);
+}
+
+Status WorkloadEstimator::ObserveCount(const QueryClass& cls, double weight) {
+  if (cls.num_dims() != lattice_.num_dims()) {
+    return Status::InvalidArgument("class dimensionality mismatch");
+  }
+  for (int d = 0; d < cls.num_dims(); ++d) {
+    if (cls.level(d) < 0 || cls.level(d) > lattice_.levels(d)) {
+      return Status::OutOfRange("class " + cls.ToString() +
+                                " outside the lattice");
+    }
+  }
+  if (weight < 0.0) {
+    return Status::InvalidArgument("negative observation weight");
+  }
+  if (decay_ < 1.0) {
+    for (double& c : counts_) c *= decay_;
+    total_ *= decay_;
+  }
+  counts_[lattice_.Index(cls)] += weight;
+  total_ += weight;
+  return Status::OK();
+}
+
+Workload WorkloadEstimator::Estimate() const {
+  std::vector<std::pair<QueryClass, double>> masses;
+  masses.reserve(counts_.size());
+  for (uint64_t i = 0; i < counts_.size(); ++i) {
+    masses.emplace_back(lattice_.ClassAt(i), counts_[i] + smoothing_);
+  }
+  auto workload = Workload::FromMasses(lattice_, masses, /*normalize=*/true);
+  SNAKES_CHECK(workload.ok()) << workload.status().ToString();
+  return std::move(workload).value();
+}
+
+}  // namespace snakes

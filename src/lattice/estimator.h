@@ -1,0 +1,56 @@
+#ifndef SNAKES_LATTICE_ESTIMATOR_H_
+#define SNAKES_LATTICE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/lattice.h"
+#include "lattice/query_class.h"
+#include "lattice/workload.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Builds a Workload from an observed query stream — the Section-1 premise
+/// that per-class statistics are compact and stable where per-query
+/// statistics are not. Feed it the class of every grid query the warehouse
+/// executes (the class is immediate from the query's selection levels) and
+/// snapshot a distribution whenever the advisor should re-evaluate the
+/// clustering.
+///
+/// `smoothing` is a Laplace pseudo-count per class: with the default 1.0 a
+/// fresh estimator yields the uniform workload and rare-but-possible classes
+/// never get probability zero. Optional exponential decay ages out old
+/// queries so the estimate tracks drifting workloads.
+class WorkloadEstimator {
+ public:
+  /// `decay` in (0, 1]: every observation first multiplies all existing
+  /// counts by `decay` (1.0 = never forget).
+  explicit WorkloadEstimator(QueryClassLattice lattice, double smoothing = 1.0,
+                             double decay = 1.0);
+
+  /// Records one executed query of class `cls`.
+  Status Observe(const QueryClass& cls);
+
+  /// Records `weight` queries of class `cls` at once (e.g. from a log).
+  Status ObserveCount(const QueryClass& cls, double weight);
+
+  /// Total (decayed) observations so far, excluding smoothing.
+  double TotalObservations() const { return total_; }
+
+  /// The current estimate.
+  Workload Estimate() const;
+
+  const QueryClassLattice& lattice() const { return lattice_; }
+
+ private:
+  QueryClassLattice lattice_;
+  double smoothing_;
+  double decay_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_LATTICE_ESTIMATOR_H_

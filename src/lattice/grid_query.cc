@@ -1,0 +1,98 @@
+#include "lattice/grid_query.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+std::string GridQuery::ToString() const {
+  std::string out = "class " + cls.ToString() + " blocks (";
+  for (size_t d = 0; d < block.size(); ++d) {
+    if (d) out += ",";
+    out += std::to_string(block[d]);
+  }
+  out += ")";
+  return out;
+}
+
+CellBox BoxOf(const StarSchema& schema, const GridQuery& query) {
+  SNAKES_DCHECK(query.cls.num_dims() == schema.num_dims());
+  CellBox box;
+  box.lo.resize(static_cast<size_t>(schema.num_dims()));
+  box.hi.resize(static_cast<size_t>(schema.num_dims()));
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    uint64_t first, last;
+    schema.dim(d).BlockLeafRange(query.cls.level(d),
+                                 query.block[static_cast<size_t>(d)], &first,
+                                 &last);
+    box.lo[static_cast<size_t>(d)] = first;
+    box.hi[static_cast<size_t>(d)] = last;
+  }
+  return box;
+}
+
+uint64_t NumQueriesInClass(const StarSchema& schema, const QueryClass& cls) {
+  uint64_t n = 1;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    n = CheckedMul(n, schema.dim(d).num_blocks(cls.level(d)));
+  }
+  return n;
+}
+
+GridQuery QueryAt(const StarSchema& schema, const QueryClass& cls,
+                  uint64_t index) {
+  GridQuery q;
+  q.cls = cls;
+  q.block.resize(static_cast<size_t>(schema.num_dims()));
+  // Dense order: dimension 0 slowest.
+  uint64_t stride = 1;
+  FixedVector<uint64_t, kMaxDimensions> strides;
+  strides.resize(static_cast<size_t>(schema.num_dims()));
+  for (int d = schema.num_dims() - 1; d >= 0; --d) {
+    strides[static_cast<size_t>(d)] = stride;
+    stride *= schema.dim(d).num_blocks(cls.level(d));
+  }
+  SNAKES_DCHECK(index < stride);
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    q.block[static_cast<size_t>(d)] = index / strides[static_cast<size_t>(d)];
+    index %= strides[static_cast<size_t>(d)];
+  }
+  return q;
+}
+
+std::vector<GridQuery> AllQueriesInClass(const StarSchema& schema,
+                                         const QueryClass& cls) {
+  const uint64_t n = NumQueriesInClass(schema, cls);
+  std::vector<GridQuery> queries;
+  queries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    queries.push_back(QueryAt(schema, cls, i));
+  }
+  return queries;
+}
+
+GridQuery SampleQuery(const StarSchema& schema, const QueryClass& cls,
+                      Rng* rng) {
+  GridQuery q;
+  q.cls = cls;
+  q.block.resize(static_cast<size_t>(schema.num_dims()));
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    q.block[static_cast<size_t>(d)] =
+        rng->Below(schema.dim(d).num_blocks(cls.level(d)));
+  }
+  return q;
+}
+
+GridQuery QueryContaining(const StarSchema& schema, const QueryClass& cls,
+                          const CellCoord& coord) {
+  GridQuery q;
+  q.cls = cls;
+  q.block.resize(static_cast<size_t>(schema.num_dims()));
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    q.block[static_cast<size_t>(d)] = schema.dim(d).AncestorAt(
+        coord[static_cast<size_t>(d)], cls.level(d));
+  }
+  return q;
+}
+
+}  // namespace snakes

@@ -1,0 +1,78 @@
+#ifndef SNAKES_LATTICE_GRID_QUERY_H_
+#define SNAKES_LATTICE_GRID_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hierarchy/star_schema.h"
+#include "lattice/query_class.h"
+#include "util/fixed_vector.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace snakes {
+
+/// An axis-aligned box of cells, given as half-open per-dimension leaf
+/// ranges. Every grid query selects exactly one box.
+struct CellBox {
+  FixedVector<uint64_t, kMaxDimensions> lo;  // inclusive
+  FixedVector<uint64_t, kMaxDimensions> hi;  // exclusive
+
+  /// Number of cells in the box.
+  uint64_t NumCells() const {
+    uint64_t n = 1;
+    for (size_t d = 0; d < lo.size(); ++d) n *= hi[d] - lo[d];
+    return n;
+  }
+
+  /// True iff `coord` lies inside the box.
+  bool Contains(const CellCoord& coord) const {
+    for (size_t d = 0; d < lo.size(); ++d) {
+      if (coord[d] < lo[d] || coord[d] >= hi[d]) return false;
+    }
+    return true;
+  }
+};
+
+/// A grid query (Section 1): a vector of (dimension, hierarchy value) pairs,
+/// normalized here to its query class plus the per-dimension block index of
+/// the selected hierarchy node. The query selects the box of cells under
+/// those nodes.
+struct GridQuery {
+  QueryClass cls;
+  /// block[d] in [0, num_blocks(d, cls.level(d))).
+  FixedVector<uint64_t, kMaxDimensions> block;
+
+  std::string ToString() const;
+};
+
+/// Returns the cell box selected by `query` against `schema`.
+CellBox BoxOf(const StarSchema& schema, const GridQuery& query);
+
+/// Number of distinct grid queries in class `cls`:
+/// prod_d num_blocks(d, level_d).
+uint64_t NumQueriesInClass(const StarSchema& schema, const QueryClass& cls);
+
+/// Enumerates every query of class `cls` (dense order, dimension 0 slowest).
+/// Intended for exact per-class averaging on small/medium schemas.
+std::vector<GridQuery> AllQueriesInClass(const StarSchema& schema,
+                                         const QueryClass& cls);
+
+/// The i-th query of class `cls` in the same dense order, without
+/// materializing the full list.
+GridQuery QueryAt(const StarSchema& schema, const QueryClass& cls,
+                  uint64_t index);
+
+/// Draws a query uniformly from class `cls`.
+GridQuery SampleQuery(const StarSchema& schema, const QueryClass& cls,
+                      Rng* rng);
+
+/// The class-`cls` query that contains `coord` (each dimension's block is the
+/// coordinate's ancestor at the class level).
+GridQuery QueryContaining(const StarSchema& schema, const QueryClass& cls,
+                          const CellCoord& coord);
+
+}  // namespace snakes
+
+#endif  // SNAKES_LATTICE_GRID_QUERY_H_

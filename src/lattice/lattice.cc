@@ -1,0 +1,136 @@
+#include "lattice/lattice.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+QueryClassLattice::QueryClassLattice(const StarSchema& schema) {
+  const int k = schema.num_dims();
+  levels_.resize(static_cast<size_t>(k));
+  fanouts_.resize(static_cast<size_t>(k));
+  block_counts_.resize(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    const Hierarchy& h = schema.dim(d);
+    levels_[static_cast<size_t>(d)] = h.num_levels();
+    auto& f = fanouts_[static_cast<size_t>(d)];
+    f.resize(static_cast<size_t>(h.num_levels()));
+    for (int i = 1; i <= h.num_levels(); ++i) {
+      f[static_cast<size_t>(i - 1)] = h.avg_fanout(i);
+    }
+    auto& b = block_counts_[static_cast<size_t>(d)];
+    b.resize(static_cast<size_t>(h.num_levels()) + 1);
+    for (int l = 0; l <= h.num_levels(); ++l) {
+      b[static_cast<size_t>(l)] = h.num_blocks(l);
+    }
+  }
+  ComputeSize();
+}
+
+Result<QueryClassLattice> QueryClassLattice::FromFanouts(
+    std::vector<std::vector<double>> fanouts) {
+  if (fanouts.empty() || fanouts.size() > kMaxDimensions) {
+    return Status::InvalidArgument("lattice needs 1.." +
+                                   std::to_string(kMaxDimensions) +
+                                   " dimensions");
+  }
+  for (const auto& dim : fanouts) {
+    for (double f : dim) {
+      if (f < 1.0) {
+        return Status::InvalidArgument("fanouts must be >= 1");
+      }
+    }
+  }
+  QueryClassLattice lat;
+  lat.levels_.resize(fanouts.size());
+  for (size_t d = 0; d < fanouts.size(); ++d) {
+    lat.levels_[d] = static_cast<int>(fanouts[d].size());
+  }
+  lat.fanouts_ = std::move(fanouts);
+  lat.ComputeSize();
+  return lat;
+}
+
+void QueryClassLattice::ComputeSize() {
+  const size_t k = levels_.size();
+  stride_.resize(k);
+  uint64_t stride = 1;
+  for (size_t d = k; d-- > 0;) {
+    stride_[d] = stride;
+    stride = CheckedMul(stride, static_cast<uint64_t>(levels_[d]) + 1);
+  }
+  size_ = stride;
+}
+
+double QueryClassLattice::fanout(int d, int i) const {
+  SNAKES_DCHECK(d >= 0 && d < num_dims());
+  SNAKES_DCHECK(i >= 1 && i <= levels(d));
+  return fanouts_[static_cast<size_t>(d)][static_cast<size_t>(i - 1)];
+}
+
+QueryClass QueryClassLattice::Bottom() const {
+  return QueryClass(num_dims());
+}
+
+QueryClass QueryClassLattice::Top() const {
+  QueryClass top(num_dims());
+  for (int d = 0; d < num_dims(); ++d) top.set_level(d, levels(d));
+  return top;
+}
+
+uint64_t QueryClassLattice::Index(const QueryClass& c) const {
+  SNAKES_DCHECK(c.num_dims() == num_dims());
+  uint64_t index = 0;
+  for (int d = 0; d < num_dims(); ++d) {
+    SNAKES_DCHECK(c.level(d) >= 0 && c.level(d) <= levels(d));
+    index += static_cast<uint64_t>(c.level(d)) * stride_[static_cast<size_t>(d)];
+  }
+  return index;
+}
+
+QueryClass QueryClassLattice::ClassAt(uint64_t index) const {
+  SNAKES_DCHECK(index < size_);
+  QueryClass c(num_dims());
+  for (int d = 0; d < num_dims(); ++d) {
+    c.set_level(d, static_cast<int>(index / stride_[static_cast<size_t>(d)]));
+    index %= stride_[static_cast<size_t>(d)];
+  }
+  return c;
+}
+
+double QueryClassLattice::EdgeWeight(const QueryClass& u, int d) const {
+  SNAKES_DCHECK(u.level(d) < levels(d));
+  return fanout(d, u.level(d) + 1);
+}
+
+double QueryClassLattice::LenBetween(const QueryClass& lo,
+                                     const QueryClass& hi) const {
+  SNAKES_DCHECK(lo.DominatedBy(hi));
+  double len = 1.0;
+  for (int d = 0; d < num_dims(); ++d) {
+    for (int i = lo.level(d) + 1; i <= hi.level(d); ++i) {
+      len *= fanout(d, i);
+    }
+  }
+  return len;
+}
+
+std::vector<QueryClass> QueryClassLattice::AllClasses() const {
+  std::vector<QueryClass> all;
+  all.reserve(size_);
+  for (uint64_t i = 0; i < size_; ++i) all.push_back(ClassAt(i));
+  return all;
+}
+
+uint64_t QueryClassLattice::NumQueriesInClass(const QueryClass& c) const {
+  SNAKES_CHECK(has_block_counts())
+      << "NumQueriesInClass requires a schema-built lattice";
+  uint64_t n = 1;
+  for (int d = 0; d < num_dims(); ++d) {
+    n = CheckedMul(n, block_counts_[static_cast<size_t>(d)]
+                                   [static_cast<size_t>(c.level(d))]);
+  }
+  return n;
+}
+
+}  // namespace snakes

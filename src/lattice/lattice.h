@@ -1,0 +1,93 @@
+#ifndef SNAKES_LATTICE_LATTICE_H_
+#define SNAKES_LATTICE_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/star_schema.h"
+#include "lattice/query_class.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// The query-class lattice (L, <=) of a star schema (Section 3): the product
+/// of the per-dimension level ranges {0..l_d}, ordered pointwise, with
+/// bottom (0,...,0) and top (l_1,...,l_k). Edges connect d-successors and
+/// carry weight f(d, i_d + 1), the average fanout crossed by the step.
+///
+/// The lattice also fixes a dense index for query classes (mixed-radix,
+/// dimension 0 slowest) used by Workload and every DP table.
+class QueryClassLattice {
+ public:
+  /// Builds the lattice of `schema` (copies the level counts and fanouts;
+  /// the schema need not outlive the lattice).
+  explicit QueryClassLattice(const StarSchema& schema);
+
+  /// Builds a lattice directly from per-dimension fanout lists:
+  /// fanouts[d][i-1] = f(d, i). Levels are fanouts[d].size(). This is the
+  /// cost-model-only entry point (no physical grid attached); fractional
+  /// average fanouts are allowed.
+  static Result<QueryClassLattice> FromFanouts(
+      std::vector<std::vector<double>> fanouts);
+
+  int num_dims() const { return static_cast<int>(levels_.size()); }
+
+  /// l_d: the top level of dimension d.
+  int levels(int d) const { return levels_[static_cast<size_t>(d)]; }
+
+  /// Average fanout f(d, i), 1 <= i <= levels(d).
+  double fanout(int d, int i) const;
+
+  /// Number of lattice points, prod_d (l_d + 1).
+  uint64_t size() const { return size_; }
+
+  QueryClass Bottom() const;
+  QueryClass Top() const;
+
+  /// Dense index of a class (mixed radix, dimension 0 slowest).
+  uint64_t Index(const QueryClass& c) const;
+
+  /// Inverse of Index.
+  QueryClass ClassAt(uint64_t index) const;
+
+  /// Weight of the edge from `u` to its d-successor: f(d, u.level(d) + 1).
+  /// Requires u.level(d) < levels(d).
+  double EdgeWeight(const QueryClass& u, int d) const;
+
+  /// Length of any monotone path from `lo` up to `hi` (requires lo <= hi):
+  /// the product of all fanouts crossed, independent of the route (Section 4).
+  double LenBetween(const QueryClass& lo, const QueryClass& hi) const;
+
+  /// All lattice points in index order (materialized; lattices are tiny).
+  std::vector<QueryClass> AllClasses() const;
+
+  /// Number of grid queries in class `c` when the lattice was built from a
+  /// physical schema: prod_d num_blocks(d, c.level(d)). Requires the
+  /// StarSchema constructor (block counts known).
+  uint64_t NumQueriesInClass(const QueryClass& c) const;
+
+  /// True when built from a physical schema (block counts available).
+  bool has_block_counts() const { return !block_counts_.empty(); }
+
+  bool operator==(const QueryClassLattice& o) const {
+    return levels_ == o.levels_ && fanouts_ == o.fanouts_;
+  }
+
+ private:
+  QueryClassLattice() = default;
+  void ComputeSize();
+
+  std::vector<int> levels_;
+  // fanouts_[d][i-1] = f(d, i).
+  std::vector<std::vector<double>> fanouts_;
+  // block_counts_[d][l] = number of level-l blocks of dimension d (only when
+  // built from a schema).
+  std::vector<std::vector<uint64_t>> block_counts_;
+  uint64_t size_ = 0;
+  // stride_[d] for the dense index (dimension 0 slowest).
+  std::vector<uint64_t> stride_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_LATTICE_LATTICE_H_

@@ -1,0 +1,93 @@
+#ifndef SNAKES_LATTICE_QUERY_CLASS_H_
+#define SNAKES_LATTICE_QUERY_CLASS_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+
+#include "hierarchy/hierarchy.h"
+#include "util/fixed_vector.h"
+
+namespace snakes {
+
+/// A query class (Definition 1): a k-vector of hierarchy level numbers,
+/// one per dimension, with 0 <= level(d) <= l_d. A grid query whose selected
+/// value in dimension d comes from level i_d of that dimension's hierarchy
+/// belongs to class (i_1, ..., i_k).
+///
+/// Query classes form a complete lattice under the pointwise order
+/// (Section 3); see QueryClassLattice.
+class QueryClass {
+ public:
+  QueryClass() = default;
+
+  /// A class with `k` dimensions, all levels zero (the bottom of a lattice).
+  explicit QueryClass(int k) : levels_(static_cast<size_t>(k), 0) {}
+
+  /// Brace construction: QueryClass{1, 0} is the class (1,0).
+  QueryClass(std::initializer_list<int> levels) {
+    for (int l : levels) levels_.push_back(l);
+  }
+
+  int num_dims() const { return static_cast<int>(levels_.size()); }
+
+  int level(int d) const { return levels_[static_cast<size_t>(d)]; }
+  void set_level(int d, int value) { levels_[static_cast<size_t>(d)] = value; }
+
+  /// Pointwise dominance: *this <= other in the lattice order.
+  bool DominatedBy(const QueryClass& other) const {
+    if (levels_.size() != other.levels_.size()) return false;
+    for (size_t d = 0; d < levels_.size(); ++d) {
+      if (levels_[d] > other.levels_[d]) return false;
+    }
+    return true;
+  }
+
+  /// True iff `other` is the d-successor of *this for some dimension d
+  /// (differs by +1 in exactly one coordinate).
+  bool IsSuccessor(const QueryClass& other) const {
+    if (levels_.size() != other.levels_.size()) return false;
+    int bumped = -1;
+    for (size_t d = 0; d < levels_.size(); ++d) {
+      if (levels_[d] == other.levels_[d]) continue;
+      if (other.levels_[d] != levels_[d] + 1 || bumped >= 0) return false;
+      bumped = static_cast<int>(d);
+    }
+    return bumped >= 0;
+  }
+
+  /// The d-successor (level(d) incremented).
+  QueryClass Successor(int d) const {
+    QueryClass next = *this;
+    ++next.levels_[static_cast<size_t>(d)];
+    return next;
+  }
+
+  bool operator==(const QueryClass& o) const { return levels_ == o.levels_; }
+  bool operator!=(const QueryClass& o) const { return levels_ != o.levels_; }
+  /// Arbitrary total order for use in maps; not the lattice order.
+  bool operator<(const QueryClass& o) const { return levels_ < o.levels_; }
+
+  /// "(1,0,2)".
+  std::string ToString() const {
+    std::string out = "(";
+    for (size_t d = 0; d < levels_.size(); ++d) {
+      if (d) out += ",";
+      out += std::to_string(levels_[d]);
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  FixedVector<int, kMaxDimensions> levels_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const QueryClass& c) {
+  return os << c.ToString();
+}
+
+}  // namespace snakes
+
+#endif  // SNAKES_LATTICE_QUERY_CLASS_H_

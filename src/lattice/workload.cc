@@ -1,0 +1,129 @@
+#include "lattice/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+Workload Workload::Uniform(const QueryClassLattice& lattice) {
+  std::vector<double> p(lattice.size(),
+                        1.0 / static_cast<double>(lattice.size()));
+  return Workload(lattice, std::move(p));
+}
+
+Result<Workload> Workload::UniformOver(const QueryClassLattice& lattice,
+                                       const std::vector<QueryClass>& classes) {
+  if (classes.empty()) {
+    return Status::InvalidArgument("UniformOver needs at least one class");
+  }
+  std::vector<double> p(lattice.size(), 0.0);
+  for (const auto& c : classes) {
+    if (c.num_dims() != lattice.num_dims()) {
+      return Status::InvalidArgument("class dimensionality mismatch");
+    }
+    for (int d = 0; d < c.num_dims(); ++d) {
+      if (c.level(d) < 0 || c.level(d) > lattice.levels(d)) {
+        return Status::OutOfRange("class " + c.ToString() +
+                                  " outside the lattice");
+      }
+    }
+    p[lattice.Index(c)] += 1.0 / static_cast<double>(classes.size());
+  }
+  return Workload(lattice, std::move(p));
+}
+
+Result<Workload> Workload::Point(const QueryClassLattice& lattice,
+                                 const QueryClass& cls) {
+  return UniformOver(lattice, {cls});
+}
+
+Result<Workload> Workload::Product(
+    const QueryClassLattice& lattice,
+    const std::vector<std::vector<double>>& level_probs) {
+  if (static_cast<int>(level_probs.size()) != lattice.num_dims()) {
+    return Status::InvalidArgument("Product needs one distribution per dim");
+  }
+  for (int d = 0; d < lattice.num_dims(); ++d) {
+    const auto& dist = level_probs[static_cast<size_t>(d)];
+    if (static_cast<int>(dist.size()) != lattice.levels(d) + 1) {
+      return Status::InvalidArgument(
+          "dimension " + std::to_string(d) + " needs " +
+          std::to_string(lattice.levels(d) + 1) + " level probabilities");
+    }
+    double sum = 0.0;
+    for (double v : dist) {
+      if (v < 0.0) return Status::InvalidArgument("negative probability");
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > 1e-9) {
+      return Status::InvalidArgument("dimension " + std::to_string(d) +
+                                     " probabilities sum to " +
+                                     std::to_string(sum) + ", expected 1");
+    }
+  }
+  std::vector<double> p(lattice.size());
+  for (uint64_t i = 0; i < lattice.size(); ++i) {
+    const QueryClass c = lattice.ClassAt(i);
+    double prob = 1.0;
+    for (int d = 0; d < lattice.num_dims(); ++d) {
+      prob *= level_probs[static_cast<size_t>(d)]
+                         [static_cast<size_t>(c.level(d))];
+    }
+    p[i] = prob;
+  }
+  return Workload(lattice, std::move(p));
+}
+
+Result<Workload> Workload::FromMasses(
+    const QueryClassLattice& lattice,
+    const std::vector<std::pair<QueryClass, double>>& masses, bool normalize) {
+  std::vector<double> p(lattice.size(), 0.0);
+  double sum = 0.0;
+  for (const auto& [cls, mass] : masses) {
+    if (mass < 0.0) return Status::InvalidArgument("negative mass");
+    p[lattice.Index(cls)] += mass;
+    sum += mass;
+  }
+  if (normalize) {
+    if (sum <= 0.0) return Status::InvalidArgument("total mass must be > 0");
+    for (double& v : p) v /= sum;
+  } else if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("masses sum to " + std::to_string(sum) +
+                                   ", expected 1 (or pass normalize=true)");
+  }
+  return Workload(lattice, std::move(p));
+}
+
+Workload Workload::Random(const QueryClassLattice& lattice, Rng* rng) {
+  std::vector<double> p(lattice.size());
+  double sum = 0.0;
+  for (double& v : p) {
+    // Exponential(1) draws normalize to a flat Dirichlet sample.
+    v = -std::log(1.0 - rng->NextDouble());
+    sum += v;
+  }
+  for (double& v : p) v /= sum;
+  return Workload(lattice, std::move(p));
+}
+
+void Workload::BuildCdf() {
+  cdf_.resize(p_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < p_.size(); ++i) {
+    acc += p_[i];
+    cdf_[i] = acc;
+  }
+  SNAKES_CHECK(std::abs(acc - 1.0) < 1e-6)
+      << "workload probabilities sum to " << acc;
+  cdf_.back() = 1.0;
+}
+
+QueryClass Workload::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return lattice_.ClassAt(static_cast<uint64_t>(it - cdf_.begin()));
+}
+
+}  // namespace snakes

@@ -1,0 +1,81 @@
+#ifndef SNAKES_LATTICE_WORKLOAD_H_
+#define SNAKES_LATTICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "lattice/lattice.h"
+#include "lattice/query_class.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace snakes {
+
+/// A workload (Definition 2): a probability distribution over the query
+/// classes of a lattice. This is the paper's central workload abstraction —
+/// per-class frequencies are stable and compact where per-query frequencies
+/// are not.
+class Workload {
+ public:
+  /// The uniform distribution over all classes (toy workload 1 of Section 2).
+  static Workload Uniform(const QueryClassLattice& lattice);
+
+  /// Uniform over a subset of classes, zero elsewhere (toy workloads 2-3).
+  static Result<Workload> UniformOver(const QueryClassLattice& lattice,
+                                      const std::vector<QueryClass>& classes);
+
+  /// All mass on a single class.
+  static Result<Workload> Point(const QueryClassLattice& lattice,
+                                const QueryClass& cls);
+
+  /// Product-form workload (Section 6.2): per-dimension distributions over
+  /// levels, multiplied. `level_probs[d]` must have lattice.levels(d) + 1
+  /// entries summing to ~1.
+  static Result<Workload> Product(
+      const QueryClassLattice& lattice,
+      const std::vector<std::vector<double>>& level_probs);
+
+  /// Explicit per-class probabilities (sparse). Remaining classes get zero.
+  /// If `normalize`, the masses are rescaled to sum to 1; otherwise they must
+  /// already sum to 1 within 1e-9.
+  static Result<Workload> FromMasses(
+      const QueryClassLattice& lattice,
+      const std::vector<std::pair<QueryClass, double>>& masses,
+      bool normalize = false);
+
+  /// Random workload (Dirichlet-ish: independent exponentials, normalized).
+  /// Used by property tests and ablations.
+  static Workload Random(const QueryClassLattice& lattice, Rng* rng);
+
+  const QueryClassLattice& lattice() const { return lattice_; }
+
+  /// Probability of class `c`.
+  double probability(const QueryClass& c) const {
+    return p_[lattice_.Index(c)];
+  }
+
+  /// Probability by dense lattice index.
+  double probability_at(uint64_t index) const { return p_[index]; }
+
+  /// Draws a class according to the distribution.
+  QueryClass Sample(Rng* rng) const;
+
+  /// Number of classes (== lattice().size()).
+  uint64_t size() const { return p_.size(); }
+
+ private:
+  Workload(QueryClassLattice lattice, std::vector<double> p)
+      : lattice_(std::move(lattice)), p_(std::move(p)) {
+    BuildCdf();
+  }
+  void BuildCdf();
+
+  QueryClassLattice lattice_;
+  std::vector<double> p_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_LATTICE_WORKLOAD_H_

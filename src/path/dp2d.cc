@@ -1,0 +1,84 @@
+#include "path/dp2d.h"
+
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu) {
+  const QueryClassLattice& lat = mu.lattice();
+  if (lat.num_dims() != 2) {
+    return Status::InvalidArgument(
+        "FindOptimalLatticePath2D requires a 2-D lattice");
+  }
+  const int m = lat.levels(0);  // dimension A
+  const int n = lat.levels(1);  // dimension B
+  const int w = n + 1;
+  auto at = [w](int i, int j) { return static_cast<size_t>(i * w + j); };
+  auto p = [&](int i, int j) {
+    return mu.probability(QueryClass{i, j});
+  };
+  auto fA = [&](int i) { return lat.fanout(0, i); };
+  auto fB = [&](int j) { return lat.fanout(1, j); };
+
+  const size_t cells = static_cast<size_t>((m + 1) * w);
+  std::vector<double> cost(cells, 0.0), raw_a(cells, 0.0), raw_b(cells, 0.0);
+  // choice[(i,j)] = dimension stepped by the optimal path leaving (i, j).
+  std::vector<int> choice(cells, -1);
+
+  // The recurrences of Figure 4, in its exact sweep order.
+  cost[at(m, n)] = p(m, n);
+  for (int i = m; i >= 0; --i) raw_a[at(i, n)] = p(i, n);
+  for (int j = n; j >= 0; --j) raw_b[at(m, j)] = p(m, j);
+  for (int j = n; j >= 0; --j) {
+    for (int i = m; i >= 1; --i) {
+      raw_b[at(i - 1, j)] = p(i - 1, j) + fA(i) * raw_b[at(i, j)];
+    }
+  }
+  for (int i = m; i >= 0; --i) {
+    for (int j = n; j >= 1; --j) {
+      raw_a[at(i, j - 1)] = p(i, j - 1) + fB(j) * raw_a[at(i, j)];
+    }
+  }
+  for (int i = m; i >= 1; --i) {
+    cost[at(i - 1, n)] = p(i - 1, n) + cost[at(i, n)];
+    choice[at(i - 1, n)] = 0;
+  }
+  for (int j = n; j >= 1; --j) {
+    cost[at(m, j - 1)] = p(m, j - 1) + cost[at(m, j)];
+    choice[at(m, j - 1)] = 1;
+  }
+  for (int i = m - 1; i >= 0; --i) {
+    for (int j = n - 1; j >= 0; --j) {
+      const double step_a = cost[at(i + 1, j)] + raw_a[at(i, j)];
+      const double step_b = cost[at(i, j + 1)] + raw_b[at(i, j)];
+      if (step_a < step_b) {
+        choice[at(i, j)] = 0;
+        cost[at(i, j)] = step_a;
+      } else {
+        choice[at(i, j)] = 1;
+        cost[at(i, j)] = step_b;
+      }
+    }
+  }
+
+  // Reconstruct opt_path(0, 0).
+  std::vector<int> steps;
+  int i = 0, j = 0;
+  while (i < m || j < n) {
+    const int d = choice[at(i, j)];
+    SNAKES_CHECK(d == 0 || d == 1);
+    steps.push_back(d);
+    if (d == 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  SNAKES_ASSIGN_OR_RETURN(LatticePath path,
+                          LatticePath::FromSteps(lat, std::move(steps)));
+  OptimalPath2DResult result{std::move(path), cost[at(0, 0)], std::move(cost),
+                             std::move(raw_a), std::move(raw_b)};
+  return result;
+}
+
+}  // namespace snakes

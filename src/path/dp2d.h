@@ -1,0 +1,33 @@
+#ifndef SNAKES_PATH_DP2D_H_
+#define SNAKES_PATH_DP2D_H_
+
+#include <vector>
+
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Result of the Figure-4 dynamic program: the optimal monotone lattice path
+/// for a workload and its expected cost, plus the intermediate tables for
+/// inspection and testing.
+struct OptimalPath2DResult {
+  LatticePath path;
+  double cost;
+  /// Row-major (i * (n+1) + j) tables over classes (i, j); i indexes
+  /// dimension 0 (the paper's A), j dimension 1 (B).
+  std::vector<double> cost_table;
+  std::vector<double> raw_a;
+  std::vector<double> raw_b;
+};
+
+/// Algorithm Find-Optimal-Lattice-Path (Figure 4), verbatim: computes the
+/// optimal 2-D lattice path and its expected cost in
+/// O((m+1)(n+1)) additions/multiplications/comparisons.
+/// Fails unless the workload's lattice has exactly two dimensions.
+Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu);
+
+}  // namespace snakes
+
+#endif  // SNAKES_PATH_DP2D_H_

@@ -1,0 +1,101 @@
+#include "path/dpkd.h"
+
+#include <limits>
+
+#include "cost/workload_cost.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu) {
+  const QueryClassLattice& lat = mu.lattice();
+  const int k = lat.num_dims();
+  const uint64_t size = lat.size();
+
+  // raw[d][index(u)] = cost committed when the path steps dimension d at u.
+  // Built by composing, over every other dimension d', the suffix transform
+  //   h(u) += f(d', u_{d'} + 1) * h(u + e_{d'}),
+  // applied in decreasing u_{d'} order, starting from h = p. The transforms
+  // are separable (each telescopes one dimension), so their composition
+  // yields the weighted box sum over {v >= u : v_d = u_d}.
+  std::vector<std::vector<double>> raw(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    auto& h = raw[static_cast<size_t>(d)];
+    h.resize(size);
+    for (uint64_t i = 0; i < size; ++i) h[i] = mu.probability_at(i);
+    for (int other = 0; other < k; ++other) {
+      if (other == d) continue;
+      // Decreasing dense index visits decreasing u_other (with ties ordered
+      // arbitrarily, which is fine: the transform only couples points that
+      // differ in `other`).
+      for (uint64_t i = size; i-- > 0;) {
+        const QueryClass u = lat.ClassAt(i);
+        if (u.level(other) >= lat.levels(other)) continue;
+        const QueryClass up = u.Successor(other);
+        h[i] += lat.EdgeWeight(u, other) * h[lat.Index(up)];
+      }
+    }
+  }
+
+  std::vector<double> cost(size, std::numeric_limits<double>::infinity());
+  std::vector<int> choice(size, -1);
+  // Dense index of a successor is strictly larger, so a single decreasing
+  // sweep sees every successor before its predecessor.
+  for (uint64_t i = size; i-- > 0;) {
+    const QueryClass u = lat.ClassAt(i);
+    bool at_top = true;
+    double best = std::numeric_limits<double>::infinity();
+    int best_dim = -1;
+    for (int d = 0; d < k; ++d) {
+      if (u.level(d) >= lat.levels(d)) continue;
+      at_top = false;
+      const double candidate =
+          cost[lat.Index(u.Successor(d))] + raw[static_cast<size_t>(d)][i];
+      if (candidate < best) {
+        best = candidate;
+        best_dim = d;
+      }
+    }
+    if (at_top) {
+      cost[i] = mu.probability_at(i);
+    } else {
+      cost[i] = best;
+      choice[i] = best_dim;
+    }
+  }
+
+  // Reconstruct the optimal path from the bottom.
+  std::vector<int> steps;
+  QueryClass u = lat.Bottom();
+  while (u != lat.Top()) {
+    const int d = choice[lat.Index(u)];
+    SNAKES_CHECK(d >= 0) << "no choice recorded at " << u.ToString();
+    steps.push_back(d);
+    u = u.Successor(d);
+  }
+  SNAKES_ASSIGN_OR_RETURN(LatticePath path,
+                          LatticePath::FromSteps(lat, std::move(steps)));
+  const double total = cost[lat.Index(lat.Bottom())];
+  OptimalPathResult result{std::move(path), total, std::move(cost)};
+  return result;
+}
+
+Result<OptimalPathResult> FindOptimalLatticePathBruteForce(
+    const Workload& mu, uint64_t max_paths) {
+  SNAKES_ASSIGN_OR_RETURN(std::vector<LatticePath> all,
+                          EnumerateAllPaths(mu.lattice(), max_paths));
+  SNAKES_CHECK(!all.empty());
+  double best_cost = std::numeric_limits<double>::infinity();
+  const LatticePath* best = nullptr;
+  for (const LatticePath& path : all) {
+    const double c = ExpectedPathCost(mu, path);
+    if (c < best_cost) {
+      best_cost = c;
+      best = &path;
+    }
+  }
+  OptimalPathResult result{*best, best_cost, {}};
+  return result;
+}
+
+}  // namespace snakes

@@ -1,0 +1,36 @@
+#ifndef SNAKES_PATH_DPKD_H_
+#define SNAKES_PATH_DPKD_H_
+
+#include <vector>
+
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Result of the k-dimensional optimal-lattice-path dynamic program.
+struct OptimalPathResult {
+  LatticePath path;
+  double cost;
+  /// cost_table[lattice.Index(u)] = optimal expected cost of the sublattice
+  /// rooted at u (the DP value).
+  std::vector<double> cost_table;
+};
+
+/// Generalizes the Figure-4 dynamic program to any number of dimensions
+/// (the extension Section 4 sketches). Stepping dimension d at lattice point
+/// u commits raw_d(u) = sum over {v >= u : v_d = u_d} of p_v * len(u -> v);
+/// the raw_d tables are separable weighted suffix sums computed with k-1
+/// passes per dimension, so the whole DP runs in O(k^2 * |L|) time —
+/// linear in the lattice size and quadratic in the dimension count.
+Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu);
+
+/// Exhaustive reference: minimizes ExpectedPathCost over every monotone
+/// lattice path. Exponential; for verification on small lattices only.
+Result<OptimalPathResult> FindOptimalLatticePathBruteForce(
+    const Workload& mu, uint64_t max_paths = 1'000'000);
+
+}  // namespace snakes
+
+#endif  // SNAKES_PATH_DPKD_H_

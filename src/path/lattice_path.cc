@@ -1,0 +1,184 @@
+#include "path/lattice_path.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<LatticePath> LatticePath::FromSteps(const QueryClassLattice& lattice,
+                                           std::vector<int> steps) {
+  std::vector<int> seen(static_cast<size_t>(lattice.num_dims()), 0);
+  for (int d : steps) {
+    if (d < 0 || d >= lattice.num_dims()) {
+      return Status::InvalidArgument("step dimension " + std::to_string(d) +
+                                     " out of range");
+    }
+    ++seen[static_cast<size_t>(d)];
+  }
+  for (int d = 0; d < lattice.num_dims(); ++d) {
+    if (seen[static_cast<size_t>(d)] != lattice.levels(d)) {
+      return Status::InvalidArgument(
+          "path must step dimension " + std::to_string(d) + " exactly " +
+          std::to_string(lattice.levels(d)) + " times, got " +
+          std::to_string(seen[static_cast<size_t>(d)]));
+    }
+  }
+  return LatticePath(lattice, std::move(steps));
+}
+
+Result<LatticePath> LatticePath::FromPoints(
+    const QueryClassLattice& lattice, const std::vector<QueryClass>& points) {
+  if (points.empty() || points.front() != lattice.Bottom() ||
+      points.back() != lattice.Top()) {
+    return Status::InvalidArgument(
+        "path must run from the bottom class to the top class");
+  }
+  std::vector<int> steps;
+  steps.reserve(points.size() - 1);
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    if (!points[i].IsSuccessor(points[i + 1])) {
+      return Status::InvalidArgument("point " + points[i + 1].ToString() +
+                                     " is not a successor of " +
+                                     points[i].ToString());
+    }
+    for (int d = 0; d < lattice.num_dims(); ++d) {
+      if (points[i + 1].level(d) == points[i].level(d) + 1) {
+        steps.push_back(d);
+        break;
+      }
+    }
+  }
+  return FromSteps(lattice, std::move(steps));
+}
+
+Result<LatticePath> LatticePath::RowMajor(const QueryClassLattice& lattice,
+                                          const std::vector<int>& outer_to_inner) {
+  if (static_cast<int>(outer_to_inner.size()) != lattice.num_dims()) {
+    return Status::InvalidArgument("axis order must list every dimension");
+  }
+  std::vector<bool> used(static_cast<size_t>(lattice.num_dims()), false);
+  for (int d : outer_to_inner) {
+    if (d < 0 || d >= lattice.num_dims() || used[static_cast<size_t>(d)]) {
+      return Status::InvalidArgument("axis order must be a permutation");
+    }
+    used[static_cast<size_t>(d)] = true;
+  }
+  std::vector<int> steps;
+  for (auto it = outer_to_inner.rbegin(); it != outer_to_inner.rend(); ++it) {
+    for (int i = 0; i < lattice.levels(*it); ++i) steps.push_back(*it);
+  }
+  return FromSteps(lattice, std::move(steps));
+}
+
+LatticePath LatticePath::RoundRobin(const QueryClassLattice& lattice) {
+  std::vector<int> remaining(static_cast<size_t>(lattice.num_dims()));
+  int total = 0;
+  for (int d = 0; d < lattice.num_dims(); ++d) {
+    remaining[static_cast<size_t>(d)] = lattice.levels(d);
+    total += lattice.levels(d);
+  }
+  std::vector<int> steps;
+  steps.reserve(static_cast<size_t>(total));
+  while (static_cast<int>(steps.size()) < total) {
+    for (int d = 0; d < lattice.num_dims(); ++d) {
+      if (remaining[static_cast<size_t>(d)] > 0) {
+        steps.push_back(d);
+        --remaining[static_cast<size_t>(d)];
+      }
+    }
+  }
+  auto path = FromSteps(lattice, std::move(steps));
+  SNAKES_CHECK(path.ok());
+  return std::move(path).value();
+}
+
+std::vector<QueryClass> LatticePath::Points() const {
+  std::vector<QueryClass> points;
+  points.reserve(steps_.size() + 1);
+  QueryClass current = lattice_.Bottom();
+  points.push_back(current);
+  for (int d : steps_) {
+    current = current.Successor(d);
+    points.push_back(current);
+  }
+  return points;
+}
+
+bool LatticePath::Contains(const QueryClass& c) const {
+  QueryClass current = lattice_.Bottom();
+  if (current == c) return true;
+  for (int d : steps_) {
+    current = current.Successor(d);
+    if (current == c) return true;
+  }
+  return false;
+}
+
+QueryClass LatticePath::MaxPointBelow(const QueryClass& c) const {
+  QueryClass best = lattice_.Bottom();
+  QueryClass current = best;
+  for (int d : steps_) {
+    current = current.Successor(d);
+    if (current.DominatedBy(c)) best = current;
+  }
+  return best;
+}
+
+std::string LatticePath::ToString() const {
+  std::string out;
+  for (const auto& p : Points()) {
+    if (!out.empty()) out += "-";
+    out += p.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+void EnumerateRec(const QueryClassLattice& lattice, QueryClass* current,
+                  std::vector<int>* steps, uint64_t max_paths,
+                  std::vector<LatticePath>* out, Status* status) {
+  if (!status->ok()) return;
+  bool at_top = true;
+  for (int d = 0; d < lattice.num_dims(); ++d) {
+    if (current->level(d) < lattice.levels(d)) {
+      at_top = false;
+      break;
+    }
+  }
+  if (at_top) {
+    if (out->size() >= max_paths) {
+      *status = Status::OutOfRange("more than " + std::to_string(max_paths) +
+                                   " lattice paths");
+      return;
+    }
+    auto path = LatticePath::FromSteps(lattice, *steps);
+    SNAKES_CHECK(path.ok());
+    out->push_back(std::move(path).value());
+    return;
+  }
+  for (int d = 0; d < lattice.num_dims(); ++d) {
+    if (current->level(d) >= lattice.levels(d)) continue;
+    current->set_level(d, current->level(d) + 1);
+    steps->push_back(d);
+    EnumerateRec(lattice, current, steps, max_paths, out, status);
+    steps->pop_back();
+    current->set_level(d, current->level(d) - 1);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<LatticePath>> EnumerateAllPaths(
+    const QueryClassLattice& lattice, uint64_t max_paths) {
+  std::vector<LatticePath> out;
+  std::vector<int> steps;
+  QueryClass current = lattice.Bottom();
+  Status status = Status::OK();
+  EnumerateRec(lattice, &current, &steps, max_paths, &out, &status);
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace snakes

@@ -1,0 +1,85 @@
+#ifndef SNAKES_PATH_LATTICE_PATH_H_
+#define SNAKES_PATH_LATTICE_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/lattice.h"
+#include "lattice/query_class.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// A monotone lattice path (Definition 3): a chain of d-successor steps from
+/// the bottom query class (0,...,0) to the top (l_1,...,l_k). Each path is a
+/// clustering strategy: its edges, read from the bottom up, are the nested
+/// loops (innermost first) that linearize the data grid (Section 3).
+///
+/// Stored compactly as the step sequence (the dimension advanced by each
+/// edge); the visited points are derived. The number of steps is
+/// sum_d l_d, and each dimension d appears exactly l_d times.
+class LatticePath {
+ public:
+  /// Builds a path from the per-step dimensions, bottom to top. Fails unless
+  /// each dimension d appears exactly lattice.levels(d) times.
+  static Result<LatticePath> FromSteps(const QueryClassLattice& lattice,
+                                       std::vector<int> steps);
+
+  /// Builds a path from its full point sequence (must start at bottom, end at
+  /// top, and advance one dimension per step).
+  static Result<LatticePath> FromPoints(const QueryClassLattice& lattice,
+                                        const std::vector<QueryClass>& points);
+
+  /// The row-major strategy with the given axis order: `outer_to_inner[0]`
+  /// is the outermost (slowest varying) dimension. The path climbs all
+  /// levels of the innermost dimension first. Passing {0, 1} on the 2-D toy
+  /// schema yields the paper's P1.
+  static Result<LatticePath> RowMajor(const QueryClassLattice& lattice,
+                                      const std::vector<int>& outer_to_inner);
+
+  /// The "balanced" path that cycles through dimensions round-robin, one
+  /// level at a time (the paper's P2 on the toy schema). Dimensions whose
+  /// levels are exhausted are skipped.
+  static LatticePath RoundRobin(const QueryClassLattice& lattice);
+
+  const QueryClassLattice& lattice() const { return lattice_; }
+
+  /// Step dimensions, bottom to top; steps()[0] is the innermost loop.
+  const std::vector<int>& steps() const { return steps_; }
+
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+
+  /// The visited points, bottom first (num_steps() + 1 entries).
+  std::vector<QueryClass> Points() const;
+
+  /// True iff `c` lies on the path.
+  bool Contains(const QueryClass& c) const;
+
+  /// The maximal path point dominated by `c`. Every class dominates the
+  /// bottom, so this always exists, and by monotonicity it is unique.
+  QueryClass MaxPointBelow(const QueryClass& c) const;
+
+  /// "(0,0)-(0,1)-(1,1)-(1,2)-(2,2)".
+  std::string ToString() const;
+
+  bool operator==(const LatticePath& o) const { return steps_ == o.steps_; }
+  bool operator!=(const LatticePath& o) const { return steps_ != o.steps_; }
+
+ private:
+  LatticePath(QueryClassLattice lattice, std::vector<int> steps)
+      : lattice_(std::move(lattice)), steps_(std::move(steps)) {}
+
+  QueryClassLattice lattice_;
+  std::vector<int> steps_;
+};
+
+/// Enumerates every monotone lattice path of `lattice`. The count is the
+/// multinomial (sum l_d)! / prod(l_d!), so this is for small lattices only
+/// (verification, exhaustive ablations); fails above `max_paths`.
+Result<std::vector<LatticePath>> EnumerateAllPaths(
+    const QueryClassLattice& lattice, uint64_t max_paths = 1'000'000);
+
+}  // namespace snakes
+
+#endif  // SNAKES_PATH_LATTICE_PATH_H_

@@ -1,0 +1,125 @@
+#include "path/robust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cost/workload_cost.h"
+#include "path/snaked_dp.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+namespace {
+
+Status CheckScenarios(const std::vector<Workload>& scenarios) {
+  if (scenarios.empty()) {
+    return Status::InvalidArgument("need at least one workload scenario");
+  }
+  for (const Workload& mu : scenarios) {
+    if (!(mu.lattice() == scenarios.front().lattice())) {
+      return Status::InvalidArgument(
+          "all scenarios must share one query-class lattice");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> ScenarioCosts(const std::vector<Workload>& scenarios,
+                                  const LatticePath& path) {
+  std::vector<double> costs;
+  costs.reserve(scenarios.size());
+  for (const Workload& mu : scenarios) {
+    costs.push_back(ExpectedSnakedPathCost(mu, path));
+  }
+  return costs;
+}
+
+RobustPathResult MakeResult(const std::vector<Workload>& scenarios,
+                            LatticePath path) {
+  std::vector<double> costs = ScenarioCosts(scenarios, path);
+  const double worst = *std::max_element(costs.begin(), costs.end());
+  return RobustPathResult{std::move(path), worst, std::move(costs)};
+}
+
+}  // namespace
+
+Result<Workload> MixWorkloads(const std::vector<Workload>& scenarios,
+                              const std::vector<double>& weights) {
+  SNAKES_RETURN_IF_ERROR(CheckScenarios(scenarios));
+  if (!weights.empty() && weights.size() != scenarios.size()) {
+    return Status::InvalidArgument("need one weight per scenario");
+  }
+  const QueryClassLattice& lattice = scenarios.front().lattice();
+  double total = 0.0;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w < 0.0) return Status::InvalidArgument("negative scenario weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("scenario weights must sum to > 0");
+  }
+  std::vector<std::pair<QueryClass, double>> masses;
+  for (uint64_t c = 0; c < lattice.size(); ++c) {
+    double p = 0.0;
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      const double w = weights.empty() ? 1.0 : weights[i];
+      p += w / total * scenarios[i].probability_at(c);
+    }
+    if (p > 0.0) masses.emplace_back(lattice.ClassAt(c), p);
+  }
+  return Workload::FromMasses(lattice, masses, /*normalize=*/true);
+}
+
+Result<RobustPathResult> RobustSnakedPath(
+    const std::vector<Workload>& scenarios, int rounds) {
+  SNAKES_RETURN_IF_ERROR(CheckScenarios(scenarios));
+  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+
+  const size_t n = scenarios.size();
+  std::vector<double> weights(n, 1.0);
+  // Learning rate per the standard MW analysis; costs are rescaled to [0,1]
+  // by the running maximum.
+  const double eta = std::sqrt(std::log(static_cast<double>(n) + 1.0) /
+                               static_cast<double>(rounds));
+
+  // Seed with the round-robin path so the result is always a valid path
+  // even if every DP answer ties it.
+  RobustPathResult best =
+      MakeResult(scenarios, LatticePath::RoundRobin(scenarios.front().lattice()));
+  double scale = 1.0;
+  for (int round = 0; round < rounds; ++round) {
+    SNAKES_ASSIGN_OR_RETURN(Workload mixture,
+                            MixWorkloads(scenarios, weights));
+    SNAKES_ASSIGN_OR_RETURN(OptimalPathResult dp,
+                            FindOptimalSnakedLatticePath(mixture));
+    RobustPathResult candidate = MakeResult(scenarios, dp.path);
+    if (candidate.minimax_cost < best.minimax_cost) best = candidate;
+    scale = std::max(scale, candidate.minimax_cost);
+    // Adversary shifts weight toward the scenarios this path serves worst.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weights[i] *= std::exp(eta * candidate.scenario_costs[i] / scale);
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+  }
+  return best;
+}
+
+Result<RobustPathResult> RobustSnakedPathBruteForce(
+    const std::vector<Workload>& scenarios, uint64_t max_paths) {
+  SNAKES_RETURN_IF_ERROR(CheckScenarios(scenarios));
+  SNAKES_ASSIGN_OR_RETURN(
+      std::vector<LatticePath> all,
+      EnumerateAllPaths(scenarios.front().lattice(), max_paths));
+  RobustPathResult best = MakeResult(scenarios, all.front());
+  for (size_t i = 1; i < all.size(); ++i) {
+    RobustPathResult candidate = MakeResult(scenarios, all[i]);
+    if (candidate.minimax_cost < best.minimax_cost) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace snakes

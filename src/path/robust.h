@@ -1,0 +1,52 @@
+#ifndef SNAKES_PATH_ROBUST_H_
+#define SNAKES_PATH_ROBUST_H_
+
+#include <vector>
+
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Robust clustering across workload scenarios — a natural extension of the
+/// paper's single-workload optimization for deployments that must serve,
+/// say, both month-end reporting and ad-hoc probing without re-clustering.
+///
+/// Because cost_mu(P) is linear in mu, optimizing an *average* of scenarios
+/// is just the Section-4 DP on the mixture workload (see MixWorkloads). The
+/// harder objective is minimax:
+///
+///   minimize over paths P   of   max over scenarios i of cost_{mu_i}(P),
+///
+/// which RobustSnakedPath approximates with multiplicative weights: the
+/// adversary maintains a distribution over scenarios, the DP answers each
+/// round with the best snaked path for the current mixture, and the weights
+/// tilt toward the scenarios that path serves worst. The best path seen
+/// (by true minimax value) is returned; for small lattices the exhaustive
+/// reference is exact.
+struct RobustPathResult {
+  LatticePath path;
+  /// max over scenarios of the snaked cost of `path`.
+  double minimax_cost;
+  /// Per-scenario snaked costs of `path`.
+  std::vector<double> scenario_costs;
+};
+
+/// The mixture workload sum_i weight_i * mu_i (weights normalized). All
+/// scenarios must share one lattice.
+Result<Workload> MixWorkloads(const std::vector<Workload>& scenarios,
+                              const std::vector<double>& weights = {});
+
+/// Multiplicative-weights approximation of the minimax snaked path.
+/// `rounds` ~ 50 suffices for the lattices in this repo.
+Result<RobustPathResult> RobustSnakedPath(
+    const std::vector<Workload>& scenarios, int rounds = 64);
+
+/// Exhaustive reference (exponential; verification only).
+Result<RobustPathResult> RobustSnakedPathBruteForce(
+    const std::vector<Workload>& scenarios, uint64_t max_paths = 1'000'000);
+
+}  // namespace snakes
+
+#endif  // SNAKES_PATH_ROBUST_H_

@@ -1,0 +1,136 @@
+#include "path/snaked_dp.h"
+
+#include <limits>
+#include <vector>
+
+#include "cost/workload_cost.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu) {
+  const QueryClassLattice& lat = mu.lattice();
+  const int k = lat.num_dims();
+  const uint64_t size = lat.size();
+
+  // Per-dimension block volumes and query-count factors.
+  // block[d][l] = leaves per level-l block of dim d; queries_factor[d][l] =
+  // blocks at level l of dim d.
+  std::vector<std::vector<double>> block(static_cast<size_t>(k));
+  std::vector<std::vector<double>> blocks_at(static_cast<size_t>(k));
+  double total_cells = 1.0;
+  for (int d = 0; d < k; ++d) {
+    const int levels = lat.levels(d);
+    auto& b = block[static_cast<size_t>(d)];
+    b.resize(static_cast<size_t>(levels) + 1);
+    b[0] = 1.0;
+    for (int l = 1; l <= levels; ++l) b[l] = b[l - 1] * lat.fanout(d, l);
+    total_cells *= b[static_cast<size_t>(levels)];
+    auto& n = blocks_at[static_cast<size_t>(d)];
+    n.resize(static_cast<size_t>(levels) + 1);
+    for (int l = 0; l <= levels; ++l) {
+      n[l] = b[static_cast<size_t>(levels)] / b[l];
+    }
+  }
+
+  auto vol = [&](const QueryClass& c) {
+    double v = 1.0;
+    for (int d = 0; d < k; ++d) {
+      v *= block[static_cast<size_t>(d)][static_cast<size_t>(c.level(d))];
+    }
+    return v;
+  };
+  auto queries = [&](const QueryClass& c) {
+    double q = 1.0;
+    for (int d = 0; d < k; ++d) {
+      q *= blocks_at[static_cast<size_t>(d)][static_cast<size_t>(c.level(d))];
+    }
+    return q;
+  };
+
+  // Base cost (no absorption) and the per-(dim, level) absorption weights
+  // w[d][l] = sum over classes with c_d >= l of p_c / q(c).
+  double base = 0.0;
+  std::vector<std::vector<double>> w(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    w[static_cast<size_t>(d)].assign(static_cast<size_t>(lat.levels(d)) + 2,
+                                     0.0);
+  }
+  for (uint64_t i = 0; i < size; ++i) {
+    const double p = mu.probability_at(i);
+    if (p == 0.0) continue;
+    const QueryClass c = lat.ClassAt(i);
+    base += p * vol(c);
+    const double ratio = p / queries(c);
+    for (int d = 0; d < k; ++d) {
+      w[static_cast<size_t>(d)][static_cast<size_t>(c.level(d))] += ratio;
+    }
+  }
+  // Suffix sums: w[d][l] <- sum_{v >= l}.
+  for (int d = 0; d < k; ++d) {
+    auto& wd = w[static_cast<size_t>(d)];
+    for (int l = static_cast<int>(wd.size()) - 2; l >= 0; --l) {
+      wd[static_cast<size_t>(l)] += wd[static_cast<size_t>(l) + 1];
+    }
+  }
+
+  // Maximum-gain DP over the lattice (same sweep as FindOptimalLatticePath).
+  std::vector<double> gain(size, 0.0);
+  std::vector<int> choice(size, -1);
+  for (uint64_t i = size; i-- > 0;) {
+    const QueryClass u = lat.ClassAt(i);
+    double u_vol = vol(u);
+    double best = -1.0;
+    int best_dim = -1;
+    for (int d = 0; d < k; ++d) {
+      if (u.level(d) >= lat.levels(d)) continue;
+      const double f = lat.fanout(d, u.level(d) + 1);
+      const double edges = (f - 1.0) / f * (total_cells / u_vol);
+      const double step_gain =
+          edges * w[static_cast<size_t>(d)][static_cast<size_t>(u.level(d)) + 1];
+      const double candidate = step_gain + gain[lat.Index(u.Successor(d))];
+      if (candidate > best) {
+        best = candidate;
+        best_dim = d;
+      }
+    }
+    if (best_dim >= 0) {
+      gain[i] = best;
+      choice[i] = best_dim;
+    }
+  }
+
+  std::vector<int> steps;
+  QueryClass u = lat.Bottom();
+  while (u != lat.Top()) {
+    const int d = choice[lat.Index(u)];
+    SNAKES_CHECK(d >= 0) << "no choice recorded at " << u.ToString();
+    steps.push_back(d);
+    u = u.Successor(d);
+  }
+  SNAKES_ASSIGN_OR_RETURN(LatticePath path,
+                          LatticePath::FromSteps(lat, std::move(steps)));
+  const double cost = base - gain[lat.Index(lat.Bottom())];
+  OptimalPathResult result{std::move(path), cost, std::move(gain)};
+  return result;
+}
+
+Result<OptimalPathResult> FindOptimalSnakedLatticePathBruteForce(
+    const Workload& mu, uint64_t max_paths) {
+  SNAKES_ASSIGN_OR_RETURN(std::vector<LatticePath> all,
+                          EnumerateAllPaths(mu.lattice(), max_paths));
+  SNAKES_CHECK(!all.empty());
+  double best_cost = std::numeric_limits<double>::infinity();
+  const LatticePath* best = nullptr;
+  for (const LatticePath& path : all) {
+    const double c = ExpectedSnakedPathCost(mu, path);
+    if (c < best_cost) {
+      best_cost = c;
+      best = &path;
+    }
+  }
+  OptimalPathResult result{*best, best_cost, {}};
+  return result;
+}
+
+}  // namespace snakes

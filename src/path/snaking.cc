@@ -1,0 +1,32 @@
+#include "path/snaking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/class_cost.h"
+#include "cost/workload_cost.h"
+
+namespace snakes {
+
+double SnakingBenefit(const LatticePath& path, const QueryClass& cls) {
+  return DistToPath(path, cls) / DistToSnakedPath(path, cls);
+}
+
+double MaxSnakingBenefit(const LatticePath& path) {
+  const QueryClassLattice& lat = path.lattice();
+  double best = 1.0;
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    best = std::max(best, SnakingBenefit(path, lat.ClassAt(i)));
+  }
+  return best;
+}
+
+double SnakingCostRatio(const Workload& mu, const LatticePath& path) {
+  return ExpectedPathCost(mu, path) / ExpectedSnakedPathCost(mu, path);
+}
+
+double TheoremThreeBound(int n) {
+  return 1.0 / (0.5 + std::pow(2.0, -(n + 1)));
+}
+
+}  // namespace snakes

@@ -1,0 +1,27 @@
+#ifndef SNAKES_PATH_SNAKING_H_
+#define SNAKES_PATH_SNAKING_H_
+
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+
+namespace snakes {
+
+/// ben_P(c) (Section 5.2): the factor by which snaking improves the average
+/// cost of class `c` under path P, dist_P(c) / dist_Ptilde(c). Always >= 1
+/// and, by Theorem 3, < 2 for complete binary 2-D hierarchies.
+double SnakingBenefit(const LatticePath& path, const QueryClass& cls);
+
+/// The largest per-class snaking benefit of `path` over its whole lattice.
+double MaxSnakingBenefit(const LatticePath& path);
+
+/// cost_mu(P) / cost_mu(Ptilde): the workload-level improvement from
+/// snaking. Theorem 3 bounds this below 2.
+double SnakingCostRatio(const Workload& mu, const LatticePath& path);
+
+/// The analytic upper bound of Theorem 3 for an n-level complete binary
+/// 2-D hierarchy: 1 / (1/2 + 1/2^(n+1)).
+double TheoremThreeBound(int n);
+
+}  // namespace snakes
+
+#endif  // SNAKES_PATH_SNAKING_H_

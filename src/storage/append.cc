@@ -1,0 +1,139 @@
+#include "storage/append.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+void OverflowLayout::Append(const CellCoord& coord, double measure) {
+  overflow_cells_.push_back(base_.linearization().schema().Flatten(coord));
+  overflow_measures_.push_back(measure);
+}
+
+uint64_t OverflowLayout::overflow_pages() const {
+  return CeilDiv(overflow_cells_.size(), base_.config().RecordsPerPage());
+}
+
+namespace {
+
+/// Run tracker over the (monotone) overflow page sequence of one query.
+struct OverflowRun {
+  int64_t last = -1;
+  uint64_t pages = 0;
+  uint64_t seeks = 0;
+  uint64_t records = 0;
+
+  void Add(int64_t page) {
+    ++records;
+    if (page == last) return;
+    ++pages;
+    if (page > last + 1 || last < 0) ++seeks;
+    last = page;
+  }
+};
+
+}  // namespace
+
+QueryIo OverflowLayout::Measure(const GridQuery& query) const {
+  const IoSimulator sim(base_);
+  QueryIo io = sim.Measure(query);
+  const StarSchema& schema = base_.linearization().schema();
+  const CellBox box = BoxOf(schema, query);
+  const uint64_t rpp = base_.config().RecordsPerPage();
+  OverflowRun run;
+  for (size_t i = 0; i < overflow_cells_.size(); ++i) {
+    if (!box.Contains(schema.Unflatten(overflow_cells_[i]))) continue;
+    run.Add(static_cast<int64_t>(i / rpp));
+  }
+  io.records += run.records;
+  io.pages += run.pages;
+  io.seeks += run.seeks;
+  io.min_pages = CeilDiv(io.records * base_.config().record_size_bytes,
+                         base_.config().page_size_bytes);
+  return io;
+}
+
+WorkloadIoStats OverflowLayout::Expect(const Workload& mu) const {
+  const Linearization& lin = base_.linearization();
+  const StarSchema& schema = lin.schema();
+  const int k = schema.num_dims();
+  const QueryClassLattice& lat = mu.lattice();
+  const uint64_t rpp = base_.config().RecordsPerPage();
+  const uint64_t record_size = base_.config().record_size_bytes;
+  const uint64_t page_size = base_.config().page_size_bytes;
+
+  WorkloadIoStats out;
+  for (uint64_t ci = 0; ci < lat.size(); ++ci) {
+    const double prob = mu.probability_at(ci);
+    if (prob == 0.0) continue;
+    const QueryClass cls = lat.ClassAt(ci);
+
+    FixedVector<uint64_t, kMaxDimensions> strides;
+    strides.resize(static_cast<size_t>(k));
+    uint64_t num_queries = 1;
+    for (int d = k - 1; d >= 0; --d) {
+      strides[static_cast<size_t>(d)] = num_queries;
+      num_queries *= schema.dim(d).num_blocks(cls.level(d));
+    }
+    auto qid_of = [&](const CellCoord& coord) {
+      uint64_t qid = 0;
+      for (int d = 0; d < k; ++d) {
+        qid += schema.dim(d).AncestorAt(coord[static_cast<size_t>(d)],
+                                        cls.level(d)) *
+               strides[static_cast<size_t>(d)];
+      }
+      return qid;
+    };
+
+    struct State {
+      int64_t base_last = -1;
+      uint64_t base_pages = 0;
+      uint64_t base_seeks = 0;
+      uint64_t records = 0;
+      OverflowRun overflow;
+    };
+    std::vector<State> state(num_queries);
+
+    lin.Walk([&](uint64_t rank, const CellCoord& coord) {
+      if (base_.CellEmpty(rank)) return;
+      State& s = state[qid_of(coord)];
+      s.records += base_.CellRecords(rank);
+      const int64_t f = static_cast<int64_t>(base_.CellFirstPage(rank));
+      const int64_t l = static_cast<int64_t>(base_.CellLastPage(rank));
+      if (f > s.base_last + 1 || s.base_last < 0) ++s.base_seeks;
+      if (l > s.base_last) {
+        s.base_pages +=
+            static_cast<uint64_t>(l - std::max(s.base_last + 1, f) + 1);
+        s.base_last = l;
+      }
+    });
+    for (size_t i = 0; i < overflow_cells_.size(); ++i) {
+      State& s = state[qid_of(schema.Unflatten(overflow_cells_[i]))];
+      s.overflow.Add(static_cast<int64_t>(i / rpp));
+    }
+
+    uint64_t nonempty = 0, pages = 0, seeks = 0;
+    double normalized = 0.0;
+    for (const State& s : state) {
+      const uint64_t records = s.records + s.overflow.records;
+      if (records == 0) continue;
+      ++nonempty;
+      const uint64_t q_pages = s.base_pages + s.overflow.pages;
+      pages += q_pages;
+      seeks += s.base_seeks + s.overflow.seeks;
+      const uint64_t min_pages = CeilDiv(records * record_size, page_size);
+      normalized +=
+          static_cast<double>(q_pages) / static_cast<double>(min_pages);
+    }
+    if (nonempty == 0) continue;
+    const double denom = static_cast<double>(nonempty);
+    out.expected_seeks += prob * static_cast<double>(seeks) / denom;
+    out.expected_pages += prob * static_cast<double>(pages) / denom;
+    out.expected_normalized_blocks += prob * normalized / denom;
+  }
+  return out;
+}
+
+}  // namespace snakes

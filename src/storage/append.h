@@ -1,0 +1,53 @@
+#ifndef SNAKES_STORAGE_APPEND_H_
+#define SNAKES_STORAGE_APPEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "storage/executor.h"
+#include "storage/pager.h"
+
+namespace snakes {
+
+/// Models warehouse growth between reorganizations: a clustered base file
+/// plus an append-only overflow region. New records land at the end of the
+/// file in arrival order, so a query must read its clustered base pages AND
+/// every overflow page holding at least one matching record — the classical
+/// degradation that makes periodic re-clustering worthwhile (the paper
+/// optimizes the layout; this class quantifies how fast its benefit erodes
+/// and when to re-run the advisor).
+class OverflowLayout {
+ public:
+  explicit OverflowLayout(const PackedLayout& base) : base_(base) {}
+
+  /// Appends one record in arrival order.
+  void Append(const CellCoord& coord, double measure = 0.0);
+
+  /// Pages in the overflow region.
+  uint64_t overflow_pages() const;
+
+  uint64_t overflow_records() const { return overflow_cells_.size(); }
+
+  /// I/O of one query against base + overflow: the base contribution comes
+  /// from the clustered layout; every overflow page containing a matching
+  /// record is read, with maximal runs of consecutive overflow pages
+  /// counted as single seeks.
+  QueryIo Measure(const GridQuery& query) const;
+
+  /// Expected I/O over a workload, aggregating every query of every class
+  /// exactly (like IoSimulator) plus the overflow contribution.
+  WorkloadIoStats Expect(const Workload& mu) const;
+
+ private:
+  const PackedLayout& base_;
+  // Flattened cell id of every appended record, in arrival order; record i
+  // lives on overflow page i / records_per_page.
+  std::vector<CellId> overflow_cells_;
+  std::vector<double> overflow_measures_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_APPEND_H_

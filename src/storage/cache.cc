@@ -1,0 +1,83 @@
+#include "storage/cache.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+bool LruPageCache::Access(uint64_t page) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const auto it = index_.find(page);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  index_[page] = lru_.begin();
+  return false;
+}
+
+void LruPageCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+CachedRunStats ReplayWorkload(const PackedLayout& layout, const Workload& mu,
+                              uint64_t num_queries, LruPageCache* cache,
+                              Rng* rng) {
+  const Linearization& lin = layout.linearization();
+  const StarSchema& schema = lin.schema();
+  CachedRunStats stats;
+  std::vector<uint64_t> ranks;
+  for (uint64_t q = 0; q < num_queries; ++q) {
+    const QueryClass cls = mu.Sample(rng);
+    const GridQuery query = SampleQuery(schema, cls, rng);
+    const CellBox box = BoxOf(schema, query);
+
+    ranks.clear();
+    CellCoord coord = box.lo;
+    const int k = schema.num_dims();
+    for (;;) {
+      ranks.push_back(lin.RankOf(coord));
+      int d = k - 1;
+      for (; d >= 0; --d) {
+        if (++coord[static_cast<size_t>(d)] < box.hi[static_cast<size_t>(d)]) {
+          break;
+        }
+        coord[static_cast<size_t>(d)] = box.lo[static_cast<size_t>(d)];
+      }
+      if (d < 0) break;
+    }
+    std::sort(ranks.begin(), ranks.end());
+
+    ++stats.queries;
+    int64_t last_page = -1;
+    for (const uint64_t rank : ranks) {
+      if (layout.CellEmpty(rank)) continue;
+      const int64_t first = static_cast<int64_t>(layout.CellFirstPage(rank));
+      const int64_t last = static_cast<int64_t>(layout.CellLastPage(rank));
+      for (int64_t page = std::max(first, last_page + 1); page <= last;
+           ++page) {
+        ++stats.page_accesses;
+        if (!cache->Access(static_cast<uint64_t>(page))) ++stats.disk_reads;
+      }
+      last_page = std::max(last_page, last);
+    }
+  }
+  return stats;
+}
+
+}  // namespace snakes

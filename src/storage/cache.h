@@ -1,0 +1,70 @@
+#ifndef SNAKES_STORAGE_CACHE_H_
+#define SNAKES_STORAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "storage/pager.h"
+#include "util/rng.h"
+
+namespace snakes {
+
+/// An LRU buffer pool over the simulated disk pages. The paper's related
+/// work (WATCHMAN, Deshpande et al.'s chunk caching) attacks OLAP I/O from
+/// the caching side; this simulator lets the two effects be studied
+/// together — good clustering concentrates a query class's pages, which
+/// also makes a fixed-size cache far more effective.
+class LruPageCache {
+ public:
+  /// `capacity_pages` = 0 disables caching (every access misses).
+  explicit LruPageCache(uint64_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  /// Touches a page; returns true on a hit. Misses evict the least recently
+  /// used page when full.
+  bool Access(uint64_t page);
+
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t size() const { return lru_.size(); }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  uint64_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+/// Result of replaying a query stream against a layout through a cache.
+struct CachedRunStats {
+  uint64_t queries = 0;
+  uint64_t page_accesses = 0;  // page touches incl. cache hits
+  uint64_t disk_reads = 0;     // cache misses = pages actually read
+  double HitRate() const {
+    return page_accesses == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(disk_reads) /
+                           static_cast<double>(page_accesses);
+  }
+};
+
+/// Replays `num_queries` random grid queries drawn from `mu` against
+/// `layout`, touching each query's pages in disk order through `cache`.
+/// Deterministic for a given rng seed.
+CachedRunStats ReplayWorkload(const PackedLayout& layout, const Workload& mu,
+                              uint64_t num_queries, LruPageCache* cache,
+                              Rng* rng);
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_CACHE_H_

@@ -1,0 +1,140 @@
+#include "storage/chunks.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+Result<std::shared_ptr<const StarSchema>> ChunkGridSchema(
+    const StarSchema& schema, const QueryClass& chunk_class) {
+  if (chunk_class.num_dims() != schema.num_dims()) {
+    return Status::InvalidArgument("chunk class dimensionality mismatch");
+  }
+  std::vector<Hierarchy> dims;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    if (!h.is_uniform()) {
+      return Status::InvalidArgument(
+          "chunking requires uniform hierarchies (dimension " + h.name() +
+          ")");
+    }
+    const int level = chunk_class.level(d);
+    if (level < 0 || level > h.num_levels()) {
+      return Status::OutOfRange("chunk level out of range in dimension " +
+                                h.name());
+    }
+    // Keep the fanouts above the chunk level: the chunk grid's "leaves" are
+    // the level-`level` blocks.
+    std::vector<uint64_t> fanouts;
+    for (int i = level + 1; i <= h.num_levels(); ++i) {
+      fanouts.push_back(h.uniform_fanout(i));
+    }
+    SNAKES_ASSIGN_OR_RETURN(
+        Hierarchy coarse, Hierarchy::Uniform(h.name(), std::move(fanouts)));
+    dims.push_back(std::move(coarse));
+  }
+  SNAKES_ASSIGN_OR_RETURN(
+      StarSchema chunk_schema,
+      StarSchema::Make(schema.name() + "-chunks", std::move(dims)));
+  return std::shared_ptr<const StarSchema>(
+      std::make_shared<StarSchema>(std::move(chunk_schema)));
+}
+
+Result<std::unique_ptr<ChunkedOrder>> ChunkedOrder::Make(
+    std::shared_ptr<const StarSchema> schema, const QueryClass& chunk_class,
+    std::shared_ptr<const Linearization> chunk_order) {
+  SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const StarSchema> chunk_grid,
+                          ChunkGridSchema(*schema, chunk_class));
+  // The supplied chunk order must linearize exactly that grid shape.
+  if (chunk_order->schema().num_dims() != chunk_grid->num_dims()) {
+    return Status::InvalidArgument("chunk order dimensionality mismatch");
+  }
+  FixedVector<uint64_t, kMaxDimensions> chunk_extent;
+  chunk_extent.resize(static_cast<size_t>(schema->num_dims()));
+  uint64_t volume = 1;
+  for (int d = 0; d < schema->num_dims(); ++d) {
+    if (chunk_order->schema().extent(d) != chunk_grid->extent(d)) {
+      return Status::InvalidArgument(
+          "chunk order linearizes a " +
+          std::to_string(chunk_order->schema().extent(d)) +
+          "-wide dimension, chunk grid has " +
+          std::to_string(chunk_grid->extent(d)));
+    }
+    // Cells per chunk along d = leaves per level-c_d block.
+    uint64_t first, last;
+    schema->dim(d).BlockLeafRange(chunk_class.level(d), 0, &first, &last);
+    chunk_extent[static_cast<size_t>(d)] = last - first;
+    volume = CheckedMul(volume, last - first);
+  }
+  return std::unique_ptr<ChunkedOrder>(
+      new ChunkedOrder(std::move(schema), chunk_class, std::move(chunk_order),
+                       chunk_extent, volume));
+}
+
+std::string ChunkedOrder::name() const {
+  return "chunked" + chunk_class_.ToString() + "[" + chunk_order_->name() +
+         "]";
+}
+
+CellCoord ChunkedOrder::CellAt(uint64_t rank) const {
+  const uint64_t chunk_rank = rank / chunk_volume_;
+  uint64_t within = rank % chunk_volume_;
+  const CellCoord chunk = chunk_order_->CellAt(chunk_rank);
+  CellCoord coord;
+  const int k = schema().num_dims();
+  coord.resize(static_cast<size_t>(k));
+  // Within-chunk cells are row-major (last dimension fastest), as in [2].
+  for (int d = k - 1; d >= 0; --d) {
+    const uint64_t extent = chunk_extent_[static_cast<size_t>(d)];
+    coord[static_cast<size_t>(d)] =
+        chunk[static_cast<size_t>(d)] * extent + within % extent;
+    within /= extent;
+  }
+  return coord;
+}
+
+uint64_t ChunkedOrder::RankOf(const CellCoord& coord) const {
+  const int k = schema().num_dims();
+  CellCoord chunk;
+  chunk.resize(static_cast<size_t>(k));
+  uint64_t within = 0;
+  for (int d = 0; d < k; ++d) {
+    const uint64_t extent = chunk_extent_[static_cast<size_t>(d)];
+    chunk[static_cast<size_t>(d)] = coord[static_cast<size_t>(d)] / extent;
+    within = within * extent + coord[static_cast<size_t>(d)] % extent;
+  }
+  return chunk_order_->RankOf(chunk) * chunk_volume_ + within;
+}
+
+void ChunkedOrder::Walk(
+    const std::function<void(uint64_t, const CellCoord&)>& fn) const {
+  const int k = schema().num_dims();
+  uint64_t rank = 0;
+  CellCoord coord;
+  coord.resize(static_cast<size_t>(k));
+  chunk_order_->Walk([&](uint64_t chunk_rank, const CellCoord& chunk) {
+    (void)chunk_rank;
+    // Row-major sweep of the chunk's box.
+    FixedVector<uint64_t, kMaxDimensions> offset(static_cast<size_t>(k), 0);
+    for (uint64_t i = 0; i < chunk_volume_; ++i) {
+      for (int d = 0; d < k; ++d) {
+        coord[static_cast<size_t>(d)] =
+            chunk[static_cast<size_t>(d)] *
+                chunk_extent_[static_cast<size_t>(d)] +
+            offset[static_cast<size_t>(d)];
+      }
+      fn(rank++, coord);
+      for (int d = k - 1; d >= 0; --d) {
+        if (++offset[static_cast<size_t>(d)] <
+            chunk_extent_[static_cast<size_t>(d)]) {
+          break;
+        }
+        offset[static_cast<size_t>(d)] = 0;
+      }
+    }
+  });
+}
+
+}  // namespace snakes

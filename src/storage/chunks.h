@@ -1,0 +1,76 @@
+#ifndef SNAKES_STORAGE_CHUNKS_H_
+#define SNAKES_STORAGE_CHUNKS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "curves/linearization.h"
+#include "lattice/query_class.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// The chunked file organization of Deshpande et al. (SIGMOD 1998), the
+/// closest related work the paper discusses (Section 7): the grid is
+/// partitioned into chunks along hierarchy boundaries — every chunk is the
+/// box under one combination of level-c ancestors, for a chunk class c —
+/// cells are stored contiguously within a chunk, and chunks are laid out in
+/// some order. [2] always orders chunks row-major; the paper points out
+/// that its lattice-path machinery applies directly to the chunk order.
+///
+/// ChunkedOrder composes both choices into a single cell linearization:
+///   * `chunk_class` — the hierarchy levels delimiting chunks (e.g. (1,0,1)
+///     chunks the TPC-D grid by manufacturer x supplier x year);
+///   * `chunk_order` — any Linearization over the *chunk grid* (row-major
+///     for [2]; a snaked optimal path for this paper's improvement);
+///   * cells within a chunk are row-major.
+///
+/// Requires uniform hierarchies (chunks must tile the grid evenly).
+class ChunkedOrder : public Linearization {
+ public:
+  /// `chunk_order`'s schema must be the chunk grid of `schema` at
+  /// `chunk_class`: one "leaf" per level-c block in every dimension.
+  static Result<std::unique_ptr<ChunkedOrder>> Make(
+      std::shared_ptr<const StarSchema> schema, const QueryClass& chunk_class,
+      std::shared_ptr<const Linearization> chunk_order);
+
+  std::string name() const override;
+  CellCoord CellAt(uint64_t rank) const override;
+  uint64_t RankOf(const CellCoord& coord) const override;
+  void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
+      const override;
+
+  const QueryClass& chunk_class() const { return chunk_class_; }
+
+  /// Cells per chunk.
+  uint64_t chunk_volume() const { return chunk_volume_; }
+
+ private:
+  ChunkedOrder(std::shared_ptr<const StarSchema> schema,
+               QueryClass chunk_class,
+               std::shared_ptr<const Linearization> chunk_order,
+               FixedVector<uint64_t, kMaxDimensions> chunk_extent,
+               uint64_t chunk_volume)
+      : Linearization(std::move(schema)),
+        chunk_class_(std::move(chunk_class)),
+        chunk_order_(std::move(chunk_order)),
+        chunk_extent_(chunk_extent),
+        chunk_volume_(chunk_volume) {}
+
+  QueryClass chunk_class_;
+  std::shared_ptr<const Linearization> chunk_order_;
+  // chunk_extent_[d] = cells per chunk along dimension d.
+  FixedVector<uint64_t, kMaxDimensions> chunk_extent_;
+  uint64_t chunk_volume_;
+};
+
+/// Builds the chunk-grid schema for `schema` at `chunk_class`: dimension d
+/// keeps its hierarchy levels above chunk_class.level(d) (so lattice paths
+/// and the DP run on the coarsened lattice), with one leaf per chunk.
+Result<std::shared_ptr<const StarSchema>> ChunkGridSchema(
+    const StarSchema& schema, const QueryClass& chunk_class);
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_CHUNKS_H_

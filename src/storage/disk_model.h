@@ -1,0 +1,40 @@
+#ifndef SNAKES_STORAGE_DISK_MODEL_H_
+#define SNAKES_STORAGE_DISK_MODEL_H_
+
+#include "storage/executor.h"
+
+namespace snakes {
+
+/// Translates the simulator's seek/page counts into elapsed-time estimates
+/// for a rotating disk — the device class the paper's cost model targets
+/// (seeks dominate; sequential transfer is cheap). Defaults approximate a
+/// late-90s server drive so the examples' numbers line up with the paper's
+/// era; tune for modern hardware as needed.
+struct DiskModel {
+  /// Average positioning time per non-sequential access (seek + half a
+  /// rotation), milliseconds.
+  double seek_ms = 9.5;
+  /// Sustained sequential transfer rate, bytes per millisecond.
+  double transfer_bytes_per_ms = 15'000.0;
+
+  /// Estimated elapsed time for one measured query.
+  double QueryMs(const QueryIo& io, uint64_t page_size_bytes) const {
+    return static_cast<double>(io.seeks) * seek_ms +
+           static_cast<double>(io.pages) *
+               static_cast<double>(page_size_bytes) / transfer_bytes_per_ms;
+  }
+
+  /// Expected elapsed time per query under a workload, from the executor's
+  /// expected seeks and an expected page count. `expected_pages` should be
+  /// the workload expectation of per-query pages read.
+  double ExpectedMs(double expected_seeks, double expected_pages,
+                    uint64_t page_size_bytes) const {
+    return expected_seeks * seek_ms +
+           expected_pages * static_cast<double>(page_size_bytes) /
+               transfer_bytes_per_ms;
+  }
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_DISK_MODEL_H_

@@ -1,0 +1,145 @@
+#include "storage/executor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+namespace {
+
+/// Incremental page-run tracker for one query. Cells arrive in rank order,
+/// so page spans are non-decreasing.
+struct RunState {
+  int64_t last_page = -1;
+  uint64_t pages = 0;
+  uint64_t seeks = 0;
+  uint64_t records = 0;
+
+  void Add(uint64_t first, uint64_t last, uint32_t recs) {
+    records += recs;
+    const int64_t f = static_cast<int64_t>(first);
+    const int64_t l = static_cast<int64_t>(last);
+    if (f > last_page + 1) {
+      ++seeks;  // gap: a new non-sequential access
+    } else if (last_page < 0) {
+      ++seeks;  // very first access
+    }
+    if (l > last_page) {
+      const int64_t from = std::max(last_page + 1, f);
+      pages += static_cast<uint64_t>(l - from + 1);
+      last_page = l;
+    }
+  }
+};
+
+}  // namespace
+
+QueryIo IoSimulator::Measure(const GridQuery& query) const {
+  const Linearization& lin = layout_.linearization();
+  const StarSchema& schema = lin.schema();
+  const CellBox box = BoxOf(schema, query);
+
+  // Collect the ranks of the query's cells, then scan them in order.
+  std::vector<uint64_t> ranks;
+  ranks.reserve(box.NumCells());
+  CellCoord coord = box.lo;
+  const int k = schema.num_dims();
+  for (;;) {
+    ranks.push_back(lin.RankOf(coord));
+    int d = k - 1;
+    for (; d >= 0; --d) {
+      if (++coord[static_cast<size_t>(d)] < box.hi[static_cast<size_t>(d)]) {
+        break;
+      }
+      coord[static_cast<size_t>(d)] = box.lo[static_cast<size_t>(d)];
+    }
+    if (d < 0) break;
+  }
+  std::sort(ranks.begin(), ranks.end());
+
+  RunState run;
+  for (uint64_t rank : ranks) {
+    if (layout_.CellEmpty(rank)) continue;
+    run.Add(layout_.CellFirstPage(rank), layout_.CellLastPage(rank),
+            layout_.CellRecords(rank));
+  }
+  QueryIo io;
+  io.records = run.records;
+  io.pages = run.pages;
+  io.seeks = run.seeks;
+  io.min_pages = CeilDiv(run.records * layout_.config().record_size_bytes,
+                         layout_.config().page_size_bytes);
+  return io;
+}
+
+ClassIoStats IoSimulator::MeasureClass(const QueryClass& cls) const {
+  const Linearization& lin = layout_.linearization();
+  const StarSchema& schema = lin.schema();
+  const int k = schema.num_dims();
+
+  // Dense query-id strides for this class.
+  FixedVector<uint64_t, kMaxDimensions> strides;
+  strides.resize(static_cast<size_t>(k));
+  uint64_t num_queries = 1;
+  for (int d = k - 1; d >= 0; --d) {
+    strides[static_cast<size_t>(d)] = num_queries;
+    num_queries *= schema.dim(d).num_blocks(cls.level(d));
+  }
+
+  std::vector<RunState> state(num_queries);
+  lin.Walk([&](uint64_t rank, const CellCoord& coord) {
+    if (layout_.CellEmpty(rank)) return;
+    uint64_t qid = 0;
+    for (int d = 0; d < k; ++d) {
+      qid += schema.dim(d).AncestorAt(coord[static_cast<size_t>(d)],
+                                      cls.level(d)) *
+             strides[static_cast<size_t>(d)];
+    }
+    state[qid].Add(layout_.CellFirstPage(rank), layout_.CellLastPage(rank),
+                   layout_.CellRecords(rank));
+  });
+
+  ClassIoStats stats;
+  stats.num_queries = num_queries;
+  const uint64_t record_size = layout_.config().record_size_bytes;
+  const uint64_t page_size = layout_.config().page_size_bytes;
+  for (const RunState& run : state) {
+    if (run.records == 0) continue;
+    ++stats.num_nonempty;
+    stats.total_pages += run.pages;
+    stats.total_seeks += run.seeks;
+    const uint64_t min_pages = CeilDiv(run.records * record_size, page_size);
+    stats.total_normalized +=
+        static_cast<double>(run.pages) / static_cast<double>(min_pages);
+  }
+  return stats;
+}
+
+std::vector<ClassIoStats> IoSimulator::MeasureAllClasses() const {
+  const QueryClassLattice lat(layout_.linearization().schema());
+  std::vector<ClassIoStats> all;
+  all.reserve(lat.size());
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    all.push_back(MeasureClass(lat.ClassAt(i)));
+  }
+  return all;
+}
+
+WorkloadIoStats IoSimulator::Expect(const Workload& mu,
+                                    const std::vector<ClassIoStats>& per_class) {
+  SNAKES_CHECK(per_class.size() == mu.lattice().size())
+      << "per-class stats do not cover the workload lattice";
+  WorkloadIoStats out;
+  for (uint64_t i = 0; i < per_class.size(); ++i) {
+    const double p = mu.probability_at(i);
+    if (p == 0.0) continue;
+    out.expected_seeks += p * per_class[i].AvgSeeks();
+    out.expected_normalized_blocks += p * per_class[i].AvgNormalizedBlocks();
+    out.expected_pages += p * per_class[i].AvgPages();
+  }
+  return out;
+}
+
+}  // namespace snakes

@@ -1,0 +1,98 @@
+#ifndef SNAKES_STORAGE_EXECUTOR_H_
+#define SNAKES_STORAGE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/grid_query.h"
+#include "lattice/lattice.h"
+#include "lattice/workload.h"
+#include "storage/pager.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Measured I/O of a single grid query against a packed layout.
+struct QueryIo {
+  uint64_t records = 0;    // records selected
+  uint64_t pages = 0;      // distinct pages read
+  uint64_t seeks = 0;      // non-sequential accesses (maximal page runs)
+  uint64_t min_pages = 0;  // ceil(records * record_size / page_size)
+
+  /// Pages read over the perfectly-clustered minimum (Section 6.1's
+  /// normalized blocks). Defined only for non-empty queries.
+  double NormalizedBlocks() const {
+    return static_cast<double>(pages) / static_cast<double>(min_pages);
+  }
+};
+
+/// Exact aggregates over every query of one query class.
+struct ClassIoStats {
+  uint64_t num_queries = 0;   // all queries in the class
+  uint64_t num_nonempty = 0;  // queries selecting >= 1 record
+  uint64_t total_pages = 0;
+  uint64_t total_seeks = 0;
+  double total_normalized = 0.0;  // sum of per-query NormalizedBlocks()
+
+  /// Average seeks per non-empty query (empty queries read nothing; the
+  /// paper's per-query minimum of 1 seek only applies to queries that
+  /// retrieve data).
+  double AvgSeeks() const {
+    return num_nonempty == 0
+               ? 0.0
+               : static_cast<double>(total_seeks) /
+                     static_cast<double>(num_nonempty);
+  }
+
+  /// Average normalized blocks read per non-empty query.
+  double AvgNormalizedBlocks() const {
+    return num_nonempty == 0 ? 0.0 : total_normalized /
+                                         static_cast<double>(num_nonempty);
+  }
+
+  /// Average pages read per non-empty query.
+  double AvgPages() const {
+    return num_nonempty == 0
+               ? 0.0
+               : static_cast<double>(total_pages) /
+                     static_cast<double>(num_nonempty);
+  }
+};
+
+/// Expected I/O of a layout under a workload (the Table-4 metrics, plus the
+/// raw page expectation used by the DiskModel time estimate).
+struct WorkloadIoStats {
+  double expected_seeks = 0.0;
+  double expected_normalized_blocks = 0.0;
+  double expected_pages = 0.0;
+};
+
+/// Measures grid-query I/O against a PackedLayout, exactly (aggregating over
+/// every query of a class in one linear pass) or per query.
+class IoSimulator {
+ public:
+  explicit IoSimulator(const PackedLayout& layout) : layout_(layout) {}
+
+  /// I/O of one query: walks the query's cells in rank order.
+  QueryIo Measure(const GridQuery& query) const;
+
+  /// Exact per-class aggregates in one pass over the layout: every cell is
+  /// attributed to its enclosing class-`cls` query and per-query page runs
+  /// are tracked incrementally. O(cells) time, O(queries-in-class) space.
+  ClassIoStats MeasureClass(const QueryClass& cls) const;
+
+  /// MeasureClass for every lattice point, indexed by lattice index.
+  std::vector<ClassIoStats> MeasureAllClasses() const;
+
+  /// Workload expectation of the per-class averages. `per_class` must come
+  /// from MeasureAllClasses on the same schema.
+  static WorkloadIoStats Expect(const Workload& mu,
+                                const std::vector<ClassIoStats>& per_class);
+
+ private:
+  const PackedLayout& layout_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_EXECUTOR_H_

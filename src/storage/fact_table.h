@@ -1,0 +1,64 @@
+#ifndef SNAKES_STORAGE_FACT_TABLE_H_
+#define SNAKES_STORAGE_FACT_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hierarchy/star_schema.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+/// The fact table of a star schema, reduced to what physical clustering
+/// needs: for every grid cell, the number of records mapping to that cell
+/// and the sum of their measure attribute (enough to answer COUNT/SUM grid
+/// queries exactly). Cells may be empty — real warehouses are sparse
+/// (Section 6.1: "Each cell ... was populated with zero or more records").
+class FactTable {
+ public:
+  explicit FactTable(std::shared_ptr<const StarSchema> schema)
+      : schema_(std::move(schema)),
+        counts_(schema_->num_cells(), 0),
+        measure_sums_(schema_->num_cells(), 0.0) {}
+
+  const StarSchema& schema() const { return *schema_; }
+  std::shared_ptr<const StarSchema> schema_ptr() const { return schema_; }
+
+  /// Adds one record in `coord`'s cell with the given measure value.
+  void AddRecord(const CellCoord& coord, double measure = 0.0) {
+    const CellId id = schema_->Flatten(coord);
+    ++counts_[id];
+    measure_sums_[id] += measure;
+    ++total_records_;
+  }
+
+  /// Record count of a cell.
+  uint32_t count(CellId id) const {
+    SNAKES_DCHECK(id < counts_.size());
+    return counts_[id];
+  }
+
+  /// Sum of the measure attribute over a cell's records.
+  double measure_sum(CellId id) const { return measure_sums_[id]; }
+
+  uint64_t total_records() const { return total_records_; }
+  uint64_t num_cells() const { return counts_.size(); }
+
+  /// Number of cells with at least one record.
+  uint64_t NumOccupiedCells() const {
+    uint64_t n = 0;
+    for (uint32_t c : counts_) n += c > 0;
+    return n;
+  }
+
+ private:
+  std::shared_ptr<const StarSchema> schema_;
+  std::vector<uint32_t> counts_;
+  std::vector<double> measure_sums_;
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_FACT_TABLE_H_

@@ -1,0 +1,63 @@
+#include "storage/pager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<PackedLayout> PackedLayout::Pack(
+    std::shared_ptr<const Linearization> lin,
+    std::shared_ptr<const FactTable> facts, StorageConfig config) {
+  if (config.record_size_bytes == 0 ||
+      config.page_size_bytes < config.record_size_bytes) {
+    return Status::InvalidArgument(
+        "page must hold at least one whole record");
+  }
+  if (&lin->schema() != &facts->schema() &&
+      lin->num_cells() != facts->num_cells()) {
+    return Status::InvalidArgument(
+        "linearization and fact table describe different grids");
+  }
+  PackedLayout layout(std::move(lin), std::move(facts), config);
+  const uint64_t n = layout.lin_->num_cells();
+  layout.first_page_.resize(n);
+  layout.last_page_.resize(n);
+  layout.records_.resize(n);
+
+  uint64_t page = 0;
+  uint64_t used = 0;  // bytes used on the current page
+  const StarSchema& schema = layout.lin_->schema();
+  layout.lin_->Walk([&](uint64_t rank, const CellCoord& coord) {
+    const uint32_t records = layout.facts_->count(schema.Flatten(coord));
+    layout.records_[rank] = records;
+    if (records == 0) {
+      // Empty cell: occupies nothing; mark with an inverted span.
+      layout.first_page_[rank] = 1;
+      layout.last_page_[rank] = 0;
+      return;
+    }
+    uint64_t placed = 0;
+    uint64_t first = UINT64_MAX;
+    while (placed < records) {
+      if (config.page_size_bytes - used < config.record_size_bytes) {
+        // Close the page: the remainder cannot hold a whole record.
+        ++page;
+        used = 0;
+      }
+      // Place as many of the cell's remaining records as fit on this page.
+      const uint64_t fit =
+          (config.page_size_bytes - used) / config.record_size_bytes;
+      const uint64_t take = std::min<uint64_t>(fit, records - placed);
+      if (first == UINT64_MAX) first = page;
+      used += take * config.record_size_bytes;
+      placed += take;
+    }
+    layout.first_page_[rank] = first;
+    layout.last_page_[rank] = page;
+  });
+  layout.num_pages_ = page + (used > 0 ? 1 : 0);
+  return layout;
+}
+
+}  // namespace snakes

@@ -1,0 +1,75 @@
+#ifndef SNAKES_STORAGE_PAGER_H_
+#define SNAKES_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curves/linearization.h"
+#include "storage/fact_table.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Physical parameters of the simulated disk (Section 6.1 uses 125-byte
+/// records on 8 KB pages).
+struct StorageConfig {
+  uint64_t page_size_bytes = 8192;
+  uint64_t record_size_bytes = 125;
+
+  /// Records that fit a fresh page.
+  uint64_t RecordsPerPage() const {
+    return page_size_bytes / record_size_bytes;
+  }
+};
+
+/// The on-disk image of a fact table under one clustering strategy: records
+/// are packed page by page following the linearization's rank order. A cell's
+/// records may span a page boundary, but single records never split — when a
+/// page's remainder is smaller than one record the page is closed and the
+/// record starts the next page (Section 6.1).
+class PackedLayout {
+ public:
+  /// Packs `facts` along `lin`. Fails if config is degenerate (page smaller
+  /// than a record) or the linearization belongs to a different schema.
+  static Result<PackedLayout> Pack(std::shared_ptr<const Linearization> lin,
+                                   std::shared_ptr<const FactTable> facts,
+                                   StorageConfig config = {});
+
+  const Linearization& linearization() const { return *lin_; }
+  const FactTable& facts() const { return *facts_; }
+  const StorageConfig& config() const { return config_; }
+
+  /// Total pages used.
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// True iff the cell at `rank` holds no records.
+  bool CellEmpty(uint64_t rank) const { return first_page_[rank] > last_page_[rank]; }
+
+  /// First/last page (inclusive) holding records of the cell at `rank`;
+  /// meaningful only when !CellEmpty(rank).
+  uint64_t CellFirstPage(uint64_t rank) const { return first_page_[rank]; }
+  uint64_t CellLastPage(uint64_t rank) const { return last_page_[rank]; }
+
+  /// Record count of the cell at `rank` (cached from the fact table).
+  uint32_t CellRecords(uint64_t rank) const { return records_[rank]; }
+
+ private:
+  PackedLayout(std::shared_ptr<const Linearization> lin,
+               std::shared_ptr<const FactTable> facts, StorageConfig config)
+      : lin_(std::move(lin)), facts_(std::move(facts)), config_(config) {}
+
+  std::shared_ptr<const Linearization> lin_;
+  std::shared_ptr<const FactTable> facts_;
+  StorageConfig config_;
+  uint64_t num_pages_ = 0;
+  // Indexed by rank. Empty cells have first > last.
+  std::vector<uint64_t> first_page_;
+  std::vector<uint64_t> last_page_;
+  std::vector<uint32_t> records_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_PAGER_H_

@@ -1,0 +1,36 @@
+#include "storage/query_engine.h"
+
+namespace snakes {
+
+QueryAnswer QueryEngine::Execute(const GridQuery& query) const {
+  const StarSchema& schema = layout_.linearization().schema();
+  const FactTable& facts = layout_.facts();
+  QueryAnswer answer;
+  answer.io = simulator_.Measure(query);
+
+  const CellBox box = BoxOf(schema, query);
+  CellCoord coord = box.lo;
+  const int k = schema.num_dims();
+  for (;;) {
+    const CellId id = schema.Flatten(coord);
+    answer.count += facts.count(id);
+    answer.sum += facts.measure_sum(id);
+    int d = k - 1;
+    for (; d >= 0; --d) {
+      if (++coord[static_cast<size_t>(d)] < box.hi[static_cast<size_t>(d)]) {
+        break;
+      }
+      coord[static_cast<size_t>(d)] = box.lo[static_cast<size_t>(d)];
+    }
+    if (d < 0) break;
+  }
+  return answer;
+}
+
+QueryAnswer QueryEngine::ExecuteAt(const QueryClass& cls,
+                                   const CellCoord& coord) const {
+  const StarSchema& schema = layout_.linearization().schema();
+  return Execute(QueryContaining(schema, cls, coord));
+}
+
+}  // namespace snakes

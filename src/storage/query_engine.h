@@ -1,0 +1,46 @@
+#ifndef SNAKES_STORAGE_QUERY_ENGINE_H_
+#define SNAKES_STORAGE_QUERY_ENGINE_H_
+
+#include <cstdint>
+
+#include "lattice/grid_query.h"
+#include "storage/executor.h"
+#include "storage/pager.h"
+
+namespace snakes {
+
+/// Answer of an aggregate grid query, with the I/O it cost.
+struct QueryAnswer {
+  uint64_t count = 0;       // records selected
+  double sum = 0.0;         // SUM of the measure attribute
+  QueryIo io;               // pages/seeks actually incurred
+  double AvgMeasure() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Executes aggregate grid queries (COUNT / SUM / AVG of the measure) against
+/// a packed layout — the operations the paper's OLAP sessions issue (Q1/Q2
+/// of the motivating example are exactly this shape). Results are computed
+/// from the fact table; I/O is accounted against the layout, so callers see
+/// both the answer and what it cost under the chosen clustering.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const PackedLayout& layout)
+      : layout_(layout), simulator_(layout) {}
+
+  /// Runs one grid query.
+  QueryAnswer Execute(const GridQuery& query) const;
+
+  /// Runs the grid query of class `cls` containing `coord` (point-style
+  /// drill-down sugar).
+  QueryAnswer ExecuteAt(const QueryClass& cls, const CellCoord& coord) const;
+
+ private:
+  const PackedLayout& layout_;
+  IoSimulator simulator_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_QUERY_ENGINE_H_

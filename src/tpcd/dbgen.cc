@@ -1,0 +1,61 @@
+#include "tpcd/dbgen.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace snakes {
+namespace tpcd {
+
+Result<std::shared_ptr<const FactTable>> GenerateLineItems(
+    const Config& config, std::shared_ptr<const StarSchema> schema,
+    uint64_t seed) {
+  if (schema->num_dims() != 3 ||
+      schema->extent(kPartsDim) != config.num_parts() ||
+      schema->extent(kSupplierDim) != config.num_suppliers ||
+      schema->extent(kTimeDim) != config.num_months()) {
+    return Status::InvalidArgument("schema does not match the TPC-D config");
+  }
+  Rng rng(seed);
+  auto facts = std::make_shared<FactTable>(schema);
+
+  std::unique_ptr<ZipfSampler> part_sampler;
+  if (config.part_skew_theta > 0.0) {
+    part_sampler = std::make_unique<ZipfSampler>(config.num_parts(),
+                                                 config.part_skew_theta);
+  }
+
+  const uint64_t num_months = config.num_months();
+  CellCoord coord;
+  coord.resize(3);
+  for (uint64_t order = 0; order < config.num_orders; ++order) {
+    const uint64_t order_month = rng.Below(num_months);
+    const uint64_t lineitems = 1 + rng.Below(7);
+    for (uint64_t l = 0; l < lineitems; ++l) {
+      const uint64_t part = part_sampler ? part_sampler->Sample(&rng)
+                                         : rng.Below(config.num_parts());
+      const uint64_t supplier = rng.Below(config.num_suppliers);
+      // Ship 0..3 months after the order (the spec's 1..121-day delay),
+      // clamped to the observation window.
+      const uint64_t ship_month =
+          std::min(order_month + rng.Below(4), num_months - 1);
+      const double quantity = 1.0 + static_cast<double>(rng.Below(50));
+      const double unit_price = 900.0 + static_cast<double>(rng.Below(100'000)) / 100.0;
+      coord[kPartsDim] = part;
+      coord[kSupplierDim] = supplier;
+      coord[kTimeDim] = ship_month;
+      facts->AddRecord(coord, quantity * unit_price);
+    }
+  }
+  return std::shared_ptr<const FactTable>(std::move(facts));
+}
+
+Result<Warehouse> GenerateWarehouse(const Config& config, uint64_t seed) {
+  SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const StarSchema> schema,
+                          BuildSharedSchema(config));
+  SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const FactTable> facts,
+                          GenerateLineItems(config, schema, seed));
+  return Warehouse{config, std::move(schema), std::move(facts)};
+}
+
+}  // namespace tpcd
+}  // namespace snakes

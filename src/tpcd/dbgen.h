@@ -1,0 +1,41 @@
+#ifndef SNAKES_TPCD_DBGEN_H_
+#define SNAKES_TPCD_DBGEN_H_
+
+#include <memory>
+
+#include "storage/fact_table.h"
+#include "tpcd/schema.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace tpcd {
+
+/// Synthetic LineItem generator — the library's substitute for the TPC-D
+/// `dbgen` tool (which ships scripts and C sources we reimplement from the
+/// spec's distributions):
+///   * orders arrive uniformly over the num_years * months_per_year window;
+///   * each order carries 1..7 lineitems (uniform, per L_ORDERKEY fanout);
+///   * every lineitem picks a part (uniform, or Zipf when
+///     config.part_skew_theta > 0) and a supplier (uniform);
+///   * SHIPDATE = order month + a 0..3-month ship delay (the spec's 1..121
+///     days), clamped to the window;
+///   * the measure is an extended-price-like value quantity * unit price.
+/// Deterministic for a given seed.
+Result<std::shared_ptr<const FactTable>> GenerateLineItems(
+    const Config& config, std::shared_ptr<const StarSchema> schema,
+    uint64_t seed = 19990601);
+
+/// BuildSharedSchema + GenerateLineItems in one call.
+struct Warehouse {
+  Config config;
+  std::shared_ptr<const StarSchema> schema;
+  std::shared_ptr<const FactTable> facts;
+};
+Result<Warehouse> GenerateWarehouse(const Config& config,
+                                    uint64_t seed = 19990601);
+
+}  // namespace tpcd
+}  // namespace snakes
+
+#endif  // SNAKES_TPCD_DBGEN_H_

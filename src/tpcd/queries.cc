@@ -1,0 +1,41 @@
+#include "tpcd/queries.h"
+
+namespace snakes {
+namespace tpcd {
+
+std::vector<BenchmarkQuery> BenchmarkQueries() {
+  // Levels: parts part(0)/mfgr(1)/all(2); supplier supplier(0)/all(1);
+  // time month(0)/year(1)/all(2).
+  return {
+      {"Q1", "pricing summary: ship month cutoff; no part/supplier selection",
+       QueryClass{2, 1, 0}},
+      {"Q5", "local supplier volume: one supplier group, one year",
+       QueryClass{2, 0, 1}},
+      {"Q6", "forecast revenue: one ship year; no part/supplier selection",
+       QueryClass{2, 1, 1}},
+      {"Q7", "volume shipping: one supplier, one year", QueryClass{2, 0, 1}},
+      {"Q8", "market share: one manufacturer, one year",
+       QueryClass{1, 1, 1}},
+      {"Q9", "product-type profit: one manufacturer, one supplier, one year",
+       QueryClass{1, 0, 1}},
+      {"Q14", "promotion effect: one manufacturer, one ship month",
+       QueryClass{1, 1, 0}},
+  };
+}
+
+Result<Workload> BenchmarkMixWorkload(const QueryClassLattice& lattice,
+                                      const std::vector<double>& weights) {
+  const std::vector<BenchmarkQuery> queries = BenchmarkQueries();
+  if (!weights.empty() && weights.size() != queries.size()) {
+    return Status::InvalidArgument("need one weight per benchmark query (" +
+                                   std::to_string(queries.size()) + ")");
+  }
+  std::vector<std::pair<QueryClass, double>> masses;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    masses.emplace_back(queries[i].cls, weights.empty() ? 1.0 : weights[i]);
+  }
+  return Workload::FromMasses(lattice, masses, /*normalize=*/true);
+}
+
+}  // namespace tpcd
+}  // namespace snakes

@@ -1,0 +1,38 @@
+#ifndef SNAKES_TPCD_QUERIES_H_
+#define SNAKES_TPCD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/query_class.h"
+#include "lattice/workload.h"
+#include "util/result.h"
+
+namespace snakes {
+namespace tpcd {
+
+/// One of the TPC-D benchmark query types that reads LineItem as a grid
+/// query (Section 6.1 found 7 of the 17 query types qualify; the rest skip
+/// LineItem or join it through Orders first). The class vector follows the
+/// paper's "slight modifications ... to fit our choices of dimension
+/// hierarchies": selections are rounded to the nearest hierarchy level in
+/// (parts, supplier, time) order.
+struct BenchmarkQuery {
+  std::string name;         // "Q6"
+  std::string description;  // what the query selects after adaptation
+  QueryClass cls;           // grid query class (parts, supplier, time)
+};
+
+/// The seven adapted LineItem query types.
+std::vector<BenchmarkQuery> BenchmarkQueries();
+
+/// A workload putting the given weights on the benchmark query classes
+/// (weights need not be normalized). With equal weights this is the "TPC-D
+/// query mix" used by the examples.
+Result<Workload> BenchmarkMixWorkload(const QueryClassLattice& lattice,
+                                      const std::vector<double>& weights = {});
+
+}  // namespace tpcd
+}  // namespace snakes
+
+#endif  // SNAKES_TPCD_QUERIES_H_

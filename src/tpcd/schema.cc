@@ -1,0 +1,37 @@
+#include "tpcd/schema.h"
+
+namespace snakes {
+namespace tpcd {
+
+Result<StarSchema> BuildSchema(const Config& config) {
+  if (config.parts_per_mfgr == 0 || config.num_mfgrs == 0 ||
+      config.num_suppliers == 0 || config.months_per_year == 0 ||
+      config.num_years == 0) {
+    return Status::InvalidArgument("all TPC-D extents must be >= 1");
+  }
+  SNAKES_ASSIGN_OR_RETURN(
+      Hierarchy parts,
+      Hierarchy::Uniform("parts", {config.parts_per_mfgr, config.num_mfgrs},
+                         {"part", "mfgr", "all"}));
+  SNAKES_ASSIGN_OR_RETURN(
+      Hierarchy supplier,
+      Hierarchy::Uniform("supplier", {config.num_suppliers},
+                         {"supplier", "all"}));
+  SNAKES_ASSIGN_OR_RETURN(
+      Hierarchy time,
+      Hierarchy::Uniform("time", {config.months_per_year, config.num_years},
+                         {"month", "year", "all"}));
+  return StarSchema::Make(
+      "tpcd-lineitem",
+      {std::move(parts), std::move(supplier), std::move(time)});
+}
+
+Result<std::shared_ptr<const StarSchema>> BuildSharedSchema(
+    const Config& config) {
+  SNAKES_ASSIGN_OR_RETURN(StarSchema schema, BuildSchema(config));
+  return std::shared_ptr<const StarSchema>(
+      std::make_shared<StarSchema>(std::move(schema)));
+}
+
+}  // namespace tpcd
+}  // namespace snakes

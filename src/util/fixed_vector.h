@@ -1,0 +1,97 @@
+#ifndef SNAKES_UTIL_FIXED_VECTOR_H_
+#define SNAKES_UTIL_FIXED_VECTOR_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+/// A fixed-capacity, inline-storage vector. Lattice points and grid
+/// coordinates are tiny (k <= 8 dimensions in any realistic star schema) and
+/// sit in the innermost loops of every cost computation, so we avoid heap
+/// allocation entirely. Exceeding the capacity is a programming error and
+/// aborts.
+template <typename T, size_t N>
+class FixedVector {
+ public:
+  FixedVector() = default;
+
+  /// A vector of `count` copies of `value`.
+  FixedVector(size_t count, const T& value) {
+    SNAKES_CHECK(count <= N) << "FixedVector overflow: " << count << " > " << N;
+    size_ = count;
+    std::fill_n(data_.begin(), count, value);
+  }
+
+  FixedVector(std::initializer_list<T> init) {
+    SNAKES_CHECK(init.size() <= N)
+        << "FixedVector overflow: " << init.size() << " > " << N;
+    size_ = init.size();
+    std::copy(init.begin(), init.end(), data_.begin());
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr size_t capacity() { return N; }
+
+  T& operator[](size_t i) {
+    SNAKES_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    SNAKES_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T& back() {
+    SNAKES_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+  const T& back() const {
+    SNAKES_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  void push_back(const T& v) {
+    SNAKES_CHECK(size_ < N) << "FixedVector overflow: capacity " << N;
+    data_[size_++] = v;
+  }
+  void pop_back() {
+    SNAKES_DCHECK(size_ > 0);
+    --size_;
+  }
+  void clear() { size_ = 0; }
+
+  /// Resizes; new elements (if any) are value-initialized.
+  void resize(size_t n) {
+    SNAKES_CHECK(n <= N) << "FixedVector overflow: " << n << " > " << N;
+    for (size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  T* begin() { return data_.data(); }
+  T* end() { return data_.data() + size_; }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+
+  bool operator==(const FixedVector& o) const {
+    return size_ == o.size_ &&
+           std::equal(begin(), end(), o.begin());
+  }
+  bool operator!=(const FixedVector& o) const { return !(*this == o); }
+  bool operator<(const FixedVector& o) const {
+    return std::lexicographical_compare(begin(), end(), o.begin(), o.end());
+  }
+
+ private:
+  std::array<T, N> data_{};
+  size_t size_ = 0;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_FIXED_VECTOR_H_

@@ -1,0 +1,106 @@
+#ifndef SNAKES_UTIL_FRACTION_H_
+#define SNAKES_UTIL_FRACTION_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+/// Exact non-negative rational arithmetic. The paper reports per-class costs
+/// as exact fractions (e.g. 16/8, 49/36); all analytic cost computations in
+/// this library are integer edge counts divided by integer query counts, so
+/// we carry them exactly and only convert to double at the reporting edge.
+class Fraction {
+ public:
+  /// Zero.
+  constexpr Fraction() = default;
+
+  /// The integer `n`.
+  constexpr Fraction(uint64_t n) : num_(n), den_(1) {}  // NOLINT
+
+  /// n/d reduced to lowest terms; d must be non-zero.
+  Fraction(uint64_t n, uint64_t d) : num_(n), den_(d) {
+    SNAKES_CHECK(d != 0) << "Fraction with zero denominator";
+    Reduce();
+  }
+
+  uint64_t numerator() const { return num_; }
+  uint64_t denominator() const { return den_; }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// "n/d", or just "n" when the denominator is 1.
+  std::string ToString() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+  Fraction operator+(const Fraction& o) const {
+    const uint64_t g = Gcd(den_, o.den_);
+    const uint64_t scale = o.den_ / g;
+    return Fraction(
+        CheckedAdd(CheckedMul(num_, scale), CheckedMul(o.num_, den_ / g)),
+        CheckedMul(den_, scale));
+  }
+
+  Fraction operator-(const Fraction& o) const {
+    const uint64_t g = Gcd(den_, o.den_);
+    const uint64_t scale = o.den_ / g;
+    const uint64_t lhs = CheckedMul(num_, scale);
+    const uint64_t rhs = CheckedMul(o.num_, den_ / g);
+    SNAKES_CHECK(lhs >= rhs) << "Fraction subtraction would go negative";
+    return Fraction(lhs - rhs, CheckedMul(den_, scale));
+  }
+
+  Fraction operator*(const Fraction& o) const {
+    // Cross-reduce first to delay overflow.
+    const uint64_t g1 = Gcd(num_, o.den_);
+    const uint64_t g2 = Gcd(o.num_, den_);
+    return Fraction(CheckedMul(num_ / g1, o.num_ / g2),
+                    CheckedMul(den_ / g2, o.den_ / g1));
+  }
+
+  Fraction operator/(const Fraction& o) const {
+    SNAKES_CHECK(o.num_ != 0) << "Fraction division by zero";
+    return *this * Fraction(o.den_, o.num_);
+  }
+
+  bool operator==(const Fraction& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Fraction& o) const { return !(*this == o); }
+  bool operator<(const Fraction& o) const {
+    return static_cast<__uint128_t>(num_) * o.den_ <
+           static_cast<__uint128_t>(o.num_) * den_;
+  }
+  bool operator<=(const Fraction& o) const { return !(o < *this); }
+  bool operator>(const Fraction& o) const { return o < *this; }
+  bool operator>=(const Fraction& o) const { return !(*this < o); }
+
+ private:
+  void Reduce() {
+    const uint64_t g = Gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  uint64_t num_ = 0;
+  uint64_t den_ = 1;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Fraction& f) {
+  return os << f.ToString();
+}
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_FRACTION_H_

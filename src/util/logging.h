@@ -1,0 +1,67 @@
+#ifndef SNAKES_UTIL_LOGGING_H_
+#define SNAKES_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace snakes {
+namespace internal {
+
+/// Terminates the process after streaming a fatal message. Used by the CHECK
+/// family; streaming into the returned object appends to the message.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line << " CHECK failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed FatalLogMessage chain to void so that the CHECK
+/// macro's ternary has matching branch types (the glog "voidify" idiom;
+/// `&` binds looser than `<<`).
+struct Voidify {
+  void operator&(FatalLogMessage&) {}
+  void operator&(FatalLogMessage&&) {}
+};
+
+}  // namespace internal
+}  // namespace snakes
+
+/// Aborts the process with a message when `cond` is false. Streaming extra
+/// context is supported: SNAKES_CHECK(n > 0) << "n=" << n;
+/// Internal-invariant checks only; user-input validation must return Status.
+#define SNAKES_CHECK(cond)                               \
+  (cond) ? (void)0                                       \
+         : ::snakes::internal::Voidify() &               \
+               ::snakes::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define SNAKES_CHECK_OK(expr)                                            \
+  do {                                                                   \
+    const ::snakes::Status _s = (expr);                                  \
+    if (!_s.ok()) {                                                      \
+      ::snakes::internal::FatalLogMessage(__FILE__, __LINE__, #expr)     \
+          << _s.ToString();                                              \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define SNAKES_DCHECK(cond) SNAKES_CHECK(cond)
+#else
+#define SNAKES_DCHECK(cond) SNAKES_CHECK(true || (cond))
+#endif
+
+#endif  // SNAKES_UTIL_LOGGING_H_

@@ -1,0 +1,62 @@
+#ifndef SNAKES_UTIL_MATH_H_
+#define SNAKES_UTIL_MATH_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+/// Ceiling division for non-negative integers; CeilDiv(0, d) == 0.
+constexpr uint64_t CeilDiv(uint64_t num, uint64_t den) {
+  return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+/// True iff `v` is a power of two (1, 2, 4, ...). Zero is not a power of two.
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v >= 1.
+constexpr int FloorLog2(uint64_t v) {
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// Largest power of two <= v, for v >= 1.
+constexpr uint64_t FloorPowerOfTwo(uint64_t v) {
+  return uint64_t{1} << FloorLog2(v);
+}
+
+/// Smallest power of two >= v, for v >= 1.
+constexpr uint64_t CeilPowerOfTwo(uint64_t v) {
+  return IsPowerOfTwo(v) ? v : FloorPowerOfTwo(v) << 1;
+}
+
+/// Multiplies two unsigned values, aborting on overflow. Grid extents and
+/// path lengths are products of fanouts; silent wraparound here would corrupt
+/// every downstream cost, so we fail loudly instead.
+inline uint64_t CheckedMul(uint64_t a, uint64_t b) {
+  const __uint128_t wide = static_cast<__uint128_t>(a) * b;
+  SNAKES_CHECK(wide <= UINT64_MAX) << "integer overflow: " << a << " * " << b;
+  return static_cast<uint64_t>(wide);
+}
+
+/// Adds two unsigned values, aborting on overflow.
+inline uint64_t CheckedAdd(uint64_t a, uint64_t b) {
+  SNAKES_CHECK(a <= UINT64_MAX - b) << "integer overflow: " << a << " + " << b;
+  return a + b;
+}
+
+/// Greatest common divisor (non-negative inputs; Gcd(0, b) == b).
+constexpr uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    const uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_MATH_H_

@@ -1,0 +1,84 @@
+#ifndef SNAKES_UTIL_RESULT_H_
+#define SNAKES_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace snakes {
+
+/// A value-or-error wrapper, the sibling of `Status` for functions that
+/// produce a value. Modeled after arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<Workload> w = Workload::Product(...);
+///   if (!w.ok()) return w.status();
+///   Use(w.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Passing an OK status is
+  /// a programming error and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SNAKES_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    SNAKES_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SNAKES_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  /// Rvalue overload returns by value (one move) so that idioms like
+  /// `for (auto& x : Compute().value())` stay safe: returning T&& into the
+  /// dying Result temporary would dangle, since range-for does not extend
+  /// the lifetime of intermediate temporaries before C++23.
+  T value() && {
+    SNAKES_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Dereference sugar; requires ok().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or aborts with the error message. Convenient in
+  /// examples and benches where the inputs are known-good.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define SNAKES_RESULT_CONCAT_INNER_(a, b) a##b
+#define SNAKES_RESULT_CONCAT_(a, b) SNAKES_RESULT_CONCAT_INNER_(a, b)
+#define SNAKES_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+#define SNAKES_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SNAKES_ASSIGN_OR_RETURN_IMPL_(            \
+      SNAKES_RESULT_CONCAT_(_snakes_result_, __LINE__), lhs, rexpr)
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_RESULT_H_

@@ -1,0 +1,27 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snakes {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n) {
+  SNAKES_CHECK(n > 0) << "ZipfSampler over empty domain";
+  SNAKES_CHECK(theta >= 0.0) << "Zipf exponent must be non-negative";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace snakes

@@ -1,0 +1,105 @@
+#ifndef SNAKES_UTIL_RNG_H_
+#define SNAKES_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. All randomized components of the library (data generation,
+/// query sampling, property tests) take an explicit Rng so every run is
+/// reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the generator. Any 64-bit value is acceptable, including 0.
+  explicit Rng(uint64_t seed = 0x5eed5a1ad5eed5a1ULL) { Reseed(seed); }
+
+  /// Re-initializes the state from `seed` (SplitMix64 expansion).
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t Next64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless rejection method.
+  uint64_t Below(uint64_t bound) {
+    SNAKES_DCHECK(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(Next64()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next64()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    SNAKES_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[4];
+};
+
+/// Zipf(theta) sampler over {0, ..., n-1} using the rejection-inversion
+/// method is overkill for our sizes; we precompute the CDF once. Used by the
+/// optional skewed TPC-D generator extension.
+class ZipfSampler {
+ public:
+  /// Builds a sampler over `n` items with exponent `theta` >= 0
+  /// (theta = 0 is uniform; larger is more skewed).
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Draws an item index in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  // Cumulative probabilities; cdf_[i] = P(X <= i).
+  std::vector<double> cdf_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_RNG_H_

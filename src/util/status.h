@@ -1,0 +1,93 @@
+#ifndef SNAKES_UTIL_STATUS_H_
+#define SNAKES_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace snakes {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, value-typed success-or-error result used by all fallible
+/// operations in the library. The public API never throws; operations that
+/// can fail return `Status` (or `Result<T>`, see result.h).
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk (use the default constructor for success).
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Requires the enclosing function
+/// to return `Status` (or anything constructible from it).
+#define SNAKES_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::snakes::Status _snakes_status = (expr);          \
+    if (!_snakes_status.ok()) return _snakes_status;   \
+  } while (0)
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_STATUS_H_

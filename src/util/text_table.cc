@@ -1,0 +1,58 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace snakes {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  size_t cols = headers_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out->append(cell);
+      if (c + 1 < cols) out->append(width[c] - cell.size() + 2, ' ');
+    }
+    out->push_back('\n');
+  };
+
+  std::string out;
+  emit(&out, headers_);
+  size_t rule = 0;
+  for (size_t c = 0; c < cols; ++c) rule += width[c] + (c + 1 < cols ? 2 : 0);
+  out.append(rule, '-');
+  out.push_back('\n');
+  for (const auto& r : rows_) emit(&out, r);
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatPercent(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace snakes

@@ -1,0 +1,40 @@
+#ifndef SNAKES_UTIL_TEXT_TABLE_H_
+#define SNAKES_UTIL_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace snakes {
+
+/// Builds aligned plain-text tables for the bench binaries, which print the
+/// same rows the paper's tables report. Cells are strings; the renderer
+/// right-pads to column width and separates columns with two spaces and an
+/// optional ASCII rule under the header.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells extend
+  /// the column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table, header first, then a dashed rule, then the rows.
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// Formats a ratio as a percentage with `digits` decimals, e.g. "72.1%".
+std::string FormatPercent(double ratio, int digits);
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_TEXT_TABLE_H_

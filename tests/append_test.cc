@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "curves/row_major.h"
+#include "hierarchy/star_schema.h"
+#include "storage/append.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+class AppendTest : public ::testing::Test {
+ protected:
+  AppendTest() {
+    auto a = Hierarchy::Uniform("a", {2, 2}).value();
+    auto b = Hierarchy::Uniform("b", {2, 2}).value();
+    schema_ = std::make_shared<StarSchema>(
+        StarSchema::Make("s", {a, b}).value());
+    auto facts = std::make_shared<FactTable>(schema_);
+    Rng rng(3);
+    for (int r = 0; r < 200; ++r) {
+      facts->AddRecord(schema_->Unflatten(rng.Below(schema_->num_cells())),
+                       1.0);
+    }
+    facts_ = facts;
+    lin_ = std::shared_ptr<const Linearization>(
+        RowMajorOrder::Make(schema_, {0, 1}).value());
+    layout_ = std::make_shared<PackedLayout>(
+        PackedLayout::Pack(lin_, facts_, StorageConfig{64, 16}).value());
+  }
+
+  CellCoord At(uint64_t x, uint64_t y) {
+    CellCoord c;
+    c.resize(2);
+    c[0] = x;
+    c[1] = y;
+    return c;
+  }
+
+  std::shared_ptr<const StarSchema> schema_;
+  std::shared_ptr<const FactTable> facts_;
+  std::shared_ptr<const Linearization> lin_;
+  std::shared_ptr<const PackedLayout> layout_;
+};
+
+TEST_F(AppendTest, EmptyOverflowMatchesBase) {
+  OverflowLayout overflow(*layout_);
+  EXPECT_EQ(overflow.overflow_pages(), 0u);
+  const IoSimulator sim(*layout_);
+  const QueryClassLattice lat(*schema_);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const GridQuery q = SampleQuery(
+        *schema_, lat.ClassAt(rng.Below(lat.size())), &rng);
+    const QueryIo with = overflow.Measure(q);
+    const QueryIo base = sim.Measure(q);
+    EXPECT_EQ(with.pages, base.pages);
+    EXPECT_EQ(with.seeks, base.seeks);
+    EXPECT_EQ(with.records, base.records);
+  }
+  const Workload mu = Workload::Uniform(lat);
+  const WorkloadIoStats a = overflow.Expect(mu);
+  const WorkloadIoStats b = IoSimulator::Expect(mu, sim.MeasureAllClasses());
+  EXPECT_NEAR(a.expected_seeks, b.expected_seeks, 1e-9);
+  EXPECT_NEAR(a.expected_pages, b.expected_pages, 1e-9);
+  EXPECT_NEAR(a.expected_normalized_blocks, b.expected_normalized_blocks,
+              1e-9);
+}
+
+TEST_F(AppendTest, AppendsAccumulatePagesAndRecords) {
+  OverflowLayout overflow(*layout_);
+  // 64-byte pages, 16-byte records: 4 records per overflow page.
+  for (int i = 0; i < 9; ++i) overflow.Append(At(0, 0), 1.0);
+  EXPECT_EQ(overflow.overflow_records(), 9u);
+  EXPECT_EQ(overflow.overflow_pages(), 3u);
+
+  GridQuery cell{QueryClass{0, 0}, {0, 0}};
+  const QueryIo io = overflow.Measure(cell);
+  const QueryIo base = IoSimulator(*layout_).Measure(cell);
+  EXPECT_EQ(io.records, base.records + 9);
+  // The overflow pages are consecutive: one extra seek, three extra pages.
+  EXPECT_EQ(io.pages, base.pages + 3);
+  EXPECT_EQ(io.seeks, base.seeks + 1);
+}
+
+TEST_F(AppendTest, ScatteredAppendsHitManyQueries) {
+  OverflowLayout overflow(*layout_);
+  // One record in every cell: every single-cell query gains exactly one
+  // overflow page.
+  for (uint64_t id = 0; id < schema_->num_cells(); ++id) {
+    overflow.Append(schema_->Unflatten(id), 1.0);
+  }
+  GridQuery first{QueryClass{0, 0}, {0, 0}};
+  GridQuery last{QueryClass{0, 0}, {3, 3}};
+  const IoSimulator sim(*layout_);
+  for (const GridQuery& q : {first, last}) {
+    const QueryIo io = overflow.Measure(q);
+    EXPECT_EQ(io.pages, sim.Measure(q).pages + 1) << q.ToString();
+  }
+}
+
+TEST_F(AppendTest, ExpectMatchesPerQueryAggregation) {
+  OverflowLayout overflow(*layout_);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    overflow.Append(schema_->Unflatten(rng.Below(schema_->num_cells())), 1.0);
+  }
+  const QueryClassLattice lat(*schema_);
+  const Workload mu = Workload::Uniform(lat);
+  const WorkloadIoStats expected = overflow.Expect(mu);
+
+  double manual_seeks = 0.0;
+  for (uint64_t ci = 0; ci < lat.size(); ++ci) {
+    const QueryClass cls = lat.ClassAt(ci);
+    uint64_t seeks = 0, nonempty = 0;
+    for (const GridQuery& q : AllQueriesInClass(*schema_, cls)) {
+      const QueryIo io = overflow.Measure(q);
+      if (io.records == 0) continue;
+      ++nonempty;
+      seeks += io.seeks;
+    }
+    if (nonempty > 0) {
+      manual_seeks += mu.probability_at(ci) * static_cast<double>(seeks) /
+                      static_cast<double>(nonempty);
+    }
+  }
+  EXPECT_NEAR(expected.expected_seeks, manual_seeks, 1e-9);
+}
+
+TEST_F(AppendTest, DegradationGrowsWithOverflow) {
+  const QueryClassLattice lat(*schema_);
+  const Workload mu = Workload::Uniform(lat);
+  OverflowLayout overflow(*layout_);
+  Rng rng(13);
+  double previous = overflow.Expect(mu).expected_seeks;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 40; ++i) {
+      overflow.Append(schema_->Unflatten(rng.Below(schema_->num_cells())),
+                      1.0);
+    }
+    const double now = overflow.Expect(mu).expected_seeks;
+    EXPECT_GE(now, previous - 1e-9);
+    previous = now;
+  }
+  EXPECT_GT(previous, IoSimulator::Expect(
+                          mu, IoSimulator(*layout_).MeasureAllClasses())
+                          .expected_seeks);
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/snaked_dp.h"
+#include "storage/cache.h"
+#include "storage/query_engine.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/workloads.h"
+
+namespace snakes {
+namespace {
+
+TEST(LruCacheTest, BasicHitMissEvict) {
+  LruPageCache cache(2);
+  EXPECT_FALSE(cache.Access(1));  // miss
+  EXPECT_FALSE(cache.Access(2));  // miss
+  EXPECT_TRUE(cache.Access(1));   // hit, 1 becomes MRU
+  EXPECT_FALSE(cache.Access(3));  // miss, evicts 2
+  EXPECT_TRUE(cache.Access(1));   // still cached
+  EXPECT_FALSE(cache.Access(2));  // was evicted
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NEAR(cache.HitRate(), 2.0 / 6, 1e-12);
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverHits) {
+  LruPageCache cache(0);
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(LruCacheTest, ClearResets) {
+  LruPageCache cache(4);
+  cache.Access(1);
+  cache.Access(1);
+  cache.Clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Access(1));
+}
+
+class WarehouseCacheTest : public ::testing::Test {
+ protected:
+  WarehouseCacheTest() {
+    tpcd::Config config;
+    config.parts_per_mfgr = 4;
+    config.num_mfgrs = 3;
+    config.num_suppliers = 4;
+    config.months_per_year = 6;
+    config.num_years = 2;
+    config.num_orders = 6'000;
+    warehouse_ = tpcd::GenerateWarehouse(config, 31).value();
+  }
+  tpcd::Warehouse warehouse_;
+};
+
+TEST_F(WarehouseCacheTest, InfiniteCacheReadsDistinctPagesOnce) {
+  auto lin = std::shared_ptr<const Linearization>(
+      RowMajorOrder::Make(warehouse_.schema, {0, 1, 2}).value());
+  const auto layout = PackedLayout::Pack(lin, warehouse_.facts).value();
+  const QueryClassLattice lat(*warehouse_.schema);
+  const Workload mu = Workload::Uniform(lat);
+  LruPageCache cache(layout.num_pages() + 1);
+  Rng rng(7);
+  const CachedRunStats stats = ReplayWorkload(layout, mu, 400, &cache, &rng);
+  EXPECT_EQ(stats.queries, 400u);
+  // With capacity >= every page, disk reads equal distinct pages touched.
+  EXPECT_LE(stats.disk_reads, layout.num_pages());
+  EXPECT_GT(stats.HitRate(), 0.5);
+}
+
+TEST_F(WarehouseCacheTest, BetterClusteringReducesDiskReads) {
+  // Random queries carry no extra temporal locality, so clustering barely
+  // moves the HIT RATE — its effect is the page footprint: under the snaked
+  // optimal layout each query touches fewer pages, so the replay issues
+  // fewer disk reads through the same cache than the worst row-major.
+  const QueryClassLattice lat(*warehouse_.schema);
+  const Workload mu = tpcd::SectionSixWorkload(lat, 7).value();
+  const auto dp = FindOptimalSnakedLatticePath(mu).value();
+
+  auto reads_per_query = [&](std::shared_ptr<const Linearization> lin) {
+    const auto layout = PackedLayout::Pack(std::move(lin), warehouse_.facts,
+                                           StorageConfig{2048, 125})
+                            .value();
+    LruPageCache cache(layout.num_pages() / 20);  // 5% of the data
+    Rng rng(11);
+    const CachedRunStats stats = ReplayWorkload(layout, mu, 600, &cache, &rng);
+    return static_cast<double>(stats.disk_reads) /
+           static_cast<double>(stats.queries);
+  };
+
+  const double snaked = reads_per_query(
+      MakePathOrder(warehouse_.schema, dp.path, true).value());
+  double worst_rm = 0.0;
+  for (auto& rm : AllRowMajorOrders(warehouse_.schema)) {
+    worst_rm = std::max(worst_rm, reads_per_query(std::move(rm)));
+  }
+  EXPECT_LT(snaked, worst_rm);
+}
+
+TEST_F(WarehouseCacheTest, QueryEngineAnswersMatchFactTable) {
+  auto lin = std::shared_ptr<const Linearization>(
+      RowMajorOrder::Make(warehouse_.schema, {2, 1, 0}).value());
+  const auto layout = PackedLayout::Pack(lin, warehouse_.facts).value();
+  const QueryEngine engine(layout);
+
+  // Whole-table query equals the generator totals.
+  QueryClass top{2, 1, 2};
+  GridQuery all{top, {0, 0, 0}};
+  const QueryAnswer everything = engine.Execute(all);
+  EXPECT_EQ(everything.count, warehouse_.facts->total_records());
+  EXPECT_GT(everything.sum, 0.0);
+  EXPECT_EQ(everything.io.seeks, 1u);
+
+  // Partition property: the per-manufacturer counts sum to the total.
+  uint64_t sum_counts = 0;
+  double sum_sums = 0.0;
+  for (uint64_t m = 0; m < 3; ++m) {
+    GridQuery q{QueryClass{1, 1, 2}, {m, 0, 0}};
+    const QueryAnswer a = engine.Execute(q);
+    sum_counts += a.count;
+    sum_sums += a.sum;
+  }
+  EXPECT_EQ(sum_counts, everything.count);
+  EXPECT_NEAR(sum_sums, everything.sum, 1e-6 * everything.sum);
+
+  // ExecuteAt drills into the class containing a coordinate.
+  CellCoord coord;
+  coord.resize(3);
+  coord[0] = 5;
+  coord[1] = 2;
+  coord[2] = 9;
+  const QueryAnswer at = engine.ExecuteAt(QueryClass{1, 0, 1}, coord);
+  const QueryAnswer direct =
+      engine.Execute(QueryContaining(*warehouse_.schema, QueryClass{1, 0, 1},
+                                     coord));
+  EXPECT_EQ(at.count, direct.count);
+  EXPECT_DOUBLE_EQ(at.sum, direct.sum);
+  if (at.count > 0) {
+    EXPECT_GT(at.AvgMeasure(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "curves/hilbert.h"
+#include "curves/linearization.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "hierarchy/star_schema.h"
+#include "path/lattice_path.h"
+
+namespace snakes {
+namespace {
+
+std::shared_ptr<const StarSchema> Toy() {
+  return std::make_shared<StarSchema>(StarSchema::Symmetric(2, 2, 2).value());
+}
+
+std::shared_ptr<const StarSchema> Mixed() {
+  // Non-power-of-two, non-square, 3-D.
+  auto a = Hierarchy::Uniform("a", {3, 2}).value();
+  auto b = Hierarchy::Uniform("b", {5}).value();
+  auto c = Hierarchy::Uniform("c", {2, 2}).value();
+  return std::make_shared<StarSchema>(
+      StarSchema::Make("mixed", {a, b, c}).value());
+}
+
+LatticePath PathFromSteps(const StarSchema& schema, std::vector<int> steps) {
+  return LatticePath::FromSteps(QueryClassLattice(schema), std::move(steps))
+      .value();
+}
+
+TEST(RowMajorTest, MatchesClosedForm) {
+  auto schema = Mixed();
+  auto rm = RowMajorOrder::Make(schema, {1, 0, 2}).value();
+  EXPECT_EQ(rm->name(), "row-major(b,a,c)");
+  ASSERT_TRUE(rm->Validate().ok());
+  // rank = b * (6*4) + a * 4 + c.
+  CellCoord coord;
+  coord.resize(3);
+  coord[0] = 2;  // a
+  coord[1] = 3;  // b
+  coord[2] = 1;  // c
+  EXPECT_EQ(rm->RankOf(coord), 3u * 24 + 2u * 4 + 1u);
+}
+
+TEST(RowMajorTest, AllOrdersAreValidAndDistinct) {
+  auto schema = Mixed();
+  auto all = AllRowMajorOrders(schema);
+  ASSERT_EQ(all.size(), 6u);  // 3!
+  for (const auto& rm : all) {
+    EXPECT_TRUE(rm->Validate().ok()) << rm->name();
+  }
+  // Distinct names.
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i]->name(), all[j]->name());
+    }
+  }
+}
+
+TEST(RowMajorTest, RejectsBadPermutation) {
+  auto schema = Toy();
+  EXPECT_FALSE(RowMajorOrder::Make(schema, {0}).ok());
+  EXPECT_FALSE(RowMajorOrder::Make(schema, {0, 0}).ok());
+  EXPECT_FALSE(RowMajorOrder::Make(schema, {0, 2}).ok());
+}
+
+TEST(ZCurveTest, MatchesFigure2aOnToyGrid) {
+  // Figure 2(a): within each 2x2 quadrant row-major, quadrants row-major.
+  auto z = ZCurve::Make(Toy()).value();
+  ASSERT_TRUE(z->Validate().ok());
+  const uint64_t expected[4][4] = {// expected[row][col] = rank
+                                   {0, 1, 4, 5},
+                                   {2, 3, 6, 7},
+                                   {8, 9, 12, 13},
+                                   {10, 11, 14, 15}};
+  for (uint64_t r = 0; r < 4; ++r) {
+    for (uint64_t c = 0; c < 4; ++c) {
+      CellCoord coord;
+      coord.resize(2);
+      coord[0] = r;
+      coord[1] = c;
+      EXPECT_EQ(z->RankOf(coord), expected[r][c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(ZCurveTest, HandlesUnequalPowerOfTwoExtents) {
+  auto a = Hierarchy::Uniform("a", {2}).value();
+  auto b = Hierarchy::Uniform("b", {2, 2, 2}).value();
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("rect", {a, b}).value());
+  auto z = ZCurve::Make(schema).value();
+  EXPECT_TRUE(z->Validate().ok());
+}
+
+TEST(ZCurveTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(ZCurve::Make(Mixed()).ok());
+}
+
+TEST(GrayCurveTest, ValidAndUnitHammingSteps) {
+  auto g = GrayCurve::Make(Toy()).value();
+  ASSERT_TRUE(g->Validate().ok());
+  // Consecutive interleaved codes differ in exactly one bit, so consecutive
+  // cells differ in exactly one coordinate (by a power of two).
+  CellCoord prev = g->CellAt(0);
+  for (uint64_t r = 1; r < g->num_cells(); ++r) {
+    const CellCoord cur = g->CellAt(r);
+    int changed = 0;
+    for (size_t d = 0; d < 2; ++d) changed += cur[d] != prev[d];
+    EXPECT_EQ(changed, 1) << "rank " << r;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, ValidBijectionAndAdjacency) {
+  for (bool swap : {false, true}) {
+    auto h = HilbertCurve::Make(Toy(), swap).value();
+    ASSERT_TRUE(h->Validate().ok());
+    CellCoord prev = h->CellAt(0);
+    for (uint64_t r = 1; r < h->num_cells(); ++r) {
+      const CellCoord cur = h->CellAt(r);
+      uint64_t manhattan = 0;
+      for (size_t d = 0; d < 2; ++d) {
+        manhattan += cur[d] > prev[d] ? cur[d] - prev[d] : prev[d] - cur[d];
+      }
+      EXPECT_EQ(manhattan, 1u) << "rank " << r;
+      prev = cur;
+    }
+  }
+}
+
+TEST(HilbertTest, ThreeDimensionalAdjacency) {
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(3, 2, 2).value());  // 4x4x4
+  auto h = HilbertCurve::Make(schema).value();
+  ASSERT_TRUE(h->Validate().ok());
+  CellCoord prev = h->CellAt(0);
+  for (uint64_t r = 1; r < h->num_cells(); ++r) {
+    const CellCoord cur = h->CellAt(r);
+    uint64_t manhattan = 0;
+    for (size_t d = 0; d < 3; ++d) {
+      manhattan += cur[d] > prev[d] ? cur[d] - prev[d] : prev[d] - cur[d];
+    }
+    EXPECT_EQ(manhattan, 1u) << "rank " << r;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, RequiresSquarePowerOfTwo) {
+  EXPECT_FALSE(HilbertCurve::Make(Mixed()).ok());
+  auto a = Hierarchy::Uniform("a", {2}).value();
+  auto b = Hierarchy::Uniform("b", {2, 2}).value();
+  auto rect = std::make_shared<StarSchema>(
+      StarSchema::Make("rect", {a, b}).value());
+  EXPECT_FALSE(HilbertCurve::Make(rect).ok());
+}
+
+TEST(PathOrderTest, P1IsRowMajor) {
+  auto schema = Toy();
+  // P1 = (0,0)-(0,1)-(0,2)-(1,2)-(2,2): loops B1, B2, A1, A2 — dimension B
+  // varies fastest, i.e. row-major with A outer.
+  const LatticePath p1 = PathFromSteps(*schema, {1, 1, 0, 0});
+  auto order = PathOrder::Make(schema, p1, /*snaked=*/false).value();
+  ASSERT_TRUE(order->Validate().ok());
+  auto rm = RowMajorOrder::Make(schema, {0, 1}).value();
+  for (uint64_t r = 0; r < order->num_cells(); ++r) {
+    EXPECT_EQ(schema->Flatten(order->CellAt(r)),
+              schema->Flatten(rm->CellAt(r)));
+  }
+}
+
+TEST(PathOrderTest, P2EqualsZCurve) {
+  auto schema = Toy();
+  // P2 alternates B,A,B,A — exactly the quadrant/Z recursion on a binary
+  // grid (Figure 2(a)).
+  const LatticePath p2 = PathFromSteps(*schema, {1, 0, 1, 0});
+  auto order = PathOrder::Make(schema, p2, /*snaked=*/false).value();
+  auto z = ZCurve::Make(schema).value();
+  for (uint64_t r = 0; r < order->num_cells(); ++r) {
+    EXPECT_EQ(schema->Flatten(order->CellAt(r)), schema->Flatten(z->CellAt(r)));
+  }
+}
+
+TEST(PathOrderTest, SnakedOrdersAreValid) {
+  auto schema = Mixed();
+  const QueryClassLattice lat(*schema);
+  const LatticePath path = LatticePath::RoundRobin(lat);
+  for (bool snaked : {false, true}) {
+    auto order = PathOrder::Make(schema, path, snaked).value();
+    EXPECT_TRUE(order->Validate().ok()) << order->name();
+  }
+}
+
+TEST(PathOrderTest, SnakedStepsChangeOneDigitByOne) {
+  auto schema = Mixed();
+  const QueryClassLattice lat(*schema);
+  for (const std::vector<int>& steps :
+       {std::vector<int>{2, 1, 0, 2, 0}, std::vector<int>{0, 0, 1, 2, 2}}) {
+    const LatticePath path = PathFromSteps(*schema, steps);
+    auto order = PathOrder::Make(schema, path, /*snaked=*/true).value();
+    CellCoord prev = order->CellAt(0);
+    for (uint64_t r = 1; r < order->num_cells(); ++r) {
+      const CellCoord cur = order->CellAt(r);
+      int changed = 0;
+      for (size_t d = 0; d < 3; ++d) changed += cur[d] != prev[d];
+      EXPECT_EQ(changed, 1) << "diagonal step at rank " << r;
+      prev = cur;
+    }
+  }
+}
+
+TEST(PathOrderTest, WalkAgreesWithCellAt) {
+  auto schema = Mixed();
+  const LatticePath path = PathFromSteps(*schema, {2, 1, 0, 2, 0});
+  for (bool snaked : {false, true}) {
+    auto order = PathOrder::Make(schema, path, snaked).value();
+    order->Walk([&](uint64_t rank, const CellCoord& coord) {
+      EXPECT_EQ(schema->Flatten(order->CellAt(rank)), schema->Flatten(coord));
+    });
+  }
+}
+
+TEST(PathOrderTest, SnakedFigure5P1) {
+  // Snaked P1 boustrophedons at EVERY loop level: the B1 loop reverses on
+  // each re-entry (so row 0 visits columns 0,1,3,2), the B2 loop reverses
+  // per row, and the A loops snake the row order (0,1,3,2). This is the
+  // order whose class costs reproduce the paper's snaked-P1 column of
+  // Table 1 exactly (see cost_test.cc).
+  auto schema = Toy();
+  const LatticePath p1 = PathFromSteps(*schema, {1, 1, 0, 0});
+  auto order = PathOrder::Make(schema, p1, /*snaked=*/true).value();
+  const uint64_t expected[16][2] = {
+      {0, 0}, {0, 1}, {0, 3}, {0, 2}, {1, 2}, {1, 3}, {1, 1}, {1, 0},
+      {3, 0}, {3, 1}, {3, 3}, {3, 2}, {2, 2}, {2, 3}, {2, 1}, {2, 0}};
+  for (uint64_t rank = 0; rank < 16; ++rank) {
+    const CellCoord c = order->CellAt(rank);
+    EXPECT_EQ(c[0], expected[rank][0]) << "rank " << rank;
+    EXPECT_EQ(c[1], expected[rank][1]) << "rank " << rank;
+  }
+}
+
+TEST(MakePathOrderTest, NonUniformHierarchiesSupported) {
+  auto geo = Hierarchy::Explicit("geo", {{2, 3, 1}, {3}}).value();
+  auto other = Hierarchy::Uniform("o", {2}).value();
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("nu", {geo, other}).value());
+  const QueryClassLattice lat(*schema);
+  const LatticePath path =
+      LatticePath::FromSteps(lat, {0, 1, 0}).value();
+  for (bool snaked : {false, true}) {
+    auto order = MakePathOrder(schema, path, snaked).value();
+    EXPECT_TRUE(order->Validate().ok()) << order->name();
+  }
+}
+
+TEST(MakePathOrderTest, GenerativeMatchesClosedFormOnUniform) {
+  // Force the generative sweep through a materialized copy and compare with
+  // the closed-form PathOrder on a uniform schema.
+  auto schema = Mixed();
+  const LatticePath path = PathFromSteps(*schema, {1, 0, 2, 0, 2});
+  for (bool snaked : {false, true}) {
+    auto closed = PathOrder::Make(schema, path, snaked).value();
+    auto materialized = MaterializedLinearization::From(*closed);
+    for (uint64_t r = 0; r < closed->num_cells(); ++r) {
+      EXPECT_EQ(schema->Flatten(closed->CellAt(r)),
+                schema->Flatten(materialized->CellAt(r)));
+      EXPECT_EQ(materialized->RankOf(closed->CellAt(r)), r);
+    }
+  }
+}
+
+TEST(MaterializedTest, RejectsNonPermutations) {
+  auto schema = Toy();
+  std::vector<CellId> dup(16, 0);
+  EXPECT_FALSE(
+      MaterializedLinearization::Make(schema, "dup", std::move(dup)).ok());
+  std::vector<CellId> truncated(3, 0);
+  EXPECT_FALSE(
+      MaterializedLinearization::Make(schema, "short", std::move(truncated))
+          .ok());
+}
+
+}  // namespace
+}  // namespace snakes

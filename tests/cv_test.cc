@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "cost/edge_model.h"
+#include "curves/hilbert.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "cv/characteristic_vector.h"
+#include "cv/consistency.h"
+#include "cv/sandwich.h"
+#include "cv/transform.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/lattice_path.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+std::shared_ptr<const StarSchema> BinarySchema(int n) {
+  return std::make_shared<StarSchema>(StarSchema::Symmetric(2, n, 2).value());
+}
+
+BinaryCV MeasureCV(const Linearization& lin) {
+  return BinaryCV::FromHistogram(MeasureEdgeHistogram(lin)).value();
+}
+
+TEST(BinaryCVTest, AccessorsAndToString) {
+  auto cv = BinaryCV::Make(2, {8, 4}, {2, 1}).value();
+  EXPECT_EQ(cv.n(), 2);
+  EXPECT_EQ(cv.cells(), 16u);
+  EXPECT_EQ(cv.a(1), 8u);
+  EXPECT_EQ(cv.b(2), 1u);
+  EXPECT_EQ(cv.PrefixA(2), 12u);
+  EXPECT_EQ(cv.TotalEdges(), 15u);
+  EXPECT_TRUE(cv.IsNonDiagonal());
+  EXPECT_EQ(cv.ToString(), "(8,4;2,1)");
+
+  auto diag = BinaryCV::Make(2, {8, 4}, {0, 0}, {0, 2, 0, 1}).value();
+  EXPECT_FALSE(diag.IsNonDiagonal());
+  EXPECT_EQ(diag.d(1, 2), 2u);
+  EXPECT_EQ(diag.PrefixD(2, 2), 3u);
+  EXPECT_EQ(diag.ToString(), "(8,4;0,0;0,2,0,1)");
+}
+
+TEST(BinaryCVTest, MakeValidation) {
+  EXPECT_FALSE(BinaryCV::Make(0, {}, {}).ok());
+  EXPECT_FALSE(BinaryCV::Make(2, {8}, {2, 1}).ok());
+  EXPECT_FALSE(BinaryCV::Make(2, {8, 4}, {2, 1}, {1}).ok());
+}
+
+TEST(BinaryCVTest, FromHistogramMatchesPaperCVs) {
+  auto schema = BinarySchema(2);
+  const QueryClassLattice lat(*schema);
+  // CV(P1): the paper writes (8,4;0,0;0,2;0,1) labelling the fast dimension
+  // "A"; in our dimension order (dim 0 = outer), the axis edges land in b.
+  const LatticePath p1 = LatticePath::FromSteps(lat, {1, 1, 0, 0}).value();
+  auto lin = PathOrder::Make(schema, p1, false).value();
+  const BinaryCV cv = MeasureCV(*lin);
+  EXPECT_EQ(cv.b(1), 8u);
+  EXPECT_EQ(cv.b(2), 4u);
+  EXPECT_EQ(cv.a(1), 0u);
+  EXPECT_EQ(cv.a(2), 0u);
+  EXPECT_EQ(cv.d(1, 2), 2u);
+  EXPECT_EQ(cv.d(2, 2), 1u);
+
+  // Hilbert, paper orientation: (6,2;6,1).
+  auto h = HilbertCurve::Make(schema, true).value();
+  const BinaryCV hcv = MeasureCV(*h);
+  EXPECT_EQ(hcv.ToString(), "(6,2;6,1)");
+}
+
+TEST(BinaryCVTest, SnakedPathCVsArePowersOfTwo) {
+  auto schema = BinarySchema(2);
+  const QueryClassLattice lat(*schema);
+  const LatticePath p1 = LatticePath::FromSteps(lat, {1, 1, 0, 0}).value();
+  auto lin = PathOrder::Make(schema, p1, true).value();
+  EXPECT_EQ(MeasureCV(*lin).ToString(), "(2,1;8,4)");
+  const LatticePath p2 = LatticePath::FromSteps(lat, {1, 0, 1, 0}).value();
+  auto lin2 = PathOrder::Make(schema, p2, true).value();
+  EXPECT_EQ(MeasureCV(*lin2).ToString(), "(4,1;8,2)");
+}
+
+TEST(BinaryCVTest, ExtendedCostMatchesEdgeModel) {
+  // The extended cost of a *measured* CV equals the edge-model class costs.
+  auto schema = BinarySchema(2);
+  auto z = ZCurve::Make(schema).value();
+  const BinaryCV cv = MeasureCV(*z);
+  const ClassCostTable costs = MeasureClassCosts(*z);
+  for (int i = 0; i <= 2; ++i) {
+    for (int j = 0; j <= 2; ++j) {
+      EXPECT_EQ(cv.AvgClassCost(i, j), costs.Avg(QueryClass{i, j}));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 2 / consistency.
+// ---------------------------------------------------------------------------
+
+TEST(ConsistencyTest, MeasuredStrategiesAreAlwaysConsistent) {
+  for (int n : {2, 3}) {
+    auto schema = BinarySchema(n);
+    const QueryClassLattice lat(*schema);
+    std::vector<std::unique_ptr<Linearization>> strategies;
+    strategies.push_back(ZCurve::Make(schema).value());
+    strategies.push_back(GrayCurve::Make(schema).value());
+    strategies.push_back(HilbertCurve::Make(schema).value());
+    for (auto& rm : AllRowMajorOrders(schema)) strategies.push_back(std::move(rm));
+    for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+      strategies.push_back(PathOrder::Make(schema, path, false).value());
+      strategies.push_back(PathOrder::Make(schema, path, true).value());
+    }
+    for (const auto& lin : strategies) {
+      const BinaryCV cv = MeasureCV(*lin);
+      EXPECT_TRUE(IsConsistent(cv))
+          << lin->name() << ": "
+          << ConsistencyViolations(cv).front();
+    }
+  }
+}
+
+TEST(ConsistencyTest, ViolationsAreReported) {
+  // Too many A_1 edges.
+  auto cv = BinaryCV::Make(2, {9, 0}, {4, 2}).value();
+  EXPECT_FALSE(IsConsistent(cv));
+  EXPECT_FALSE(ConsistencyViolations(cv).empty());
+  // Wrong total.
+  auto cv2 = BinaryCV::Make(2, {8, 4}, {2, 0}).value();
+  EXPECT_FALSE(IsConsistent(cv2));
+}
+
+TEST(ConsistencyTest, GeneralizedHistogramCheck) {
+  // Every strategy on an arbitrary (non-binary, 3-D) schema satisfies the
+  // generalized Lemma-2 bounds.
+  auto a = Hierarchy::Uniform("a", {3, 2}).value();
+  auto b = Hierarchy::Uniform("b", {4}).value();
+  auto c = Hierarchy::Uniform("c", {2, 3}).value();
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("gen", {a, b, c}).value());
+  const QueryClassLattice lat(*schema);
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    for (bool snaked : {false, true}) {
+      auto lin = PathOrder::Make(schema, path, snaked).value();
+      EXPECT_TRUE(IsConsistentHistogram(*schema, MeasureEdgeHistogram(*lin)))
+          << lin->name();
+    }
+  }
+}
+
+TEST(ConsistencyTest, PrecedesOrder) {
+  // The paper's example chain: (8,4;2,1) <= (1,11;1,2) <= (0,12;1,2).
+  auto u = BinaryCV::Make(2, {8, 4}, {2, 1}).value();
+  auto v = BinaryCV::Make(2, {1, 11}, {1, 2}).value();
+  auto w = BinaryCV::Make(2, {0, 12}, {1, 2}).value();
+  EXPECT_TRUE(PrecedesOrEquals(u, v));
+  EXPECT_TRUE(PrecedesOrEquals(v, w));
+  EXPECT_TRUE(PrecedesOrEquals(u, w));
+  EXPECT_FALSE(PrecedesOrEquals(v, u));
+  EXPECT_TRUE(PrecedesOrEquals(u, u));
+}
+
+TEST(MinimalizeTest, Example3Minimalization) {
+  // Example 3: (24,9,5;21,3,1) minimalizes to (27,8,3;21,3,1).
+  auto cv = BinaryCV::Make(3, {24, 9, 5}, {21, 3, 1}).value();
+  ASSERT_TRUE(IsConsistent(cv));
+  const BinaryCV minimal = Minimalize(cv).value();
+  EXPECT_EQ(minimal.ToString(), "(27,8,3;21,3,1)");
+}
+
+TEST(MinimalizeTest, NeverIncreasesCostOnAnyWorkload) {
+  auto lat22 = QueryClassLattice::FromFanouts({{2, 2}, {2, 2}}).value();
+  Rng rng(31);
+  // Use measured CVs of real strategies as inputs.
+  auto schema = BinarySchema(2);
+  auto h = HilbertCurve::Make(schema).value();
+  auto g = GrayCurve::Make(schema).value();
+  for (const Linearization* lin :
+       {static_cast<const Linearization*>(h.get()),
+        static_cast<const Linearization*>(g.get())}) {
+    const BinaryCV cv = MeasureCV(*lin);
+    if (!cv.IsNonDiagonal()) continue;
+    const BinaryCV minimal = Minimalize(cv).value();
+    for (int trial = 0; trial < 25; ++trial) {
+      const Workload mu = Workload::Random(lat22, &rng);
+      EXPECT_LE(minimal.CostMu(mu), cv.CostMu(mu) + 1e-12) << lin->name();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4: diagonal elimination.
+// ---------------------------------------------------------------------------
+
+TEST(TransformTest, Example3DiagonalElimination) {
+  // v_in = (20,5,1;21,3,1;d11=4,d22=4,d33=4) -> (24,9,5;21,3,1).
+  std::vector<uint64_t> diag(9, 0);
+  diag[0] = 4;  // d11
+  diag[4] = 4;  // d22
+  diag[8] = 4;  // d33
+  auto cv = BinaryCV::Make(3, {20, 5, 1}, {21, 3, 1}, diag).value();
+  ASSERT_TRUE(IsConsistent(cv));
+  const BinaryCV out = EliminateDiagonals(cv).value();
+  EXPECT_EQ(out.ToString(), "(24,9,5;21,3,1)");
+  EXPECT_TRUE(out.IsNonDiagonal());
+  EXPECT_TRUE(IsConsistent(out));
+}
+
+TEST(TransformTest, MeasuredDiagonalStrategiesEliminate) {
+  for (int n : {2, 3}) {
+    auto schema = BinarySchema(n);
+    const QueryClassLattice lat(*schema);
+    for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+      auto lin = PathOrder::Make(schema, path, false).value();
+      const BinaryCV cv = MeasureCV(*lin);
+      const BinaryCV out = EliminateDiagonals(cv).value();
+      EXPECT_TRUE(out.IsNonDiagonal());
+      EXPECT_TRUE(IsConsistent(out));
+      // Prefix coverage only grows, so cost can only drop: check per class.
+      for (int i = 0; i <= n; ++i) {
+        for (int j = 0; j <= n; ++j) {
+          EXPECT_LE(out.AvgClassCost(i, j).ToDouble(),
+                    cv.AvgClassCost(i, j).ToDouble() + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3 and Theorem 2: snaked path CVs and the sandwich construction.
+// ---------------------------------------------------------------------------
+
+TEST(SandwichTest, SnakedPathFromCVRoundTrip) {
+  auto schema = BinarySchema(3);
+  const QueryClassLattice lat(*schema);
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    auto lin = PathOrder::Make(schema, path, true).value();
+    const BinaryCV cv = MeasureCV(*lin);
+    EXPECT_TRUE(IsSnakedPathCV(cv)) << cv.ToString();
+    const LatticePath recovered = SnakedPathFromCV(cv).value();
+    EXPECT_EQ(recovered.steps(), path.steps()) << cv.ToString();
+  }
+}
+
+TEST(SandwichTest, RejectsNonSnakedCVs) {
+  // Hilbert: non-diagonal but not a snaked path.
+  auto schema = BinarySchema(2);
+  auto h = HilbertCurve::Make(schema).value();
+  EXPECT_FALSE(IsSnakedPathCV(MeasureCV(*h)));
+  // Powers of two but non-decreasing per dimension.
+  auto bad = BinaryCV::Make(2, {8, 4}, {1, 2}).value();
+  EXPECT_FALSE(IsSnakedPathCV(bad));
+}
+
+TEST(SandwichTest, Example3SandwichSteps) {
+  // u = (27,8,3;21,3,1) sandwiched by (16,8,3;32,3,1) and (32,8,3;16,3,1);
+  // u1 = (32,8,3;16,3,1) sandwiched by (32,8,2;16,4,1) and (32,8,4;16,2,1).
+  auto u = BinaryCV::Make(3, {27, 8, 3}, {21, 3, 1}).value();
+  const auto pair1 = SandwichOnce(u).value();
+  EXPECT_EQ(pair1.first.ToString(), "(16,8,3;32,3,1)");
+  EXPECT_EQ(pair1.second.ToString(), "(32,8,3;16,3,1)");
+  const auto pair2 = SandwichOnce(pair1.second).value();
+  EXPECT_EQ(pair2.first.ToString(), "(32,8,2;16,4,1)");
+  EXPECT_EQ(pair2.second.ToString(), "(32,8,4;16,2,1)");
+}
+
+TEST(SandwichTest, SandwichPreservesCostSomewhere) {
+  // One sandwich step: on every workload, at least one of the two vectors
+  // costs no more than the input (the pivotal inequality in Theorem 2).
+  auto lat = QueryClassLattice::FromFanouts(
+                 {{2, 2, 2}, {2, 2, 2}})
+                 .value();
+  auto u = BinaryCV::Make(3, {27, 8, 3}, {21, 3, 1}).value();
+  const auto pair = SandwichOnce(u).value();
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const double base = u.CostMu(mu);
+    EXPECT_TRUE(pair.first.CostMu(mu) <= base + 1e-12 ||
+                pair.second.CostMu(mu) <= base + 1e-12);
+  }
+}
+
+TEST(SandwichTest, FullRecursionReachesSnakedPaths) {
+  auto u = BinaryCV::Make(3, {27, 8, 3}, {21, 3, 1}).value();
+  const auto leaves = SandwichToSnakedPaths(u).value();
+  ASSERT_FALSE(leaves.empty());
+  for (const BinaryCV& leaf : leaves) {
+    EXPECT_TRUE(IsSnakedPathCV(leaf)) << leaf.ToString();
+  }
+  // And the sandwich guarantee: on every workload some leaf is at least as
+  // cheap as the input.
+  auto lat = QueryClassLattice::FromFanouts({{2, 2, 2}, {2, 2, 2}}).value();
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const double base = u.CostMu(mu);
+    double best = 1e300;
+    for (const BinaryCV& leaf : leaves) {
+      best = std::min(best, leaf.CostMu(mu));
+    }
+    EXPECT_LE(best, base + 1e-12);
+  }
+}
+
+TEST(SandwichTest, GlobalOptimalityPipelineOnDiagonalStrategy) {
+  // End to end on Example 3's diagonal strategy: eliminate diagonals,
+  // sandwich to snaked paths, and verify the Theorem-2 guarantee that some
+  // snaked lattice path beats the diagonal strategy on every workload.
+  std::vector<uint64_t> diag(9, 0);
+  diag[0] = 4;
+  diag[4] = 4;
+  diag[8] = 4;
+  auto s_d = BinaryCV::Make(3, {20, 5, 1}, {21, 3, 1}, diag).value();
+  const BinaryCV nondiag = EliminateDiagonals(s_d).value();
+  const auto leaves = SandwichToSnakedPaths(nondiag).value();
+  ASSERT_FALSE(leaves.empty());
+  auto lat = QueryClassLattice::FromFanouts({{2, 2, 2}, {2, 2, 2}}).value();
+  Rng rng(47);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    double best = 1e300;
+    for (const BinaryCV& leaf : leaves) {
+      best = std::min(best, leaf.CostMu(mu));
+    }
+    EXPECT_LE(best, s_d.CostMu(mu) + 1e-12);
+  }
+}
+
+TEST(SandwichTest, HilbertSandwichedBetweenTwoSnakedPaths) {
+  // The conclusion's claim: Hilbert's cost is sandwiched between two fixed
+  // snaked lattice paths on every workload. Minimalizing Hilbert's CV
+  // (6,2;6,1) and sandwiching yields (4,2;8,1) and (8,2;4,1).
+  auto schema = BinarySchema(2);
+  auto h = HilbertCurve::Make(schema, true).value();
+  const BinaryCV hcv = MeasureCV(*h);
+  const auto leaves = SandwichToSnakedPaths(hcv).value();
+  ASSERT_EQ(leaves.size(), 2u);
+  std::vector<std::string> names{leaves[0].ToString(), leaves[1].ToString()};
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names[0], "(4,2;8,1)");
+  EXPECT_EQ(names[1], "(8,2;4,1)");
+
+  auto lat = QueryClassLattice::FromFanouts({{2, 2}, {2, 2}}).value();
+  Rng rng(53);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const double hilbert = hcv.CostMu(mu);
+    const double lo = std::min(leaves[0].CostMu(mu), leaves[1].CostMu(mu));
+    EXPECT_LE(lo, hilbert + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace snakes

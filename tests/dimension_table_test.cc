@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/dimension_table.h"
+
+namespace snakes {
+namespace {
+
+// The paper's jeans dimension: style(0) -> type(1) -> all(2).
+DimensionTable Jeans() {
+  auto h =
+      Hierarchy::Uniform("jeans", {2, 2}, {"style", "type", "all"}).value();
+  return DimensionTable::Make(
+             h, {{"men's levi's", "women's levi's", "men's gitano",
+                  "women's gitano"},
+                 {"levi's", "gitano"},
+                 {"any jeans"}})
+      .value();
+}
+
+TEST(DimensionTableTest, LabelsRoundTrip) {
+  const DimensionTable jeans = Jeans();
+  EXPECT_EQ(jeans.label(1, 0), "levi's");
+  EXPECT_EQ(jeans.label(0, 3), "women's gitano");
+  EXPECT_EQ(jeans.label(2, 0), "any jeans");
+  EXPECT_EQ(jeans.BlockOf(1, "gitano").value(), 1u);
+  EXPECT_EQ(jeans.BlockOf(0, "men's gitano").value(), 2u);
+  EXPECT_FALSE(jeans.BlockOf(1, "wrangler").ok());
+  EXPECT_FALSE(jeans.BlockOf(5, "levi's").ok());
+}
+
+TEST(DimensionTableTest, FindSearchesBottomUp) {
+  const DimensionTable jeans = Jeans();
+  const auto found = jeans.Find("levi's").value();
+  EXPECT_EQ(found.first, 1);
+  EXPECT_EQ(found.second, 0u);
+  const auto leaf = jeans.Find("women's levi's").value();
+  EXPECT_EQ(leaf.first, 0);
+  EXPECT_EQ(leaf.second, 1u);
+  EXPECT_FALSE(jeans.Find("nope").ok());
+}
+
+TEST(DimensionTableTest, MakeValidation) {
+  auto h = Hierarchy::Uniform("d", {2}).value();
+  // Wrong level count.
+  EXPECT_FALSE(DimensionTable::Make(h, {{"a", "b"}}).ok());
+  // Wrong member count.
+  EXPECT_FALSE(DimensionTable::Make(h, {{"a"}, {"all"}}).ok());
+  // Duplicate label within a level.
+  EXPECT_FALSE(DimensionTable::Make(h, {{"a", "a"}, {"all"}}).ok());
+  EXPECT_TRUE(DimensionTable::Make(h, {{"a", "b"}, {"all"}}).ok());
+}
+
+TEST(DimensionTableTest, FromTreeBalanced) {
+  HierarchyNode root{"any location",
+                     {{"ON", {{"toronto", {}}, {"ottawa", {}}}},
+                      {"NY", {{"albany", {}}, {"nyc", {}}}}}};
+  const DimensionTable geo = DimensionTable::FromTree("location", root).value();
+  EXPECT_EQ(geo.hierarchy().num_levels(), 2);
+  EXPECT_EQ(geo.label(1, 0), "ON");
+  EXPECT_EQ(geo.label(0, 3), "nyc");
+  EXPECT_EQ(geo.label(2, 0), "any location");
+  EXPECT_EQ(geo.BlockOf(1, "NY").value(), 1u);
+}
+
+TEST(DimensionTableTest, FromTreeUnbalancedInheritsLabels) {
+  // Section 4.1: monaco has no state level; its dummy node reuses the
+  // member's label, so label lookups behave as if the level existed.
+  HierarchyNode root{"world",
+                     {{"us", {{"ny", {{"nyc", {}}, {"albany", {}}}}}},
+                      {"monaco", {}}}};
+  const DimensionTable geo = DimensionTable::FromTree("geo", root).value();
+  EXPECT_EQ(geo.hierarchy().num_levels(), 3);
+  EXPECT_EQ(geo.hierarchy().num_leaves(), 3u);
+  // The lifted leaf carries its own label at every spliced level.
+  const auto monaco = geo.Find("monaco").value();
+  EXPECT_EQ(monaco.first, 0);  // found at the leaf level first
+  EXPECT_EQ(monaco.second, 2u);
+  EXPECT_EQ(geo.BlockOf(1, "monaco").value(), 1u);
+  EXPECT_EQ(geo.BlockOf(2, "monaco").value(), 1u);
+  EXPECT_EQ(geo.BlockOf(2, "us").value(), 0u);
+  EXPECT_EQ(geo.BlockOf(0, "nyc").value(), 0u);
+}
+
+TEST(DimensionTableTest, FromTreeSingleLeaf) {
+  HierarchyNode root{"only", {}};
+  const DimensionTable t = DimensionTable::FromTree("unit", root).value();
+  EXPECT_EQ(t.hierarchy().num_levels(), 0);
+  EXPECT_EQ(t.label(0, 0), "only");
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "storage/disk_model.h"
+
+namespace snakes {
+namespace {
+
+TEST(DiskModelTest, QueryTimeDecomposes) {
+  DiskModel disk;
+  disk.seek_ms = 10.0;
+  disk.transfer_bytes_per_ms = 8192.0;  // one 8K page per ms
+  QueryIo io;
+  io.seeks = 3;
+  io.pages = 5;
+  EXPECT_DOUBLE_EQ(disk.QueryMs(io, 8192), 3 * 10.0 + 5 * 1.0);
+}
+
+TEST(DiskModelTest, ZeroIoIsFree) {
+  DiskModel disk;
+  QueryIo io;
+  EXPECT_DOUBLE_EQ(disk.QueryMs(io, 8192), 0.0);
+}
+
+TEST(DiskModelTest, ExpectedTimeMatchesComponents) {
+  DiskModel disk;
+  disk.seek_ms = 5.0;
+  disk.transfer_bytes_per_ms = 4096.0;
+  // 2 expected seeks, 10 expected pages of 8K: 10ms + 20ms.
+  EXPECT_DOUBLE_EQ(disk.ExpectedMs(2.0, 10.0, 8192), 10.0 + 20.0);
+}
+
+TEST(DiskModelTest, SeeksDominateScatteredIo) {
+  // The premise of the paper's seek-count objective: for scattered reads,
+  // positioning time swamps transfer time on rotating disks.
+  DiskModel disk;  // defaults: 9.5 ms seek, 15 MB/s
+  QueryIo scattered;
+  scattered.seeks = 100;
+  scattered.pages = 100;  // one page per seek
+  QueryIo sequential;
+  sequential.seeks = 1;
+  sequential.pages = 100;
+  const double scattered_ms = disk.QueryMs(scattered, 8192);
+  const double sequential_ms = disk.QueryMs(sequential, 8192);
+  EXPECT_GT(scattered_ms, 10.0 * sequential_ms);
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/star_schema.h"
+#include "lattice/estimator.h"
+#include "path/dpkd.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+QueryClassLattice ToyLattice() {
+  return QueryClassLattice(StarSchema::Symmetric(2, 2, 2).value());
+}
+
+TEST(EstimatorTest, FreshEstimatorIsUniform) {
+  WorkloadEstimator est(ToyLattice());
+  const Workload w = est.Estimate();
+  for (uint64_t i = 0; i < w.lattice().size(); ++i) {
+    EXPECT_NEAR(w.probability_at(i), 1.0 / 9, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(est.TotalObservations(), 0.0);
+}
+
+TEST(EstimatorTest, ConvergesToTrueDistribution) {
+  const QueryClassLattice lat = ToyLattice();
+  const auto truth = Workload::FromMasses(
+                         lat, {{QueryClass{1, 1}, 0.7}, {QueryClass{0, 2}, 0.3}})
+                         .value();
+  WorkloadEstimator est(lat, /*smoothing=*/1.0);
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(est.Observe(truth.Sample(&rng)).ok());
+  }
+  const Workload w = est.Estimate();
+  EXPECT_NEAR(w.probability(QueryClass{1, 1}), 0.7, 0.02);
+  EXPECT_NEAR(w.probability(QueryClass{0, 2}), 0.3, 0.02);
+  // Smoothing keeps unseen classes tiny but non-zero.
+  EXPECT_GT(w.probability(QueryClass{2, 0}), 0.0);
+  EXPECT_LT(w.probability(QueryClass{2, 0}), 1e-3);
+}
+
+TEST(EstimatorTest, ObserveCountMatchesRepeatedObserve) {
+  const QueryClassLattice lat = ToyLattice();
+  WorkloadEstimator a(lat), b(lat);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(a.Observe(QueryClass{1, 0}).ok());
+  ASSERT_TRUE(b.ObserveCount(QueryClass{1, 0}, 10.0).ok());
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    EXPECT_NEAR(a.Estimate().probability_at(i), b.Estimate().probability_at(i),
+                1e-12);
+  }
+}
+
+TEST(EstimatorTest, DecayTracksDrift) {
+  const QueryClassLattice lat = ToyLattice();
+  WorkloadEstimator est(lat, /*smoothing=*/0.1, /*decay=*/0.99);
+  // Phase 1: all mass on (0,0).
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(est.Observe(QueryClass{0, 0}).ok());
+  EXPECT_GT(est.Estimate().probability(QueryClass{0, 0}), 0.9);
+  // Phase 2: the workload drifts to (2,2); decay forgets phase 1.
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(est.Observe(QueryClass{2, 2}).ok());
+  EXPECT_GT(est.Estimate().probability(QueryClass{2, 2}), 0.9);
+  EXPECT_LT(est.Estimate().probability(QueryClass{0, 0}), 0.1);
+}
+
+TEST(EstimatorTest, Validation) {
+  const QueryClassLattice lat = ToyLattice();
+  WorkloadEstimator est(lat);
+  EXPECT_FALSE(est.Observe(QueryClass{0, 3}).ok());
+  EXPECT_FALSE(est.Observe(QueryClass{0, 0, 0}).ok());
+  EXPECT_FALSE(est.ObserveCount(QueryClass{0, 0}, -1.0).ok());
+}
+
+TEST(EstimatorTest, DrivesTheDpEndToEnd) {
+  // The intended loop: observe, estimate, re-optimize. A stream of
+  // column-style queries must steer the DP to a path through (2,0).
+  const QueryClassLattice lat = ToyLattice();
+  WorkloadEstimator est(lat, /*smoothing=*/0.01);
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(est.Observe(QueryClass{2, 0}).ok());
+  const auto dp = FindOptimalLatticePath(est.Estimate()).value();
+  EXPECT_TRUE(dp.path.Contains(QueryClass{2, 0}));
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cost/edge_model.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "cv/characteristic_vector.h"
+#include "cv/general_transform.h"
+#include "cv/transform.h"
+#include "hierarchy/star_schema.h"
+#include "path/lattice_path.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+// Per-class covered counts may only grow under elimination (so per-class
+// costs may only shrink), and the edge total must be conserved.
+void CheckImprovement(const StarSchema& schema, const EdgeHistogram& before,
+                      const EdgeHistogram& after) {
+  ASSERT_EQ(before.Total(), after.Total());
+  EXPECT_EQ(after.NumDiagonal(), 0u);
+  const ClassCostTable cost_before = CostsFromHistogram(schema, before);
+  const ClassCostTable cost_after = CostsFromHistogram(schema, after);
+  for (uint64_t i = 0; i < before.lattice.size(); ++i) {
+    const QueryClass cls = before.lattice.ClassAt(i);
+    EXPECT_LE(cost_after.AvgDouble(cls), cost_before.AvgDouble(cls) + 1e-12)
+        << cls.ToString();
+  }
+}
+
+TEST(GeneralTransformTest, MatchesBinarySpecialCase) {
+  // On binary 2-D schemas the generalized elimination must agree with the
+  // BinaryCV-based EliminateDiagonals on the resulting class costs.
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 3, 2).value());
+  const QueryClassLattice lat(*schema);
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    auto lin = PathOrder::Make(schema, path, false).value();
+    const EdgeHistogram hist = MeasureEdgeHistogram(*lin);
+    const EdgeHistogram general =
+        EliminateDiagonalsGeneral(*schema, hist).value();
+    CheckImprovement(*schema, hist, general);
+
+    const BinaryCV cv = BinaryCV::FromHistogram(hist).value();
+    const BinaryCV binary = EliminateDiagonals(cv).value();
+    const BinaryCV general_cv = BinaryCV::FromHistogram(general).value();
+    // Both splitters prefer the A side greedily, so they agree exactly.
+    EXPECT_EQ(general_cv.ToString(), binary.ToString()) << path.ToString();
+  }
+}
+
+TEST(GeneralTransformTest, ThreeDimensionalStrategies) {
+  auto a = Hierarchy::Uniform("a", {3, 2}).value();
+  auto b = Hierarchy::Uniform("b", {2}).value();
+  auto c = Hierarchy::Uniform("c", {2, 2}).value();
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("s", {a, b, c}).value());
+  const QueryClassLattice lat(*schema);
+  for (auto& rm : AllRowMajorOrders(schema)) {
+    const EdgeHistogram hist = MeasureEdgeHistogram(*rm);
+    const auto general = EliminateDiagonalsGeneral(*schema, hist);
+    ASSERT_TRUE(general.ok()) << rm->name() << ": "
+                              << general.status().ToString();
+    CheckImprovement(*schema, hist, general.value());
+  }
+}
+
+TEST(GeneralTransformTest, RandomizedPathsAlwaysEliminate) {
+  Rng rng(61);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int k = 2 + static_cast<int>(rng.Below(2));
+    std::vector<Hierarchy> dims;
+    for (int d = 0; d < k; ++d) {
+      std::vector<uint64_t> fanouts;
+      const int levels = 1 + static_cast<int>(rng.Below(2));
+      for (int l = 0; l < levels; ++l) fanouts.push_back(2 + rng.Below(3));
+      dims.push_back(
+          Hierarchy::Uniform("d" + std::to_string(d), fanouts).value());
+    }
+    auto schema = std::make_shared<StarSchema>(
+        StarSchema::Make("r", std::move(dims)).value());
+    const QueryClassLattice lat(*schema);
+    std::vector<int> steps;
+    for (int d = 0; d < k; ++d) {
+      for (int l = 0; l < lat.levels(d); ++l) steps.push_back(d);
+    }
+    for (size_t i = steps.size(); i > 1; --i) {
+      std::swap(steps[i - 1], steps[rng.Below(i)]);
+    }
+    const LatticePath path = LatticePath::FromSteps(lat, steps).value();
+    auto lin = PathOrder::Make(schema, path, false).value();
+    const EdgeHistogram hist = MeasureEdgeHistogram(*lin);
+    const auto general = EliminateDiagonalsGeneral(*schema, hist);
+    ASSERT_TRUE(general.ok()) << path.ToString() << ": "
+                              << general.status().ToString();
+    CheckImprovement(*schema, hist, general.value());
+  }
+}
+
+TEST(GeneralTransformTest, NonDiagonalInputIsFixpoint) {
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 2, 2).value());
+  const QueryClassLattice lat(*schema);
+  const LatticePath path = LatticePath::RoundRobin(lat);
+  auto lin = PathOrder::Make(schema, path, true).value();
+  const EdgeHistogram hist = MeasureEdgeHistogram(*lin);
+  ASSERT_TRUE(IsNonDiagonalHistogram(hist));
+  const EdgeHistogram out = EliminateDiagonalsGeneral(*schema, hist).value();
+  EXPECT_EQ(out.count, hist.count);
+}
+
+TEST(GeneralTransformTest, RejectsInconsistentHistogram) {
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 2, 2).value());
+  EdgeHistogram bogus{QueryClassLattice(*schema),
+                      std::vector<uint64_t>(9, 0)};
+  // 15 edges, but all of the finest type A_1 — exceeds the 8 available.
+  bogus.count[bogus.lattice.Index(QueryClass{1, 0})] = 15;
+  EXPECT_FALSE(EliminateDiagonalsGeneral(*schema, bogus).ok());
+}
+
+}  // namespace
+}  // namespace snakes

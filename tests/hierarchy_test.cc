@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/star_schema.h"
+
+namespace snakes {
+namespace {
+
+TEST(HierarchyTest, UniformBasics) {
+  // The toy jeans dimension: type(0) -> gender... actually 2 binary levels.
+  auto h = Hierarchy::Uniform("jeans", {2, 2}, {"style", "type", "all"});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->name(), "jeans");
+  EXPECT_EQ(h->num_levels(), 2);
+  EXPECT_EQ(h->num_leaves(), 4u);
+  EXPECT_EQ(h->num_blocks(0), 4u);
+  EXPECT_EQ(h->num_blocks(1), 2u);
+  EXPECT_EQ(h->num_blocks(2), 1u);
+  EXPECT_TRUE(h->is_uniform());
+  EXPECT_EQ(h->uniform_fanout(1), 2u);
+  EXPECT_EQ(h->uniform_fanout(2), 2u);
+  EXPECT_DOUBLE_EQ(h->avg_fanout(1), 2.0);
+  EXPECT_EQ(h->level_name(0), "style");
+  EXPECT_EQ(h->level_name(2), "all");
+}
+
+TEST(HierarchyTest, UniformAncestors) {
+  auto h = Hierarchy::Uniform("parts", {40, 5}).value();
+  EXPECT_EQ(h.num_leaves(), 200u);
+  EXPECT_EQ(h.AncestorAt(0, 0), 0u);
+  EXPECT_EQ(h.AncestorAt(39, 1), 0u);
+  EXPECT_EQ(h.AncestorAt(40, 1), 1u);
+  EXPECT_EQ(h.AncestorAt(199, 1), 4u);
+  EXPECT_EQ(h.AncestorAt(199, 2), 0u);
+  uint64_t first, last;
+  h.BlockLeafRange(1, 2, &first, &last);
+  EXPECT_EQ(first, 80u);
+  EXPECT_EQ(last, 120u);
+  EXPECT_EQ(h.BlockLeafCount(1, 2), 40u);
+  h.BlockLeafRange(0, 7, &first, &last);
+  EXPECT_EQ(first, 7u);
+  EXPECT_EQ(last, 8u);
+}
+
+TEST(HierarchyTest, TrivialHierarchy) {
+  auto h = Hierarchy::Uniform("unit", {}).value();
+  EXPECT_EQ(h.num_levels(), 0);
+  EXPECT_EQ(h.num_leaves(), 1u);
+  EXPECT_EQ(h.AncestorAt(0, 0), 0u);
+}
+
+TEST(HierarchyTest, RejectsZeroFanout) {
+  EXPECT_FALSE(Hierarchy::Uniform("bad", {4, 0}).ok());
+}
+
+TEST(HierarchyTest, RejectsBadLevelNames) {
+  EXPECT_FALSE(Hierarchy::Uniform("bad", {4}, {"only-one-name"}).ok());
+}
+
+TEST(HierarchyTest, ExplicitVaryingFanouts) {
+  // Level 1 has 3 nodes with 2, 3, 1 leaves; level 2 is the root over them.
+  auto h = Hierarchy::Explicit("geo", {{2, 3, 1}, {3}}).value();
+  EXPECT_FALSE(h.is_uniform());
+  EXPECT_EQ(h.num_leaves(), 6u);
+  EXPECT_EQ(h.num_blocks(1), 3u);
+  EXPECT_DOUBLE_EQ(h.avg_fanout(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.avg_fanout(2), 3.0);
+  EXPECT_EQ(h.AncestorAt(0, 1), 0u);
+  EXPECT_EQ(h.AncestorAt(1, 1), 0u);
+  EXPECT_EQ(h.AncestorAt(2, 1), 1u);
+  EXPECT_EQ(h.AncestorAt(4, 1), 1u);
+  EXPECT_EQ(h.AncestorAt(5, 1), 2u);
+  uint64_t first, last;
+  h.BlockLeafRange(1, 1, &first, &last);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(last, 5u);
+  EXPECT_EQ(h.BlockLeafCount(1, 2), 1u);
+}
+
+TEST(HierarchyTest, ExplicitDetectsUniform) {
+  auto h = Hierarchy::Explicit("u", {{2, 2}, {2}}).value();
+  EXPECT_TRUE(h.is_uniform());
+  EXPECT_EQ(h.num_leaves(), 4u);
+}
+
+TEST(HierarchyTest, ExplicitRejectsNonTelescoping) {
+  EXPECT_FALSE(Hierarchy::Explicit("bad", {{2, 2}, {3}}).ok());
+  EXPECT_FALSE(Hierarchy::Explicit("bad", {{2, 2, 2}, {2}}).ok());
+  EXPECT_FALSE(Hierarchy::Explicit("bad", {{2, 0}, {2}}).ok());
+}
+
+TEST(HierarchyTest, FromTreeBalancedInput) {
+  HierarchyNode root{"all",
+                     {{"m1", {{"p1", {}}, {"p2", {}}}},
+                      {"m2", {{"p3", {}}, {"p4", {}}}}}};
+  auto h = Hierarchy::FromTree("parts", root).value();
+  EXPECT_EQ(h.num_levels(), 2);
+  EXPECT_EQ(h.num_leaves(), 4u);
+  EXPECT_TRUE(h.is_uniform());
+}
+
+TEST(HierarchyTest, FromTreeBalancesUnbalancedLeaves) {
+  // One branch is one level shallower; Section 4.1 splices dummy nodes.
+  HierarchyNode root{"all",
+                     {{"deep", {{"d1", {{"x", {}}, {"y", {}}}}}},
+                      {"shallow", {}}}};
+  auto h = Hierarchy::FromTree("geo", root).value();
+  EXPECT_EQ(h.num_levels(), 3);
+  // Leaves: x, y (under deep/d1) and the lifted shallow leaf.
+  EXPECT_EQ(h.num_leaves(), 3u);
+  EXPECT_FALSE(h.is_uniform());
+  // The shallow chain has fanout 1 at each dummy level.
+  EXPECT_EQ(h.AncestorAt(2, 1), 1u);
+  EXPECT_EQ(h.AncestorAt(2, 2), 1u);
+  EXPECT_EQ(h.AncestorAt(2, 3), 0u);
+  // Average fanouts may be fractional after balancing.
+  EXPECT_DOUBLE_EQ(h.avg_fanout(3), 2.0);
+  EXPECT_DOUBLE_EQ(h.avg_fanout(1), 3.0 / 2.0);
+}
+
+TEST(HierarchyTest, FromTreeSingleLeaf) {
+  HierarchyNode root{"only", {}};
+  auto h = Hierarchy::FromTree("unit", root).value();
+  EXPECT_EQ(h.num_levels(), 0);
+  EXPECT_EQ(h.num_leaves(), 1u);
+}
+
+TEST(StarSchemaTest, ToySchemaShape) {
+  auto jeans = Hierarchy::Uniform("jeans", {2, 2}).value();
+  auto location = Hierarchy::Uniform("location", {2, 2}).value();
+  auto schema = StarSchema::Make("sales", {jeans, location}).value();
+  EXPECT_EQ(schema.num_dims(), 2);
+  EXPECT_EQ(schema.num_cells(), 16u);
+  EXPECT_EQ(schema.extent(0), 4u);
+  EXPECT_EQ(schema.total_levels(), 4);
+  EXPECT_EQ(schema.lattice_size(), 9u);
+}
+
+TEST(StarSchemaTest, FlattenUnflattenRoundTrip) {
+  auto schema = StarSchema::Symmetric(3, 2, 2).value();
+  for (CellId id = 0; id < schema.num_cells(); ++id) {
+    EXPECT_EQ(schema.Flatten(schema.Unflatten(id)), id);
+  }
+}
+
+TEST(StarSchemaTest, FlattenLastDimensionFastest) {
+  auto a = Hierarchy::Uniform("a", {3}).value();
+  auto b = Hierarchy::Uniform("b", {5}).value();
+  auto schema = StarSchema::Make("s", {a, b}).value();
+  CellCoord coord;
+  coord.resize(2);
+  coord[0] = 1;
+  coord[1] = 2;
+  EXPECT_EQ(schema.Flatten(coord), 1u * 5 + 2);
+}
+
+TEST(StarSchemaTest, SymmetricMatchesPaperToyGrid) {
+  auto schema = StarSchema::Symmetric(2, 2, 2).value();
+  EXPECT_EQ(schema.num_cells(), 16u);
+  EXPECT_EQ(schema.dim(0).name(), "A");
+  EXPECT_EQ(schema.dim(1).name(), "B");
+}
+
+TEST(StarSchemaTest, RejectsEmptyAndOversized) {
+  EXPECT_FALSE(StarSchema::Make("empty", {}).ok());
+  std::vector<Hierarchy> many;
+  for (int i = 0; i < kMaxDimensions + 1; ++i) {
+    many.push_back(Hierarchy::Uniform("d" + std::to_string(i), {2}).value());
+  }
+  EXPECT_FALSE(StarSchema::Make("too-many", std::move(many)).ok());
+}
+
+}  // namespace
+}  // namespace snakes

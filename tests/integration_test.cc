@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/advisor.h"
+#include "cost/workload_cost.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "path/dpkd.h"
+#include "storage/executor.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/workloads.h"
+
+namespace snakes {
+namespace {
+
+// A small TPC-D configuration keeps end-to-end tests fast while exercising
+// the full pipeline: dbgen -> lattice -> DP -> snaked order -> pager ->
+// executor.
+tpcd::Config SmallConfig() {
+  tpcd::Config config;
+  config.parts_per_mfgr = 4;
+  config.num_mfgrs = 3;
+  config.num_suppliers = 4;
+  config.months_per_year = 6;
+  config.num_years = 2;
+  config.num_orders = 4'000;
+  return config;
+}
+
+TEST(IntegrationTest, EndToEndPipelineOnSmallWarehouse) {
+  const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 11).value();
+  const QueryClassLattice lat(*warehouse.schema);
+  const Workload mu = tpcd::SectionSixWorkload(lat, 7).value();
+
+  const auto dp = FindOptimalLatticePath(mu).value();
+  EXPECT_GT(dp.cost, 0.0);
+
+  auto snaked = MakePathOrder(warehouse.schema, dp.path, true).value();
+  ASSERT_TRUE(snaked->Validate().ok());
+
+  auto layout = PackedLayout::Pack(std::move(snaked), warehouse.facts).value();
+  EXPECT_GT(layout.num_pages(), 0u);
+  const IoSimulator sim(layout);
+  const auto io = IoSimulator::Expect(mu, sim.MeasureAllClasses());
+  EXPECT_GE(io.expected_seeks, 1.0);
+  EXPECT_GE(io.expected_normalized_blocks, 1.0);
+}
+
+TEST(IntegrationTest, SnakedOptimalBeatsWorstRowMajorOnSeeks) {
+  const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 13).value();
+  const QueryClassLattice lat(*warehouse.schema);
+  for (int id : {1, 7, 14, 27}) {
+    const Workload mu = tpcd::SectionSixWorkload(lat, id).value();
+    const auto dp = FindOptimalLatticePath(mu).value();
+    auto snaked = MakePathOrder(warehouse.schema, dp.path, true).value();
+    auto layout =
+        PackedLayout::Pack(std::move(snaked), warehouse.facts).value();
+    const auto opt_io =
+        IoSimulator::Expect(mu, IoSimulator(layout).MeasureAllClasses());
+
+    double worst_seeks = 0.0;
+    for (auto& rm : AllRowMajorOrders(warehouse.schema)) {
+      auto rm_layout =
+          PackedLayout::Pack(std::move(rm), warehouse.facts).value();
+      const auto rm_io =
+          IoSimulator::Expect(mu, IoSimulator(rm_layout).MeasureAllClasses());
+      worst_seeks = std::max(worst_seeks, rm_io.expected_seeks);
+    }
+    EXPECT_LT(opt_io.expected_seeks, worst_seeks) << "workload " << id;
+  }
+}
+
+TEST(AdvisorTest, RecommendsAndRanks) {
+  const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 17).value();
+  const ClusteringAdvisor advisor(warehouse.schema);
+  const QueryClassLattice lat = advisor.Lattice();
+  const Workload mu = tpcd::SectionSixWorkload(lat, 7).value();
+
+  const Recommendation rec = advisor.Advise(mu).value();
+  EXPECT_FALSE(rec.ranked.empty());
+  // Ranked ascending by expected cost.
+  for (size_t i = 1; i < rec.ranked.size(); ++i) {
+    EXPECT_LE(rec.ranked[i - 1].expected_cost, rec.ranked[i].expected_cost);
+  }
+  // The optimal snaked path is the cheapest strategy here (Theorem 2 holds
+  // exactly on binary grids; empirically it also wins on this schema).
+  EXPECT_EQ(rec.best().name.rfind("snaked-path", 0), 0u) << rec.best().name;
+  EXPECT_NEAR(rec.optimal_snaked_cost, rec.best().expected_cost,
+              1e-6 * rec.best().expected_cost);
+  // Corollary-1 ordering: optimal snaked <= snake of unsnaked optimum
+  // <= unsnaked optimum.
+  EXPECT_LE(rec.optimal_snaked_cost, rec.snaked_optimal_cost + 1e-9);
+  EXPECT_LE(rec.snaked_optimal_cost, rec.optimal_path_cost + 1e-9);
+  // The unsnaked DP cost matches the analytic path cost.
+  EXPECT_NEAR(rec.optimal_path_cost, ExpectedPathCost(mu, rec.optimal_path),
+              1e-9);
+  // Report renders.
+  const std::string report = rec.ToString();
+  EXPECT_NE(report.find("optimal lattice path"), std::string::npos);
+  EXPECT_NE(report.find("snaked-path"), std::string::npos);
+}
+
+TEST(AdvisorTest, AdviseWithStorageMeasurements) {
+  const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 19).value();
+  const ClusteringAdvisor advisor(warehouse.schema);
+  const Workload mu =
+      tpcd::SectionSixWorkload(advisor.Lattice(), 1).value();
+  AdvisorOptions options;
+  options.measure_storage = true;
+  const Recommendation rec =
+      advisor.Advise(mu, options, warehouse.facts).value();
+  for (const StrategyReport& report : rec.ranked) {
+    ASSERT_TRUE(report.io.has_value()) << report.name;
+    EXPECT_GE(report.io->expected_seeks, 0.9) << report.name;
+  }
+  // Requesting storage without facts fails cleanly.
+  EXPECT_FALSE(advisor.Advise(mu, options, nullptr).ok());
+}
+
+TEST(AdvisorTest, RecommendedOrderIsValidSnakedPath) {
+  const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 23).value();
+  const ClusteringAdvisor advisor(warehouse.schema);
+  const Workload mu =
+      tpcd::SectionSixWorkload(advisor.Lattice(), 27).value();
+  const auto order = advisor.RecommendedOrder(mu).value();
+  EXPECT_TRUE(order->Validate().ok());
+  EXPECT_EQ(order->name().rfind("snaked-path", 0), 0u);
+}
+
+TEST(AdvisorTest, OptionsControlTheCandidateSet) {
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 2, 2).value());
+  const ClusteringAdvisor advisor(schema);
+  const Workload mu = Workload::Uniform(advisor.Lattice());
+
+  AdvisorOptions bare;
+  bare.include_row_majors = false;
+  bare.include_curves = false;
+  const Recommendation rec = advisor.Advise(mu, bare).value();
+  for (const StrategyReport& report : rec.ranked) {
+    EXPECT_TRUE(report.name.find("path") != std::string::npos)
+        << report.name;
+    EXPECT_FALSE(report.io.has_value());
+  }
+
+  AdvisorOptions full;
+  const Recommendation all = advisor.Advise(mu, full).value();
+  EXPECT_GT(all.ranked.size(), rec.ranked.size());
+  bool saw_hilbert = false, saw_row_major = false;
+  for (const StrategyReport& report : all.ranked) {
+    saw_hilbert |= report.name == "hilbert";
+    saw_row_major |= report.name.rfind("row-major", 0) == 0;
+  }
+  EXPECT_TRUE(saw_hilbert);
+  EXPECT_TRUE(saw_row_major);
+}
+
+TEST(AdvisorTest, CurvesSkippedWhereInapplicable) {
+  // Non-power-of-two extents: Z/Gray/Hilbert silently drop out instead of
+  // failing the whole recommendation.
+  const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 37).value();
+  const ClusteringAdvisor advisor(warehouse.schema);
+  const Workload mu = tpcd::SectionSixWorkload(advisor.Lattice(), 1).value();
+  const Recommendation rec = advisor.Advise(mu).value();
+  for (const StrategyReport& report : rec.ranked) {
+    EXPECT_EQ(report.name.find("hilbert"), std::string::npos);
+    EXPECT_EQ(report.name.find("z-curve"), std::string::npos);
+  }
+}
+
+TEST(AdvisorTest, RejectsForeignWorkload) {
+  const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 29).value();
+  const ClusteringAdvisor advisor(warehouse.schema);
+  auto other = QueryClassLattice::FromFanouts({{2.0}, {2.0}}).value();
+  EXPECT_FALSE(advisor.Advise(Workload::Uniform(other)).ok());
+}
+
+TEST(AdvisorTest, ToySchemaRecommendationMatchesTheory) {
+  // On the paper's 4x4 toy grid with the uniform workload, the advisor must
+  // find the cost-15/9 optimal path and a snaked order at least as good as
+  // Hilbert (Theorem 2: some snaked path is globally optimal).
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 2, 2).value());
+  const ClusteringAdvisor advisor(schema);
+  const Workload mu = Workload::Uniform(advisor.Lattice());
+  const Recommendation rec = advisor.Advise(mu).value();
+  EXPECT_NEAR(rec.optimal_path_cost, 15.0 / 9, 1e-12);
+  double hilbert_cost = -1.0;
+  for (const auto& report : rec.ranked) {
+    if (report.name == "hilbert") hilbert_cost = report.expected_cost;
+  }
+  ASSERT_GE(hilbert_cost, 0.0) << "hilbert baseline missing";
+  EXPECT_LE(rec.best().expected_cost, hilbert_cost + 1e-12);
+}
+
+}  // namespace
+}  // namespace snakes

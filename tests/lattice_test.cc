@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "lattice/lattice.h"
+#include "lattice/query_class.h"
+#include "lattice/workload.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+StarSchema ToySchema() {
+  // Figure 1: two dimensions, complete 2-level binary hierarchies.
+  return StarSchema::Symmetric(2, 2, 2).value();
+}
+
+TEST(QueryClassTest, BasicAccessorsAndOrder) {
+  QueryClass c{1, 0};
+  EXPECT_EQ(c.num_dims(), 2);
+  EXPECT_EQ(c.level(0), 1);
+  EXPECT_EQ(c.level(1), 0);
+  EXPECT_EQ(c.ToString(), "(1,0)");
+
+  EXPECT_TRUE((QueryClass{0, 0}.DominatedBy(QueryClass{1, 0})));
+  EXPECT_TRUE((QueryClass{1, 0}.DominatedBy(QueryClass{1, 0})));
+  EXPECT_FALSE((QueryClass{1, 0}.DominatedBy(QueryClass{0, 2})));
+}
+
+TEST(QueryClassTest, Successors) {
+  QueryClass c{1, 1};
+  EXPECT_TRUE(c.IsSuccessor(QueryClass{2, 1}));
+  EXPECT_TRUE(c.IsSuccessor(QueryClass{1, 2}));
+  EXPECT_FALSE(c.IsSuccessor(QueryClass{2, 2}));  // diagonal step
+  EXPECT_FALSE(c.IsSuccessor(QueryClass{1, 1}));  // no step
+  EXPECT_FALSE(c.IsSuccessor(QueryClass{0, 1}));  // backward
+  EXPECT_EQ(c.Successor(0), (QueryClass{2, 1}));
+}
+
+TEST(LatticeTest, ShapeOfToyLattice) {
+  QueryClassLattice lat(ToySchema());
+  EXPECT_EQ(lat.num_dims(), 2);
+  EXPECT_EQ(lat.levels(0), 2);
+  EXPECT_EQ(lat.size(), 9u);
+  EXPECT_EQ(lat.Bottom(), (QueryClass{0, 0}));
+  EXPECT_EQ(lat.Top(), (QueryClass{2, 2}));
+}
+
+TEST(LatticeTest, IndexRoundTrip) {
+  QueryClassLattice lat(ToySchema());
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    EXPECT_EQ(lat.Index(lat.ClassAt(i)), i);
+  }
+}
+
+TEST(LatticeTest, EdgeWeightsAreFanouts) {
+  QueryClassLattice lat(ToySchema());
+  // wt((1,1),(2,1)) = f(A,2) (Section 3's example).
+  EXPECT_DOUBLE_EQ(lat.EdgeWeight(QueryClass{1, 1}, 0), 2.0);
+  EXPECT_DOUBLE_EQ(lat.EdgeWeight(QueryClass{0, 1}, 1), 2.0);
+}
+
+TEST(LatticeTest, LenBetweenIsPathIndependentProduct) {
+  QueryClassLattice lat(ToySchema());
+  // (0,0) -> (2,1): climbs A twice (2*2) and B once (2) = 8.
+  EXPECT_DOUBLE_EQ(lat.LenBetween(QueryClass{0, 0}, QueryClass{2, 1}), 8.0);
+  EXPECT_DOUBLE_EQ(lat.LenBetween(QueryClass{1, 1}, QueryClass{1, 1}), 1.0);
+}
+
+TEST(LatticeTest, FromFanoutsFractional) {
+  auto lat = QueryClassLattice::FromFanouts({{2.5, 3.0}, {4.0}});
+  ASSERT_TRUE(lat.ok());
+  EXPECT_EQ(lat->size(), 6u);
+  EXPECT_DOUBLE_EQ(lat->fanout(0, 1), 2.5);
+  EXPECT_FALSE(QueryClassLattice::FromFanouts({{0.5}}).ok());
+  EXPECT_FALSE(QueryClassLattice::FromFanouts({}).ok());
+}
+
+TEST(LatticeTest, NumQueriesInClassFromSchema) {
+  QueryClassLattice lat(ToySchema());
+  EXPECT_EQ(lat.NumQueriesInClass(QueryClass{0, 0}), 16u);
+  EXPECT_EQ(lat.NumQueriesInClass(QueryClass{1, 1}), 4u);
+  EXPECT_EQ(lat.NumQueriesInClass(QueryClass{2, 2}), 1u);
+  EXPECT_EQ(lat.NumQueriesInClass(QueryClass{2, 0}), 4u);
+}
+
+TEST(WorkloadTest, UniformSumsToOne) {
+  QueryClassLattice lat(ToySchema());
+  const Workload w = Workload::Uniform(lat);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < lat.size(); ++i) sum += w.probability_at(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(w.probability(QueryClass{1, 1}), 1.0 / 9, 1e-12);
+}
+
+TEST(WorkloadTest, UniformOverSubset) {
+  QueryClassLattice lat(ToySchema());
+  // Toy workload 3: only (0,0), (0,1), (0,2), (1,2).
+  const auto w = Workload::UniformOver(
+      lat, {QueryClass{0, 0}, QueryClass{0, 1}, QueryClass{0, 2},
+            QueryClass{1, 2}});
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w->probability(QueryClass{0, 0}), 0.25, 1e-12);
+  EXPECT_NEAR(w->probability(QueryClass{2, 2}), 0.0, 1e-12);
+}
+
+TEST(WorkloadTest, UniformOverValidation) {
+  QueryClassLattice lat(ToySchema());
+  EXPECT_FALSE(Workload::UniformOver(lat, {}).ok());
+  EXPECT_FALSE(Workload::UniformOver(lat, {QueryClass{0, 3}}).ok());
+  EXPECT_FALSE(Workload::UniformOver(lat, {QueryClass{0, 0, 0}}).ok());
+}
+
+TEST(WorkloadTest, PointWorkload) {
+  QueryClassLattice lat(ToySchema());
+  const auto w = Workload::Point(lat, QueryClass{2, 0});
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w->probability(QueryClass{2, 0}), 1.0, 1e-12);
+}
+
+TEST(WorkloadTest, ProductWorkload) {
+  QueryClassLattice lat(ToySchema());
+  const auto w = Workload::Product(lat, {{0.1, 0.3, 0.6}, {0.6, 0.3, 0.1}});
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w->probability(QueryClass{2, 0}), 0.6 * 0.6, 1e-12);
+  EXPECT_NEAR(w->probability(QueryClass{1, 1}), 0.09, 1e-12);
+}
+
+TEST(WorkloadTest, ProductValidation) {
+  QueryClassLattice lat(ToySchema());
+  EXPECT_FALSE(Workload::Product(lat, {{0.5, 0.5}, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(
+      Workload::Product(lat, {{0.1, 0.3, 0.7}, {0.33, 0.33, 0.34}}).ok());
+  EXPECT_FALSE(Workload::Product(lat, {{0.33, 0.33, 0.34}}).ok());
+}
+
+TEST(WorkloadTest, FromMassesNormalizes) {
+  QueryClassLattice lat(ToySchema());
+  const auto w = Workload::FromMasses(
+      lat, {{QueryClass{0, 0}, 3.0}, {QueryClass{2, 2}, 1.0}}, true);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w->probability(QueryClass{0, 0}), 0.75, 1e-12);
+  EXPECT_FALSE(Workload::FromMasses(lat, {{QueryClass{0, 0}, 0.5}}).ok());
+}
+
+TEST(WorkloadTest, SampleFollowsDistribution) {
+  QueryClassLattice lat(ToySchema());
+  const auto w = Workload::FromMasses(
+      lat, {{QueryClass{0, 0}, 0.8}, {QueryClass{2, 2}, 0.2}});
+  ASSERT_TRUE(w.ok());
+  Rng rng(3);
+  int bottom = 0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    const QueryClass c = w->Sample(&rng);
+    EXPECT_TRUE(c == (QueryClass{0, 0}) || c == (QueryClass{2, 2}));
+    bottom += c == (QueryClass{0, 0});
+  }
+  EXPECT_NEAR(bottom, 8000, 200);
+}
+
+TEST(WorkloadTest, RandomIsNormalized) {
+  QueryClassLattice lat(ToySchema());
+  Rng rng(17);
+  const Workload w = Workload::Random(lat, &rng);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    EXPECT_GE(w.probability_at(i), 0.0);
+    sum += w.probability_at(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GridQueryTest, BoxOfQuery) {
+  const StarSchema schema = ToySchema();
+  GridQuery q{QueryClass{1, 0}, {1, 3}};
+  const CellBox box = BoxOf(schema, q);
+  EXPECT_EQ(box.lo[0], 2u);
+  EXPECT_EQ(box.hi[0], 4u);
+  EXPECT_EQ(box.lo[1], 3u);
+  EXPECT_EQ(box.hi[1], 4u);
+  EXPECT_EQ(box.NumCells(), 2u);
+  CellCoord inside;
+  inside.resize(2);
+  inside[0] = 3;
+  inside[1] = 3;
+  EXPECT_TRUE(box.Contains(inside));
+  inside[1] = 2;
+  EXPECT_FALSE(box.Contains(inside));
+}
+
+TEST(GridQueryTest, EnumerationCoversClassExactly) {
+  const StarSchema schema = ToySchema();
+  const QueryClass cls{1, 0};
+  EXPECT_EQ(NumQueriesInClass(schema, cls), 8u);
+  const auto all = AllQueriesInClass(schema, cls);
+  ASSERT_EQ(all.size(), 8u);
+  // Every cell is covered exactly once across the class's queries.
+  std::vector<int> covered(schema.num_cells(), 0);
+  for (const GridQuery& q : all) {
+    const CellBox box = BoxOf(schema, q);
+    for (uint64_t x = box.lo[0]; x < box.hi[0]; ++x) {
+      for (uint64_t y = box.lo[1]; y < box.hi[1]; ++y) {
+        CellCoord c;
+        c.resize(2);
+        c[0] = x;
+        c[1] = y;
+        ++covered[schema.Flatten(c)];
+      }
+    }
+  }
+  for (int count : covered) EXPECT_EQ(count, 1);
+}
+
+TEST(GridQueryTest, QueryAtMatchesEnumeration) {
+  const StarSchema schema = ToySchema();
+  const QueryClass cls{0, 1};
+  const auto all = AllQueriesInClass(schema, cls);
+  for (uint64_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(QueryAt(schema, cls, i).block, all[i].block);
+  }
+}
+
+TEST(GridQueryTest, QueryContainingIsConsistent) {
+  const StarSchema schema = ToySchema();
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const QueryClass cls{static_cast<int>(rng.Below(3)),
+                         static_cast<int>(rng.Below(3))};
+    const CellCoord coord = schema.Unflatten(rng.Below(schema.num_cells()));
+    const GridQuery q = QueryContaining(schema, cls, coord);
+    EXPECT_TRUE(BoxOf(schema, q).Contains(coord));
+  }
+}
+
+TEST(GridQueryTest, SampleQueryIsValid) {
+  const StarSchema schema = ToySchema();
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const GridQuery q = SampleQuery(schema, QueryClass{1, 1}, &rng);
+    EXPECT_LT(q.block[0], 2u);
+    EXPECT_LT(q.block[1], 2u);
+  }
+}
+
+}  // namespace
+}  // namespace snakes

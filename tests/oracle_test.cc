@@ -1,0 +1,127 @@
+// Independent oracle for the analytic cost model: the library computes
+// per-class average seek costs from the edge-type histogram (the internality
+// identity); this suite recomputes them the slow, literal way — enumerate
+// every query of the class, collect its cells' ranks, sort, and count
+// maximal runs of consecutive ranks — and demands exact agreement, for every
+// strategy family on assorted schemas.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cost/edge_model.h"
+#include "curves/hilbert.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "path/lattice_path.h"
+#include "storage/chunks.h"
+
+namespace snakes {
+namespace {
+
+// Summed fragment count over every query of `cls`, by brute force.
+uint64_t BruteForceFragments(const Linearization& lin, const QueryClass& cls) {
+  const StarSchema& schema = lin.schema();
+  uint64_t total = 0;
+  for (const GridQuery& q : AllQueriesInClass(schema, cls)) {
+    const CellBox box = BoxOf(schema, q);
+    std::vector<uint64_t> ranks;
+    ranks.reserve(box.NumCells());
+    CellCoord coord = box.lo;
+    const int k = schema.num_dims();
+    for (;;) {
+      ranks.push_back(lin.RankOf(coord));
+      int d = k - 1;
+      for (; d >= 0; --d) {
+        if (++coord[static_cast<size_t>(d)] < box.hi[static_cast<size_t>(d)]) {
+          break;
+        }
+        coord[static_cast<size_t>(d)] = box.lo[static_cast<size_t>(d)];
+      }
+      if (d < 0) break;
+    }
+    std::sort(ranks.begin(), ranks.end());
+    uint64_t fragments = 1;
+    for (size_t i = 1; i < ranks.size(); ++i) {
+      fragments += ranks[i] != ranks[i - 1] + 1;
+    }
+    total += fragments;
+  }
+  return total;
+}
+
+void CheckAllClasses(const Linearization& lin) {
+  const ClassCostTable costs = MeasureClassCosts(lin);
+  const QueryClassLattice& lat = costs.lattice();
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    EXPECT_EQ(costs.TotalFragments(cls), BruteForceFragments(lin, cls))
+        << lin.name() << " class " << cls.ToString();
+  }
+}
+
+TEST(OracleTest, ToyGridAllStrategies) {
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 2, 2).value());
+  const QueryClassLattice lat(*schema);
+  CheckAllClasses(*ZCurve::Make(schema).value());
+  CheckAllClasses(*GrayCurve::Make(schema).value());
+  CheckAllClasses(*HilbertCurve::Make(schema).value());
+  CheckAllClasses(*HilbertCurve::Make(schema, true).value());
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    CheckAllClasses(*PathOrder::Make(schema, path, false).value());
+    CheckAllClasses(*PathOrder::Make(schema, path, true).value());
+  }
+}
+
+TEST(OracleTest, MixedThreeDimensionalSchema) {
+  auto a = Hierarchy::Uniform("a", {3, 2}).value();
+  auto b = Hierarchy::Uniform("b", {4}).value();
+  auto c = Hierarchy::Uniform("c", {2, 2}).value();
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("mixed", {a, b, c}).value());
+  const QueryClassLattice lat(*schema);
+  for (auto& rm : AllRowMajorOrders(schema)) CheckAllClasses(*rm);
+  const LatticePath rr = LatticePath::RoundRobin(lat);
+  CheckAllClasses(*PathOrder::Make(schema, rr, false).value());
+  CheckAllClasses(*PathOrder::Make(schema, rr, true).value());
+}
+
+TEST(OracleTest, NonUniformHierarchy) {
+  auto geo = Hierarchy::Explicit("geo", {{2, 3, 1}, {3}}).value();
+  auto other = Hierarchy::Uniform("o", {2, 2}).value();
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("nu", {geo, other}).value());
+  const QueryClassLattice lat(*schema);
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    auto plain = MakePathOrder(schema, path, false).value();
+    auto snaked = MakePathOrder(schema, path, true).value();
+    CheckAllClasses(*plain);
+    CheckAllClasses(*snaked);
+  }
+}
+
+TEST(OracleTest, ChunkedOrders) {
+  auto a = Hierarchy::Uniform("a", {2, 3}).value();
+  auto b = Hierarchy::Uniform("b", {4, 2}).value();
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("s", {a, b}).value());
+  const QueryClass chunk_class{1, 1};
+  const auto grid = ChunkGridSchema(*schema, chunk_class).value();
+  for (auto& order : AllRowMajorOrders(grid)) {
+    auto chunked =
+        ChunkedOrder::Make(schema, chunk_class,
+                           std::shared_ptr<const Linearization>(
+                               std::move(order)))
+            .value();
+    CheckAllClasses(*chunked);
+  }
+}
+
+}  // namespace
+}  // namespace snakes

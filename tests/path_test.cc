@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cost/workload_cost.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/dp2d.h"
+#include "path/dpkd.h"
+#include "path/lattice_path.h"
+#include "path/snaking.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+QueryClassLattice ToyLattice() {
+  return QueryClassLattice(StarSchema::Symmetric(2, 2, 2).value());
+}
+
+TEST(LatticePathTest, FromStepsValidation) {
+  const QueryClassLattice lat = ToyLattice();
+  EXPECT_TRUE(LatticePath::FromSteps(lat, {0, 0, 1, 1}).ok());
+  EXPECT_FALSE(LatticePath::FromSteps(lat, {0, 0, 0, 1}).ok());
+  EXPECT_FALSE(LatticePath::FromSteps(lat, {0, 0, 1}).ok());
+  EXPECT_FALSE(LatticePath::FromSteps(lat, {0, 0, 1, 2}).ok());
+}
+
+TEST(LatticePathTest, FromPointsMatchesExample2) {
+  const QueryClassLattice lat = ToyLattice();
+  // P1 and P2 exactly as Example 2 writes them.
+  const auto p1 = LatticePath::FromPoints(
+      lat, {QueryClass{0, 0}, QueryClass{0, 1}, QueryClass{0, 2},
+            QueryClass{1, 2}, QueryClass{2, 2}});
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->steps(), (std::vector<int>{1, 1, 0, 0}));
+  const auto p2 = LatticePath::FromPoints(
+      lat, {QueryClass{0, 0}, QueryClass{0, 1}, QueryClass{1, 1},
+            QueryClass{1, 2}, QueryClass{2, 2}});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->steps(), (std::vector<int>{1, 0, 1, 0}));
+  EXPECT_EQ(p1->ToString(), "(0,0)-(0,1)-(0,2)-(1,2)-(2,2)");
+}
+
+TEST(LatticePathTest, FromPointsValidation) {
+  const QueryClassLattice lat = ToyLattice();
+  EXPECT_FALSE(LatticePath::FromPoints(lat, {}).ok());
+  EXPECT_FALSE(LatticePath::FromPoints(
+                   lat, {QueryClass{0, 0}, QueryClass{2, 2}})
+                   .ok());
+  EXPECT_FALSE(LatticePath::FromPoints(
+                   lat, {QueryClass{0, 1}, QueryClass{0, 2},
+                         QueryClass{1, 2}, QueryClass{2, 2}})
+                   .ok());
+}
+
+TEST(LatticePathTest, ContainsAndMaxPointBelow) {
+  const QueryClassLattice lat = ToyLattice();
+  const LatticePath p1 = LatticePath::FromSteps(lat, {1, 1, 0, 0}).value();
+  EXPECT_TRUE(p1.Contains(QueryClass{0, 1}));
+  EXPECT_FALSE(p1.Contains(QueryClass{1, 1}));
+  EXPECT_EQ(p1.MaxPointBelow(QueryClass{1, 1}), (QueryClass{0, 1}));
+  EXPECT_EQ(p1.MaxPointBelow(QueryClass{2, 0}), (QueryClass{0, 0}));
+  EXPECT_EQ(p1.MaxPointBelow(QueryClass{2, 2}), (QueryClass{2, 2}));
+}
+
+TEST(LatticePathTest, RowMajorAndRoundRobinFactories) {
+  const QueryClassLattice lat = ToyLattice();
+  const LatticePath p1 = LatticePath::RowMajor(lat, {0, 1}).value();
+  EXPECT_EQ(p1.steps(), (std::vector<int>{1, 1, 0, 0}));
+  const LatticePath rr = LatticePath::RoundRobin(lat);
+  EXPECT_EQ(rr.steps(), (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_FALSE(LatticePath::RowMajor(lat, {0}).ok());
+  EXPECT_FALSE(LatticePath::RowMajor(lat, {1, 1}).ok());
+}
+
+TEST(LatticePathTest, EnumerateAllCountsMultinomial) {
+  const QueryClassLattice lat = ToyLattice();
+  EXPECT_EQ(EnumerateAllPaths(lat).value().size(), 6u);  // 4!/(2!2!)
+  auto lat3 = QueryClassLattice::FromFanouts({{2.0}, {2.0}, {2.0}}).value();
+  EXPECT_EQ(EnumerateAllPaths(lat3).value().size(), 6u);  // 3!
+  EXPECT_FALSE(EnumerateAllPaths(lat, 3).ok());  // cap enforced
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic program: correctness against brute force, 2-D and k-D agreement.
+// ---------------------------------------------------------------------------
+
+struct DpCase {
+  std::vector<std::vector<double>> fanouts;
+  uint64_t seed;
+};
+
+void PrintTo(const DpCase& c, std::ostream* os) {
+  *os << "fanouts[";
+  for (size_t d = 0; d < c.fanouts.size(); ++d) {
+    if (d) *os << "|";
+    for (size_t i = 0; i < c.fanouts[d].size(); ++i) {
+      if (i) *os << ",";
+      *os << c.fanouts[d][i];
+    }
+  }
+  *os << "] seed " << c.seed;
+}
+
+class DpPropertyTest : public ::testing::TestWithParam<DpCase> {};
+
+TEST_P(DpPropertyTest, DpMatchesBruteForce) {
+  const DpCase& param = GetParam();
+  const auto lat = QueryClassLattice::FromFanouts(param.fanouts).value();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const auto dp = FindOptimalLatticePath(mu).value();
+    const auto brute = FindOptimalLatticePathBruteForce(mu).value();
+    EXPECT_NEAR(dp.cost, brute.cost, 1e-9 * (1 + brute.cost));
+    // The DP's reported cost must equal its own path's analytic cost.
+    EXPECT_NEAR(ExpectedPathCost(mu, dp.path), dp.cost,
+                1e-9 * (1 + dp.cost));
+  }
+}
+
+class Dp2dAgreementTest : public ::testing::TestWithParam<DpCase> {};
+
+TEST_P(Dp2dAgreementTest, TwoDimMatchesKDim) {
+  const DpCase& param = GetParam();
+  const auto lat = QueryClassLattice::FromFanouts(param.fanouts).value();
+  Rng rng(param.seed + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const auto kd = FindOptimalLatticePath(mu).value();
+    const auto two = FindOptimalLatticePath2D(mu).value();
+    EXPECT_NEAR(kd.cost, two.cost, 1e-9 * (1 + kd.cost));
+    EXPECT_NEAR(ExpectedPathCost(mu, two.path), two.cost,
+                1e-9 * (1 + two.cost));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattices, DpPropertyTest,
+    ::testing::Values(
+        DpCase{{{2, 2}, {2, 2}}, 101},
+        DpCase{{{2, 2, 2}, {2, 2, 2}}, 102},
+        DpCase{{{3, 4}, {2, 5}}, 103},
+        DpCase{{{2.5, 3.5}, {4.0, 1.5}}, 104},       // fractional fanouts
+        DpCase{{{2, 3}, {4}, {2, 2}}, 105},          // 3 dims
+        DpCase{{{2}, {3}, {2}, {2}}, 106},           // 4 dims
+        DpCase{{{7, 2, 3}, {2}}, 107}));
+
+// The literal Figure-4 algorithm only exists for k = 2.
+INSTANTIATE_TEST_SUITE_P(
+    TwoDimLattices, Dp2dAgreementTest,
+    ::testing::Values(
+        DpCase{{{2, 2}, {2, 2}}, 101},
+        DpCase{{{2, 2, 2}, {2, 2, 2}}, 102},
+        DpCase{{{3, 4}, {2, 5}}, 103},
+        DpCase{{{2.5, 3.5}, {4.0, 1.5}}, 104},
+        DpCase{{{7, 2, 3}, {2}}, 107}));
+
+TEST(Dp2dTest, RejectsNon2D) {
+  auto lat = QueryClassLattice::FromFanouts({{2.0}, {2.0}, {2.0}}).value();
+  EXPECT_FALSE(FindOptimalLatticePath2D(Workload::Uniform(lat)).ok());
+}
+
+TEST(DpTest, PointWorkloadPullsPathThroughClass) {
+  // With all mass on one class, any optimal path passes through it
+  // (cost 1 = the minimum possible).
+  const QueryClassLattice lat = ToyLattice();
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass target = lat.ClassAt(i);
+    const Workload mu = Workload::Point(lat, target).value();
+    const auto dp = FindOptimalLatticePath(mu).value();
+    EXPECT_TRUE(dp.path.Contains(target)) << target.ToString();
+    EXPECT_NEAR(dp.cost, 1.0, 1e-12);
+  }
+}
+
+TEST(DpTest, UniformToyWorkloadOptimum) {
+  // Brute force over the 6 paths for workload 1 shows P2-style alternation
+  // wins (cost 15/9, Table 2).
+  const QueryClassLattice lat = ToyLattice();
+  const auto dp = FindOptimalLatticePath(Workload::Uniform(lat)).value();
+  EXPECT_NEAR(dp.cost, 15.0 / 9, 1e-12);
+}
+
+TEST(DpTest, CostTablesExposeSublatticeOptima) {
+  const QueryClassLattice lat = ToyLattice();
+  const Workload mu = Workload::Uniform(lat);
+  const auto dp = FindOptimalLatticePath(mu).value();
+  // cost_table at top = p_top.
+  EXPECT_NEAR(dp.cost_table[lat.Index(lat.Top())],
+              mu.probability(lat.Top()), 1e-12);
+  EXPECT_NEAR(dp.cost_table[lat.Index(lat.Bottom())], dp.cost, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Snaking: never hurts, Theorem 3 bound, Section 5.2 example.
+// ---------------------------------------------------------------------------
+
+TEST(SnakingTest, BenefitExampleFromSection52) {
+  const QueryClassLattice lat = ToyLattice();
+  const LatticePath p3 = LatticePath::FromSteps(lat, {1, 0, 0, 1}).value();
+  EXPECT_NEAR(SnakingBenefit(p3, QueryClass{2, 0}), 1.6, 1e-12);
+}
+
+TEST(SnakingTest, SnakingNeverIncreasesAnyClassCost) {
+  // Property over every path of binary lattices with n = 2 and 3.
+  for (int n : {2, 3}) {
+    const auto lat = QueryClassLattice::FromFanouts(
+                         {std::vector<double>(n, 2.0),
+                          std::vector<double>(n, 2.0)})
+                         .value();
+    for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+      for (uint64_t i = 0; i < lat.size(); ++i) {
+        const QueryClass cls = lat.ClassAt(i);
+        EXPECT_LE(DistToSnakedPath(path, cls),
+                  DistToPath(path, cls) + 1e-12)
+            << path.ToString() << " " << cls.ToString();
+      }
+    }
+  }
+}
+
+TEST(SnakingTest, TheoremThreeBoundHoldsExhaustively) {
+  // ben_P(c) < the n-level bound for every path and class (Theorem 3).
+  for (int n : {2, 3}) {
+    const auto lat = QueryClassLattice::FromFanouts(
+                         {std::vector<double>(n, 2.0),
+                          std::vector<double>(n, 2.0)})
+                         .value();
+    const double bound = TheoremThreeBound(n);
+    EXPECT_LT(bound, 2.0);
+    for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+      EXPECT_LE(MaxSnakingBenefit(path), bound + 1e-12) << path.ToString();
+    }
+  }
+}
+
+TEST(SnakingTest, BoundIsTightForWorstCaseClass) {
+  // The proof's extremal configuration: one B step, then all n A steps
+  // (P3's pattern generalized); class (n, 0) then realizes the bound
+  // exactly — for n = 2 this is Section 5.2's benefit 1.6.
+  for (int n : {2, 3, 4}) {
+    const auto lat = QueryClassLattice::FromFanouts(
+                         {std::vector<double>(n, 2.0),
+                          std::vector<double>(n, 2.0)})
+                         .value();
+    std::vector<int> steps{1};
+    steps.insert(steps.end(), static_cast<size_t>(n), 0);
+    steps.insert(steps.end(), static_cast<size_t>(n - 1), 1);
+    const LatticePath path = LatticePath::FromSteps(lat, steps).value();
+    QueryClass worst(2);
+    worst.set_level(0, n);
+    worst.set_level(1, 0);
+    EXPECT_NEAR(SnakingBenefit(path, worst), TheoremThreeBound(n), 1e-12);
+  }
+}
+
+TEST(SnakingTest, WorkloadRatioBelowTwoForRandomWorkloads) {
+  const QueryClassLattice lat = ToyLattice();
+  Rng rng(77);
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Workload mu = Workload::Random(lat, &rng);
+      const double ratio = SnakingCostRatio(mu, path);
+      EXPECT_GE(ratio, 1.0 - 1e-12);
+      EXPECT_LT(ratio, 2.0);
+    }
+  }
+}
+
+TEST(SnakingTest, SnakedOptimalWithinTwiceOfOptimalSnaked) {
+  // Corollary 1: cost(snaked DP path) <= 2 * min over paths of snaked cost.
+  const QueryClassLattice lat = ToyLattice();
+  Rng rng(99);
+  const auto all = EnumerateAllPaths(lat).value();
+  for (int trial = 0; trial < 50; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const auto dp = FindOptimalLatticePath(mu).value();
+    const double snaked_dp = ExpectedSnakedPathCost(mu, dp.path);
+    double best_snaked = snaked_dp;
+    for (const LatticePath& path : all) {
+      best_snaked = std::min(best_snaked, ExpectedSnakedPathCost(mu, path));
+    }
+    EXPECT_LT(snaked_dp, 2.0 * best_snaked + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,163 @@
+// Cross-module randomized properties: for randomly drawn star schemas,
+// workloads, and strategies, the paper's structural invariants must hold
+// everywhere — not just on the hand-picked fixtures of the per-module
+// suites. Seeds are fixed, so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cost/class_cost.h"
+#include "cost/edge_model.h"
+#include "cost/workload_cost.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "cv/consistency.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/dpkd.h"
+#include "path/snaked_dp.h"
+#include "storage/executor.h"
+#include "storage/fact_table.h"
+#include "storage/pager.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+std::shared_ptr<const StarSchema> RandomSchema(Rng* rng, uint64_t max_cells) {
+  for (;;) {
+    const int k = 2 + static_cast<int>(rng->Below(2));
+    std::vector<Hierarchy> dims;
+    uint64_t cells = 1;
+    for (int d = 0; d < k; ++d) {
+      std::vector<uint64_t> fanouts;
+      const int levels = 1 + static_cast<int>(rng->Below(2));
+      for (int l = 0; l < levels; ++l) fanouts.push_back(2 + rng->Below(4));
+      auto h = Hierarchy::Uniform("d" + std::to_string(d), fanouts).value();
+      cells *= h.num_leaves();
+      dims.push_back(std::move(h));
+    }
+    if (cells > max_cells) continue;
+    return std::make_shared<StarSchema>(
+        StarSchema::Make("random", std::move(dims)).value());
+  }
+}
+
+LatticePath RandomPath(const QueryClassLattice& lat, Rng* rng) {
+  std::vector<int> steps;
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    for (int l = 0; l < lat.levels(d); ++l) steps.push_back(d);
+  }
+  for (size_t i = steps.size(); i > 1; --i) {
+    std::swap(steps[i - 1], steps[rng->Below(i)]);
+  }
+  return LatticePath::FromSteps(lat, steps).value();
+}
+
+class RandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedTest, PipelineInvariants) {
+  Rng rng(GetParam());
+  auto schema = RandomSchema(&rng, 4096);
+  const QueryClassLattice lat(*schema);
+  const Workload mu = Workload::Random(lat, &rng);
+  const LatticePath path = RandomPath(lat, &rng);
+
+  auto plain = PathOrder::Make(schema, path, false).value();
+  auto snaked = PathOrder::Make(schema, path, true).value();
+
+  // 1. Both orders are bijections.
+  ASSERT_TRUE(plain->Validate().ok());
+  ASSERT_TRUE(snaked->Validate().ok());
+
+  // 2. Snaked orders have no diagonal edges; plain orders may.
+  const EdgeHistogram plain_hist = MeasureEdgeHistogram(*plain);
+  const EdgeHistogram snaked_hist = MeasureEdgeHistogram(*snaked);
+  EXPECT_EQ(snaked_hist.NumDiagonal(), 0u);
+  EXPECT_EQ(plain_hist.Total(), schema->num_cells() - 1);
+  EXPECT_EQ(snaked_hist.Total(), schema->num_cells() - 1);
+
+  // 3. Generalized Lemma-2 consistency of every measured histogram.
+  EXPECT_TRUE(IsConsistentHistogram(*schema, plain_hist));
+  EXPECT_TRUE(IsConsistentHistogram(*schema, snaked_hist));
+
+  // 4. Analytic class costs match measured ones exactly.
+  const ClassCostTable plain_measured =
+      CostsFromHistogram(*schema, plain_hist);
+  const ClassCostTable snaked_measured =
+      CostsFromHistogram(*schema, snaked_hist);
+  const ClassCostTable plain_analytic =
+      AnalyticPathCosts(*schema, path).value();
+  const ClassCostTable snaked_analytic =
+      AnalyticSnakedPathCosts(*schema, path).value();
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    EXPECT_EQ(plain_measured.Avg(cls), plain_analytic.Avg(cls))
+        << path.ToString() << " " << cls.ToString();
+    EXPECT_EQ(snaked_measured.Avg(cls), snaked_analytic.Avg(cls))
+        << path.ToString() << " " << cls.ToString();
+    // 5. Snaking never increases any class cost.
+    EXPECT_LE(snaked_measured.AvgDouble(cls),
+              plain_measured.AvgDouble(cls) + 1e-9);
+  }
+
+  // 6. DP optimality against this random path, and the snaked-DP relation.
+  const auto dp = FindOptimalLatticePath(mu).value();
+  EXPECT_LE(dp.cost, ExpectedPathCost(mu, path) + 1e-9);
+  const auto snaked_dp = FindOptimalSnakedLatticePath(mu).value();
+  EXPECT_LE(snaked_dp.cost, ExpectedSnakedPathCost(mu, path) + 1e-9);
+  EXPECT_LE(snaked_dp.cost, ExpectedSnakedPathCost(mu, dp.path) + 1e-9);
+  EXPECT_LT(ExpectedSnakedPathCost(mu, dp.path), 2.0 * snaked_dp.cost);
+}
+
+TEST_P(RandomizedTest, StorageInvariants) {
+  Rng rng(GetParam() * 7919);
+  auto schema = RandomSchema(&rng, 2048);
+  auto facts = std::make_shared<FactTable>(schema);
+  const uint64_t records = 1 + rng.Below(6 * schema->num_cells());
+  for (uint64_t r = 0; r < records; ++r) {
+    facts->AddRecord(schema->Unflatten(rng.Below(schema->num_cells())), 1.0);
+  }
+  const QueryClassLattice lat(*schema);
+  const LatticePath path = RandomPath(lat, &rng);
+  auto order = PathOrder::Make(schema, path, rng.Chance(0.5)).value();
+
+  const StorageConfig config{64 + rng.Below(512), 16};
+  const auto layout =
+      PackedLayout::Pack(std::move(order), facts, config).value();
+
+  // Conservation: every record lands exactly once; page spans are ordered.
+  uint64_t total = 0;
+  for (uint64_t rank = 0; rank < layout.linearization().num_cells(); ++rank) {
+    total += layout.CellRecords(rank);
+    if (!layout.CellEmpty(rank)) {
+      EXPECT_LE(layout.CellFirstPage(rank), layout.CellLastPage(rank));
+      EXPECT_LT(layout.CellLastPage(rank), layout.num_pages());
+    }
+  }
+  EXPECT_EQ(total, facts->total_records());
+  // Page count bounds: between perfect packing and one page per record.
+  const uint64_t per_page = config.RecordsPerPage();
+  EXPECT_GE(layout.num_pages(), CeilDiv(records, per_page));
+  EXPECT_LE(layout.num_pages(), records);
+
+  // Exact class measurement: whole-grid query reads every page once.
+  const IoSimulator sim(layout);
+  const ClassIoStats top = sim.MeasureClass(lat.Top());
+  EXPECT_EQ(top.num_queries, 1u);
+  EXPECT_EQ(top.total_pages, layout.num_pages());
+  EXPECT_EQ(top.total_seeks, 1u);
+
+  // Leaf-class query counts: non-empty queries == occupied cells.
+  const ClassIoStats bottom = sim.MeasureClass(lat.Bottom());
+  EXPECT_EQ(bottom.num_nonempty, facts->NumOccupiedCells());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "cost/workload_cost.h"
+#include "hierarchy/star_schema.h"
+#include "path/robust.h"
+#include "path/snaked_dp.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+QueryClassLattice ToyLattice() {
+  return QueryClassLattice(StarSchema::Symmetric(2, 2, 2).value());
+}
+
+TEST(MixWorkloadsTest, AveragesProbabilities) {
+  const QueryClassLattice lat = ToyLattice();
+  const Workload a = Workload::Point(lat, QueryClass{2, 0}).value();
+  const Workload b = Workload::Point(lat, QueryClass{0, 2}).value();
+  const Workload mix = MixWorkloads({a, b}).value();
+  EXPECT_NEAR(mix.probability(QueryClass{2, 0}), 0.5, 1e-12);
+  EXPECT_NEAR(mix.probability(QueryClass{0, 2}), 0.5, 1e-12);
+  const Workload tilted = MixWorkloads({a, b}, {3.0, 1.0}).value();
+  EXPECT_NEAR(tilted.probability(QueryClass{2, 0}), 0.75, 1e-12);
+}
+
+TEST(MixWorkloadsTest, LinearityMakesMixtureOptimizationExact) {
+  // cost_mu(P) is linear in mu, so the DP on the mixture minimizes the
+  // average scenario cost — verified against explicit averaging.
+  const QueryClassLattice lat = ToyLattice();
+  Rng rng(83);
+  const Workload a = Workload::Random(lat, &rng);
+  const Workload b = Workload::Random(lat, &rng);
+  const Workload mix = MixWorkloads({a, b}).value();
+  const auto dp = FindOptimalSnakedLatticePath(mix).value();
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    const double avg = 0.5 * (ExpectedSnakedPathCost(a, path) +
+                              ExpectedSnakedPathCost(b, path));
+    EXPECT_GE(avg, dp.cost - 1e-9) << path.ToString();
+  }
+}
+
+TEST(MixWorkloadsTest, Validation) {
+  const QueryClassLattice lat = ToyLattice();
+  const Workload a = Workload::Uniform(lat);
+  EXPECT_FALSE(MixWorkloads({}).ok());
+  EXPECT_FALSE(MixWorkloads({a}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MixWorkloads({a}, {-1.0}).ok());
+  auto other = QueryClassLattice::FromFanouts({{2.0}, {2.0}}).value();
+  EXPECT_FALSE(MixWorkloads({a, Workload::Uniform(other)}).ok());
+}
+
+TEST(RobustTest, MatchesBruteForceOnSmallLattices) {
+  const QueryClassLattice lat = ToyLattice();
+  Rng rng(89);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Workload> scenarios;
+    const int n = 2 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < n; ++i) {
+      scenarios.push_back(Workload::Random(lat, &rng));
+    }
+    const auto approx = RobustSnakedPath(scenarios).value();
+    const auto exact = RobustSnakedPathBruteForce(scenarios).value();
+    // MW plays against the DP oracle; on a 6-path lattice it should find
+    // the exact minimax path (allow a small slack for safety).
+    EXPECT_LE(approx.minimax_cost, exact.minimax_cost * 1.05 + 1e-9);
+    EXPECT_GE(approx.minimax_cost, exact.minimax_cost - 1e-9);
+  }
+}
+
+TEST(RobustTest, RobustBeatsSingleScenarioOptima) {
+  // Two adversarial scenarios: a path tuned to either one is bad for the
+  // other; the robust path's worst case must be no worse than the worst
+  // case of each single-scenario optimum.
+  const QueryClassLattice lat = ToyLattice();
+  const Workload a = Workload::Point(lat, QueryClass{2, 0}).value();
+  const Workload b = Workload::Point(lat, QueryClass{0, 2}).value();
+  const std::vector<Workload> scenarios{a, b};
+  const auto robust = RobustSnakedPath(scenarios).value();
+  for (const Workload& mu : scenarios) {
+    const auto tuned = FindOptimalSnakedLatticePath(mu).value();
+    const auto tuned_result =
+        RobustSnakedPathBruteForce({mu}).value();  // sanity: cost 1
+    EXPECT_NEAR(tuned_result.minimax_cost, 1.0, 1e-12);
+    double tuned_worst = 0.0;
+    for (const Workload& other : scenarios) {
+      tuned_worst =
+          std::max(tuned_worst, ExpectedSnakedPathCost(other, tuned.path));
+    }
+    EXPECT_LE(robust.minimax_cost, tuned_worst + 1e-9);
+  }
+  // And the per-scenario costs are balanced.
+  EXPECT_NEAR(robust.scenario_costs[0], robust.scenario_costs[1],
+              1e-9 + 0.5 * robust.minimax_cost);
+}
+
+TEST(RobustTest, SingleScenarioReducesToSnakedDp) {
+  const QueryClassLattice lat = ToyLattice();
+  Rng rng(97);
+  const Workload mu = Workload::Random(lat, &rng);
+  const auto robust = RobustSnakedPath({mu}).value();
+  const auto dp = FindOptimalSnakedLatticePath(mu).value();
+  EXPECT_NEAR(robust.minimax_cost, dp.cost, 1e-9);
+}
+
+TEST(RobustTest, Validation) {
+  EXPECT_FALSE(RobustSnakedPath({}).ok());
+  const QueryClassLattice lat = ToyLattice();
+  EXPECT_FALSE(RobustSnakedPath({Workload::Uniform(lat)}, 0).ok());
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "cost/workload_cost.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/dpkd.h"
+#include "path/snaked_dp.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+struct SnakedDpCase {
+  std::vector<std::vector<double>> fanouts;
+  uint64_t seed;
+};
+
+void PrintTo(const SnakedDpCase& c, std::ostream* os) {
+  *os << "fanouts[";
+  for (size_t d = 0; d < c.fanouts.size(); ++d) {
+    if (d) *os << "|";
+    for (size_t i = 0; i < c.fanouts[d].size(); ++i) {
+      if (i) *os << ",";
+      *os << c.fanouts[d][i];
+    }
+  }
+  *os << "] seed " << c.seed;
+}
+
+class SnakedDpPropertyTest : public ::testing::TestWithParam<SnakedDpCase> {};
+
+TEST_P(SnakedDpPropertyTest, DpMatchesBruteForce) {
+  const SnakedDpCase& param = GetParam();
+  const auto lat = QueryClassLattice::FromFanouts(param.fanouts).value();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const auto dp = FindOptimalSnakedLatticePath(mu).value();
+    const auto brute = FindOptimalSnakedLatticePathBruteForce(mu).value();
+    EXPECT_NEAR(dp.cost, brute.cost, 1e-9 * (1 + brute.cost));
+    // The decomposed objective must agree with the direct formula on the
+    // chosen path.
+    EXPECT_NEAR(ExpectedSnakedPathCost(mu, dp.path), dp.cost,
+                1e-9 * (1 + dp.cost));
+  }
+}
+
+TEST_P(SnakedDpPropertyTest, NeverWorseThanSnakedUnsnakedOptimum) {
+  // Corollary 1 from the other side: the optimal snaked path is at least as
+  // good as snaking the unsnaked optimum, and at most a factor 2 better.
+  const SnakedDpCase& param = GetParam();
+  const auto lat = QueryClassLattice::FromFanouts(param.fanouts).value();
+  Rng rng(param.seed + 1000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    const auto snaked_dp = FindOptimalSnakedLatticePath(mu).value();
+    const auto unsnaked_dp = FindOptimalLatticePath(mu).value();
+    const double snake_of_opt = ExpectedSnakedPathCost(mu, unsnaked_dp.path);
+    EXPECT_LE(snaked_dp.cost, snake_of_opt + 1e-9);
+    EXPECT_LT(snake_of_opt, 2.0 * snaked_dp.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattices, SnakedDpPropertyTest,
+    ::testing::Values(
+        SnakedDpCase{{{2, 2}, {2, 2}}, 201},
+        SnakedDpCase{{{2, 2, 2}, {2, 2, 2}}, 202},
+        SnakedDpCase{{{3, 4}, {2, 5}}, 203},
+        SnakedDpCase{{{2.5, 3.5}, {4.0, 1.5}}, 204},
+        SnakedDpCase{{{2, 3}, {4}, {2, 2}}, 205},
+        SnakedDpCase{{{2}, {3}, {2}, {2}}, 206},
+        SnakedDpCase{{{7, 2, 3}, {2}}, 207}));
+
+TEST(SnakedDpTest, ToyUniformWorkloadOptimum) {
+  // On the toy grid with the uniform workload the optimal snaked cost must
+  // be <= every Table-1 strategy, including Hilbert's 49/36 (Theorem 2).
+  const auto lat = QueryClassLattice::FromFanouts({{2, 2}, {2, 2}}).value();
+  const auto dp = FindOptimalSnakedLatticePath(Workload::Uniform(lat)).value();
+  EXPECT_LE(dp.cost, 49.0 / 36 + 1e-12);
+}
+
+TEST(SnakedDpTest, PointWorkloadReachesUnitCost) {
+  const auto lat = QueryClassLattice::FromFanouts({{2, 2}, {2, 2}}).value();
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const Workload mu = Workload::Point(lat, lat.ClassAt(i)).value();
+    const auto dp = FindOptimalSnakedLatticePath(mu).value();
+    // A snaked path through the class costs exactly 1 seek per query.
+    EXPECT_NEAR(dp.cost, 1.0, 1e-12) << lat.ClassAt(i).ToString();
+  }
+}
+
+TEST(SnakedDpTest, GainDecompositionMatchesDirectFormulaOnAllPaths) {
+  // The per-step decomposition must reproduce ExpectedSnakedPathCost for
+  // EVERY path, not just the optimum (regression against sign/indexing
+  // errors in the gain table).
+  const auto lat = QueryClassLattice::FromFanouts({{2, 3}, {4, 2}}).value();
+  Rng rng(209);
+  const Workload mu = Workload::Random(lat, &rng);
+  const auto dp = FindOptimalSnakedLatticePath(mu).value();
+  for (const LatticePath& path : EnumerateAllPaths(lat).value()) {
+    EXPECT_GE(ExpectedSnakedPathCost(mu, path), dp.cost - 1e-9)
+        << path.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/spec.h"
+
+namespace snakes {
+namespace {
+
+constexpr const char* kTpcdSpec = R"(
+# TPC-D LineItem
+dimension parts    40 5     # part -> mfgr -> all
+dimension supplier 10
+dimension time     12 7
+)";
+
+TEST(SchemaSpecTest, ParsesTpcdShape) {
+  const auto schema = ParseSchemaSpec(kTpcdSpec);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->num_dims(), 3);
+  EXPECT_EQ(schema->dim(0).name(), "parts");
+  EXPECT_EQ(schema->dim(0).num_leaves(), 200u);
+  EXPECT_EQ(schema->dim(1).num_levels(), 1);
+  EXPECT_EQ(schema->dim(2).num_leaves(), 84u);
+  EXPECT_EQ(schema->lattice_size(), 18u);
+}
+
+TEST(SchemaSpecTest, TrivialDimensionAllowed) {
+  const auto schema = ParseSchemaSpec("dimension unit\n");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->dim(0).num_levels(), 0);
+}
+
+TEST(SchemaSpecTest, Errors) {
+  EXPECT_FALSE(ParseSchemaSpec("").ok());
+  EXPECT_FALSE(ParseSchemaSpec("# only comments\n").ok());
+  EXPECT_FALSE(ParseSchemaSpec("dimensino parts 4\n").ok());
+  EXPECT_FALSE(ParseSchemaSpec("dimension\n").ok());
+  EXPECT_FALSE(ParseSchemaSpec("dimension parts four\n").ok());
+  EXPECT_FALSE(ParseSchemaSpec("dimension parts 0\n").ok());
+}
+
+TEST(WorkloadSpecTest, ParsesAndNormalizes) {
+  const auto schema = ParseSchemaSpec(kTpcdSpec).value();
+  const QueryClassLattice lattice(schema);
+  const auto mu = ParseWorkloadSpec(lattice, R"(
+    class 2,0,1  3     # all parts, one supplier, one year
+    class 0,0,0  1
+  )");
+  ASSERT_TRUE(mu.ok()) << mu.status().ToString();
+  EXPECT_NEAR(mu->probability(QueryClass{2, 0, 1}), 0.75, 1e-12);
+  EXPECT_NEAR(mu->probability(QueryClass{0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(WorkloadSpecTest, Errors) {
+  const auto schema = ParseSchemaSpec(kTpcdSpec).value();
+  const QueryClassLattice lattice(schema);
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "klass 0,0,0 1\n").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "class 0,0 1\n").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "class 0,0,0,0 1\n").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "class 9,0,0 1\n").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "class 0,0,0 -1\n").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "class 0,0,0\n").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(lattice, "class 0,0,0 x\n").ok());
+}
+
+TEST(SpecFileTest, ReadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/schema.spec";
+  {
+    std::ofstream out(path);
+    out << kTpcdSpec;
+  }
+  const auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_TRUE(ParseSchemaSpec(text.value()).ok());
+  EXPECT_FALSE(ReadFileToString(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+#include "tpcd/workloads.h"
+
+namespace snakes {
+namespace {
+
+TEST(TpcdSchemaTest, DefaultShapeMatchesSection61) {
+  tpcd::Config config;
+  const StarSchema schema = tpcd::BuildSchema(config).value();
+  ASSERT_EQ(schema.num_dims(), 3);
+  EXPECT_EQ(schema.dim(tpcd::kPartsDim).name(), "parts");
+  EXPECT_EQ(schema.dim(tpcd::kPartsDim).num_leaves(), 200u);
+  EXPECT_EQ(schema.dim(tpcd::kPartsDim).num_blocks(1), 5u);
+  EXPECT_EQ(schema.dim(tpcd::kSupplierDim).num_leaves(), 10u);
+  EXPECT_EQ(schema.dim(tpcd::kTimeDim).num_leaves(), 84u);
+  EXPECT_EQ(schema.dim(tpcd::kTimeDim).num_blocks(1), 7u);
+  EXPECT_EQ(schema.num_cells(), 200u * 10 * 84);
+  // 3 x 2 x 3 level choices -> 18 query classes.
+  EXPECT_EQ(schema.lattice_size(), 18u);
+  EXPECT_EQ(schema.dim(tpcd::kTimeDim).level_name(1), "year");
+}
+
+TEST(TpcdSchemaTest, FanoutSweepShapes) {
+  for (uint64_t fanout : {4u, 10u, 40u}) {
+    tpcd::Config config;
+    config.parts_per_mfgr = fanout;
+    const StarSchema schema = tpcd::BuildSchema(config).value();
+    EXPECT_EQ(schema.dim(tpcd::kPartsDim).num_leaves(), 5 * fanout);
+    EXPECT_DOUBLE_EQ(schema.dim(tpcd::kPartsDim).avg_fanout(1),
+                     static_cast<double>(fanout));
+  }
+}
+
+TEST(TpcdSchemaTest, RejectsDegenerateConfig) {
+  tpcd::Config config;
+  config.num_years = 0;
+  EXPECT_FALSE(tpcd::BuildSchema(config).ok());
+}
+
+TEST(TpcdDbgenTest, GeneratesExpectedVolume) {
+  tpcd::Config config;
+  config.num_orders = 20'000;
+  const auto warehouse = tpcd::GenerateWarehouse(config, 7).value();
+  // 1..7 lineitems per order -> expectation 4 per order.
+  EXPECT_NEAR(static_cast<double>(warehouse.facts->total_records()),
+              4.0 * config.num_orders, 0.05 * 4 * config.num_orders);
+  // The grid should be substantially occupied at this scale.
+  EXPECT_GT(warehouse.facts->NumOccupiedCells(),
+            warehouse.facts->num_cells() / 4);
+}
+
+TEST(TpcdDbgenTest, DeterministicForSeed) {
+  tpcd::Config config;
+  config.num_orders = 2'000;
+  const auto w1 = tpcd::GenerateWarehouse(config, 123).value();
+  const auto w2 = tpcd::GenerateWarehouse(config, 123).value();
+  ASSERT_EQ(w1.facts->total_records(), w2.facts->total_records());
+  for (CellId id = 0; id < w1.facts->num_cells(); ++id) {
+    ASSERT_EQ(w1.facts->count(id), w2.facts->count(id)) << "cell " << id;
+  }
+  const auto w3 = tpcd::GenerateWarehouse(config, 124).value();
+  bool any_diff = false;
+  for (CellId id = 0; id < w1.facts->num_cells() && !any_diff; ++id) {
+    any_diff = w1.facts->count(id) != w3.facts->count(id);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpcdDbgenTest, SkewConcentratesParts) {
+  tpcd::Config uniform_config;
+  uniform_config.num_orders = 20'000;
+  tpcd::Config skew_config = uniform_config;
+  skew_config.part_skew_theta = 1.0;
+  const auto uniform = tpcd::GenerateWarehouse(uniform_config, 5).value();
+  const auto skewed = tpcd::GenerateWarehouse(skew_config, 5).value();
+
+  auto part_share = [](const tpcd::Warehouse& w) {
+    // Fraction of records on the first 10 parts.
+    const StarSchema& schema = *w.schema;
+    uint64_t first = 0, total = 0;
+    for (CellId id = 0; id < w.facts->num_cells(); ++id) {
+      const CellCoord c = schema.Unflatten(id);
+      total += w.facts->count(id);
+      if (c[tpcd::kPartsDim] < 10) first += w.facts->count(id);
+    }
+    return static_cast<double>(first) / static_cast<double>(total);
+  };
+  EXPECT_GT(part_share(skewed), 2.0 * part_share(uniform));
+}
+
+TEST(TpcdWorkloadTest, RampVectorsMatchSection62) {
+  using tpcd::Ramp;
+  EXPECT_EQ(tpcd::RampProbabilities(3, Ramp::kUp),
+            (std::vector<double>{0.1, 0.3, 0.6}));
+  EXPECT_EQ(tpcd::RampProbabilities(3, Ramp::kDown),
+            (std::vector<double>{0.6, 0.3, 0.1}));
+  EXPECT_EQ(tpcd::RampProbabilities(3, Ramp::kEven),
+            (std::vector<double>{0.33, 0.33, 0.34}));
+  EXPECT_EQ(tpcd::RampProbabilities(2, Ramp::kUp),
+            (std::vector<double>{0.2, 0.8}));
+  EXPECT_EQ(tpcd::RampProbabilities(2, Ramp::kDown),
+            (std::vector<double>{0.8, 0.2}));
+  EXPECT_EQ(tpcd::RampProbabilities(2, Ramp::kEven),
+            (std::vector<double>{0.5, 0.5}));
+  // Generic fallback stays a distribution.
+  const auto generic = tpcd::RampProbabilities(4, Ramp::kUp);
+  double sum = 0;
+  for (double p : generic) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_LT(generic.front(), generic.back());
+}
+
+TEST(TpcdWorkloadTest, WorkloadSevenMatchesPaperDescription) {
+  // Section 6.3: workload 7 puts low probability on the low levels of time
+  // and parts and the opposite in supplier.
+  tpcd::Config config;
+  const auto schema = tpcd::BuildSharedSchema(config).value();
+  const QueryClassLattice lat(*schema);
+  const Workload w7 = tpcd::SectionSixWorkload(lat, 7).value();
+  EXPECT_EQ(tpcd::DescribeWorkload(7), "parts:up supplier:down time:up");
+  // parts: up -> P(level 2) = 0.6; supplier: down -> P(level 0) = 0.8.
+  QueryClass top_parts{2, 0, 2};
+  EXPECT_NEAR(w7.probability(top_parts), 0.6 * 0.8 * 0.6, 1e-12);
+}
+
+TEST(TpcdWorkloadTest, AllTwentySevenAreDistinctDistributions) {
+  tpcd::Config config;
+  const auto schema = tpcd::BuildSharedSchema(config).value();
+  const QueryClassLattice lat(*schema);
+  const auto all = tpcd::AllSectionSixWorkloads(lat).value();
+  ASSERT_EQ(all.size(), 27u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      bool same = true;
+      for (uint64_t c = 0; c < lat.size() && same; ++c) {
+        same = std::abs(all[i].probability_at(c) - all[j].probability_at(c)) <
+               1e-12;
+      }
+      EXPECT_FALSE(same) << "workloads " << i + 1 << " and " << j + 1;
+    }
+  }
+}
+
+TEST(TpcdWorkloadTest, IdValidation) {
+  tpcd::Config config;
+  const auto schema = tpcd::BuildSharedSchema(config).value();
+  const QueryClassLattice lat(*schema);
+  EXPECT_FALSE(tpcd::SectionSixWorkload(lat, 0).ok());
+  EXPECT_FALSE(tpcd::SectionSixWorkload(lat, 28).ok());
+  auto lat2 = QueryClassLattice::FromFanouts({{2.0}, {2.0}}).value();
+  EXPECT_FALSE(tpcd::SectionSixWorkload(lat2, 1).ok());
+}
+
+TEST(TpcdQueriesTest, SevenBenchmarkQueriesInRange) {
+  tpcd::Config config;
+  const auto schema = tpcd::BuildSharedSchema(config).value();
+  const QueryClassLattice lat(*schema);
+  const auto queries = tpcd::BenchmarkQueries();
+  EXPECT_EQ(queries.size(), 7u);
+  for (const auto& q : queries) {
+    ASSERT_EQ(q.cls.num_dims(), 3) << q.name;
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(q.cls.level(d), 0) << q.name;
+      EXPECT_LE(q.cls.level(d), lat.levels(d)) << q.name;
+    }
+  }
+}
+
+TEST(TpcdQueriesTest, BenchmarkMixWorkload) {
+  tpcd::Config config;
+  const auto schema = tpcd::BuildSharedSchema(config).value();
+  const QueryClassLattice lat(*schema);
+  const Workload mix = tpcd::BenchmarkMixWorkload(lat).value();
+  double sum = 0.0;
+  for (uint64_t i = 0; i < lat.size(); ++i) sum += mix.probability_at(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Q5 and Q7 share a class, so its probability doubles.
+  EXPECT_NEAR(mix.probability(QueryClass{2, 0, 1}), 2.0 / 7, 1e-9);
+  EXPECT_FALSE(
+      tpcd::BenchmarkMixWorkload(lat, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace snakes

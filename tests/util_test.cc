@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "util/fixed_vector.h"
+#include "util/fraction.h"
+#include "util/math.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad fanout");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad fanout");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad fanout");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Status Fails() { return Status::NotFound("nope"); }
+Status Propagates() {
+  SNAKES_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kNotFound);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  SNAKES_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = ParsePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 4);
+  EXPECT_EQ(*good, 4);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 8), 0u);
+  EXPECT_EQ(CeilDiv(1, 8), 1u);
+  EXPECT_EQ(CeilDiv(8, 8), 1u);
+  EXPECT_EQ(CeilDiv(9, 8), 2u);
+}
+
+TEST(MathTest, PowersOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(5), 2);
+  EXPECT_EQ(FloorPowerOfTwo(5), 4u);
+  EXPECT_EQ(CeilPowerOfTwo(5), 8u);
+  EXPECT_EQ(CeilPowerOfTwo(8), 8u);
+}
+
+TEST(MathTest, Gcd) {
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(0, 7), 7u);
+  EXPECT_EQ(Gcd(7, 0), 7u);
+  EXPECT_EQ(Gcd(35, 64), 1u);
+}
+
+TEST(MathTest, CheckedMulAddWork) {
+  EXPECT_EQ(CheckedMul(1u << 20, 1u << 20), uint64_t{1} << 40);
+  EXPECT_EQ(CheckedAdd(UINT64_MAX - 1, 1), UINT64_MAX);
+}
+
+TEST(FractionTest, ReducesToLowestTerms) {
+  Fraction f(16, 8);
+  EXPECT_EQ(f.numerator(), 2u);
+  EXPECT_EQ(f.denominator(), 1u);
+  EXPECT_EQ(f.ToString(), "2");
+  EXPECT_EQ(Fraction(49, 36).ToString(), "49/36");
+}
+
+TEST(FractionTest, Arithmetic) {
+  const Fraction a(1, 3), b(1, 6);
+  EXPECT_EQ(a + b, Fraction(1, 2));
+  EXPECT_EQ(a - b, Fraction(1, 6));
+  EXPECT_EQ(a * b, Fraction(1, 18));
+  EXPECT_EQ(a / b, Fraction(2));
+}
+
+TEST(FractionTest, Comparisons) {
+  EXPECT_LT(Fraction(49, 36), Fraction(17, 9));
+  EXPECT_GT(Fraction(17, 9), Fraction(15, 9));
+  EXPECT_LE(Fraction(1, 2), Fraction(2, 4));
+  EXPECT_GE(Fraction(1, 2), Fraction(2, 4));
+}
+
+TEST(FractionTest, ZeroNormalizes) {
+  EXPECT_EQ(Fraction(0, 7), Fraction());
+  EXPECT_DOUBLE_EQ(Fraction(0, 7).ToDouble(), 0.0);
+}
+
+TEST(FixedVectorTest, BasicOperations) {
+  FixedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(3);
+  v.push_back(5);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v.back(), 5);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  v.resize(3);
+  EXPECT_EQ(v[2], 0);
+}
+
+TEST(FixedVectorTest, ComparisonsAreLexicographic) {
+  FixedVector<int, 4> a{1, 2};
+  FixedVector<int, 4> b{1, 3};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == (FixedVector<int, 4>{1, 2}));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "all residues should appear in 1000 draws";
+}
+
+TEST(RngTest, UniformInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Uniform(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  Rng rng(13);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 40000; ++i) ++hits[zipf.Sample(&rng)];
+  for (int h : hits) EXPECT_NEAR(h, 10000, 600);
+}
+
+TEST(ZipfTest, SkewPrefersSmallIndices) {
+  Rng rng(13);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[zipf.Sample(&rng)];
+  EXPECT_GT(hits[0], hits[50] * 5);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "cost"});
+  t.AddRow({"row-major", "17/9"});
+  t.AddRow({"hilbert", "49/36"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("hilbert    49/36"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatPercent(0.721, 1), "72.1%");
+}
+
+}  // namespace
+}  // namespace snakes

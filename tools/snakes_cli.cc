@@ -1,0 +1,152 @@
+// snakes_cli — command-line front end for the clustering advisor.
+//
+//   snakes_cli advise  --schema FILE --workload FILE [--export-order CSV]
+//   snakes_cli lattice --schema FILE
+//   snakes_cli demo    [workload-id 1..27]
+//
+// Schema and workload files use the spec format of src/core/spec.h.
+// `advise` prints the advisor report; with --export-order it writes the
+// recommended clustering as CSV rows "rank,cell_id,<coord per dimension>"
+// ready for a bulk loader's ORDER BY.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/advisor.h"
+#include "core/spec.h"
+#include "tpcd/schema.h"
+#include "tpcd/workloads.h"
+#include "util/result.h"
+
+namespace snakes {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  snakes_cli advise  --schema FILE --workload FILE "
+      "[--export-order CSV]\n"
+      "  snakes_cli lattice --schema FILE\n"
+      "  snakes_cli demo    [workload-id 1..27]\n");
+  return 2;
+}
+
+Result<std::string> ArgValue(int argc, char** argv, const char* flag) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::string(argv[i + 1]);
+  }
+  return Status::NotFound(std::string("missing ") + flag);
+}
+
+Status ExportOrder(const Linearization& order, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write " + path);
+  const StarSchema& schema = order.schema();
+  out << "rank,cell_id";
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    out << "," << schema.dim(d).name();
+  }
+  out << "\n";
+  order.Walk([&](uint64_t rank, const CellCoord& coord) {
+    out << rank << "," << schema.Flatten(coord);
+    for (size_t d = 0; d < coord.size(); ++d) out << "," << coord[d];
+    out << "\n";
+  });
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+int RunAdvise(int argc, char** argv) {
+  auto schema_path = ArgValue(argc, argv, "--schema");
+  auto workload_path = ArgValue(argc, argv, "--workload");
+  if (!schema_path.ok() || !workload_path.ok()) return Usage();
+
+  auto schema_text = ReadFileToString(schema_path.value());
+  if (!schema_text.ok()) return Fail(schema_text.status());
+  auto schema = ParseSchemaSpec(schema_text.value());
+  if (!schema.ok()) return Fail(schema.status());
+  auto shared = std::make_shared<StarSchema>(std::move(schema).value());
+
+  const ClusteringAdvisor advisor(shared);
+  auto workload_text = ReadFileToString(workload_path.value());
+  if (!workload_text.ok()) return Fail(workload_text.status());
+  auto mu = ParseWorkloadSpec(advisor.Lattice(), workload_text.value());
+  if (!mu.ok()) return Fail(mu.status());
+
+  auto rec = advisor.Advise(mu.value());
+  if (!rec.ok()) return Fail(rec.status());
+  std::printf("%s", rec->ToString().c_str());
+
+  if (auto csv = ArgValue(argc, argv, "--export-order"); csv.ok()) {
+    auto order = advisor.RecommendedOrder(mu.value());
+    if (!order.ok()) return Fail(order.status());
+    const Status written = ExportOrder(*order.value(), csv.value());
+    if (!written.ok()) return Fail(written);
+    std::printf("\nwrote %llu rows to %s\n",
+                static_cast<unsigned long long>(shared->num_cells()),
+                csv.value().c_str());
+  }
+  return 0;
+}
+
+int RunLattice(int argc, char** argv) {
+  auto schema_path = ArgValue(argc, argv, "--schema");
+  if (!schema_path.ok()) return Usage();
+  auto schema_text = ReadFileToString(schema_path.value());
+  if (!schema_text.ok()) return Fail(schema_text.status());
+  auto schema = ParseSchemaSpec(schema_text.value());
+  if (!schema.ok()) return Fail(schema.status());
+  const QueryClassLattice lattice(schema.value());
+  std::printf("%d dimensions, %llu cells, %llu query classes:\n",
+              schema->num_dims(),
+              static_cast<unsigned long long>(schema->num_cells()),
+              static_cast<unsigned long long>(lattice.size()));
+  for (uint64_t i = 0; i < lattice.size(); ++i) {
+    const QueryClass c = lattice.ClassAt(i);
+    uint64_t queries = 1;
+    for (int d = 0; d < schema->num_dims(); ++d) {
+      queries *= schema->dim(d).num_blocks(c.level(d));
+    }
+    std::printf("  %-12s %llu queries\n", c.ToString().c_str(),
+                static_cast<unsigned long long>(queries));
+  }
+  return 0;
+}
+
+int RunDemo(int argc, char** argv) {
+  const int id = argc > 2 ? std::atoi(argv[2]) : 7;
+  tpcd::Config config;
+  auto schema = tpcd::BuildSharedSchema(config);
+  if (!schema.ok()) return Fail(schema.status());
+  const ClusteringAdvisor advisor(schema.value());
+  auto mu = tpcd::SectionSixWorkload(advisor.Lattice(), id);
+  if (!mu.ok()) return Fail(mu.status());
+  std::printf("TPC-D LineItem schema, workload %d (%s)\n\n", id,
+              tpcd::DescribeWorkload(id).c_str());
+  auto rec = advisor.Advise(mu.value());
+  if (!rec.ok()) return Fail(rec.status());
+  std::printf("%s", rec->ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "advise") return RunAdvise(argc, argv);
+  if (command == "lattice") return RunLattice(argc, argv);
+  if (command == "demo") return RunDemo(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main(int argc, char** argv) { return snakes::Main(argc, argv); }
