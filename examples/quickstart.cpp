@@ -5,14 +5,16 @@
 //   $ ./quickstart
 //
 // Steps: declare hierarchies, state an expected workload over query
-// classes, let the advisor run the optimal-lattice-path DP, and print the
-// recommended snaked clustering as a grid.
+// classes, build an EvaluationRequest, inspect the advisor's plan, evaluate
+// it in parallel, and print the recommended snaked clustering as a grid.
+// Every fallible step checks its Status instead of dying on the happy path.
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "core/advisor.h"
+#include "core/evaluation.h"
 #include "curves/path_order.h"
 #include "hierarchy/hierarchy.h"
 #include "hierarchy/star_schema.h"
@@ -21,19 +23,30 @@
 
 using namespace snakes;
 
+namespace {
+
+[[noreturn]] void Fail(const Status& status) {
+  std::fprintf(stderr, "quickstart: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
 int main() {
   // 1. Dimensions. Both hierarchies are 2-level binary, as in Figure 1:
   //    jeans: {men's levi's, women's levi's, men's gitano, women's gitano}
   //    grouped by type; location: {toronto, ottawa, albany, nyc} grouped by
   //    state.
-  Hierarchy location =
-      Hierarchy::Uniform("location", {2, 2}, {"city", "state", "all"})
-          .ValueOrDie();
-  Hierarchy jeans =
-      Hierarchy::Uniform("jeans", {2, 2}, {"style", "type", "all"})
-          .ValueOrDie();
-  auto schema = std::make_shared<StarSchema>(
-      StarSchema::Make("sales", {location, jeans}).ValueOrDie());
+  auto location =
+      Hierarchy::Uniform("location", {2, 2}, {"city", "state", "all"});
+  if (!location.ok()) Fail(location.status());
+  auto jeans = Hierarchy::Uniform("jeans", {2, 2}, {"style", "type", "all"});
+  if (!jeans.ok()) Fail(jeans.status());
+  auto schema_result =
+      StarSchema::Make("sales", {location.value(), jeans.value()});
+  if (!schema_result.ok()) Fail(schema_result.status());
+  auto schema =
+      std::make_shared<StarSchema>(std::move(schema_result).value());
   std::printf("schema '%s': %d dims, %llu cells, %llu query classes\n\n",
               schema->name().c_str(), schema->num_dims(),
               static_cast<unsigned long long>(schema->num_cells()),
@@ -45,29 +58,38 @@ int main() {
   //    a DBA collects from a query log.
   const ClusteringAdvisor advisor(schema);
   const QueryClassLattice lattice = advisor.Lattice();
-  const Workload mu =
-      Workload::FromMasses(lattice,
-                           {
-                               {QueryClass{1, 1}, 0.30},  // state x type
-                               {QueryClass{0, 2}, 0.25},  // city, any jeans
-                               {QueryClass{0, 0}, 0.15},  // cell lookups
-                               {QueryClass{2, 2}, 0.10},  // full scans
-                               {QueryClass{1, 2}, 0.10},  // state totals
-                               {QueryClass{2, 1}, 0.10},  // type totals
-                           })
-          .ValueOrDie();
+  auto mu = Workload::FromMasses(lattice,
+                                 {
+                                     {QueryClass{1, 1}, 0.30},  // state x type
+                                     {QueryClass{0, 2}, 0.25},  // city, any jeans
+                                     {QueryClass{0, 0}, 0.15},  // cell lookups
+                                     {QueryClass{2, 2}, 0.10},  // full scans
+                                     {QueryClass{1, 2}, 0.10},  // state totals
+                                     {QueryClass{2, 1}, 0.10},  // type totals
+                                 });
+  if (!mu.ok()) Fail(mu.status());
 
-  // 3. Advise: runs the Figure-4 dynamic program, applies snaking
-  //    (Section 5), and compares against row-major and curve baselines.
-  const Recommendation rec = advisor.Advise(mu).ValueOrDie();
-  std::printf("%s\n", rec.ToString().c_str());
+  // 3. Request -> plan -> evaluate. The request names strategy families from
+  //    the registry (empty = all of them) and picks the engine's thread
+  //    count; the plan shows what will be scored and why anything was
+  //    skipped, before any evaluation work happens.
+  EvaluationRequest request(mu.value());
+  request.num_threads = 0;  // 0 = one worker per hardware thread
+  auto plan = advisor.Plan(request);
+  if (!plan.ok()) Fail(plan.status());
+  std::printf("%s\n", plan->ToString().c_str());
+
+  auto rec = advisor.Evaluate(*plan);
+  if (!rec.ok()) Fail(rec.status());
+  std::printf("%s\n", rec->ToString().c_str());
 
   // 4. The physical order to bulk-load with: rank -> cell.
-  const auto order = advisor.RecommendedOrder(mu).ValueOrDie();
+  auto order = advisor.RecommendedOrder(mu.value());
+  if (!order.ok()) Fail(order.status());
   std::printf("recommended clustering '%s' as a grid (visit ranks):\n\n",
-              order->name().c_str());
+              (*order)->name().c_str());
   std::vector<uint64_t> rank_of(schema->num_cells());
-  order->Walk([&](uint64_t rank, const CellCoord& coord) {
+  (*order)->Walk([&](uint64_t rank, const CellCoord& coord) {
     rank_of[coord[0] * 4 + coord[1]] = rank + 1;
   });
   for (uint64_t r = 0; r < 4; ++r) {

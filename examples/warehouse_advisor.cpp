@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "core/advisor.h"
+#include "core/evaluation.h"
 #include "lattice/grid_query.h"
 #include "storage/executor.h"
 #include "tpcd/dbgen.h"
@@ -17,6 +18,15 @@
 #include "util/rng.h"
 
 using namespace snakes;
+
+namespace {
+
+[[noreturn]] void Fail(const Status& status) {
+  std::fprintf(stderr, "warehouse_advisor: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const int workload_id = argc > 1 ? std::atoi(argv[1]) : 7;
@@ -28,7 +38,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.num_parts()),
               static_cast<unsigned long long>(config.num_suppliers),
               static_cast<unsigned long long>(config.num_months()));
-  const auto warehouse = tpcd::GenerateWarehouse(config).ValueOrDie();
+  auto warehouse_result = tpcd::GenerateWarehouse(config);
+  if (!warehouse_result.ok()) Fail(warehouse_result.status());
+  const auto warehouse = std::move(warehouse_result).value();
   std::printf("%llu records, %llu of %llu cells occupied\n\n",
               static_cast<unsigned long long>(warehouse.facts->total_records()),
               static_cast<unsigned long long>(
@@ -36,21 +48,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(warehouse.facts->num_cells()));
 
   const ClusteringAdvisor advisor(warehouse.schema);
-  const Workload mu =
-      tpcd::SectionSixWorkload(advisor.Lattice(), workload_id).ValueOrDie();
+  auto mu = tpcd::SectionSixWorkload(advisor.Lattice(), workload_id);
+  if (!mu.ok()) Fail(mu.status());
   std::printf("workload %d: %s\n\n", workload_id,
               tpcd::DescribeWorkload(workload_id).c_str());
 
-  AdvisorOptions options;
-  options.measure_storage = true;
-  const Recommendation rec =
-      advisor.Advise(mu, options, warehouse.facts).ValueOrDie();
-  std::printf("%s\n", rec.ToString().c_str());
+  // The request/plan API: name the families to score, ask for measured
+  // storage I/O, and let the engine fan the candidates out across threads.
+  EvaluationRequest request(mu.value());
+  request.measure_storage = true;
+  request.facts = warehouse.facts;
+  auto rec = advisor.Advise(request);
+  if (!rec.ok()) Fail(rec.status());
+  std::printf("%s\n", rec->ToString().c_str());
 
   // Bulk-load along the recommendation and run a few queries for real.
-  auto order = advisor.RecommendedOrder(mu).ValueOrDie();
-  const auto layout =
-      PackedLayout::Pack(std::move(order), warehouse.facts).ValueOrDie();
+  auto order_result = advisor.RecommendedOrder(mu.value());
+  if (!order_result.ok()) Fail(order_result.status());
+  auto layout_result =
+      PackedLayout::Pack(std::move(order_result).value(), warehouse.facts);
+  if (!layout_result.ok()) Fail(layout_result.status());
+  const auto layout = std::move(layout_result).value();
   const IoSimulator sim(layout);
   std::printf("packed into %llu pages of %llu bytes\n\n",
               static_cast<unsigned long long>(layout.num_pages()),

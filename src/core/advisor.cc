@@ -1,20 +1,30 @@
 #include "core/advisor.h"
 
 #include <algorithm>
+#include <future>
+#include <utility>
 
 #include "cost/workload_cost.h"
-#include "curves/hilbert.h"
 #include "curves/path_order.h"
-#include "curves/row_major.h"
-#include "curves/z_curve.h"
 #include "path/dpkd.h"
 #include "path/snaked_dp.h"
 #include "util/logging.h"
 #include "util/text_table.h"
+#include "util/thread_pool.h"
 
 namespace snakes {
 
 std::string Recommendation::ToString() const {
+  std::string out = "optimal lattice path: " + optimal_path.ToString() + "\n";
+  out += "cost " + FormatDouble(optimal_path_cost, 4) + " unsnaked, " +
+         FormatDouble(snaked_optimal_cost, 4) + " snaked\n";
+  out += "optimal snaked path:  " + optimal_snaked_path.ToString() +
+         ", cost " + FormatDouble(optimal_snaked_cost, 4) + "\n\n";
+  if (ranked.empty()) {
+    out += "(no strategy evaluated: every requested family was "
+           "inapplicable to the schema)\n";
+    return out;
+  }
   TextTable table({"strategy", "expected cost", "seeks/query", "norm blocks"});
   for (const StrategyReport& report : ranked) {
     std::vector<std::string> row{report.name,
@@ -25,91 +35,184 @@ std::string Recommendation::ToString() const {
     }
     table.AddRow(std::move(row));
   }
-  std::string out = "optimal lattice path: " + optimal_path.ToString() + "\n";
-  out += "cost " + FormatDouble(optimal_path_cost, 4) + " unsnaked, " +
-         FormatDouble(snaked_optimal_cost, 4) + " snaked\n";
-  out += "optimal snaked path:  " + optimal_snaked_path.ToString() +
-         ", cost " + FormatDouble(optimal_snaked_cost, 4) + "\n\n";
   out += table.Render();
   return out;
 }
 
-Result<Recommendation> ClusteringAdvisor::Advise(
-    const Workload& mu, const AdvisorOptions& options,
-    std::shared_ptr<const FactTable> facts) const {
-  if (options.measure_storage && facts == nullptr) {
-    return Status::InvalidArgument(
-        "measure_storage requires a fact table");
+std::string EvaluationPlan::ToString() const {
+  std::string out = "evaluation plan: " +
+                    std::to_string(strategies.size()) + " candidate(s), " +
+                    std::to_string(num_threads) + " thread(s)\n";
+  out += "optimal lattice path: " + optimal_path.path.ToString() + "\n";
+  out += "optimal snaked path:  " + optimal_snaked_path.path.ToString() + "\n";
+  for (const PlannedStrategy& s : strategies) {
+    out += "  evaluate [" + s.factory + "] " + s.linearization->name() + "\n";
+  }
+  for (const SkippedStrategy& s : skipped) {
+    out += "  skip     [" + s.factory + "] " + s.reason.message() + "\n";
+  }
+  return out;
+}
+
+Result<EvaluationPlan> ClusteringAdvisor::Plan(
+    const EvaluationRequest& request) const {
+  if (request.measure_storage && request.facts == nullptr) {
+    return Status::InvalidArgument("measure_storage requires a fact table");
   }
   {
     const QueryClassLattice expected(*schema_);
-    if (!(mu.lattice() == expected)) {
+    if (!(request.workload.lattice() == expected)) {
       return Status::InvalidArgument(
           "workload lattice does not match the advisor's schema");
     }
   }
 
-  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult dp, FindOptimalLatticePath(mu));
-  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult snaked_dp,
-                          FindOptimalSnakedLatticePath(mu));
+  // Resolve the requested families against the registry before doing any
+  // work, so typos fail fast.
+  const StrategyRegistry& registry =
+      request.registry != nullptr ? *request.registry
+                                  : StrategyRegistry::BuiltIns();
+  std::vector<const StrategyFactory*> selected;
+  if (request.strategies.empty()) {
+    for (const auto& factory : registry.factories()) {
+      selected.push_back(factory.get());
+    }
+  } else {
+    for (const std::string& name : request.strategies) {
+      const StrategyFactory* factory = registry.Find(name);
+      if (factory == nullptr) {
+        std::string known;
+        for (const auto& f : registry.factories()) {
+          if (!known.empty()) known += ", ";
+          known += f->name();
+        }
+        return Status::InvalidArgument("unknown strategy family '" + name +
+                                       "' (registered: " + known + ")");
+      }
+      selected.push_back(factory);
+    }
+  }
 
-  Recommendation rec{dp.path,
-                     snaked_dp.path,
-                     dp.cost,
-                     ExpectedSnakedPathCost(mu, dp.path),
-                     snaked_dp.cost,
+  const int num_threads = request.num_threads <= 0
+                              ? ThreadPool::DefaultThreads()
+                              : request.num_threads;
+
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(num_threads);
+  SNAKES_ASSIGN_OR_RETURN(
+      OptimalPathResult dp,
+      FindOptimalLatticePath(request.workload, pool ? &*pool : nullptr));
+  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult snaked_dp,
+                          FindOptimalSnakedLatticePath(request.workload));
+
+  EvaluationPlan plan{request.workload,
+                      std::move(dp),
+                      std::move(snaked_dp),
+                      0.0,
+                      {},
+                      {},
+                      num_threads,
+                      request.measure_storage,
+                      request.storage,
+                      request.facts};
+  plan.snaked_cost_of_optimal =
+      ExpectedSnakedPathCost(plan.workload, plan.optimal_path.path);
+
+  const StrategyContext ctx{schema_, &plan.workload, &plan.optimal_path,
+                            &plan.optimal_snaked_path};
+  for (const StrategyFactory* factory : selected) {
+    const Status applicable = factory->Applicable(*schema_);
+    if (!applicable.ok()) {
+      plan.skipped.push_back({factory->name(), applicable});
+      continue;
+    }
+    SNAKES_ASSIGN_OR_RETURN(auto candidates, factory->Build(ctx));
+    for (auto& lin : candidates) {
+      plan.strategies.push_back({factory->name(), std::move(lin)});
+    }
+  }
+  return plan;
+}
+
+Result<Recommendation> ClusteringAdvisor::Evaluate(
+    const EvaluationPlan& plan) const {
+  Recommendation rec{plan.optimal_path.path,
+                     plan.optimal_snaked_path.path,
+                     plan.optimal_path.cost,
+                     plan.snaked_cost_of_optimal,
+                     plan.optimal_snaked_path.cost,
                      {}};
 
-  // Candidate strategies: the snaked optimum, the (snaked and plain)
-  // Section-4 optimum, and the baselines.
-  std::vector<std::shared_ptr<const Linearization>> candidates;
-  {
-    SNAKES_ASSIGN_OR_RETURN(auto best_snaked,
-                            MakePathOrder(schema_, snaked_dp.path, true));
-    candidates.emplace_back(std::move(best_snaked));
-    if (snaked_dp.path != dp.path) {
-      SNAKES_ASSIGN_OR_RETURN(auto snaked,
-                              MakePathOrder(schema_, dp.path, true));
-      candidates.emplace_back(std::move(snaked));
-    }
-    SNAKES_ASSIGN_OR_RETURN(auto plain, MakePathOrder(schema_, dp.path, false));
-    candidates.emplace_back(std::move(plain));
-  }
-  if (options.include_row_majors) {
-    for (auto& rm : AllRowMajorOrders(schema_)) {
-      candidates.emplace_back(std::move(rm));
-    }
-  }
-  if (options.include_curves) {
-    if (auto z = ZCurve::Make(schema_); z.ok()) {
-      candidates.emplace_back(std::move(z).value());
-    }
-    if (auto g = GrayCurve::Make(schema_); g.ok()) {
-      candidates.emplace_back(std::move(g).value());
-    }
-    if (auto h = HilbertCurve::Make(schema_); h.ok()) {
-      candidates.emplace_back(std::move(h).value());
-    }
-  }
-
-  for (const auto& lin : candidates) {
+  // One task per candidate. Tasks are pure functions of the (shared,
+  // immutable) plan, and futures are collected in submission order, so the
+  // ranking below is identical at every pool size.
+  const auto score = [&plan](const PlannedStrategy& candidate)
+      -> Result<StrategyReport> {
     StrategyReport report;
-    report.name = lin->name();
-    report.expected_cost = MeasureExpectedCost(mu, *lin);
-    if (options.measure_storage) {
+    report.name = candidate.linearization->name();
+    report.expected_cost =
+        MeasureExpectedCost(plan.workload, *candidate.linearization);
+    if (plan.measure_storage) {
       SNAKES_ASSIGN_OR_RETURN(
           PackedLayout layout,
-          PackedLayout::Pack(lin, facts, options.storage));
+          PackedLayout::Pack(candidate.linearization, plan.facts,
+                             plan.storage));
       const IoSimulator sim(layout);
-      report.io = IoSimulator::Expect(mu, sim.MeasureAllClasses());
+      report.io = IoSimulator::Expect(plan.workload, sim.MeasureAllClasses());
     }
-    rec.ranked.push_back(std::move(report));
+    return report;
+  };
+
+  std::vector<Result<StrategyReport>> reports;
+  reports.reserve(plan.strategies.size());
+  if (plan.num_threads == 1 || plan.strategies.size() <= 1) {
+    for (const PlannedStrategy& candidate : plan.strategies) {
+      reports.push_back(score(candidate));
+    }
+  } else {
+    ThreadPool pool(plan.num_threads);
+    std::vector<std::future<Result<StrategyReport>>> pending;
+    pending.reserve(plan.strategies.size());
+    for (const PlannedStrategy& candidate : plan.strategies) {
+      pending.push_back(
+          pool.Submit([&score, &candidate]() { return score(candidate); }));
+    }
+    for (auto& future : pending) {
+      reports.push_back(future.get());
+    }
+  }
+  for (Result<StrategyReport>& report : reports) {
+    if (!report.ok()) return report.status();
+    rec.ranked.push_back(std::move(report).value());
   }
   std::stable_sort(rec.ranked.begin(), rec.ranked.end(),
                    [](const StrategyReport& x, const StrategyReport& y) {
                      return x.expected_cost < y.expected_cost;
                    });
   return rec;
+}
+
+Result<Recommendation> ClusteringAdvisor::Advise(
+    const EvaluationRequest& request) const {
+  SNAKES_ASSIGN_OR_RETURN(EvaluationPlan plan, Plan(request));
+  return Evaluate(plan);
+}
+
+Result<Recommendation> ClusteringAdvisor::Advise(
+    const Workload& mu, const AdvisorOptions& options,
+    std::shared_ptr<const FactTable> facts) const {
+  EvaluationRequest request{mu};
+  request.strategies = {"lattice-paths"};
+  if (options.include_row_majors) request.strategies.push_back("row-major");
+  if (options.include_curves) {
+    request.strategies.push_back("z-curve");
+    request.strategies.push_back("gray-curve");
+    request.strategies.push_back("hilbert");
+  }
+  request.measure_storage = options.measure_storage;
+  request.storage = options.storage;
+  request.facts = std::move(facts);
+  return Advise(request);
 }
 
 Result<std::unique_ptr<Linearization>> ClusteringAdvisor::RecommendedOrder(

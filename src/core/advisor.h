@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluation.h"
 #include "curves/linearization.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/workload.h"
@@ -13,11 +14,15 @@
 #include "storage/executor.h"
 #include "storage/fact_table.h"
 #include "storage/pager.h"
+#include "util/logging.h"
 #include "util/result.h"
 
 namespace snakes {
 
-/// Knobs for ClusteringAdvisor::Advise.
+/// Legacy knobs for the boolean-flag Advise overload. New code should build
+/// an EvaluationRequest (core/evaluation.h), which names strategy families
+/// explicitly and controls the evaluation engine's parallelism; this struct
+/// is kept as a thin compatibility surface over it.
 struct AdvisorOptions {
   /// Evaluate every row-major axis order (k! strategies) as baselines.
   bool include_row_majors = true;
@@ -36,7 +41,7 @@ struct StrategyReport {
   /// Expected seek cost under the analytic cell-granularity model
   /// (cost_mu of Section 4 / the extended CV cost of Section 5).
   double expected_cost = 0.0;
-  /// Measured expected I/O when options.measure_storage was set.
+  /// Measured expected I/O when the request set measure_storage.
   std::optional<WorkloadIoStats> io;
 };
 
@@ -59,7 +64,18 @@ struct Recommendation {
   /// practical configuration.
   std::vector<StrategyReport> ranked;
 
-  const StrategyReport& best() const { return ranked.front(); }
+  /// True when at least one strategy was evaluated. `ranked` is empty only
+  /// when the request restricted the families and every one was inapplicable.
+  bool has_best() const { return !ranked.empty(); }
+
+  /// The cheapest evaluated strategy. Aborts with a clear message when no
+  /// strategy was evaluated (check has_best() on restricted requests).
+  const StrategyReport& best() const {
+    SNAKES_CHECK(!ranked.empty())
+        << "Recommendation::best(): no strategy was evaluated — every "
+           "requested family was inapplicable to the schema";
+    return ranked.front();
+  }
 
   /// Plain-text report table.
   std::string ToString() const;
@@ -67,12 +83,20 @@ struct Recommendation {
 
 /// The library's top-level API: given a star schema and an expected workload
 /// over its query-class lattice, finds the optimal lattice path (DP), applies
-/// snaking, evaluates the requested baselines, and recommends a clustering.
+/// snaking, evaluates the requested strategy families in parallel, and
+/// recommends a clustering.
 ///
 ///   auto schema = ...; Workload mu = ...;
 ///   ClusteringAdvisor advisor(schema);
-///   Recommendation rec = advisor.Advise(mu).ValueOrDie();
-///   auto order = advisor.RecommendedOrder(mu).ValueOrDie();  // rank <-> cell
+///   EvaluationRequest request{mu};
+///   Result<Recommendation> rec = advisor.Advise(request);
+///   auto order = advisor.RecommendedOrder(mu);   // rank <-> cell
+///
+/// Advise = Plan + Evaluate. Plan resolves the request against a strategy
+/// registry (running the path DPs); Evaluate scores every planned candidate
+/// — the analytic cost and, when requested, the packed-storage measurement —
+/// as an independent task on a fixed-size thread pool. The ranking is
+/// deterministic: identical at every thread count.
 class ClusteringAdvisor {
  public:
   explicit ClusteringAdvisor(std::shared_ptr<const StarSchema> schema)
@@ -80,8 +104,21 @@ class ClusteringAdvisor {
 
   const StarSchema& schema() const { return *schema_; }
 
-  /// Evaluates strategies under `mu`. `facts` is only consulted when
-  /// options.measure_storage is set.
+  /// Resolves `request` into a concrete evaluation plan: validates the
+  /// workload, runs the optimal-path and snaked-path DPs, consults the
+  /// strategy registry, and materializes every applicable candidate.
+  /// Inapplicable families are recorded in plan.skipped.
+  Result<EvaluationPlan> Plan(const EvaluationRequest& request) const;
+
+  /// Scores every planned candidate across the thread pool and assembles the
+  /// ranked recommendation.
+  Result<Recommendation> Evaluate(const EvaluationPlan& plan) const;
+
+  /// Plan + Evaluate in one call.
+  Result<Recommendation> Advise(const EvaluationRequest& request) const;
+
+  /// Backward-compatible wrapper over the request pipeline. `facts` is only
+  /// consulted when options.measure_storage is set.
   Result<Recommendation> Advise(
       const Workload& mu, const AdvisorOptions& options = {},
       std::shared_ptr<const FactTable> facts = nullptr) const;

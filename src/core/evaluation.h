@@ -1,0 +1,86 @@
+#ifndef SNAKES_CORE_EVALUATION_H_
+#define SNAKES_CORE_EVALUATION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/strategy.h"
+#include "lattice/workload.h"
+#include "path/dpkd.h"
+#include "storage/fact_table.h"
+#include "storage/pager.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// What to evaluate and how — the explicit replacement for the old
+/// AdvisorOptions flag set. A request names strategy *families* from a
+/// registry instead of toggling booleans, so new families need no new flags:
+///
+///   EvaluationRequest request{mu};
+///   request.strategies = {"lattice-paths", "hilbert"};  // empty = all
+///   request.num_threads = 4;                            // 0 = hardware
+///   auto plan = advisor.Plan(request);                  // inspectable
+///   auto rec = advisor.Evaluate(*plan);                 // or Advise(request)
+struct EvaluationRequest {
+  explicit EvaluationRequest(Workload mu) : workload(std::move(mu)) {}
+
+  /// The expected workload; its lattice must match the advisor's schema.
+  Workload workload;
+  /// Factory names to evaluate (see StrategyRegistry). Empty = every
+  /// registered family. Unknown names fail Plan with InvalidArgument;
+  /// inapplicable families are planned as skipped, not errors.
+  std::vector<std::string> strategies;
+  /// Worker threads for the evaluation engine: 0 = hardware concurrency,
+  /// 1 = serial. Results are identical at any thread count.
+  int num_threads = 0;
+  /// Also pack `facts` under every strategy and report measured I/O.
+  bool measure_storage = false;
+  StorageConfig storage;
+  std::shared_ptr<const FactTable> facts;
+  /// The factory registry to plan from; nullptr = StrategyRegistry::BuiltIns().
+  const StrategyRegistry* registry = nullptr;
+};
+
+/// One concrete candidate the plan will score.
+struct PlannedStrategy {
+  /// Name of the factory family that produced it.
+  std::string factory;
+  std::shared_ptr<const Linearization> linearization;
+};
+
+/// A factory the planner consulted but could not apply to the schema.
+struct SkippedStrategy {
+  std::string factory;
+  Status reason;
+};
+
+/// The resolved middle stage of the request -> registry -> plan pipeline:
+/// the DP solutions plus every concrete candidate, ready for the parallel
+/// scoring pass. Produced by ClusteringAdvisor::Plan, consumed by Evaluate;
+/// self-contained (owns copies/refs of everything scoring needs).
+struct EvaluationPlan {
+  Workload workload;
+  /// Section-4 optimal lattice path and the Corollary-1 snaked optimum.
+  OptimalPathResult optimal_path;
+  OptimalPathResult optimal_snaked_path;
+  /// cost_mu of snaking optimal_path (the paper's recipe).
+  double snaked_cost_of_optimal = 0.0;
+  /// Candidates in canonical order (registration order within each family);
+  /// this order is the tie-break among equal-cost strategies.
+  std::vector<PlannedStrategy> strategies;
+  std::vector<SkippedStrategy> skipped;
+  int num_threads = 0;
+  bool measure_storage = false;
+  StorageConfig storage;
+  std::shared_ptr<const FactTable> facts;
+
+  /// Human-readable plan summary (candidates and skip reasons).
+  std::string ToString() const;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_CORE_EVALUATION_H_

@@ -1,0 +1,164 @@
+#include "core/strategy.h"
+
+#include <utility>
+
+#include "curves/hilbert.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "util/logging.h"
+
+namespace snakes {
+namespace {
+
+/// A non-owning shared_ptr view of `schema` (aliasing constructor with an
+/// empty control block). Lets applicability checks delegate to the curve
+/// Make() factories — the single source of truth for their requirements —
+/// without copying the schema. The result must not outlive the reference.
+std::shared_ptr<const StarSchema> Unowned(const StarSchema& schema) {
+  return std::shared_ptr<const StarSchema>(std::shared_ptr<void>(), &schema);
+}
+
+/// The lattice-path family: the Corollary-1 snaked optimum, the snaked
+/// Section-4 optimum (when it is a different path), and the plain Section-4
+/// optimum — exactly the advisor's historical candidate list.
+class LatticePathStrategyFactory : public StrategyFactory {
+ public:
+  std::string name() const override { return "lattice-paths"; }
+
+  Status Applicable(const StarSchema&) const override { return Status::OK(); }
+
+  Result<std::vector<std::shared_ptr<const Linearization>>> Build(
+      const StrategyContext& ctx) const override {
+    SNAKES_CHECK(ctx.optimal_path != nullptr &&
+                 ctx.optimal_snaked_path != nullptr)
+        << "lattice-paths factory needs the planner's DP results";
+    std::vector<std::shared_ptr<const Linearization>> out;
+    SNAKES_ASSIGN_OR_RETURN(
+        auto best_snaked,
+        MakePathOrder(ctx.schema, ctx.optimal_snaked_path->path, true));
+    out.emplace_back(std::move(best_snaked));
+    if (ctx.optimal_snaked_path->path != ctx.optimal_path->path) {
+      SNAKES_ASSIGN_OR_RETURN(
+          auto snaked, MakePathOrder(ctx.schema, ctx.optimal_path->path, true));
+      out.emplace_back(std::move(snaked));
+    }
+    SNAKES_ASSIGN_OR_RETURN(
+        auto plain, MakePathOrder(ctx.schema, ctx.optimal_path->path, false));
+    out.emplace_back(std::move(plain));
+    return out;
+  }
+};
+
+/// All k! row-major axis orders (the Section-6 baseline family).
+class RowMajorStrategyFactory : public StrategyFactory {
+ public:
+  std::string name() const override { return "row-major"; }
+
+  Status Applicable(const StarSchema&) const override { return Status::OK(); }
+
+  Result<std::vector<std::shared_ptr<const Linearization>>> Build(
+      const StrategyContext& ctx) const override {
+    std::vector<std::shared_ptr<const Linearization>> out;
+    for (auto& rm : AllRowMajorOrders(ctx.schema)) {
+      out.emplace_back(std::move(rm));
+    }
+    return out;
+  }
+};
+
+class ZCurveStrategyFactory : public StrategyFactory {
+ public:
+  std::string name() const override { return "z-curve"; }
+
+  Status Applicable(const StarSchema& schema) const override {
+    return curve_internal::AllocateBits(schema).status();
+  }
+
+  Result<std::vector<std::shared_ptr<const Linearization>>> Build(
+      const StrategyContext& ctx) const override {
+    SNAKES_ASSIGN_OR_RETURN(auto z, ZCurve::Make(ctx.schema));
+    return std::vector<std::shared_ptr<const Linearization>>{std::move(z)};
+  }
+};
+
+class GrayCurveStrategyFactory : public StrategyFactory {
+ public:
+  std::string name() const override { return "gray-curve"; }
+
+  Status Applicable(const StarSchema& schema) const override {
+    return curve_internal::AllocateBits(schema).status();
+  }
+
+  Result<std::vector<std::shared_ptr<const Linearization>>> Build(
+      const StrategyContext& ctx) const override {
+    SNAKES_ASSIGN_OR_RETURN(auto g, GrayCurve::Make(ctx.schema));
+    return std::vector<std::shared_ptr<const Linearization>>{std::move(g)};
+  }
+};
+
+class HilbertStrategyFactory : public StrategyFactory {
+ public:
+  std::string name() const override { return "hilbert"; }
+
+  Status Applicable(const StarSchema& schema) const override {
+    return HilbertCurve::Make(Unowned(schema)).status();
+  }
+
+  Result<std::vector<std::shared_ptr<const Linearization>>> Build(
+      const StrategyContext& ctx) const override {
+    SNAKES_ASSIGN_OR_RETURN(auto h, HilbertCurve::Make(ctx.schema));
+    return std::vector<std::shared_ptr<const Linearization>>{std::move(h)};
+  }
+};
+
+}  // namespace
+
+Status StrategyRegistry::Register(
+    std::shared_ptr<const StrategyFactory> factory) {
+  SNAKES_CHECK(factory != nullptr);
+  if (Find(factory->name()) != nullptr) {
+    return Status::InvalidArgument("strategy factory '" + factory->name() +
+                                   "' is already registered");
+  }
+  factories_.push_back(std::move(factory));
+  return Status::OK();
+}
+
+const StrategyFactory* StrategyRegistry::Find(std::string_view name) const {
+  for (const auto& factory : factories_) {
+    if (factory->name() == name) return factory.get();
+  }
+  return nullptr;
+}
+
+const StrategyRegistry& StrategyRegistry::BuiltIns() {
+  static const StrategyRegistry* registry = []() {
+    auto* r = new StrategyRegistry();
+    SNAKES_CHECK_OK(r->Register(MakeLatticePathStrategyFactory()));
+    SNAKES_CHECK_OK(r->Register(MakeRowMajorStrategyFactory()));
+    SNAKES_CHECK_OK(r->Register(MakeZCurveStrategyFactory()));
+    SNAKES_CHECK_OK(r->Register(MakeGrayCurveStrategyFactory()));
+    SNAKES_CHECK_OK(r->Register(MakeHilbertStrategyFactory()));
+    return r;
+  }();
+  return *registry;
+}
+
+std::shared_ptr<const StrategyFactory> MakeLatticePathStrategyFactory() {
+  return std::make_shared<LatticePathStrategyFactory>();
+}
+std::shared_ptr<const StrategyFactory> MakeRowMajorStrategyFactory() {
+  return std::make_shared<RowMajorStrategyFactory>();
+}
+std::shared_ptr<const StrategyFactory> MakeZCurveStrategyFactory() {
+  return std::make_shared<ZCurveStrategyFactory>();
+}
+std::shared_ptr<const StrategyFactory> MakeGrayCurveStrategyFactory() {
+  return std::make_shared<GrayCurveStrategyFactory>();
+}
+std::shared_ptr<const StrategyFactory> MakeHilbertStrategyFactory() {
+  return std::make_shared<HilbertStrategyFactory>();
+}
+
+}  // namespace snakes

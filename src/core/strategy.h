@@ -1,0 +1,89 @@
+#ifndef SNAKES_CORE_STRATEGY_H_
+#define SNAKES_CORE_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "curves/linearization.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/workload.h"
+#include "path/dpkd.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Everything a strategy factory may consult when building its candidates
+/// for one evaluation: the schema, the workload, and the two DP solutions
+/// (computed once by the planner so path-based factories never re-run them).
+struct StrategyContext {
+  std::shared_ptr<const StarSchema> schema;
+  const Workload* workload = nullptr;
+  /// Section-4 optimal lattice path (FindOptimalLatticePath).
+  const OptimalPathResult* optimal_path = nullptr;
+  /// Corollary-1 optimal snaked lattice path (FindOptimalSnakedLatticePath).
+  const OptimalPathResult* optimal_snaked_path = nullptr;
+};
+
+/// One pluggable family of clustering strategies. The advisor no longer
+/// hard-codes its candidate set: every family — row-major orders, classical
+/// curves, snaked lattice paths, future chunked hybrids — implements this
+/// interface and is looked up in a StrategyRegistry, so new strategies plug
+/// in without touching the evaluation engine.
+class StrategyFactory {
+ public:
+  virtual ~StrategyFactory() = default;
+
+  /// Stable family name used to select strategies in an EvaluationRequest
+  /// ("lattice-paths", "row-major", "z-curve", "gray-curve", "hilbert").
+  virtual std::string name() const = 0;
+
+  /// OK when this family can linearize `schema`; otherwise the reason it
+  /// cannot (e.g. bit-interleaved curves on non-power-of-two extents). The
+  /// planner records non-OK factories as skipped instead of failing.
+  virtual Status Applicable(const StarSchema& schema) const = 0;
+
+  /// The family's candidate linearizations for `ctx` (a family may yield
+  /// several, e.g. all k! row-major axis orders). Requires Applicable OK.
+  virtual Result<std::vector<std::shared_ptr<const Linearization>>> Build(
+      const StrategyContext& ctx) const = 0;
+};
+
+/// An ordered set of strategy factories with unique names. Registration
+/// order is evaluation order, which fixes the tie-break among equal-cost
+/// strategies in the final ranking.
+class StrategyRegistry {
+ public:
+  StrategyRegistry() = default;
+
+  /// Adds a factory. Fails on a duplicate name.
+  Status Register(std::shared_ptr<const StrategyFactory> factory);
+
+  /// The factory named `name`, or nullptr.
+  const StrategyFactory* Find(std::string_view name) const;
+
+  const std::vector<std::shared_ptr<const StrategyFactory>>& factories()
+      const {
+    return factories_;
+  }
+
+  /// The built-in families, in the advisor's canonical ranking order:
+  /// lattice-paths, row-major, z-curve, gray-curve, hilbert.
+  static const StrategyRegistry& BuiltIns();
+
+ private:
+  std::vector<std::shared_ptr<const StrategyFactory>> factories_;
+};
+
+/// Built-in factory constructors, exposed so custom registries can mix the
+/// standard families with their own.
+std::shared_ptr<const StrategyFactory> MakeLatticePathStrategyFactory();
+std::shared_ptr<const StrategyFactory> MakeRowMajorStrategyFactory();
+std::shared_ptr<const StrategyFactory> MakeZCurveStrategyFactory();
+std::shared_ptr<const StrategyFactory> MakeGrayCurveStrategyFactory();
+std::shared_ptr<const StrategyFactory> MakeHilbertStrategyFactory();
+
+}  // namespace snakes
+
+#endif  // SNAKES_CORE_STRATEGY_H_

@@ -7,7 +7,8 @@
 
 namespace snakes {
 
-Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu) {
+Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu,
+                                                 ThreadPool* pool) {
   const QueryClassLattice& lat = mu.lattice();
   const int k = lat.num_dims();
   const uint64_t size = lat.size();
@@ -18,9 +19,14 @@ Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu) {
   // applied in decreasing u_{d'} order, starting from h = p. The transforms
   // are separable (each telescopes one dimension), so their composition
   // yields the weighted box sum over {v >= u : v_d = u_d}.
+  //
+  // The k tables are independent (each task reads only the shared lattice
+  // and workload and writes only raw[d]), so they fan out across the pool,
+  // one dimension per task.
   std::vector<std::vector<double>> raw(static_cast<size_t>(k));
-  for (int d = 0; d < k; ++d) {
-    auto& h = raw[static_cast<size_t>(d)];
+  const auto build_raw = [&](uint64_t d_index) {
+    const int d = static_cast<int>(d_index);
+    auto& h = raw[d_index];
     h.resize(size);
     for (uint64_t i = 0; i < size; ++i) h[i] = mu.probability_at(i);
     for (int other = 0; other < k; ++other) {
@@ -35,6 +41,11 @@ Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu) {
         h[i] += lat.EdgeWeight(u, other) * h[lat.Index(up)];
       }
     }
+  };
+  if (pool != nullptr && k > 1) {
+    pool->ParallelFor(static_cast<uint64_t>(k), build_raw);
+  } else {
+    for (int d = 0; d < k; ++d) build_raw(static_cast<uint64_t>(d));
   }
 
   std::vector<double> cost(size, std::numeric_limits<double>::infinity());

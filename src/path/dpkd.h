@@ -6,6 +6,7 @@
 #include "lattice/workload.h"
 #include "path/lattice_path.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace snakes {
 
@@ -24,7 +25,13 @@ struct OptimalPathResult {
 /// the raw_d tables are separable weighted suffix sums computed with k-1
 /// passes per dimension, so the whole DP runs in O(k^2 * |L|) time —
 /// linear in the lattice size and quadratic in the dimension count.
-Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu);
+///
+/// The k per-dimension raw_d passes are independent; passing a ThreadPool
+/// computes them in parallel across dimensions (each dimension's table is
+/// built by one task with identical arithmetic, so the result is
+/// bit-identical to the serial run). nullptr = serial.
+Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu,
+                                                 ThreadPool* pool = nullptr);
 
 /// Exhaustive reference: minimizes ExpectedPathCost over every monotone
 /// lattice path. Exponential; for verification on small lattices only.

@@ -1,0 +1,103 @@
+#ifndef SNAKES_UTIL_THREAD_POOL_H_
+#define SNAKES_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace snakes {
+
+/// A fixed-size worker pool with a task-futures interface, built for the
+/// evaluation engine's fan-out: many independent, pure tasks whose results
+/// must come back in a deterministic order.
+///
+/// Determinism contract: workers race over the queue, but every submission
+/// returns a future (Submit) or writes to a caller-chosen index (ParallelFor),
+/// so result *placement* is fixed by submission order regardless of worker
+/// scheduling. Tasks that are themselves deterministic therefore yield
+/// bit-identical aggregate results at any pool size.
+///
+/// Submitting from inside a pool task is allowed (the queue is unbounded and
+/// workers never block on other tasks' results), but *waiting* on another
+/// task's future from inside a task can deadlock a fully-busy pool; the
+/// library only ever fans out from the caller thread.
+class ThreadPool {
+ public:
+  /// Threads to use when the caller does not care: hardware concurrency,
+  /// at least 1.
+  static int DefaultThreads();
+
+  /// Spawns `num_threads` workers; <= 0 means DefaultThreads(). A pool of
+  /// size 1 is a valid serial executor (one worker, FIFO order).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns its future. Exceptions thrown by `fn` are
+  /// captured into the future (rethrown by get()), never onto a worker.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [0, n) across the pool and blocks until all
+  /// complete. If any invocation throws, the exception of the *lowest failing
+  /// index* is rethrown (deterministic regardless of scheduling); the
+  /// remaining invocations still run to completion. n == 0 is a no-op, and a
+  /// 1-thread pool degrades to a plain sequential loop.
+  template <typename Fn>
+  void ParallelFor(uint64_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (num_threads() == 1 || n == 1) {
+      for (uint64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      pending.push_back(Submit([&fn, i]() { fn(i); }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_THREAD_POOL_H_

@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace snakes {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, NonPositiveSizeFallsBackToDefault) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultsInSubmissionOrder) {
+  ThreadPool pool(4);
+  std::vector<std::future<uint64_t>> futures;
+  for (uint64_t i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const uint64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&hits](uint64_t i) { hits[i].fetch_add(1); });
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInFifoOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  // One worker: execution order must equal submission order, so the
+  // unsynchronized log below is safe and deterministic.
+  std::vector<uint64_t> log;
+  std::vector<std::future<void>> futures;
+  for (uint64_t i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&log, i]() { log.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(log.size(), 32u);
+  for (uint64_t i = 0; i < 32; ++i) EXPECT_EQ(log[i], i);
+}
+
+TEST(ThreadPoolTest, SingleThreadParallelForRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(16, 0);
+  pool.ParallelFor(16, [&hits](uint64_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, SubmitCapturesExceptionIntoFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestFailingIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(16, [&completed](uint64_t i) {
+      if (i >= 5) throw std::runtime_error(std::to_string(i));
+      completed.fetch_add(1);
+    });
+    FAIL() << "ParallelFor should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "5");
+  }
+  // Non-throwing invocations all ran despite the failures.
+  EXPECT_EQ(completed.load(), 5);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(500, [&sum](uint64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 500u * 499u / 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran]() { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace snakes

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: build Release and ThreadSanitizer configurations and run the full
+# test suite under both. Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+run_matrix_entry() {
+  local name="$1"; shift
+  local build_dir="$ROOT/build-$name"
+  echo "==> [$name] configure"
+  cmake -B "$build_dir" -S "$ROOT" "$@"
+  echo "==> [$name] build"
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "==> [$name] ctest"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+run_matrix_entry release -DCMAKE_BUILD_TYPE=Release
+# TSAN_OPTIONS makes any race a hard failure instead of a report.
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  run_matrix_entry tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSNAKES_SANITIZE=thread
+
+echo "==> all configurations passed"
