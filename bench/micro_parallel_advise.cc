@@ -17,6 +17,8 @@
 #include "bench/bench_common.h"
 #include "core/advisor.h"
 #include "core/evaluation.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/text_table.h"
 #include "util/thread_pool.h"
@@ -91,7 +93,26 @@ void Run(int threads) {
             ", \"speedup\": " + FormatDouble(speedup, 3) + "}";
     json += i + 1 < fanouts.size() ? ",\n" : "\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+
+  // One instrumented pooled Advise on the largest schema, embedded as a
+  // work profile next to the wall times (queue-wait vs compute, DP cell
+  // relaxations, strategies evaluated) — kept out of the timed reps so the
+  // timings stay backend-free.
+  {
+    auto schema = bench::ToySchema(fanouts.back());
+    const ClusteringAdvisor advisor(schema);
+    const Workload mu = Workload::Uniform(advisor.Lattice());
+    MetricsRegistry metrics;
+    EvaluationRequest request(mu);
+    request.num_threads = threads;
+    request.obs = ObsSink{&metrics, nullptr};
+    const auto rec = advisor.Advise(request);
+    SNAKES_CHECK(rec.ok()) << rec.status().ToString();
+    json += "  \"metrics\": " + metrics.Snapshot().ToJson(/*pretty=*/false) +
+            "\n";
+  }
+  json += "}\n";
 
   std::printf("%s\n", table.Render().c_str());
   const char* path = "BENCH_parallel_advise.json";

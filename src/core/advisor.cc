@@ -1,11 +1,14 @@
 #include "core/advisor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <utility>
 
 #include "cost/workload_cost.h"
 #include "curves/path_order.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "path/dpkd.h"
 #include "path/snaked_dp.h"
 #include "util/logging.h"
@@ -56,6 +59,7 @@ std::string EvaluationPlan::ToString() const {
 
 Result<EvaluationPlan> ClusteringAdvisor::Plan(
     const EvaluationRequest& request) const {
+  ScopedSpan span(request.obs.tracer, "advisor/plan", "advisor");
   if (request.measure_storage && request.facts == nullptr) {
     return Status::InvalidArgument("measure_storage requires a fact table");
   }
@@ -101,9 +105,11 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
   if (num_threads > 1) pool.emplace(num_threads);
   SNAKES_ASSIGN_OR_RETURN(
       OptimalPathResult dp,
-      FindOptimalLatticePath(request.workload, pool ? &*pool : nullptr));
-  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult snaked_dp,
-                          FindOptimalSnakedLatticePath(request.workload));
+      FindOptimalLatticePath(request.workload, pool ? &*pool : nullptr,
+                             request.obs));
+  SNAKES_ASSIGN_OR_RETURN(
+      OptimalPathResult snaked_dp,
+      FindOptimalSnakedLatticePath(request.workload, request.obs));
 
   EvaluationPlan plan{request.workload,
                       std::move(dp),
@@ -114,7 +120,8 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
                       num_threads,
                       request.measure_storage,
                       request.storage,
-                      request.facts};
+                      request.facts,
+                      request.obs};
   plan.snaked_cost_of_optimal =
       ExpectedSnakedPathCost(plan.workload, plan.optimal_path.path);
 
@@ -131,11 +138,23 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
       plan.strategies.push_back({factory->name(), std::move(lin)});
     }
   }
+  if (request.obs.metrics != nullptr) {
+    MetricsRegistry& metrics = *request.obs.metrics;
+    metrics.GetCounter("advisor.factories_considered")->Inc(selected.size());
+    metrics.GetCounter("advisor.factories_skipped")->Inc(plan.skipped.size());
+    metrics.GetCounter("advisor.strategies_planned")
+        ->Inc(plan.strategies.size());
+  }
+  span.AddArg("candidates", static_cast<uint64_t>(plan.strategies.size()));
+  span.AddArg("skipped", static_cast<uint64_t>(plan.skipped.size()));
   return plan;
 }
 
 Result<Recommendation> ClusteringAdvisor::Evaluate(
     const EvaluationPlan& plan) const {
+  ScopedSpan eval_span(plan.obs.tracer, "advisor/evaluate", "advisor");
+  eval_span.AddArg("candidates", static_cast<uint64_t>(plan.strategies.size()));
+  eval_span.AddArg("threads", static_cast<uint64_t>(plan.num_threads));
   Recommendation rec{plan.optimal_path.path,
                      plan.optimal_snaked_path.path,
                      plan.optimal_path.cost,
@@ -145,20 +164,41 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
 
   // One task per candidate. Tasks are pure functions of the (shared,
   // immutable) plan, and futures are collected in submission order, so the
-  // ranking below is identical at every pool size.
-  const auto score = [&plan](const PlannedStrategy& candidate)
+  // ranking below is identical at every pool size. `enqueued` is when the
+  // task was submitted; the gap to the task actually starting is the
+  // queue-wait (all zeros on the serial path), split out from compute time
+  // so saturation is visible in the metrics.
+  using Clock = std::chrono::steady_clock;
+  const ObsSink& obs = plan.obs;
+  const auto score = [&plan, &obs](const PlannedStrategy& candidate,
+                                   Clock::time_point enqueued)
       -> Result<StrategyReport> {
+    const Clock::time_point started = obs.enabled() ? Clock::now() : Clock::time_point();
+    ScopedSpan span(obs.tracer, candidate.linearization->name(), "strategy");
+    span.AddArg("factory", candidate.factory);
     StrategyReport report;
     report.name = candidate.linearization->name();
     report.expected_cost =
-        MeasureExpectedCost(plan.workload, *candidate.linearization);
+        MeasureExpectedCost(plan.workload, *candidate.linearization, obs);
     if (plan.measure_storage) {
       SNAKES_ASSIGN_OR_RETURN(
           PackedLayout layout,
           PackedLayout::Pack(candidate.linearization, plan.facts,
-                             plan.storage));
-      const IoSimulator sim(layout);
+                             plan.storage, obs));
+      const IoSimulator sim(layout, obs);
       report.io = IoSimulator::Expect(plan.workload, sim.MeasureAllClasses());
+    }
+    if (obs.metrics != nullptr) {
+      const auto ns = [](Clock::duration d) {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+      };
+      MetricsRegistry& metrics = *obs.metrics;
+      metrics.GetCounter("advisor.strategies_evaluated")->Inc();
+      metrics.GetHistogram("advisor.queue_wait_ns")
+          ->Record(ns(started - enqueued));
+      metrics.GetHistogram("advisor.strategy_compute_ns")
+          ->Record(ns(Clock::now() - started));
     }
     return report;
   };
@@ -167,15 +207,17 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
   reports.reserve(plan.strategies.size());
   if (plan.num_threads == 1 || plan.strategies.size() <= 1) {
     for (const PlannedStrategy& candidate : plan.strategies) {
-      reports.push_back(score(candidate));
+      reports.push_back(score(candidate, Clock::now()));
     }
   } else {
     ThreadPool pool(plan.num_threads);
     std::vector<std::future<Result<StrategyReport>>> pending;
     pending.reserve(plan.strategies.size());
     for (const PlannedStrategy& candidate : plan.strategies) {
-      pending.push_back(
-          pool.Submit([&score, &candidate]() { return score(candidate); }));
+      pending.push_back(pool.Submit([&score, &candidate,
+                                     enqueued = Clock::now()]() {
+        return score(candidate, enqueued);
+      }));
     }
     for (auto& future : pending) {
       reports.push_back(future.get());

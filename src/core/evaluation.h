@@ -8,6 +8,7 @@
 
 #include "core/strategy.h"
 #include "lattice/workload.h"
+#include "obs/obs.h"
 #include "path/dpkd.h"
 #include "storage/fact_table.h"
 #include "storage/pager.h"
@@ -42,6 +43,14 @@ struct EvaluationRequest {
   std::shared_ptr<const FactTable> facts;
   /// The factory registry to plan from; nullptr = StrategyRegistry::BuiltIns().
   const StrategyRegistry* registry = nullptr;
+  /// Optional observability backends (obs/metrics.h, obs/trace.h). Both
+  /// default to nullptr — the null object — so uninstrumented callers pay
+  /// one pointer test per instrumentation site. When set, the advisor, the
+  /// DP solvers and the storage simulator record counters, histograms and
+  /// nested spans (request -> strategy -> DP phase -> storage I/O) into
+  /// them; the recommendation itself is bit-identical either way. The
+  /// caller keeps ownership and must outlive Plan/Evaluate.
+  ObsSink obs;
 };
 
 /// One concrete candidate the plan will score.
@@ -76,6 +85,8 @@ struct EvaluationPlan {
   bool measure_storage = false;
   StorageConfig storage;
   std::shared_ptr<const FactTable> facts;
+  /// Copied from the request; consulted by Evaluate's scoring tasks.
+  ObsSink obs;
 
   /// Human-readable plan summary (candidates and skip reasons).
   std::string ToString() const;

@@ -1,5 +1,7 @@
 #include "cost/workload_cost.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace snakes {
@@ -40,7 +42,13 @@ double ExpectedSnakedPathCost(const Workload& mu, const LatticePath& path) {
   return total;
 }
 
-double MeasureExpectedCost(const Workload& mu, const Linearization& lin) {
+double MeasureExpectedCost(const Workload& mu, const Linearization& lin,
+                           const ObsSink& obs) {
+  ScopedSpan span(obs.tracer, "cost/measure", "cost");
+  span.AddArg("strategy", lin.name());
+  if (obs.metrics != nullptr) {
+    obs.metrics->GetCounter("cost.cells_scanned")->Inc(lin.num_cells());
+  }
   return ExpectedCost(mu, MeasureClassCosts(lin));
 }
 

@@ -4,6 +4,7 @@
 #include "cost/class_cost.h"
 #include "cost/edge_model.h"
 #include "lattice/workload.h"
+#include "obs/obs.h"
 #include "path/lattice_path.h"
 
 namespace snakes {
@@ -22,8 +23,10 @@ double ExpectedPathCost(const Workload& mu, const LatticePath& path);
 double ExpectedSnakedPathCost(const Workload& mu, const LatticePath& path);
 
 /// Expected cost of an arbitrary linearization under `mu`, measured exactly
-/// with the edge model. O(cells * levels).
-double MeasureExpectedCost(const Workload& mu, const Linearization& lin);
+/// with the edge model. O(cells * levels). `obs` (optional) wraps the
+/// measurement in a "cost/measure" span and counts cost.cells_scanned.
+double MeasureExpectedCost(const Workload& mu, const Linearization& lin,
+                           const ObsSink& obs = {});
 
 }  // namespace snakes
 

@@ -1,0 +1,27 @@
+#ifndef SNAKES_OBS_OBS_H_
+#define SNAKES_OBS_OBS_H_
+
+namespace snakes {
+
+class MetricsRegistry;
+class Tracer;
+
+/// The null-object handle instrumented code carries: a pair of optional
+/// backends. Both default to nullptr, so an uninstrumented caller pays one
+/// pointer test per instrumentation site and nothing else — no allocation,
+/// no clock read, no atomic. Cheap to copy; the caller owns the backends and
+/// must keep them alive across the instrumented call.
+///
+/// This header is deliberately dependency-free (forward declarations only)
+/// so that hot-path headers in src/path and src/storage can accept an
+/// ObsSink without pulling in the metrics/tracing machinery.
+struct ObsSink {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_OBS_OBS_H_

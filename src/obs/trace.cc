@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = this->events();
+  std::string out = "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    char times[96];
+    // trace_event timestamps are microseconds; keep the nanoseconds as the
+    // fractional part.
+    std::snprintf(times, sizeof(times), "\"ts\": %.3f, \"dur\": %.3f",
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3);
+    out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
+           JsonEscape(e.category.empty() ? "snakes" : e.category) +
+           "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(e.thread_id) + ", " + times;
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) out += ", ";
+        out += "\"" + JsonEscape(e.args[a].first) +
+               "\": " + e.args[a].second;
+      }
+      out += "}";
+    }
+    out += "}";
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name,
+                       std::string_view category)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  event_.name.assign(name);
+  event_.category.assign(category);
+  event_.thread_id = ThisThreadId();
+  event_.start_ns = tracer_->NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  event_.duration_ns = tracer_->NowNs() - event_.start_ns;
+  tracer_->Record(std::move(event_));
+}
+
+void ScopedSpan::AddArg(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(std::string(key),
+                           "\"" + JsonEscape(value) + "\"");
+}
+
+void ScopedSpan::AddArg(std::string_view key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::AddArg(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  event_.args.emplace_back(std::string(key), buf);
+}
+
+uint64_t ScopedSpan::ElapsedNs() const {
+  return tracer_ == nullptr ? 0 : tracer_->NowNs() - event_.start_ns;
+}
+
+}  // namespace snakes

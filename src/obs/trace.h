@@ -1,0 +1,94 @@
+#ifndef SNAKES_OBS_TRACE_H_
+#define SNAKES_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace snakes {
+
+/// One completed span, timed on the monotonic clock relative to the owning
+/// Tracer's epoch. Serialized as a Chrome trace_event "complete" ("X")
+/// event; about:tracing / Perfetto nest same-thread events by containment,
+/// so no explicit parent links are needed.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t thread_id = 0;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  /// Extra key/values shown in the trace viewer's detail pane. The second
+  /// element is a pre-serialized JSON value (already quoted when a string).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Collects spans from any thread. Recording takes a short mutex-protected
+/// append — spans are recorded once, at destruction, so the lock sits off
+/// the timed region. The epoch is fixed at construction, making every
+/// event's timestamp comparable within one trace file.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Nanoseconds since this tracer was created (monotonic).
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void Record(TraceEvent event);
+
+  size_t num_events() const;
+  std::vector<TraceEvent> events() const;
+
+  /// The full trace as Chrome trace_event JSON ({"traceEvents": [...]}),
+  /// loadable by chrome://tracing and ui.perfetto.dev. Timestamps are
+  /// microseconds with nanosecond precision.
+  std::string ToChromeJson() const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: times construction-to-destruction and records the completed
+/// event into the tracer. A null tracer disables the span entirely — the
+/// constructor and destructor then cost one branch each, no clock read.
+/// Move-only is unnecessary (spans live on the stack); non-copyable.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name,
+             std::string_view category = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+  /// Attaches a key/value pair to the span (no-ops when disabled).
+  void AddArg(std::string_view key, std::string_view value);
+  void AddArg(std::string_view key, uint64_t value);
+  void AddArg(std::string_view key, double value);
+
+  /// Nanoseconds since the span started; 0 when disabled.
+  uint64_t ElapsedNs() const;
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_OBS_TRACE_H_

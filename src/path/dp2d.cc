@@ -1,15 +1,19 @@
 #include "path/dp2d.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace snakes {
 
-Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu) {
+Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu,
+                                                     const ObsSink& obs) {
   const QueryClassLattice& lat = mu.lattice();
   if (lat.num_dims() != 2) {
     return Status::InvalidArgument(
         "FindOptimalLatticePath2D requires a 2-D lattice");
   }
+  ScopedSpan span(obs.tracer, "dp/2d", "dp");
   const int m = lat.levels(0);  // dimension A
   const int n = lat.levels(1);  // dimension B
   const int w = n + 1;
@@ -47,8 +51,10 @@ Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu) {
     cost[at(m, j - 1)] = p(m, j - 1) + cost[at(m, j)];
     choice[at(m, j - 1)] = 1;
   }
+  uint64_t relaxations = 0;  // candidate steps examined (2 per inner cell)
   for (int i = m - 1; i >= 0; --i) {
     for (int j = n - 1; j >= 0; --j) {
+      relaxations += 2;
       const double step_a = cost[at(i + 1, j)] + raw_a[at(i, j)];
       const double step_b = cost[at(i, j + 1)] + raw_b[at(i, j)];
       if (step_a < step_b) {
@@ -59,6 +65,12 @@ Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu) {
         cost[at(i, j)] = step_b;
       }
     }
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->GetCounter("dp.cells_relaxed")->Inc(relaxations);
+    obs.metrics->GetGauge("dp.table_bytes")
+        ->Set(static_cast<double>(3 * cells * sizeof(double) +
+                                  cells * sizeof(int)));
   }
 
   // Reconstruct opt_path(0, 0).

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lattice/workload.h"
+#include "obs/obs.h"
 #include "path/lattice_path.h"
 #include "util/result.h"
 
@@ -26,7 +27,10 @@ struct OptimalPath2DResult {
 /// optimal 2-D lattice path and its expected cost in
 /// O((m+1)(n+1)) additions/multiplications/comparisons.
 /// Fails unless the workload's lattice has exactly two dimensions.
-Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu);
+/// `obs` (optional) records a "dp/2d" span, dp.cells_relaxed and the
+/// dp.table_bytes gauge; the result is identical with or without it.
+Result<OptimalPath2DResult> FindOptimalLatticePath2D(const Workload& mu,
+                                                     const ObsSink& obs = {});
 
 }  // namespace snakes
 

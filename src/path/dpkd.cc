@@ -3,15 +3,21 @@
 #include <limits>
 
 #include "cost/workload_cost.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace snakes {
 
 Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu,
-                                                 ThreadPool* pool) {
+                                                 ThreadPool* pool,
+                                                 const ObsSink& obs) {
   const QueryClassLattice& lat = mu.lattice();
   const int k = lat.num_dims();
   const uint64_t size = lat.size();
+  ScopedSpan span(obs.tracer, "dp/kd", "dp");
+  span.AddArg("dims", static_cast<uint64_t>(k));
+  span.AddArg("lattice_size", size);
 
   // raw[d][index(u)] = cost committed when the path steps dimension d at u.
   // Built by composing, over every other dimension d', the suffix transform
@@ -25,6 +31,8 @@ Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu,
   // one dimension per task.
   std::vector<std::vector<double>> raw(static_cast<size_t>(k));
   const auto build_raw = [&](uint64_t d_index) {
+    ScopedSpan raw_span(obs.tracer, "dp/raw_d", "dp");
+    raw_span.AddArg("dim", d_index);
     const int d = static_cast<int>(d_index);
     auto& h = raw[d_index];
     h.resize(size);
@@ -52,27 +60,42 @@ Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu,
   std::vector<int> choice(size, -1);
   // Dense index of a successor is strictly larger, so a single decreasing
   // sweep sees every successor before its predecessor.
-  for (uint64_t i = size; i-- > 0;) {
-    const QueryClass u = lat.ClassAt(i);
-    bool at_top = true;
-    double best = std::numeric_limits<double>::infinity();
-    int best_dim = -1;
-    for (int d = 0; d < k; ++d) {
-      if (u.level(d) >= lat.levels(d)) continue;
-      at_top = false;
-      const double candidate =
-          cost[lat.Index(u.Successor(d))] + raw[static_cast<size_t>(d)][i];
-      if (candidate < best) {
-        best = candidate;
-        best_dim = d;
+  uint64_t relaxations = 0;  // candidate edges examined by the sweep
+  {
+    ScopedSpan sweep_span(obs.tracer, "dp/sweep", "dp");
+    for (uint64_t i = size; i-- > 0;) {
+      const QueryClass u = lat.ClassAt(i);
+      bool at_top = true;
+      double best = std::numeric_limits<double>::infinity();
+      int best_dim = -1;
+      for (int d = 0; d < k; ++d) {
+        if (u.level(d) >= lat.levels(d)) continue;
+        at_top = false;
+        ++relaxations;
+        const double candidate =
+            cost[lat.Index(u.Successor(d))] + raw[static_cast<size_t>(d)][i];
+        if (candidate < best) {
+          best = candidate;
+          best_dim = d;
+        }
+      }
+      if (at_top) {
+        cost[i] = mu.probability_at(i);
+      } else {
+        cost[i] = best;
+        choice[i] = best_dim;
       }
     }
-    if (at_top) {
-      cost[i] = mu.probability_at(i);
-    } else {
-      cost[i] = best;
-      choice[i] = best_dim;
-    }
+    sweep_span.AddArg("relaxations", relaxations);
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->GetCounter("dp.cells_relaxed")->Inc(relaxations);
+    obs.metrics->GetCounter("dp.raw_cells")
+        ->Inc(size * static_cast<uint64_t>(k));
+    obs.metrics->GetGauge("dp.table_bytes")
+        ->Set(static_cast<double>(
+            size * (static_cast<uint64_t>(k) + 1) * sizeof(double) +
+            size * sizeof(int)));
   }
 
   // Reconstruct the optimal path from the bottom.

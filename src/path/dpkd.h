@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lattice/workload.h"
+#include "obs/obs.h"
 #include "path/lattice_path.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -30,8 +31,13 @@ struct OptimalPathResult {
 /// computes them in parallel across dimensions (each dimension's table is
 /// built by one task with identical arithmetic, so the result is
 /// bit-identical to the serial run). nullptr = serial.
+///
+/// `obs` (optional) records dp.cells_relaxed / dp.raw_cells counters, a
+/// dp.table_bytes gauge, and a "dp/kd" span with one "dp/raw_d" child per
+/// dimension. Instrumentation never changes the computed result.
 Result<OptimalPathResult> FindOptimalLatticePath(const Workload& mu,
-                                                 ThreadPool* pool = nullptr);
+                                                 ThreadPool* pool = nullptr,
+                                                 const ObsSink& obs = {});
 
 /// Exhaustive reference: minimizes ExpectedPathCost over every monotone
 /// lattice path. Exponential; for verification on small lattices only.

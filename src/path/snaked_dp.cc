@@ -4,14 +4,20 @@
 #include <vector>
 
 #include "cost/workload_cost.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace snakes {
 
-Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu) {
+Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu,
+                                                       const ObsSink& obs) {
   const QueryClassLattice& lat = mu.lattice();
   const int k = lat.num_dims();
   const uint64_t size = lat.size();
+  ScopedSpan span(obs.tracer, "dp/snaked", "dp");
+  span.AddArg("dims", static_cast<uint64_t>(k));
+  span.AddArg("lattice_size", size);
 
   // Per-dimension block volumes and query-count factors.
   // block[d][l] = leaves per level-l block of dim d; queries_factor[d][l] =
@@ -77,6 +83,7 @@ Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu) {
   // Maximum-gain DP over the lattice (same sweep as FindOptimalLatticePath).
   std::vector<double> gain(size, 0.0);
   std::vector<int> choice(size, -1);
+  uint64_t relaxations = 0;  // candidate steps examined by the sweep
   for (uint64_t i = size; i-- > 0;) {
     const QueryClass u = lat.ClassAt(i);
     double u_vol = vol(u);
@@ -84,6 +91,7 @@ Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu) {
     int best_dim = -1;
     for (int d = 0; d < k; ++d) {
       if (u.level(d) >= lat.levels(d)) continue;
+      ++relaxations;
       const double f = lat.fanout(d, u.level(d) + 1);
       const double edges = (f - 1.0) / f * (total_cells / u_vol);
       const double step_gain =
@@ -98,6 +106,11 @@ Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu) {
       gain[i] = best;
       choice[i] = best_dim;
     }
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->GetCounter("dp.cells_relaxed")->Inc(relaxations);
+    obs.metrics->GetGauge("dp.snaked_table_bytes")
+        ->Set(static_cast<double>(size * sizeof(double) + size * sizeof(int)));
   }
 
   std::vector<int> steps;

@@ -2,6 +2,7 @@
 #define SNAKES_PATH_SNAKED_DP_H_
 
 #include "lattice/workload.h"
+#include "obs/obs.h"
 #include "path/dpkd.h"
 #include "path/lattice_path.h"
 #include "util/result.h"
@@ -32,7 +33,11 @@ namespace snakes {
 ///
 /// By Theorem 2, on complete binary 2-D schemas the returned clustering is
 /// globally optimal over ALL strategies, not just lattice paths.
-Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu);
+///
+/// `obs` (optional) records dp.cells_relaxed, a dp.snaked_table_bytes gauge
+/// and a "dp/snaked" span; the result is identical with or without it.
+Result<OptimalPathResult> FindOptimalSnakedLatticePath(const Workload& mu,
+                                                       const ObsSink& obs = {});
 
 /// Exhaustive reference (exponential; verification only).
 Result<OptimalPathResult> FindOptimalSnakedLatticePathBruteForce(

@@ -3,25 +3,40 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace snakes {
 
+LruPageCache::LruPageCache(uint64_t capacity_pages, const ObsSink& obs)
+    : capacity_(capacity_pages) {
+  if (obs.metrics != nullptr) {
+    hits_counter_ = obs.metrics->GetCounter("cache.hits");
+    misses_counter_ = obs.metrics->GetCounter("cache.misses");
+    evictions_counter_ = obs.metrics->GetCounter("cache.evictions");
+  }
+}
+
 bool LruPageCache::Access(uint64_t page) {
   if (capacity_ == 0) {
     ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->Inc();
     return false;
   }
   const auto it = index_.find(page);
   if (it != index_.end()) {
     ++hits_;
+    if (hits_counter_ != nullptr) hits_counter_->Inc();
     lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
   ++misses_;
+  if (misses_counter_ != nullptr) misses_counter_->Inc();
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back());
     lru_.pop_back();
+    ++evictions_;
+    if (evictions_counter_ != nullptr) evictions_counter_->Inc();
   }
   lru_.push_front(page);
   index_[page] = lru_.begin();
@@ -33,6 +48,7 @@ void LruPageCache::Clear() {
   index_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 CachedRunStats ReplayWorkload(const PackedLayout& layout, const Workload& mu,

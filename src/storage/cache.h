@@ -7,10 +7,13 @@
 
 #include "lattice/grid_query.h"
 #include "lattice/workload.h"
+#include "obs/obs.h"
 #include "storage/pager.h"
 #include "util/rng.h"
 
 namespace snakes {
+
+class Counter;
 
 /// An LRU buffer pool over the simulated disk pages. The paper's related
 /// work (WATCHMAN, Deshpande et al.'s chunk caching) attacks OLAP I/O from
@@ -20,8 +23,10 @@ namespace snakes {
 class LruPageCache {
  public:
   /// `capacity_pages` = 0 disables caching (every access misses).
-  explicit LruPageCache(uint64_t capacity_pages)
-      : capacity_(capacity_pages) {}
+  /// With an ObsSink, every hit/miss/eviction is mirrored into the
+  /// registry's cache.hits / cache.misses / cache.evictions counters
+  /// (resolved once here; per-access cost is a null test each).
+  explicit LruPageCache(uint64_t capacity_pages, const ObsSink& obs = {});
 
   /// Touches a page; returns true on a hit. Misses evict the least recently
   /// used page when full.
@@ -31,6 +36,8 @@ class LruPageCache {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Pages dropped to make room (0-capacity rejects are not evictions).
+  uint64_t evictions() const { return evictions_; }
   uint64_t size() const { return lru_.size(); }
   double HitRate() const {
     const uint64_t total = hits_ + misses_;
@@ -41,6 +48,10 @@ class LruPageCache {
   uint64_t capacity_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  Counter* hits_counter_ = nullptr;
+  Counter* misses_counter_ = nullptr;
+  Counter* evictions_counter_ = nullptr;
   std::list<uint64_t> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
 };

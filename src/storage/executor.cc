@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -10,21 +12,28 @@ namespace snakes {
 namespace {
 
 /// Incremental page-run tracker for one query. Cells arrive in rank order,
-/// so page spans are non-decreasing.
+/// so page spans are non-decreasing. When `run_hist` is non-null the length
+/// of every completed sequential run is recorded (the open run is flushed
+/// by CloseRun); the branch costs nothing extra on the common in-run path.
 struct RunState {
   int64_t last_page = -1;
   uint64_t pages = 0;
   uint64_t seeks = 0;
   uint64_t records = 0;
+  uint64_t run_start_pages = 0;  // `pages` when the current run began
 
-  void Add(uint64_t first, uint64_t last, uint32_t recs) {
+  void Add(uint64_t first, uint64_t last, uint32_t recs,
+           Histogram* run_hist = nullptr) {
     records += recs;
     const int64_t f = static_cast<int64_t>(first);
     const int64_t l = static_cast<int64_t>(last);
-    if (f > last_page + 1) {
-      ++seeks;  // gap: a new non-sequential access
-    } else if (last_page < 0) {
-      ++seeks;  // very first access
+    if (f > last_page + 1 || last_page < 0) {
+      // Gap (or very first access): a new non-sequential access.
+      ++seeks;
+      if (run_hist != nullptr) {
+        CloseRun(run_hist);
+        run_start_pages = pages;
+      }
     }
     if (l > last_page) {
       const int64_t from = std::max(last_page + 1, f);
@@ -32,9 +41,24 @@ struct RunState {
       last_page = l;
     }
   }
+
+  /// Records the in-progress run's length, if any.
+  void CloseRun(Histogram* run_hist) const {
+    if (pages > run_start_pages) run_hist->Record(pages - run_start_pages);
+  }
 };
 
 }  // namespace
+
+IoSimulator::IoSimulator(const PackedLayout& layout, const ObsSink& obs)
+    : layout_(layout), tracer_(obs.tracer) {
+  if (obs.metrics != nullptr) {
+    pages_read_ = obs.metrics->GetCounter("storage.pages_read");
+    seeks_ = obs.metrics->GetCounter("storage.seeks");
+    cells_scanned_ = obs.metrics->GetCounter("storage.cells_scanned");
+    run_length_ = obs.metrics->GetHistogram("storage.run_length_pages");
+  }
+}
 
 QueryIo IoSimulator::Measure(const GridQuery& query) const {
   const Linearization& lin = layout_.linearization();
@@ -63,7 +87,7 @@ QueryIo IoSimulator::Measure(const GridQuery& query) const {
   for (uint64_t rank : ranks) {
     if (layout_.CellEmpty(rank)) continue;
     run.Add(layout_.CellFirstPage(rank), layout_.CellLastPage(rank),
-            layout_.CellRecords(rank));
+            layout_.CellRecords(rank), run_length_);
   }
   QueryIo io;
   io.records = run.records;
@@ -71,6 +95,12 @@ QueryIo IoSimulator::Measure(const GridQuery& query) const {
   io.seeks = run.seeks;
   io.min_pages = CeilDiv(run.records * layout_.config().record_size_bytes,
                          layout_.config().page_size_bytes);
+  if (run_length_ != nullptr) run.CloseRun(run_length_);
+  if (pages_read_ != nullptr) {
+    pages_read_->Inc(io.pages);
+    seeks_->Inc(io.seeks);
+    cells_scanned_->Inc(ranks.size());
+  }
   return io;
 }
 
@@ -98,7 +128,7 @@ ClassIoStats IoSimulator::MeasureClass(const QueryClass& cls) const {
              strides[static_cast<size_t>(d)];
     }
     state[qid].Add(layout_.CellFirstPage(rank), layout_.CellLastPage(rank),
-                   layout_.CellRecords(rank));
+                   layout_.CellRecords(rank), run_length_);
   });
 
   ClassIoStats stats;
@@ -110,15 +140,24 @@ ClassIoStats IoSimulator::MeasureClass(const QueryClass& cls) const {
     ++stats.num_nonempty;
     stats.total_pages += run.pages;
     stats.total_seeks += run.seeks;
+    if (run_length_ != nullptr) run.CloseRun(run_length_);
     const uint64_t min_pages = CeilDiv(run.records * record_size, page_size);
     stats.total_normalized +=
         static_cast<double>(run.pages) / static_cast<double>(min_pages);
+  }
+  if (pages_read_ != nullptr) {
+    pages_read_->Inc(stats.total_pages);
+    seeks_->Inc(stats.total_seeks);
+    cells_scanned_->Inc(schema.num_cells());
   }
   return stats;
 }
 
 std::vector<ClassIoStats> IoSimulator::MeasureAllClasses() const {
   const QueryClassLattice lat(layout_.linearization().schema());
+  ScopedSpan span(tracer_, "storage/measure_all", "storage");
+  span.AddArg("strategy", layout_.linearization().name());
+  span.AddArg("classes", lat.size());
   std::vector<ClassIoStats> all;
   all.reserve(lat.size());
   for (uint64_t i = 0; i < lat.size(); ++i) {

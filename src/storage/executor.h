@@ -7,10 +7,14 @@
 #include "lattice/grid_query.h"
 #include "lattice/lattice.h"
 #include "lattice/workload.h"
+#include "obs/obs.h"
 #include "storage/pager.h"
 #include "util/result.h"
 
 namespace snakes {
+
+class Counter;
+class Histogram;
 
 /// Measured I/O of a single grid query against a packed layout.
 struct QueryIo {
@@ -69,9 +73,15 @@ struct WorkloadIoStats {
 
 /// Measures grid-query I/O against a PackedLayout, exactly (aggregating over
 /// every query of a class in one linear pass) or per query.
+///
+/// With an ObsSink the simulator mirrors its measurements into the registry
+/// — storage.pages_read / storage.seeks / storage.cells_scanned counters
+/// and a storage.run_length_pages histogram of sequential-run lengths — and
+/// wraps MeasureAllClasses in a "storage/measure_all" span. Metric pointers
+/// are resolved once here, so the per-measurement cost is a null test.
 class IoSimulator {
  public:
-  explicit IoSimulator(const PackedLayout& layout) : layout_(layout) {}
+  explicit IoSimulator(const PackedLayout& layout, const ObsSink& obs = {});
 
   /// I/O of one query: walks the query's cells in rank order.
   QueryIo Measure(const GridQuery& query) const;
@@ -91,6 +101,11 @@ class IoSimulator {
 
  private:
   const PackedLayout& layout_;
+  Tracer* tracer_ = nullptr;
+  Counter* pages_read_ = nullptr;
+  Counter* seeks_ = nullptr;
+  Counter* cells_scanned_ = nullptr;
+  Histogram* run_length_ = nullptr;
 };
 
 }  // namespace snakes

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace snakes {
 
 Result<PackedLayout> PackedLayout::Pack(
     std::shared_ptr<const Linearization> lin,
-    std::shared_ptr<const FactTable> facts, StorageConfig config) {
+    std::shared_ptr<const FactTable> facts, StorageConfig config,
+    const ObsSink& obs) {
+  ScopedSpan span(obs.tracer, "storage/pack", "storage");
+  span.AddArg("strategy", lin->name());
   if (config.record_size_bytes == 0 ||
       config.page_size_bytes < config.record_size_bytes) {
     return Status::InvalidArgument(
@@ -57,6 +62,11 @@ Result<PackedLayout> PackedLayout::Pack(
     layout.last_page_[rank] = page;
   });
   layout.num_pages_ = page + (used > 0 ? 1 : 0);
+  if (obs.metrics != nullptr) {
+    obs.metrics->GetCounter("storage.pages_packed")->Inc(layout.num_pages_);
+    obs.metrics->GetCounter("storage.records_packed")
+        ->Inc(layout.facts_->total_records());
+  }
   return layout;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "curves/linearization.h"
+#include "obs/obs.h"
 #include "storage/fact_table.h"
 #include "util/result.h"
 
@@ -33,9 +34,12 @@ class PackedLayout {
  public:
   /// Packs `facts` along `lin`. Fails if config is degenerate (page smaller
   /// than a record) or the linearization belongs to a different schema.
+  /// `obs` (optional) records a "storage/pack" span and the
+  /// storage.pages_packed / storage.records_packed counters.
   static Result<PackedLayout> Pack(std::shared_ptr<const Linearization> lin,
                                    std::shared_ptr<const FactTable> facts,
-                                   StorageConfig config = {});
+                                   StorageConfig config = {},
+                                   const ObsSink& obs = {});
 
   const Linearization& linearization() const { return *lin_; }
   const FactTable& facts() const { return *facts_; }

@@ -1,0 +1,75 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+namespace snakes {
+
+uint64_t ThisThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace internal {
+
+namespace {
+
+/// Fixed at first use; every log timestamp is relative to it.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& CurrentSink() {
+  static LogSink sink;  // empty = stderr default
+  return sink;
+}
+
+}  // namespace
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = std::move(CurrentSink());
+  CurrentSink() = std::move(sink);
+  return previous;
+}
+
+void EmitLogLine(std::string_view line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = CurrentSink();
+  if (sink) {
+    sink(line);
+  } else {
+    std::cerr << line << std::endl;
+  }
+}
+
+std::string LogPrefix(char severity, const char* file, int line) {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ProcessEpoch())
+          .count();
+  // Trim the path to its basename; full paths bury the signal.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%c %.6f t%llu %s:%d] ", severity, seconds,
+                static_cast<unsigned long long>(ThisThreadId()), base, line);
+  return buf;
+}
+
+}  // namespace internal
+}  // namespace snakes

@@ -1,23 +1,71 @@
 #ifndef SNAKES_UTIL_LOGGING_H_
 #define SNAKES_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
-#include <iostream>
+#include <functional>
 #include <sstream>
+#include <string>
+#include <string_view>
 
 namespace snakes {
+
+/// Small dense id of the calling thread (1 for the first thread that asks,
+/// 2 for the next, ...). Stable for the thread's lifetime; used by log
+/// lines and trace events, where std::thread::id's opaque hash would make
+/// output unreadable.
+uint64_t ThisThreadId();
+
 namespace internal {
 
+/// Where finished log lines go. The default sink writes to stderr; tests
+/// install a capturing sink to assert on fatal/check output. The sink
+/// receives one complete line (no trailing newline).
+using LogSink = std::function<void(std::string_view line)>;
+
+/// Replaces the global log sink, returning the previous one. Passing
+/// nullptr restores the stderr default. Not thread-safe against concurrent
+/// logging — install sinks at test setup, not mid-run.
+LogSink SetLogSink(LogSink sink);
+
+/// Sends one finished line through the current sink.
+void EmitLogLine(std::string_view line);
+
+/// "<severity> <monotonic seconds> t<thread id> <file>:<line>] " — the
+/// shared prefix of every log line, fatal or not. The timestamp is seconds
+/// since process start on the monotonic clock, so lines correlate with
+/// trace spans and never jump on wall-clock adjustments.
+std::string LogPrefix(char severity, const char* file, int line);
+
+/// Streams one non-fatal log line, emitted on destruction.
+class LogMessage {
+ public:
+  LogMessage(char severity, const char* file, int line) {
+    stream_ << LogPrefix(severity, file, line);
+  }
+  ~LogMessage() { EmitLogLine(stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
 /// Terminates the process after streaming a fatal message. Used by the CHECK
-/// family; streaming into the returned object appends to the message.
+/// family; streaming into the returned object appends to the message. The
+/// finished line goes through the same sink as every other log line (so
+/// capturing test sinks see it) before the abort.
 class FatalLogMessage {
  public:
   FatalLogMessage(const char* file, int line, const char* condition) {
-    stream_ << "FATAL " << file << ":" << line << " CHECK failed: "
-            << condition << " ";
+    stream_ << LogPrefix('F', file, line) << "CHECK failed: " << condition
+            << " ";
   }
   [[noreturn]] ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
+    EmitLogLine(stream_.str());
     std::abort();
   }
   template <typename T>
@@ -36,10 +84,22 @@ class FatalLogMessage {
 struct Voidify {
   void operator&(FatalLogMessage&) {}
   void operator&(FatalLogMessage&&) {}
+  void operator&(LogMessage&) {}
+  void operator&(LogMessage&&) {}
 };
 
 }  // namespace internal
 }  // namespace snakes
+
+/// Streams an informational/warning/error line with the standard prefix
+/// (severity, monotonic timestamp, thread id, source location):
+///   SNAKES_LOG(INFO) << "packed " << n << " pages";
+#define SNAKES_LOG_SEVERITY_INFO 'I'
+#define SNAKES_LOG_SEVERITY_WARNING 'W'
+#define SNAKES_LOG_SEVERITY_ERROR 'E'
+#define SNAKES_LOG(severity)                         \
+  ::snakes::internal::LogMessage(                    \
+      SNAKES_LOG_SEVERITY_##severity, __FILE__, __LINE__)
 
 /// Aborts the process with a message when `cond` is false. Streaming extra
 /// context is supported: SNAKES_CHECK(n > 0) << "n=" << n;

@@ -6,6 +6,7 @@
 #include "curves/row_major.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/workload.h"
+#include "obs/metrics.h"
 #include "path/snaked_dp.h"
 #include "storage/cache.h"
 #include "storage/query_engine.h"
@@ -34,6 +35,8 @@ TEST(LruCacheTest, ZeroCapacityNeverHits) {
   EXPECT_FALSE(cache.Access(1));
   EXPECT_FALSE(cache.Access(1));
   EXPECT_EQ(cache.hits(), 0u);
+  // Rejects at zero capacity drop nothing, so they are not evictions.
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 TEST(LruCacheTest, ClearResets) {
@@ -43,7 +46,58 @@ TEST(LruCacheTest, ClearResets) {
   cache.Clear();
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
   EXPECT_FALSE(cache.Access(1));
+}
+
+TEST(LruCacheTest, EvictionCountMatchesOverflow) {
+  LruPageCache cache(3);
+  for (uint64_t p = 0; p < 3; ++p) cache.Access(p);
+  EXPECT_EQ(cache.evictions(), 0u);
+  // Each further distinct page displaces exactly one resident page.
+  for (uint64_t p = 3; p < 10; ++p) cache.Access(p);
+  EXPECT_EQ(cache.evictions(), 7u);
+  EXPECT_EQ(cache.size(), 3u);
+  // Hits reorder but never evict.
+  EXPECT_TRUE(cache.Access(9));
+  EXPECT_EQ(cache.evictions(), 7u);
+}
+
+TEST(LruCacheTest, MirrorsEventsIntoRegistryCounters) {
+  MetricsRegistry metrics;
+  LruPageCache cache(2, ObsSink{&metrics, nullptr});
+  cache.Access(1);  // miss
+  cache.Access(2);  // miss
+  cache.Access(1);  // hit
+  cache.Access(3);  // miss, evicts 2
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counter("cache.hits"), cache.hits());
+  EXPECT_EQ(snap.counter("cache.misses"), cache.misses());
+  EXPECT_EQ(snap.counter("cache.evictions"), cache.evictions());
+  EXPECT_EQ(snap.counter("cache.evictions"), 1u);
+}
+
+TEST(LruCacheTest, RepeatedScanHitRateDependsOnCapacity) {
+  // An LRU classic: cyclically scanning N distinct pages through a cache
+  // smaller than N hits never (each page is evicted just before its reuse);
+  // a cache of at least N pages hits on every pass after the first.
+  constexpr uint64_t kPages = 16;
+  constexpr int kPasses = 8;
+
+  LruPageCache small(kPages - 1);
+  LruPageCache big(kPages);
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (uint64_t p = 0; p < kPages; ++p) {
+      small.Access(p);
+      big.Access(p);
+    }
+  }
+  EXPECT_EQ(small.hits(), 0u);
+  EXPECT_EQ(small.evictions(), kPasses * kPages - (kPages - 1));
+  EXPECT_EQ(big.hits(), (kPasses - 1) * kPages);
+  EXPECT_EQ(big.evictions(), 0u);
+  EXPECT_NEAR(big.HitRate(), static_cast<double>(kPasses - 1) / kPasses,
+              1e-12);
 }
 
 class WarehouseCacheTest : public ::testing::Test {

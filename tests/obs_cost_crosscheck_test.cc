@@ -1,0 +1,168 @@
+// Cross-check between the two cost pipelines: the storage simulator's
+// *measured* seeks and pages (storage/executor.cc, surfaced through the obs
+// counters) must reconcile exactly with the *analytic* edge-model costs
+// (cost/edge_model.cc) on layouts built to make the two comparable.
+//
+// The bridge: give every cell exactly one record and set
+// page_size == record_size, so each cell occupies exactly one page and pages
+// coincide with cells. Then a query's page runs are its curve fragments —
+// MeasureClass(cls).total_seeks must equal ClassCostTable::TotalFragments(cls)
+// for every class of the lattice, and the workload expectations agree too.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cost/edge_model.h"
+#include "cost/workload_cost.h"
+#include "curves/path_order.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/lattice.h"
+#include "lattice/workload.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "path/snaked_dp.h"
+#include "storage/executor.h"
+#include "storage/fact_table.h"
+#include "storage/pager.h"
+
+namespace snakes {
+namespace {
+
+/// One record in every cell, so no query is empty and cell == page below.
+std::shared_ptr<const FactTable> OneRecordPerCell(
+    std::shared_ptr<const StarSchema> schema) {
+  auto facts = std::make_shared<FactTable>(schema);
+  const int k = schema->num_dims();
+  CellCoord coord;
+  coord.resize(static_cast<size_t>(k));
+  for (size_t d = 0; d < coord.size(); ++d) coord[d] = 0;
+  for (;;) {
+    facts->AddRecord(coord, 1.0);
+    int d = k - 1;
+    for (; d >= 0; --d) {
+      if (++coord[static_cast<size_t>(d)] <
+          schema->extent(d)) {
+        break;
+      }
+      coord[static_cast<size_t>(d)] = 0;
+    }
+    if (d < 0) break;
+  }
+  return facts;
+}
+
+/// Asserts that the simulator and the analytic model agree class by class on
+/// `lin`, and that the obs counters record exactly the simulated totals.
+void ExpectSimulatorMatchesAnalyticModel(
+    std::shared_ptr<const Linearization> lin,
+    std::shared_ptr<const FactTable> facts) {
+  const StarSchema& schema = lin->schema();
+  // One page per cell: pages are cells, page runs are curve fragments.
+  const StorageConfig config{125, 125};
+  MetricsRegistry metrics;
+  const ObsSink obs{&metrics, nullptr};
+  const auto layout = PackedLayout::Pack(lin, std::move(facts), config, obs);
+  ASSERT_TRUE(layout.ok()) << layout.status().message();
+  ASSERT_EQ(layout.value().num_pages(), schema.num_cells());
+
+  const ClassCostTable analytic = MeasureClassCosts(*lin);
+  const IoSimulator sim(layout.value(), obs);
+  const QueryClassLattice lat(schema);
+
+  uint64_t total_seeks = 0;
+  uint64_t total_pages = 0;
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    const ClassIoStats measured = sim.MeasureClass(cls);
+    EXPECT_EQ(measured.total_seeks, analytic.TotalFragments(cls))
+        << lin->name() << " class " << cls.ToString();
+    EXPECT_EQ(measured.num_queries, analytic.NumQueries(cls))
+        << lin->name() << " class " << cls.ToString();
+    EXPECT_EQ(measured.num_nonempty, measured.num_queries);
+    // Each class's queries partition the grid, and every cell is one page.
+    EXPECT_EQ(measured.total_pages, schema.num_cells());
+    total_seeks += measured.total_seeks;
+    total_pages += measured.total_pages;
+  }
+
+  // The registry saw exactly what MeasureClass returned.
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counter("storage.seeks"), total_seeks);
+  EXPECT_EQ(snap.counter("storage.pages_read"), total_pages);
+  EXPECT_EQ(snap.counter("storage.pages_packed"), schema.num_cells());
+
+  // Workload-level: the simulator's expected seeks equal the edge model's
+  // expected cost (same per-class ratios, probability-weighted).
+  const Workload mu = Workload::Uniform(lat);
+  const WorkloadIoStats io = IoSimulator::Expect(mu, sim.MeasureAllClasses());
+  const double analytic_cost = MeasureExpectedCost(mu, *lin);
+  EXPECT_NEAR(io.expected_seeks, analytic_cost, 1e-9 * analytic_cost)
+      << lin->name();
+}
+
+std::shared_ptr<const StarSchema> MakeSchema(
+    std::vector<Hierarchy> dims) {
+  auto schema = StarSchema::Make("t", std::move(dims));
+  EXPECT_TRUE(schema.ok());
+  return std::make_shared<StarSchema>(std::move(schema).value());
+}
+
+TEST(ObsCostCrosscheckTest, RowMajorsOn2D) {
+  auto schema = MakeSchema({
+      Hierarchy::Uniform("a", {2, 2}, {"leaf", "mid", "all"}).value(),
+      Hierarchy::Uniform("b", {2, 4}, {"leaf", "mid", "all"}).value(),
+  });
+  const auto facts = OneRecordPerCell(schema);
+  for (auto& rm : AllRowMajorOrders(schema)) {
+    ExpectSimulatorMatchesAnalyticModel(std::move(rm), facts);
+  }
+}
+
+TEST(ObsCostCrosscheckTest, SnakedOptimalPathOn2D) {
+  auto schema = MakeSchema({
+      Hierarchy::Uniform("a", {2, 2}, {"leaf", "mid", "all"}).value(),
+      Hierarchy::Uniform("b", {2, 4}, {"leaf", "mid", "all"}).value(),
+  });
+  const QueryClassLattice lat(*schema);
+  const Workload mu = Workload::Uniform(lat);
+  const auto dp = FindOptimalSnakedLatticePath(mu);
+  ASSERT_TRUE(dp.ok());
+  auto lin = MakePathOrder(schema, dp.value().path, /*snaked=*/true);
+  ASSERT_TRUE(lin.ok());
+  ExpectSimulatorMatchesAnalyticModel(std::move(lin).value(),
+                                      OneRecordPerCell(schema));
+}
+
+TEST(ObsCostCrosscheckTest, ZCurveOnPow2Grid) {
+  auto schema = MakeSchema({
+      Hierarchy::Uniform("a", {2, 2}, {"leaf", "mid", "all"}).value(),
+      Hierarchy::Uniform("b", {2, 2}, {"leaf", "mid", "all"}).value(),
+  });
+  auto z = ZCurve::Make(schema);
+  ASSERT_TRUE(z.ok());
+  ExpectSimulatorMatchesAnalyticModel(std::move(z).value(),
+                                      OneRecordPerCell(schema));
+}
+
+TEST(ObsCostCrosscheckTest, ThreeDimensionalGrid) {
+  auto schema = MakeSchema({
+      Hierarchy::Uniform("a", {3}, {"leaf", "all"}).value(),
+      Hierarchy::Uniform("b", {2, 2}, {"leaf", "mid", "all"}).value(),
+      Hierarchy::Uniform("c", {2}, {"leaf", "all"}).value(),
+  });
+  const auto facts = OneRecordPerCell(schema);
+  ExpectSimulatorMatchesAnalyticModel(
+      RowMajorOrder::Make(schema, {0, 1, 2}).value(), facts);
+  ExpectSimulatorMatchesAnalyticModel(
+      RowMajorOrder::Make(schema, {2, 0, 1}).value(), facts);
+}
+
+}  // namespace
+}  // namespace snakes

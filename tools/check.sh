@@ -22,4 +22,34 @@ run_matrix_entry release -DCMAKE_BUILD_TYPE=Release
 TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
   run_matrix_entry tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSNAKES_SANITIZE=thread
 
+# Observability smoke: run the instrumented end-to-end report on the tiny
+# TPC-D grid and validate that both artifacts parse and carry the headline
+# metrics (obs_report exercises advisor + DP + simulator + cache with live
+# metrics and tracing backends).
+echo "==> [obs] smoke"
+OBS_OUT="$ROOT/build-release/obs-smoke"
+"$ROOT/build-release/tools/obs_report" --out "$OBS_OUT" --queries 200 > /dev/null
+python3 - "$OBS_OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+m = json.load(open(out + "/metrics.json"))
+for key in ["advisor.strategies_evaluated", "cache.hits", "cache.misses",
+            "cache.evictions", "dp.cells_relaxed", "storage.pages_read",
+            "storage.seeks"]:
+    assert key in m["counters"], "missing counter " + key
+for key in ["cache.hit_rate", "dp.table_bytes"]:
+    assert key in m["gauges"], "missing gauge " + key
+for key in ["advisor.strategy_compute_ns", "storage.run_length_pages"]:
+    assert key in m["histograms"], "missing histogram " + key
+trace = json.load(open(out + "/trace.json"))
+events = trace["traceEvents"]
+assert events and all(e["ph"] == "X" for e in events)
+names = {e["name"] for e in events}
+for name in ["advisor/plan", "advisor/evaluate", "storage/measure_all"]:
+    assert name in names, "missing span " + name
+print("obs smoke ok: %d metrics, %d spans" %
+      (len(m["counters"]) + len(m["gauges"]) + len(m["histograms"]),
+       len(events)))
+EOF
+
 echo "==> all configurations passed"

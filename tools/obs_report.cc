@@ -1,0 +1,158 @@
+// obs_report — end-to-end observability demo and smoke tool.
+//
+//   obs_report [--out DIR] [--workload 1..27] [--queries N]
+//
+// Generates a small TPC-D-style warehouse, runs an instrumented Advise over
+// every applicable strategy family (with storage measurement), replays a
+// query stream through an instrumented LRU page cache under the recommended
+// snaked layout, and writes:
+//
+//   DIR/metrics.json — every counter/gauge/histogram (cache hit rate, seeks,
+//                      per-strategy timings, DP work, ...)
+//   DIR/trace.json   — Chrome trace_event JSON; open in chrome://tracing or
+//                      https://ui.perfetto.dev to see spans nested
+//                      request -> strategy -> DP phase -> storage I/O.
+//
+// The metrics table and the recommendation summary go to stdout.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/advisor.h"
+#include "core/evaluation.h"
+#include "curves/path_order.h"
+#include "lattice/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/cache.h"
+#include "storage/pager.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/workloads.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::string FlagValue(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+Status WriteFile(const std::filesystem::path& path,
+                 const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open " + path.string() + " for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) return Status::Internal("short write to " + path.string());
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  const std::filesystem::path out_dir =
+      FlagValue(argc, argv, "--out", ".");
+  const int workload_id = std::atoi(
+      FlagValue(argc, argv, "--workload", "7").c_str());
+  const uint64_t num_queries = static_cast<uint64_t>(std::atoll(
+      FlagValue(argc, argv, "--queries", "500").c_str()));
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return Fail(Status::Internal("cannot create " + out_dir.string() + ": " +
+                                 ec.message()));
+  }
+
+  // A deliberately small warehouse: every strategy family measurable in
+  // well under a second, so the tool works as a CI smoke step.
+  tpcd::Config config;
+  config.parts_per_mfgr = 4;
+  config.num_mfgrs = 3;
+  config.num_suppliers = 4;
+  config.months_per_year = 6;
+  config.num_years = 2;
+  config.num_orders = 6'000;
+  auto warehouse = tpcd::GenerateWarehouse(config, 31);
+  if (!warehouse.ok()) return Fail(warehouse.status());
+  const auto& schema = warehouse.value().schema;
+
+  const QueryClassLattice lat(*schema);
+  auto mu = tpcd::SectionSixWorkload(lat, workload_id);
+  if (!mu.ok()) return Fail(mu.status());
+
+  // Both backends live for the whole run; every phase appends to them.
+  MetricsRegistry metrics;
+  Tracer tracer;
+  const ObsSink obs{&metrics, &tracer};
+
+  EvaluationRequest request{mu.value()};
+  request.measure_storage = true;
+  request.storage = StorageConfig{2048, 125};
+  request.facts = warehouse.value().facts;
+  request.obs = obs;
+  const ClusteringAdvisor advisor(schema);
+  auto rec = advisor.Advise(request);
+  if (!rec.ok()) return Fail(rec.status());
+
+  // Replay a query stream through an LRU cache sized at ~5% of the data
+  // under the recommended snaked layout, then derive the hit-rate gauge.
+  {
+    ScopedSpan span(obs.tracer, "cache/replay", "storage");
+    auto order =
+        MakePathOrder(schema, rec.value().optimal_snaked_path, true);
+    if (!order.ok()) return Fail(order.status());
+    auto layout =
+        PackedLayout::Pack(std::move(order).value(), warehouse.value().facts,
+                           request.storage, obs);
+    if (!layout.ok()) return Fail(layout.status());
+    LruPageCache cache(std::max<uint64_t>(1, layout.value().num_pages() / 20),
+                       obs);
+    Rng rng(11);
+    const CachedRunStats stats = ReplayWorkload(
+        layout.value(), mu.value(), num_queries, &cache, &rng);
+    metrics.GetGauge("cache.hit_rate")->Set(cache.HitRate());
+    span.AddArg("queries", stats.queries);
+    span.AddArg("page_accesses", stats.page_accesses);
+    span.AddArg("disk_reads", stats.disk_reads);
+  }
+
+  const MetricsSnapshot snap = metrics.Snapshot();
+  const auto metrics_path = out_dir / "metrics.json";
+  const auto trace_path = out_dir / "trace.json";
+  if (Status s = WriteFile(metrics_path, snap.ToJson()); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = WriteFile(trace_path, tracer.ToChromeJson()); !s.ok()) {
+    return Fail(s);
+  }
+
+  std::printf("%s\n", rec.value().ToString().c_str());
+  std::printf("%s\n", snap.ToTable().c_str());
+  std::printf("wrote %s (%zu metrics) and %s (%zu spans)\n",
+              metrics_path.string().c_str(),
+              snap.counters.size() + snap.gauges.size() +
+                  snap.histograms.size(),
+              trace_path.string().c_str(), tracer.num_events());
+  return 0;
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main(int argc, char** argv) { return snakes::Run(argc, argv); }
