@@ -1,0 +1,180 @@
+// Rank-run decomposition payoff on the TPC-D warehouse: the interval-based
+// simulator must do an order of magnitude less work than the per-cell walk
+// on coarse query classes over a snaked-path layout.
+//
+// Setup: the Table-4 LineItem warehouse (200 x 10 x 84 grid), packed under
+// the snaked optimal lattice path for the uniform workload. For every query
+// class we count the operations each evaluation strategy performs —
+//
+//   * cell walk:  every cell of every query box (the seed's inner loop);
+//   * rank runs:  one MeasureRange per emitted run.
+//
+// — and time MeasureClassCellWalk against the run-based MeasureClass. A
+// query at leaf granularity in the layout's innermost dimension selects
+// rank-isolated cells (its fragment count ~equals its box size), so no
+// interval representation can compress it; the payoff is on the *coarse*
+// classes, the ones aggregated past level 0 in the path's first-step
+// dimension. The guard SNAKES_CHECKs that those see >= 10x fewer operations
+// in aggregate, and writes BENCH_run_decomposition.json.
+//
+//   $ ./micro_run_decomposition
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "curves/path_order.h"
+#include "curves/rank_run.h"
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "path/snaked_dp.h"
+#include "storage/executor.h"
+#include "tpcd/dbgen.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClassOps {
+  QueryClass cls;
+  uint64_t num_queries = 0;
+  uint64_t cell_ops = 0;  // sum over queries of box cells
+  uint64_t run_ops = 0;   // sum over queries of emitted runs
+  double walk_ms = 0.0;
+  double runs_ms = 0.0;
+};
+
+void Run() {
+  tpcd::Config config;
+  std::fprintf(stderr, "generating ~%llu lineitems...\n",
+               static_cast<unsigned long long>(4 * config.num_orders));
+  const auto warehouse = tpcd::GenerateWarehouse(config).ValueOrDie();
+  const StarSchema& schema = *warehouse.schema;
+  const QueryClassLattice lattice(schema);
+
+  const Workload uniform = Workload::Uniform(lattice);
+  const auto dp = FindOptimalSnakedLatticePath(uniform).ValueOrDie();
+  auto order =
+      MakePathOrder(warehouse.schema, dp.path, /*snaked=*/true).ValueOrDie();
+  std::fprintf(stderr, "packing under %s...\n", order->name().c_str());
+  const auto layout =
+      PackedLayout::Pack(std::move(order), warehouse.facts).ValueOrDie();
+  const IoSimulator sim(layout);
+  const Linearization& lin = layout.linearization();
+
+  std::vector<ClassOps> per_class;
+  std::vector<RankRun> runs;
+  for (uint64_t i = 0; i < lattice.size(); ++i) {
+    ClassOps ops;
+    ops.cls = lattice.ClassAt(i);
+    ops.num_queries = NumQueriesInClass(schema, ops.cls);
+    for (uint64_t q = 0; q < ops.num_queries; ++q) {
+      const CellBox box = BoxOf(schema, QueryAt(schema, ops.cls, q));
+      runs.clear();
+      lin.AppendRuns(box, &runs);
+      ops.cell_ops += box.NumCells();
+      ops.run_ops += runs.size();
+    }
+    auto start = Clock::now();
+    const ClassIoStats walk = sim.MeasureClassCellWalk(ops.cls);
+    ops.walk_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    start = Clock::now();
+    const ClassIoStats fast = sim.MeasureClass(ops.cls);
+    ops.runs_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    // Sanity: both paths agree on every statistic they report.
+    SNAKES_CHECK(walk.total_pages == fast.total_pages &&
+                 walk.total_seeks == fast.total_seeks &&
+                 walk.num_nonempty == fast.num_nonempty &&
+                 walk.total_normalized == fast.total_normalized)
+        << "run/walk divergence in class " << ops.cls.ToString();
+    per_class.push_back(ops);
+  }
+
+  // Aggregate over the coarse classes: aggregated past the leaves in the
+  // path's innermost dimension, so query boxes span whole inner blocks and
+  // runs can actually merge.
+  const int inner_dim = dp.path.steps().front();
+  uint64_t coarse_cells = 0, coarse_runs = 0;
+  double coarse_walk_ms = 0.0, coarse_runs_ms = 0.0;
+  TextTable table({"class", "queries", "cell ops", "run ops", "ratio",
+                   "walk ms", "runs ms"});
+  for (const ClassOps& ops : per_class) {
+    const bool coarse = ops.cls.level(inner_dim) >= 1;
+    if (coarse) {
+      coarse_cells += ops.cell_ops;
+      coarse_runs += ops.run_ops;
+      coarse_walk_ms += ops.walk_ms;
+      coarse_runs_ms += ops.runs_ms;
+    }
+    const double ratio = ops.run_ops == 0
+                             ? 0.0
+                             : static_cast<double>(ops.cell_ops) /
+                                   static_cast<double>(ops.run_ops);
+    table.AddRow({ops.cls.ToString() + (coarse ? " *" : ""),
+                  std::to_string(ops.num_queries),
+                  std::to_string(ops.cell_ops), std::to_string(ops.run_ops),
+                  FormatDouble(ratio, 1), FormatDouble(ops.walk_ms, 2),
+                  FormatDouble(ops.runs_ms, 2)});
+  }
+  const double coarse_ratio = static_cast<double>(coarse_cells) /
+                              static_cast<double>(coarse_runs);
+  const double speedup =
+      coarse_runs_ms > 0.0 ? coarse_walk_ms / coarse_runs_ms : 0.0;
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("coarse classes (*): %llu cell ops vs %llu run ops (%.1fx), "
+              "%.1f ms walk vs %.1f ms runs (%.1fx)\n",
+              static_cast<unsigned long long>(coarse_cells),
+              static_cast<unsigned long long>(coarse_runs), coarse_ratio,
+              coarse_walk_ms, coarse_runs_ms, speedup);
+
+  SNAKES_CHECK(coarse_ratio >= 10.0)
+      << "run decomposition only saves " << coarse_ratio
+      << "x simulator operations on coarse classes (need >= 10x)";
+
+  std::string json = "{\n  \"bench\": \"run_decomposition\",\n";
+  json += "  \"layout\": \"" + lin.name() + "\",\n";
+  json += "  \"cells\": " + std::to_string(lin.num_cells()) + ",\n";
+  json += "  \"records\": " +
+          std::to_string(warehouse.facts->total_records()) + ",\n";
+  json += "  \"coarse_cell_ops\": " + std::to_string(coarse_cells) + ",\n";
+  json += "  \"coarse_run_ops\": " + std::to_string(coarse_runs) + ",\n";
+  json += "  \"coarse_ops_ratio\": " + FormatDouble(coarse_ratio, 2) + ",\n";
+  json += "  \"coarse_walk_ms\": " + FormatDouble(coarse_walk_ms, 3) + ",\n";
+  json += "  \"coarse_runs_ms\": " + FormatDouble(coarse_runs_ms, 3) + ",\n";
+  json += "  \"coarse_speedup\": " + FormatDouble(speedup, 2) + ",\n";
+  json += "  \"required_ratio\": 10.0,\n";
+  json += "  \"classes\": [\n";
+  for (size_t i = 0; i < per_class.size(); ++i) {
+    const ClassOps& ops = per_class[i];
+    json += "    {\"class\": \"" + ops.cls.ToString() + "\", \"queries\": " +
+            std::to_string(ops.num_queries) + ", \"cell_ops\": " +
+            std::to_string(ops.cell_ops) + ", \"run_ops\": " +
+            std::to_string(ops.run_ops) + ", \"walk_ms\": " +
+            FormatDouble(ops.walk_ms, 3) + ", \"runs_ms\": " +
+            FormatDouble(ops.runs_ms, 3) + "}";
+    json += i + 1 < per_class.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  const char* path = "BENCH_run_decomposition.json";
+  std::ofstream out(path);
+  out << json;
+  SNAKES_CHECK(out.good()) << "failed to write " << path;
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

@@ -121,7 +121,8 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
                       request.measure_storage,
                       request.storage,
                       request.facts,
-                      request.obs};
+                      request.obs,
+                      request.cost_mode};
   plan.snaked_cost_of_optimal =
       ExpectedSnakedPathCost(plan.workload, plan.optimal_path.path);
 
@@ -178,8 +179,8 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
     span.AddArg("factory", candidate.factory);
     StrategyReport report;
     report.name = candidate.linearization->name();
-    report.expected_cost =
-        MeasureExpectedCost(plan.workload, *candidate.linearization, obs);
+    report.expected_cost = MeasureExpectedCost(
+        plan.workload, *candidate.linearization, obs, plan.cost_mode);
     if (plan.measure_storage) {
       SNAKES_ASSIGN_OR_RETURN(
           PackedLayout layout,

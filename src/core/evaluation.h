@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "cost/workload_cost.h"
 #include "lattice/workload.h"
 #include "obs/obs.h"
 #include "path/dpkd.h"
@@ -43,6 +44,10 @@ struct EvaluationRequest {
   std::shared_ptr<const FactTable> facts;
   /// The factory registry to plan from; nullptr = StrategyRegistry::BuiltIns().
   const StrategyRegistry* registry = nullptr;
+  /// How Evaluate measures expected cost: interval-based rank-run counting
+  /// or the edge-histogram cell walk. kAuto picks per strategy/workload;
+  /// both give bit-identical costs.
+  CostEvalMode cost_mode = CostEvalMode::kAuto;
   /// Optional observability backends (obs/metrics.h, obs/trace.h). Both
   /// default to nullptr — the null object — so uninstrumented callers pay
   /// one pointer test per instrumentation site. When set, the advisor, the
@@ -87,6 +92,7 @@ struct EvaluationPlan {
   std::shared_ptr<const FactTable> facts;
   /// Copied from the request; consulted by Evaluate's scoring tasks.
   ObsSink obs;
+  CostEvalMode cost_mode = CostEvalMode::kAuto;
 
   /// Human-readable plan summary (candidates and skip reasons).
   std::string ToString() const;

@@ -42,10 +42,76 @@ double ExpectedSnakedPathCost(const Workload& mu, const LatticePath& path) {
   return total;
 }
 
+namespace {
+
+/// Per-class fragment totals from rank-run counting: a query's fragment
+/// count equals the length of its run decomposition, so summing run counts
+/// over a class reproduces the edge model's TotalFragments exactly. Classes
+/// with zero probability are skipped (fragments 0 over 1 query) — ExpectedCost
+/// never reads them.
+ClassCostTable RunCountClassCosts(const Workload& mu,
+                                  const Linearization& lin,
+                                  const ObsSink& obs) {
+  const StarSchema& schema = lin.schema();
+  const QueryClassLattice& lat = mu.lattice();
+  std::vector<uint64_t> fragments(lat.size(), 0);
+  std::vector<uint64_t> queries(lat.size(), 1);
+  Histogram* cells_per_run =
+      obs.metrics != nullptr
+          ? obs.metrics->GetHistogram("curves.cells_per_run")
+          : nullptr;
+  uint64_t total_runs = 0;
+  std::vector<RankRun> runs;
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    if (mu.probability_at(i) == 0.0) continue;
+    const QueryClass cls = lat.ClassAt(i);
+    const uint64_t num_queries = NumQueriesInClass(schema, cls);
+    uint64_t class_fragments = 0;
+    for (uint64_t q = 0; q < num_queries; ++q) {
+      runs.clear();
+      lin.AppendRuns(BoxOf(schema, QueryAt(schema, cls, q)), &runs);
+      class_fragments += runs.size();
+      if (cells_per_run != nullptr) {
+        for (const RankRun& r : runs) cells_per_run->Record(r.len);
+      }
+    }
+    fragments[i] = class_fragments;
+    queries[i] = num_queries;
+    total_runs += class_fragments;
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->GetCounter("curves.runs_emitted")->Inc(total_runs);
+  }
+  return ClassCostTable(lat, std::move(fragments), std::move(queries));
+}
+
+/// Total queries across the workload's non-zero classes, saturating at
+/// `cap` (the auto-mode break-even threshold needs no exact count beyond it).
+uint64_t NonZeroQueries(const Workload& mu, const StarSchema& schema,
+                        uint64_t cap) {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < mu.lattice().size(); ++i) {
+    if (mu.probability_at(i) == 0.0) continue;
+    total += NumQueriesInClass(schema, mu.lattice().ClassAt(i));
+    if (total > cap) return total;
+  }
+  return total;
+}
+
+}  // namespace
+
 double MeasureExpectedCost(const Workload& mu, const Linearization& lin,
-                           const ObsSink& obs) {
+                           const ObsSink& obs, CostEvalMode mode) {
   ScopedSpan span(obs.tracer, "cost/measure", "cost");
   span.AddArg("strategy", lin.name());
+  const bool use_runs =
+      mode == CostEvalMode::kRankRuns ||
+      (mode == CostEvalMode::kAuto && lin.HasRunDecomposition() &&
+       NonZeroQueries(mu, lin.schema(), lin.num_cells()) <= lin.num_cells());
+  span.AddArg("mode", use_runs ? "rank-runs" : "edge-walk");
+  if (use_runs) {
+    return ExpectedCost(mu, RunCountClassCosts(mu, lin, obs));
+  }
   if (obs.metrics != nullptr) {
     obs.metrics->GetCounter("cost.cells_scanned")->Inc(lin.num_cells());
   }

@@ -22,11 +22,29 @@ double ExpectedPathCost(const Workload& mu, const LatticePath& path);
 /// Analytic cost_mu of the snaked version of `path` on the lattice model.
 double ExpectedSnakedPathCost(const Workload& mu, const LatticePath& path);
 
-/// Expected cost of an arbitrary linearization under `mu`, measured exactly
-/// with the edge model. O(cells * levels). `obs` (optional) wraps the
-/// measurement in a "cost/measure" span and counts cost.cells_scanned.
+/// How MeasureExpectedCost evaluates a strategy.
+enum class CostEvalMode {
+  /// Rank runs when the strategy decomposes and the workload's non-zero
+  /// classes hold fewer queries than the grid holds cells; edge walk
+  /// otherwise. The break-even is simple: the edge walk always costs
+  /// O(cells * levels), the run path costs O(sum over queries of runs).
+  kAuto,
+  /// Always the seed's edge-histogram walk, O(cells * levels).
+  kEdgeWalk,
+  /// Always per-query rank-run counting (correct for any strategy; only
+  /// fast for ones with HasRunDecomposition()).
+  kRankRuns,
+};
+
+/// Expected cost of an arbitrary linearization under `mu`, measured exactly.
+/// Both modes produce bit-identical results: a query's fragment count *is*
+/// its rank-run count, and the run path feeds per-class totals through the
+/// same ExpectedCost summation as the edge walk. `obs` (optional) wraps the
+/// measurement in a "cost/measure" span and counts cost.cells_scanned (edge
+/// walk) or curves.runs_emitted / curves.cells_per_run (run path).
 double MeasureExpectedCost(const Workload& mu, const Linearization& lin,
-                           const ObsSink& obs = {});
+                           const ObsSink& obs = {},
+                           CostEvalMode mode = CostEvalMode::kAuto);
 
 }  // namespace snakes
 

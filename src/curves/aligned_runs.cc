@@ -1,0 +1,69 @@
+#include "curves/aligned_runs.h"
+
+#include "util/logging.h"
+
+namespace snakes {
+namespace curve_internal {
+
+namespace {
+
+class AlignedEmitter {
+ public:
+  AlignedEmitter(const Linearization& lin, const AlignedLevels& levels,
+                 const CellBox& box, std::vector<RankRun>* out)
+      : lin_(lin),
+        levels_(levels),
+        box_(box),
+        out_(out),
+        floor_(out->size()),
+        k_(box.lo.size()) {}
+
+  void Recurse(size_t depth, uint64_t rank_base) {
+    const uint64_t cells = levels_.subtree_cells[depth];
+    const CellCoord& width = levels_.width[depth];
+    // The subtree's aligned box, recovered by masking the first rank's
+    // coordinates down to the (power-of-two) width alignment.
+    const CellCoord cell = lin_.CellAt(rank_base);
+    bool contained = true;
+    for (size_t d = 0; d < k_; ++d) {
+      const uint64_t lo = cell[d] & ~(width[d] - 1);
+      const uint64_t hi = lo + width[d];
+      if (hi <= box_.lo[d] || lo >= box_.hi[d]) return;  // disjoint
+      contained = contained && box_.lo[d] <= lo && hi <= box_.hi[d];
+    }
+    if (contained) {
+      AppendRun(out_, floor_, rank_base, cells);
+      return;
+    }
+    SNAKES_DCHECK(depth + 1 < levels_.subtree_cells.size());
+    const uint64_t child_cells = levels_.subtree_cells[depth + 1];
+    for (uint64_t r = rank_base; r < rank_base + cells; r += child_cells) {
+      Recurse(depth + 1, r);
+    }
+  }
+
+ private:
+  const Linearization& lin_;
+  const AlignedLevels& levels_;
+  const CellBox& box_;
+  std::vector<RankRun>* out_;
+  const size_t floor_;
+  const size_t k_;
+};
+
+}  // namespace
+
+void AppendAlignedRuns(const Linearization& lin, const AlignedLevels& levels,
+                       const CellBox& box, std::vector<RankRun>* runs) {
+  SNAKES_DCHECK(!levels.subtree_cells.empty());
+  SNAKES_DCHECK(levels.subtree_cells.front() == lin.num_cells());
+  SNAKES_DCHECK(levels.subtree_cells.back() == 1);
+  for (size_t d = 0; d < box.lo.size(); ++d) {
+    if (box.hi[d] <= box.lo[d]) return;
+  }
+  AlignedEmitter emitter(lin, levels, box, runs);
+  emitter.Recurse(0, 0);
+}
+
+}  // namespace curve_internal
+}  // namespace snakes

@@ -1,0 +1,34 @@
+#ifndef SNAKES_CURVES_ALIGNED_RUNS_H_
+#define SNAKES_CURVES_ALIGNED_RUNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curves/linearization.h"
+
+namespace snakes {
+namespace curve_internal {
+
+/// Per-depth geometry of a bit-hierarchical curve (Z, Gray, Hilbert): fixing
+/// the `j` most significant rank bits pins an axis-aligned box whose
+/// per-dimension widths are powers of two. `subtree_cells[j]` is the rank
+/// count of a depth-j subtree (subtree_cells[0] == num_cells, back() == 1)
+/// and `width[j]` its per-dimension box widths.
+struct AlignedLevels {
+  std::vector<uint64_t> subtree_cells;
+  std::vector<CellCoord> width;
+};
+
+/// BIGMIN-style pruned subdivision: starting from the whole curve, descend
+/// only into subtrees whose aligned box intersects `box`, emitting fully
+/// contained subtrees as single rank runs. The subtree base box is recovered
+/// from CellAt(first rank) by masking off the low bits, so the recursion
+/// needs no per-curve geometry beyond `levels`. Children of a subtree are
+/// rank-ordered, so runs come out sorted; O(runs * depth) CellAt calls.
+void AppendAlignedRuns(const Linearization& lin, const AlignedLevels& levels,
+                       const CellBox& box, std::vector<RankRun>* runs);
+
+}  // namespace curve_internal
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_ALIGNED_RUNS_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "curves/aligned_runs.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -103,6 +104,24 @@ CellCoord HilbertCurve::CellAt(uint64_t rank) const {
   coord.resize(static_cast<size_t>(k));
   for (int d = 0; d < k; ++d) coord[static_cast<size_t>(d)] = x[d];
   return coord;
+}
+
+void HilbertCurve::AppendRuns(const CellBox& box,
+                              std::vector<RankRun>* runs) const {
+  const size_t k = static_cast<size_t>(schema().num_dims());
+  curve_internal::AlignedLevels levels;
+  levels.subtree_cells.resize(static_cast<size_t>(bits_) + 1);
+  levels.width.resize(static_cast<size_t>(bits_) + 1);
+  for (int j = 0; j <= bits_; ++j) {
+    levels.subtree_cells[static_cast<size_t>(j)] =
+        uint64_t{1} << (static_cast<unsigned>(k) *
+                        static_cast<unsigned>(bits_ - j));
+    CellCoord width;
+    width.resize(k);
+    for (size_t d = 0; d < k; ++d) width[d] = uint64_t{1} << (bits_ - j);
+    levels.width[static_cast<size_t>(j)] = width;
+  }
+  curve_internal::AppendAlignedRuns(*this, levels, box, runs);
 }
 
 uint64_t HilbertCurve::RankOf(const CellCoord& coord) const {

@@ -28,6 +28,13 @@ class HilbertCurve : public Linearization {
   std::string name() const override { return "hilbert"; }
   CellCoord CellAt(uint64_t rank) const override;
   uint64_t RankOf(const CellCoord& coord) const override;
+  /// Box-pruned subdivision one full level (k bits) at a time: each level-j
+  /// subtree is one orthant box of width 2^(bits-j). Partial levels are not
+  /// usable here — sub-orthant orientations rotate, so which dimension a
+  /// lone bit halves varies per subtree.
+  void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
+      const override;
+  bool HasRunDecomposition() const override { return true; }
 
  private:
   HilbertCurve(std::shared_ptr<const StarSchema> schema, int bits,

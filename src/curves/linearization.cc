@@ -1,5 +1,6 @@
 #include "curves/linearization.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/logging.h"
@@ -12,6 +13,36 @@ void Linearization::Walk(
   for (uint64_t rank = 0; rank < n; ++rank) {
     fn(rank, CellAt(rank));
   }
+}
+
+void Linearization::AppendRuns(const CellBox& box,
+                               std::vector<RankRun>* runs) const {
+  AppendRunsByRankScan(box, runs);
+}
+
+void Linearization::AppendRunsByRankScan(const CellBox& box,
+                                         std::vector<RankRun>* runs) const {
+  const size_t k = box.lo.size();
+  SNAKES_DCHECK(static_cast<int>(k) == schema().num_dims());
+  for (size_t d = 0; d < k; ++d) {
+    if (box.hi[d] <= box.lo[d]) return;
+  }
+  std::vector<uint64_t> ranks;
+  ranks.reserve(box.NumCells());
+  CellCoord coord = box.lo;
+  for (;;) {
+    ranks.push_back(RankOf(coord));
+    int d = static_cast<int>(k) - 1;
+    for (; d >= 0; --d) {
+      const size_t dd = static_cast<size_t>(d);
+      if (++coord[dd] < box.hi[dd]) break;
+      coord[dd] = box.lo[dd];
+    }
+    if (d < 0) break;
+  }
+  std::sort(ranks.begin(), ranks.end());
+  const size_t floor = runs->size();
+  for (uint64_t rank : ranks) AppendRun(runs, floor, rank, 1);
 }
 
 Status Linearization::Validate() const {
@@ -101,6 +132,37 @@ void MaterializedLinearization::Walk(
   for (uint64_t rank = 0; rank < order_.size(); ++rank) {
     fn(rank, schema().Unflatten(order_[rank]));
   }
+}
+
+void MaterializedLinearization::AppendRuns(const CellBox& box,
+                                           std::vector<RankRun>* runs) const {
+  const size_t k = box.lo.size();
+  SNAKES_DCHECK(static_cast<int>(k) == schema().num_dims());
+  for (size_t d = 0; d < k; ++d) {
+    if (box.hi[d] <= box.lo[d]) return;
+  }
+  std::vector<uint64_t> ranks;
+  ranks.reserve(box.NumCells());
+  const uint64_t row_len = box.hi[k - 1] - box.lo[k - 1];
+  CellCoord coord = box.lo;
+  for (;;) {
+    // Flattened ids along the innermost dimension are consecutive, so one
+    // row is one contiguous slice of inverse_.
+    const CellId row_start = schema().Flatten(coord);
+    for (uint64_t j = 0; j < row_len; ++j) {
+      ranks.push_back(inverse_[row_start + j]);
+    }
+    int d = static_cast<int>(k) - 2;
+    for (; d >= 0; --d) {
+      const size_t dd = static_cast<size_t>(d);
+      if (++coord[dd] < box.hi[dd]) break;
+      coord[dd] = box.lo[dd];
+    }
+    if (d < 0) break;
+  }
+  std::sort(ranks.begin(), ranks.end());
+  const size_t floor = runs->size();
+  for (uint64_t rank : ranks) AppendRun(runs, floor, rank, 1);
 }
 
 }  // namespace snakes

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "curves/rank_run.h"
 #include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
 #include "util/result.h"
 
 namespace snakes {
@@ -44,6 +46,26 @@ class Linearization {
       const std::function<void(uint64_t rank, const CellCoord& coord)>& fn)
       const;
 
+  /// Appends the rank-run decomposition of `box`: the unique sorted,
+  /// disjoint, coalesced run list covering exactly the ranks of the box's
+  /// cells. Entries already in `runs` are left untouched. The default is
+  /// correct for any bijection but enumerates every cell
+  /// (O(cells log cells)); strategies with structure override it with a
+  /// closed form or a box-pruned recursion and report so via
+  /// HasRunDecomposition.
+  virtual void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
+      const;
+
+  /// True when AppendRuns costs roughly O(runs) rather than O(cells in box),
+  /// so interval-based query evaluation is a win. Default false.
+  virtual bool HasRunDecomposition() const { return false; }
+
+  /// The reference decomposition the default AppendRuns delegates to:
+  /// RankOf on every cell of the box, sort, coalesce. Public so tests can
+  /// cross-check closed-form overrides against it.
+  void AppendRunsByRankScan(const CellBox& box, std::vector<RankRun>* runs)
+      const;
+
   /// Verifies that CellAt is a bijection consistent with RankOf and that
   /// Walk visits the same sequence. O(num_cells) time and bitmap space.
   Status Validate() const;
@@ -72,6 +94,12 @@ class MaterializedLinearization : public Linearization {
   CellCoord CellAt(uint64_t rank) const override;
   uint64_t RankOf(const CellCoord& coord) const override;
   void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
+      const override;
+  /// Gathers ranks row-wise from `inverse_` (cell ids along the innermost
+  /// dimension are consecutive, so each row is one contiguous slice of the
+  /// array), then sorts and coalesces. Same complexity as the default but
+  /// with sequential array reads instead of virtual RankOf calls.
+  void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
       const override;
 
  private:

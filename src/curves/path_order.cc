@@ -108,6 +108,108 @@ uint64_t PathOrder::RankOf(const CellCoord& coord) const {
   return q;
 }
 
+namespace {
+
+/// Digit-prefix recursion shared state for PathOrder::AppendRuns. A node is
+/// the set of cells whose raw digits above index `i` are fixed: a box
+/// [base, base + width) of the grid occupying ranks [rank_base, rank_base +
+/// place_{i} * radix_{i}). Children are visited in raw-digit order, which is
+/// ascending rank order, so runs come out sorted.
+class PathRunEmitter {
+ public:
+  PathRunEmitter(const std::vector<PathOrder::LoopDigit>& digits, bool snaked,
+                 const CellBox& box, std::vector<RankRun>* out)
+      : digits_(digits),
+        snaked_(snaked),
+        box_(box),
+        out_(out),
+        floor_(out->size()) {}
+
+  void Emit(const CellCoord& extents) {
+    const size_t k = box_.lo.size();
+    for (size_t d = 0; d < k; ++d) {
+      if (box_.hi[d] <= box_.lo[d]) return;
+    }
+    CellCoord base;
+    base.resize(k);
+    Recurse(static_cast<int>(digits_.size()) - 1, 0, base, extents,
+            /*parity=*/false);
+  }
+
+ private:
+  uint64_t SubtreeCells(int i) const {
+    return i < 0 ? 1 : digits_[static_cast<size_t>(i)].place *
+                           digits_[static_cast<size_t>(i)].radix;
+  }
+
+  /// `parity` is the parity of the integer formed by the raw digits above
+  /// index `i` — exactly the sweep count CellAt uses for digit i.
+  void Recurse(int i, uint64_t rank_base, const CellCoord& base,
+               const CellCoord& width, bool parity) {
+    const size_t k = base.size();
+    bool contained = true;
+    for (size_t d = 0; d < k; ++d) {
+      const uint64_t node_lo = base[d];
+      const uint64_t node_hi = base[d] + width[d];
+      if (node_hi <= box_.lo[d] || node_lo >= box_.hi[d]) return;  // disjoint
+      contained =
+          contained && box_.lo[d] <= node_lo && node_hi <= box_.hi[d];
+    }
+    if (contained) {
+      AppendRun(out_, floor_, rank_base, SubtreeCells(i));
+      return;
+    }
+    SNAKES_DCHECK(i >= 0);  // a single cell is contained or disjoint
+    const PathOrder::LoopDigit& digit = digits_[static_cast<size_t>(i)];
+    const size_t dim = static_cast<size_t>(digit.dim);
+    if (i == 0) {
+      // Innermost digit: place == 1 and coord_unit == 1, so the node is a
+      // row of consecutive ranks — emit its clipped stretch directly rather
+      // than recursing per cell.
+      const uint64_t lo = std::max(box_.lo[dim], base[dim]);
+      const uint64_t hi = std::min(box_.hi[dim], base[dim] + digit.radix);
+      const uint64_t start = (snaked_ && parity)
+                                 ? rank_base + base[dim] + digit.radix - hi
+                                 : rank_base + lo - base[dim];
+      AppendRun(out_, floor_, start, hi - lo);
+      return;
+    }
+    CellCoord child_base = base;
+    CellCoord child_width = width;
+    child_width[dim] = digit.coord_unit;
+    for (uint64_t raw = 0; raw < digit.radix; ++raw) {
+      const uint64_t value =
+          (snaked_ && parity) ? digit.radix - 1 - raw : raw;
+      child_base[dim] = base[dim] + value * digit.coord_unit;
+      const bool child_parity =
+          snaked_ && ((parity && (digit.radix & 1)) != ((raw & 1) != 0));
+      Recurse(i - 1, rank_base + raw * digit.place, child_base, child_width,
+              child_parity);
+    }
+  }
+
+  const std::vector<PathOrder::LoopDigit>& digits_;
+  const bool snaked_;
+  const CellBox& box_;
+  std::vector<RankRun>* out_;
+  const size_t floor_;
+};
+
+}  // namespace
+
+void PathOrder::AppendRuns(const CellBox& box,
+                           std::vector<RankRun>* runs) const {
+  const size_t k = static_cast<size_t>(schema().num_dims());
+  SNAKES_DCHECK(box.lo.size() == k);
+  CellCoord extents;
+  extents.resize(k);
+  for (size_t d = 0; d < k; ++d) {
+    extents[d] = schema().extent(static_cast<int>(d));
+  }
+  PathRunEmitter emitter(digits_, snaked_, box, runs);
+  emitter.Emit(extents);
+}
+
 void PathOrder::Walk(
     const std::function<void(uint64_t, const CellCoord&)>& fn) const {
   // Odometer over raw digits with per-digit direction state: equivalent to

@@ -40,6 +40,13 @@ class PathOrder : public Linearization {
   uint64_t RankOf(const CellCoord& coord) const override;
   void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
       const override;
+  /// Recursion over the loop digits, outermost first: a digit prefix pins a
+  /// box of cells and a range of ranks, so subtrees disjoint from `box` are
+  /// pruned and contained ones emit a single run. Snaked direction flips are
+  /// tracked by the parity of the outer raw digits. O(runs * digits).
+  void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
+      const override;
+  bool HasRunDecomposition() const override { return true; }
 
   const LatticePath& path() const { return path_; }
   bool snaked() const { return snaked_; }

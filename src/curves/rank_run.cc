@@ -1,0 +1,101 @@
+#include "curves/rank_run.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+void AppendRun(std::vector<RankRun>* runs, size_t floor, uint64_t start,
+               uint64_t len) {
+  if (len == 0) return;
+  if (runs->size() > floor) {
+    RankRun& back = runs->back();
+    SNAKES_DCHECK(back.end() <= start);
+    if (back.end() == start) {
+      back.len += len;
+      return;
+    }
+  }
+  runs->push_back({start, len});
+}
+
+void SortAndCoalesce(std::vector<RankRun>* runs, size_t floor) {
+  SNAKES_DCHECK(floor <= runs->size());
+  const auto begin = runs->begin() + static_cast<ptrdiff_t>(floor);
+  std::sort(begin, runs->end());
+  size_t out = floor;
+  for (size_t i = floor; i < runs->size(); ++i) {
+    const RankRun& run = (*runs)[i];
+    if (run.len == 0) continue;
+    if (out > floor && (*runs)[out - 1].end() == run.start) {
+      (*runs)[out - 1].len += run.len;
+    } else {
+      SNAKES_DCHECK(out == floor || (*runs)[out - 1].end() < run.start);
+      (*runs)[out] = run;
+      ++out;
+    }
+  }
+  runs->resize(out);
+}
+
+uint64_t TotalRunCells(const std::vector<RankRun>& runs) {
+  uint64_t total = 0;
+  for (const RankRun& run : runs) total += run.len;
+  return total;
+}
+
+Status ValidateRuns(const std::vector<RankRun>& runs) {
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].len == 0) {
+      return Status::Internal("empty run at index " + std::to_string(i));
+    }
+    if (i > 0 && runs[i].start <= runs[i - 1].end()) {
+      return Status::Internal(
+          runs[i].start < runs[i - 1].end()
+              ? "runs overlap or unsorted at index " + std::to_string(i)
+              : "adjacent runs not coalesced at index " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+void AppendRowMajorBoxRuns(const uint64_t* extents, const uint64_t* lo,
+                           const uint64_t* hi, int k, uint64_t base,
+                           size_t floor, std::vector<RankRun>* runs) {
+  SNAKES_DCHECK(k > 0);
+  for (int p = 0; p < k; ++p) {
+    SNAKES_DCHECK(hi[p] <= extents[p]);
+    if (hi[p] <= lo[p]) return;  // empty box
+  }
+  uint64_t stride[kMaxRankRunDims];
+  SNAKES_CHECK(k <= kMaxRankRunDims);
+  stride[k - 1] = 1;
+  for (int p = k - 2; p >= 0; --p) stride[p] = stride[p + 1] * extents[p + 1];
+  // Fully-covered fastest positions fold into one contiguous stretch per
+  // setting of the remaining (outer) positions.
+  int split = k - 1;
+  while (split > 0 && lo[split] == 0 && hi[split] == extents[split]) --split;
+  const uint64_t run_len = (hi[split] - lo[split]) * stride[split];
+  // Odometer over positions 0..split-1 within [lo, hi).
+  uint64_t coord[kMaxRankRunDims];
+  uint64_t offset = base + lo[split] * stride[split];
+  for (int p = 0; p < split; ++p) {
+    coord[p] = lo[p];
+    offset += lo[p] * stride[p];
+  }
+  for (;;) {
+    AppendRun(runs, floor, offset, run_len);
+    int p = split - 1;
+    for (; p >= 0; --p) {
+      offset += stride[p];
+      if (++coord[p] < hi[p]) break;
+      offset -= (hi[p] - lo[p]) * stride[p];
+      coord[p] = lo[p];
+    }
+    if (p < 0) break;
+  }
+}
+
+}  // namespace snakes

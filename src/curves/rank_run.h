@@ -1,0 +1,69 @@
+#ifndef SNAKES_CURVES_RANK_RUN_H_
+#define SNAKES_CURVES_RANK_RUN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace snakes {
+
+/// Dimension cap for the stack-allocated odometers below; comfortably above
+/// the schema layer's kMaxDimensions without depending on it.
+inline constexpr int kMaxRankRunDims = 16;
+
+/// A maximal interval of consecutive disk ranks [start, start + len). The
+/// rank-run decomposition of a query box under a linearization is the unique
+/// sorted, disjoint, coalesced run list covering exactly the box's ranks;
+/// its length equals the number of contiguous curve fragments the query
+/// touches (the paper's seek-count cost surrogate).
+struct RankRun {
+  uint64_t start = 0;
+  uint64_t len = 0;
+
+  uint64_t end() const { return start + len; }
+
+  friend bool operator==(const RankRun& a, const RankRun& b) {
+    return a.start == b.start && a.len == b.len;
+  }
+  friend bool operator!=(const RankRun& a, const RankRun& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const RankRun& a, const RankRun& b) {
+    return a.start != b.start ? a.start < b.start : a.len < b.len;
+  }
+};
+
+/// Appends [start, start + len) to `runs`, merging into the last run when
+/// adjacent. Only runs at index >= `floor` are merge candidates, so a caller
+/// composing several decompositions into one vector never disturbs entries
+/// that precede its own (capture floor = runs->size() on entry). Appended
+/// starts must be non-decreasing past `floor`.
+void AppendRun(std::vector<RankRun>* runs, size_t floor, uint64_t start,
+               uint64_t len);
+
+/// Sorts runs[floor..] by start and coalesces adjacent ones in place.
+/// Requires the runs past `floor` to be disjoint.
+void SortAndCoalesce(std::vector<RankRun>* runs, size_t floor);
+
+/// Total ranks covered.
+uint64_t TotalRunCells(const std::vector<RankRun>& runs);
+
+/// OK iff every run is non-empty and the list is sorted, disjoint and
+/// coalesced (consecutive runs are separated by at least one uncovered
+/// rank).
+Status ValidateRuns(const std::vector<RankRun>& runs);
+
+/// Decomposes the half-open box [lo, hi) of a k-dimensional row-major grid
+/// with per-position extents `extents` (position 0 slowest, position k-1
+/// fastest) into rank runs offset by `base`. Runs are appended in ascending
+/// order and coalesced against entries at index >= `floor`. O(runs) time:
+/// the fully-covered fastest positions fold into the per-row run length.
+void AppendRowMajorBoxRuns(const uint64_t* extents, const uint64_t* lo,
+                           const uint64_t* hi, int k, uint64_t base,
+                           size_t floor, std::vector<RankRun>* runs);
+
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_RANK_RUN_H_

@@ -58,6 +58,23 @@ uint64_t RowMajorOrder::RankOf(const CellCoord& coord) const {
   return rank;
 }
 
+void RowMajorOrder::AppendRuns(const CellBox& box,
+                               std::vector<RankRun>* runs) const {
+  const size_t k = order_.size();
+  SNAKES_DCHECK(box.lo.size() == k);
+  uint64_t extents[kMaxRankRunDims];
+  uint64_t lo[kMaxRankRunDims];
+  uint64_t hi[kMaxRankRunDims];
+  for (size_t pos = 0; pos < k; ++pos) {
+    const size_t d = static_cast<size_t>(order_[pos]);
+    extents[pos] = schema().extent(order_[pos]);
+    lo[pos] = box.lo[d];
+    hi[pos] = box.hi[d];
+  }
+  AppendRowMajorBoxRuns(extents, lo, hi, static_cast<int>(k), /*base=*/0,
+                        runs->size(), runs);
+}
+
 void RowMajorOrder::Walk(
     const std::function<void(uint64_t, const CellCoord&)>& fn) const {
   // Odometer sweep: increment the innermost axis, carry outward.

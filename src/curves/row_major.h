@@ -25,6 +25,11 @@ class RowMajorOrder : public Linearization {
   uint64_t RankOf(const CellCoord& coord) const override;
   void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
       const override;
+  /// Closed form: the box permuted into position space is itself a box of a
+  /// plain row-major grid. O(runs).
+  void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
+      const override;
+  bool HasRunDecomposition() const override { return true; }
 
   const std::vector<int>& outer_to_inner() const { return order_; }
 

@@ -1,10 +1,36 @@
 #include "curves/z_curve.h"
 
+#include "curves/aligned_runs.h"
 #include "util/logging.h"
 #include "util/math.h"
 
 namespace snakes {
 namespace curve_internal {
+
+namespace {
+
+/// Per-bit aligned geometry shared by ZCurve and GrayCurve: depth j fixes
+/// the j most significant interleaved bits, freeing positions
+/// [0, total - j); dimension d's width is 2^(free bits owned by d).
+AlignedLevels BitLevels(const std::vector<int>& bit_owner, int num_dims) {
+  const size_t total = bit_owner.size();
+  AlignedLevels levels;
+  levels.subtree_cells.resize(total + 1);
+  levels.width.resize(total + 1);
+  CellCoord width;
+  width.resize(static_cast<size_t>(num_dims));
+  for (size_t d = 0; d < width.size(); ++d) width[d] = 1;
+  levels.subtree_cells[total] = 1;
+  levels.width[total] = width;
+  for (size_t j = total; j-- > 0;) {
+    width[static_cast<size_t>(bit_owner[total - 1 - j])] <<= 1;
+    levels.subtree_cells[j] = uint64_t{1} << (total - j);
+    levels.width[j] = width;
+  }
+  return levels;
+}
+
+}  // namespace
 
 Result<std::vector<int>> AllocateBits(const StarSchema& schema) {
   const int k = schema.num_dims();
@@ -80,6 +106,12 @@ uint64_t ZCurve::RankOf(const CellCoord& coord) const {
   return curve_internal::Interleave(bit_owner_, coord);
 }
 
+void ZCurve::AppendRuns(const CellBox& box, std::vector<RankRun>* runs) const {
+  curve_internal::AppendAlignedRuns(
+      *this, curve_internal::BitLevels(bit_owner_, schema().num_dims()), box,
+      runs);
+}
+
 Result<std::unique_ptr<GrayCurve>> GrayCurve::Make(
     std::shared_ptr<const StarSchema> schema) {
   SNAKES_ASSIGN_OR_RETURN(std::vector<int> owner,
@@ -99,6 +131,16 @@ uint64_t GrayCurve::RankOf(const CellCoord& coord) const {
   uint64_t rank = gray;
   while (gray >>= 1) rank ^= gray;
   return rank;
+}
+
+void GrayCurve::AppendRuns(const CellBox& box,
+                           std::vector<RankRun>* runs) const {
+  // Gray bit j is rank bit j xor rank bit j+1, so a fixed high-bit rank
+  // prefix fixes the same high Gray bits: the per-bit geometry is identical
+  // to the Z-curve's even though the order within each subtree differs.
+  curve_internal::AppendAlignedRuns(
+      *this, curve_internal::BitLevels(bit_owner_, schema().num_dims()), box,
+      runs);
 }
 
 }  // namespace snakes

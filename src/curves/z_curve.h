@@ -25,6 +25,12 @@ class ZCurve : public Linearization {
   std::string name() const override { return "z-curve"; }
   CellCoord CellAt(uint64_t rank) const override;
   uint64_t RankOf(const CellCoord& coord) const override;
+  /// Box-pruned per-bit subdivision (BIGMIN-style): a fixed high-bit prefix
+  /// of the rank pins an aligned box, so subtrees outside the query are
+  /// skipped and contained ones emit whole runs.
+  void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
+      const override;
+  bool HasRunDecomposition() const override { return true; }
 
  private:
   ZCurve(std::shared_ptr<const StarSchema> schema,
@@ -47,6 +53,11 @@ class GrayCurve : public Linearization {
   std::string name() const override { return "gray-curve"; }
   CellCoord CellAt(uint64_t rank) const override;
   uint64_t RankOf(const CellCoord& coord) const override;
+  /// Same per-bit subdivision as ZCurve: the top j Gray bits depend only on
+  /// the top j rank bits, so fixed rank prefixes pin aligned boxes here too.
+  void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
+      const override;
+  bool HasRunDecomposition() const override { return true; }
 
  private:
   GrayCurve(std::shared_ptr<const StarSchema> schema,

@@ -8,6 +8,7 @@
 #include "hierarchy/star_schema.h"
 #include "lattice/query_class.h"
 #include "util/fixed_vector.h"
+#include "util/math.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -19,10 +20,11 @@ struct CellBox {
   FixedVector<uint64_t, kMaxDimensions> lo;  // inclusive
   FixedVector<uint64_t, kMaxDimensions> hi;  // exclusive
 
-  /// Number of cells in the box.
+  /// Number of cells in the box. Checked: a product overflowing uint64
+  /// aborts instead of wrapping.
   uint64_t NumCells() const {
     uint64_t n = 1;
-    for (size_t d = 0; d < lo.size(); ++d) n *= hi[d] - lo[d];
+    for (size_t d = 0; d < lo.size(); ++d) n = CheckedMul(n, hi[d] - lo[d]);
     return n;
   }
 

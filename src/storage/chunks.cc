@@ -1,5 +1,6 @@
 #include "storage/chunks.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/logging.h"
@@ -106,6 +107,57 @@ uint64_t ChunkedOrder::RankOf(const CellCoord& coord) const {
     within = within * extent + coord[static_cast<size_t>(d)] % extent;
   }
   return chunk_order_->RankOf(chunk) * chunk_volume_ + within;
+}
+
+void ChunkedOrder::AppendRuns(const CellBox& box,
+                              std::vector<RankRun>* runs) const {
+  const int k = schema().num_dims();
+  for (int d = 0; d < k; ++d) {
+    if (box.hi[static_cast<size_t>(d)] <= box.lo[static_cast<size_t>(d)]) {
+      return;
+    }
+  }
+  // Chunks intersecting the box form a box of the chunk grid.
+  CellBox chunk_box;
+  chunk_box.lo.resize(static_cast<size_t>(k));
+  chunk_box.hi.resize(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    const uint64_t extent = chunk_extent_[static_cast<size_t>(d)];
+    chunk_box.lo[static_cast<size_t>(d)] =
+        box.lo[static_cast<size_t>(d)] / extent;
+    chunk_box.hi[static_cast<size_t>(d)] =
+        CeilDiv(box.hi[static_cast<size_t>(d)], extent);
+  }
+  std::vector<RankRun> chunk_runs;
+  chunk_order_->AppendRuns(chunk_box, &chunk_runs);
+
+  const size_t floor = runs->size();
+  uint64_t extents[kMaxRankRunDims];
+  uint64_t lo[kMaxRankRunDims];
+  uint64_t hi[kMaxRankRunDims];
+  for (int d = 0; d < k; ++d) {
+    extents[d] = chunk_extent_[static_cast<size_t>(d)];
+  }
+  for (const RankRun& chunk_run : chunk_runs) {
+    for (uint64_t cr = chunk_run.start; cr < chunk_run.end(); ++cr) {
+      const CellCoord chunk = chunk_order_->CellAt(cr);
+      const uint64_t base = cr * chunk_volume_;
+      bool full = true;
+      for (int d = 0; d < k; ++d) {
+        const uint64_t extent = chunk_extent_[static_cast<size_t>(d)];
+        const uint64_t cell_lo = chunk[static_cast<size_t>(d)] * extent;
+        lo[d] = std::max(box.lo[static_cast<size_t>(d)], cell_lo) - cell_lo;
+        hi[d] = std::min(box.hi[static_cast<size_t>(d)], cell_lo + extent) -
+                cell_lo;
+        full = full && lo[d] == 0 && hi[d] == extent;
+      }
+      if (full) {
+        AppendRun(runs, floor, base, chunk_volume_);
+      } else {
+        AppendRowMajorBoxRuns(extents, lo, hi, k, base, floor, runs);
+      }
+    }
+  }
 }
 
 void ChunkedOrder::Walk(

@@ -40,6 +40,16 @@ class ChunkedOrder : public Linearization {
   uint64_t RankOf(const CellCoord& coord) const override;
   void Walk(const std::function<void(uint64_t, const CellCoord&)>& fn)
       const override;
+  /// Composition: the box's chunk cover decomposes under the chunk order,
+  /// then each covered chunk contributes its whole rank block (fully inside
+  /// the box) or the row-major runs of the clipped intra-chunk box.
+  void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
+      const override;
+  /// Cheap whenever the chunk order decomposes; intra-chunk boxes always do
+  /// (row-major closed form).
+  bool HasRunDecomposition() const override {
+    return chunk_order_->HasRunDecomposition();
+  }
 
   const QueryClass& chunk_class() const { return chunk_class_; }
 

@@ -22,7 +22,7 @@ struct RunState {
   uint64_t records = 0;
   uint64_t run_start_pages = 0;  // `pages` when the current run began
 
-  void Add(uint64_t first, uint64_t last, uint32_t recs,
+  void Add(uint64_t first, uint64_t last, uint64_t recs,
            Histogram* run_hist = nullptr) {
     records += recs;
     const int64_t f = static_cast<int64_t>(first);
@@ -56,11 +56,41 @@ IoSimulator::IoSimulator(const PackedLayout& layout, const ObsSink& obs)
     pages_read_ = obs.metrics->GetCounter("storage.pages_read");
     seeks_ = obs.metrics->GetCounter("storage.seeks");
     cells_scanned_ = obs.metrics->GetCounter("storage.cells_scanned");
+    runs_emitted_ = obs.metrics->GetCounter("curves.runs_emitted");
     run_length_ = obs.metrics->GetHistogram("storage.run_length_pages");
+    cells_per_run_ = obs.metrics->GetHistogram("curves.cells_per_run");
   }
 }
 
 QueryIo IoSimulator::Measure(const GridQuery& query) const {
+  const Linearization& lin = layout_.linearization();
+  const CellBox box = BoxOf(lin.schema(), query);
+  std::vector<RankRun> runs;
+  lin.AppendRuns(box, &runs);
+
+  RunState run;
+  for (const RankRun& r : runs) {
+    const PackedLayout::RangeIo range = layout_.MeasureRange(r.start, r.len);
+    if (range.records == 0) continue;
+    run.Add(range.first_page, range.last_page, range.records, run_length_);
+  }
+  QueryIo io;
+  io.records = run.records;
+  io.pages = run.pages;
+  io.seeks = run.seeks;
+  io.min_pages = CeilDiv(run.records * layout_.config().record_size_bytes,
+                         layout_.config().page_size_bytes);
+  if (run_length_ != nullptr) run.CloseRun(run_length_);
+  if (pages_read_ != nullptr) {
+    pages_read_->Inc(io.pages);
+    seeks_->Inc(io.seeks);
+    runs_emitted_->Inc(runs.size());
+    for (const RankRun& r : runs) cells_per_run_->Record(r.len);
+  }
+  return io;
+}
+
+QueryIo IoSimulator::MeasureCellWalk(const GridQuery& query) const {
   const Linearization& lin = layout_.linearization();
   const StarSchema& schema = lin.schema();
   const CellBox box = BoxOf(schema, query);
@@ -105,6 +135,59 @@ QueryIo IoSimulator::Measure(const GridQuery& query) const {
 }
 
 ClassIoStats IoSimulator::MeasureClass(const QueryClass& cls) const {
+  const Linearization& lin = layout_.linearization();
+  // Intervals pay off when each query covers many cells; at the fine end
+  // (as many queries as cells) the single cell-walk pass is cheaper than
+  // one decomposition per query.
+  if (lin.HasRunDecomposition() &&
+      NumQueriesInClass(lin.schema(), cls) < lin.num_cells()) {
+    return MeasureClassRuns(cls);
+  }
+  return MeasureClassCellWalk(cls);
+}
+
+ClassIoStats IoSimulator::MeasureClassRuns(const QueryClass& cls) const {
+  const Linearization& lin = layout_.linearization();
+  const StarSchema& schema = lin.schema();
+  const uint64_t num_queries = NumQueriesInClass(schema, cls);
+
+  ClassIoStats stats;
+  stats.num_queries = num_queries;
+  const uint64_t record_size = layout_.config().record_size_bytes;
+  const uint64_t page_size = layout_.config().page_size_bytes;
+  uint64_t total_runs = 0;
+  std::vector<RankRun> runs;
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    runs.clear();
+    lin.AppendRuns(BoxOf(schema, QueryAt(schema, cls, i)), &runs);
+    RunState run;
+    for (const RankRun& r : runs) {
+      const PackedLayout::RangeIo range = layout_.MeasureRange(r.start, r.len);
+      if (range.records == 0) continue;
+      run.Add(range.first_page, range.last_page, range.records, run_length_);
+    }
+    total_runs += runs.size();
+    if (cells_per_run_ != nullptr) {
+      for (const RankRun& r : runs) cells_per_run_->Record(r.len);
+    }
+    if (run.records == 0) continue;
+    ++stats.num_nonempty;
+    stats.total_pages += run.pages;
+    stats.total_seeks += run.seeks;
+    if (run_length_ != nullptr) run.CloseRun(run_length_);
+    const uint64_t min_pages = CeilDiv(run.records * record_size, page_size);
+    stats.total_normalized +=
+        static_cast<double>(run.pages) / static_cast<double>(min_pages);
+  }
+  if (pages_read_ != nullptr) {
+    pages_read_->Inc(stats.total_pages);
+    seeks_->Inc(stats.total_seeks);
+    runs_emitted_->Inc(total_runs);
+  }
+  return stats;
+}
+
+ClassIoStats IoSimulator::MeasureClassCellWalk(const QueryClass& cls) const {
   const Linearization& lin = layout_.linearization();
   const StarSchema& schema = lin.schema();
   const int k = schema.num_dims();

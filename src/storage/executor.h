@@ -9,6 +9,7 @@
 #include "lattice/workload.h"
 #include "obs/obs.h"
 #include "storage/pager.h"
+#include "util/logging.h"
 #include "util/result.h"
 
 namespace snakes {
@@ -24,8 +25,11 @@ struct QueryIo {
   uint64_t min_pages = 0;  // ceil(records * record_size / page_size)
 
   /// Pages read over the perfectly-clustered minimum (Section 6.1's
-  /// normalized blocks). Defined only for non-empty queries.
+  /// normalized blocks). Defined only for non-empty queries; asking for it
+  /// on an empty one aborts instead of silently returning inf/NaN.
   double NormalizedBlocks() const {
+    SNAKES_CHECK(min_pages > 0)
+        << "NormalizedBlocks is undefined for empty queries";
     return static_cast<double>(pages) / static_cast<double>(min_pages);
   }
 };
@@ -74,22 +78,42 @@ struct WorkloadIoStats {
 /// Measures grid-query I/O against a PackedLayout, exactly (aggregating over
 /// every query of a class in one linear pass) or per query.
 ///
+/// Queries are evaluated interval-first: the linearization decomposes the
+/// query box into rank runs (Linearization::AppendRuns) and each run's page
+/// footprint comes from PackedLayout::MeasureRange in O(1), so a query costs
+/// O(runs) instead of O(cells in box). The seed's cell-walk evaluators are
+/// kept as MeasureCellWalk / MeasureClassCellWalk — they are the reference
+/// the run path is property-tested against, and remain the better choice
+/// when queries are cell-sized (MeasureClass falls back automatically).
+///
 /// With an ObsSink the simulator mirrors its measurements into the registry
-/// — storage.pages_read / storage.seeks / storage.cells_scanned counters
-/// and a storage.run_length_pages histogram of sequential-run lengths — and
+/// — storage.pages_read / storage.seeks counters on every path,
+/// storage.cells_scanned on the cell-walk paths, curves.runs_emitted and a
+/// curves.cells_per_run histogram on the run paths, plus a
+/// storage.run_length_pages histogram of sequential-run lengths — and
 /// wraps MeasureAllClasses in a "storage/measure_all" span. Metric pointers
 /// are resolved once here, so the per-measurement cost is a null test.
 class IoSimulator {
  public:
   explicit IoSimulator(const PackedLayout& layout, const ObsSink& obs = {});
 
-  /// I/O of one query: walks the query's cells in rank order.
+  /// I/O of one query from its rank-run decomposition, O(runs).
   QueryIo Measure(const GridQuery& query) const;
+
+  /// I/O of one query by walking the query's cells in rank order. Reference
+  /// implementation; identical results to Measure on every layout.
+  QueryIo MeasureCellWalk(const GridQuery& query) const;
+
+  /// Exact per-class aggregates. Uses the run decomposition query-by-query
+  /// when the layout's strategy decomposes cheaply and the class is coarse
+  /// enough for intervals to win (fewer queries than cells); otherwise the
+  /// cell-walk pass. Both paths produce identical stats.
+  ClassIoStats MeasureClass(const QueryClass& cls) const;
 
   /// Exact per-class aggregates in one pass over the layout: every cell is
   /// attributed to its enclosing class-`cls` query and per-query page runs
   /// are tracked incrementally. O(cells) time, O(queries-in-class) space.
-  ClassIoStats MeasureClass(const QueryClass& cls) const;
+  ClassIoStats MeasureClassCellWalk(const QueryClass& cls) const;
 
   /// MeasureClass for every lattice point, indexed by lattice index.
   std::vector<ClassIoStats> MeasureAllClasses() const;
@@ -100,12 +124,17 @@ class IoSimulator {
                                 const std::vector<ClassIoStats>& per_class);
 
  private:
+  /// Run-based per-class pass; requires run-decomposition to be worthwhile.
+  ClassIoStats MeasureClassRuns(const QueryClass& cls) const;
+
   const PackedLayout& layout_;
   Tracer* tracer_ = nullptr;
   Counter* pages_read_ = nullptr;
   Counter* seeks_ = nullptr;
   Counter* cells_scanned_ = nullptr;
+  Counter* runs_emitted_ = nullptr;
   Histogram* run_length_ = nullptr;
+  Histogram* cells_per_run_ = nullptr;
 };
 
 }  // namespace snakes

@@ -62,12 +62,43 @@ Result<PackedLayout> PackedLayout::Pack(
     layout.last_page_[rank] = page;
   });
   layout.num_pages_ = page + (used > 0 ? 1 : 0);
+  layout.cum_records_.resize(n + 1);
+  layout.next_first_page_.resize(n);
+  layout.prev_last_page_.resize(n);
+  layout.cum_records_[0] = 0;
+  uint64_t last_page_so_far = 0;
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    layout.cum_records_[rank + 1] =
+        layout.cum_records_[rank] + layout.records_[rank];
+    if (!layout.CellEmpty(rank)) last_page_so_far = layout.last_page_[rank];
+    layout.prev_last_page_[rank] = last_page_so_far;
+  }
+  uint64_t first_page_so_far = 0;
+  for (uint64_t rank = n; rank-- > 0;) {
+    if (!layout.CellEmpty(rank)) first_page_so_far = layout.first_page_[rank];
+    layout.next_first_page_[rank] = first_page_so_far;
+  }
   if (obs.metrics != nullptr) {
     obs.metrics->GetCounter("storage.pages_packed")->Inc(layout.num_pages_);
     obs.metrics->GetCounter("storage.records_packed")
         ->Inc(layout.facts_->total_records());
   }
   return layout;
+}
+
+PackedLayout::RangeIo PackedLayout::MeasureRange(uint64_t start,
+                                                 uint64_t len) const {
+  SNAKES_DCHECK(start + len <= records_.size());
+  RangeIo io;
+  if (len == 0) return io;
+  io.records = cum_records_[start + len] - cum_records_[start];
+  if (io.records == 0) return io;
+  // Non-empty range: the first non-empty cell at rank >= start and the last
+  // one at rank <= start + len - 1 both lie inside the range, and packing
+  // makes every page in between hold records of in-range cells.
+  io.first_page = next_first_page_[start];
+  io.last_page = prev_last_page_[start + len - 1];
+  return io;
 }
 
 }  // namespace snakes

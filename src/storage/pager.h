@@ -59,6 +59,20 @@ class PackedLayout {
   /// Record count of the cell at `rank` (cached from the fact table).
   uint32_t CellRecords(uint64_t rank) const { return records_[rank]; }
 
+  /// Aggregate I/O footprint of a rank run. Because records pack in rank
+  /// order, the pages of any consecutive-rank range form one contiguous
+  /// interval with no internal gaps; empty ranges use the same inverted
+  /// convention as CellEmpty (first > last).
+  struct RangeIo {
+    uint64_t records = 0;
+    uint64_t first_page = 1;
+    uint64_t last_page = 0;
+  };
+
+  /// Footprint of ranks [start, start + len) in O(1), from prefix sums
+  /// built at pack time.
+  RangeIo MeasureRange(uint64_t start, uint64_t len) const;
+
  private:
   PackedLayout(std::shared_ptr<const Linearization> lin,
                std::shared_ptr<const FactTable> facts, StorageConfig config)
@@ -72,6 +86,14 @@ class PackedLayout {
   std::vector<uint64_t> first_page_;
   std::vector<uint64_t> last_page_;
   std::vector<uint32_t> records_;
+  // Rank-range accelerators for MeasureRange. cum_records_[r] = records in
+  // ranks [0, r) (n + 1 entries); next_first_page_[r] = first page of the
+  // first non-empty cell at rank >= r; prev_last_page_[r] = last page of
+  // the last non-empty cell at rank <= r. The page sentinels are only read
+  // when the queried range holds >= 1 record.
+  std::vector<uint64_t> cum_records_;
+  std::vector<uint64_t> next_first_page_;
+  std::vector<uint64_t> prev_last_page_;
 };
 
 }  // namespace snakes

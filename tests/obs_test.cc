@@ -287,6 +287,8 @@ TEST_F(InstrumentedAdviseTest, PopulatesMetricsAndTrace) {
   EXPECT_GT(snap.counter("storage.pages_packed"), 0u);
   EXPECT_GT(snap.counter("storage.pages_read"), 0u);
   EXPECT_GT(snap.counter("storage.seeks"), 0u);
+  EXPECT_GT(snap.counter("curves.runs_emitted"), 0u);
+  EXPECT_GT(snap.histogram("curves.cells_per_run").count, 0u);
   EXPECT_GT(snap.histogram("storage.run_length_pages").count, 0u);
   EXPECT_EQ(snap.histogram("advisor.queue_wait_ns").count,
             rec.value().ranked.size());

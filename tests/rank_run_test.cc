@@ -1,0 +1,379 @@
+// Rank-run decomposition properties: for random schemas and boxes, every
+// strategy's AppendRuns must emit the unique sorted/disjoint/coalesced run
+// list covering exactly the box's ranks (cross-checked against the per-cell
+// reference), and the interval-based IoSimulator / cost paths must reproduce
+// the seed's cell-walk results number for number. Seeds are fixed, so
+// failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cost/workload_cost.h"
+#include "curves/hilbert.h"
+#include "curves/linearization.h"
+#include "curves/path_order.h"
+#include "curves/rank_run.h"
+#include "curves/row_major.h"
+#include "curves/z_curve.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "storage/chunks.h"
+#include "storage/executor.h"
+#include "storage/fact_table.h"
+#include "storage/pager.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit tests of the run primitives.
+
+TEST(RankRunTest, AppendRunCoalescesAdjacent) {
+  std::vector<RankRun> runs;
+  AppendRun(&runs, 0, 3, 2);
+  AppendRun(&runs, 0, 5, 4);  // adjacent: merges
+  AppendRun(&runs, 0, 12, 1);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (RankRun{3, 6}));
+  EXPECT_EQ(runs[1], (RankRun{12, 1}));
+  EXPECT_TRUE(ValidateRuns(runs).ok());
+  EXPECT_EQ(TotalRunCells(runs), 7u);
+}
+
+TEST(RankRunTest, AppendRunRespectsFloor) {
+  std::vector<RankRun> runs{{0, 5}};
+  // floor == 1: the pre-existing run must not be merged into even though
+  // rank 5 is adjacent to it.
+  AppendRun(&runs, 1, 5, 3);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[1], (RankRun{5, 3}));
+}
+
+TEST(RankRunTest, AppendRunDropsEmpty) {
+  std::vector<RankRun> runs;
+  AppendRun(&runs, 0, 7, 0);
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(RankRunTest, SortAndCoalesce) {
+  std::vector<RankRun> runs{{9, 1}, {0, 3}, {3, 2}, {7, 2}};
+  SortAndCoalesce(&runs, 0);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (RankRun{0, 5}));
+  EXPECT_EQ(runs[1], (RankRun{7, 3}));
+  EXPECT_TRUE(ValidateRuns(runs).ok());
+}
+
+TEST(RankRunTest, ValidateRejectsBadLists) {
+  EXPECT_FALSE(ValidateRuns({{0, 0}}).ok());          // empty run
+  EXPECT_FALSE(ValidateRuns({{0, 2}, {1, 2}}).ok());  // overlap
+  EXPECT_FALSE(ValidateRuns({{0, 2}, {2, 1}}).ok());  // not coalesced
+  EXPECT_FALSE(ValidateRuns({{5, 1}, {0, 1}}).ok());  // unsorted
+  EXPECT_TRUE(ValidateRuns({{0, 2}, {3, 4}}).ok());
+}
+
+TEST(RankRunTest, RowMajorBoxRuns) {
+  // 4x6 grid, box rows [1,3) x cols [2,5): two 3-cell runs.
+  const uint64_t extents[] = {4, 6};
+  const uint64_t lo[] = {1, 2};
+  const uint64_t hi[] = {3, 5};
+  std::vector<RankRun> runs;
+  AppendRowMajorBoxRuns(extents, lo, hi, 2, /*base=*/0, 0, &runs);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (RankRun{8, 3}));
+  EXPECT_EQ(runs[1], (RankRun{14, 3}));
+  // Full-width rows fold into a single run.
+  const uint64_t full_lo[] = {1, 0};
+  const uint64_t full_hi[] = {3, 6};
+  runs.clear();
+  AppendRowMajorBoxRuns(extents, full_lo, full_hi, 2, /*base=*/0, 0, &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (RankRun{6, 12}));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-checks.
+
+std::shared_ptr<const StarSchema> RandomSchema(Rng* rng, uint64_t max_cells,
+                                               bool pow2 = false) {
+  const char* kNames[] = {"x", "y", "z"};
+  for (;;) {
+    const int k = 2 + static_cast<int>(rng->Below(2));
+    std::vector<Hierarchy> dims;
+    uint64_t cells = 1;
+    for (int d = 0; d < k; ++d) {
+      std::vector<uint64_t> fanouts;
+      const int levels = 1 + static_cast<int>(rng->Below(2));
+      for (int l = 0; l < levels; ++l) {
+        fanouts.push_back(pow2 ? (uint64_t{1} << (1 + rng->Below(2)))
+                               : 2 + rng->Below(4));
+      }
+      auto h = Hierarchy::Uniform(kNames[d], fanouts).value();
+      cells *= h.num_leaves();
+      dims.push_back(std::move(h));
+    }
+    if (cells > max_cells) continue;
+    return std::make_shared<StarSchema>(
+        StarSchema::Make("random", std::move(dims)).value());
+  }
+}
+
+LatticePath RandomPath(const QueryClassLattice& lat, Rng* rng) {
+  std::vector<int> steps;
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    for (int l = 0; l < lat.levels(d); ++l) steps.push_back(d);
+  }
+  for (size_t i = steps.size(); i > 1; --i) {
+    std::swap(steps[i - 1], steps[rng->Below(i)]);
+  }
+  return LatticePath::FromSteps(lat, steps).value();
+}
+
+CellBox RandomBox(const StarSchema& schema, Rng* rng) {
+  CellBox box;
+  box.lo.resize(static_cast<size_t>(schema.num_dims()));
+  box.hi.resize(static_cast<size_t>(schema.num_dims()));
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const uint64_t extent = schema.extent(d);
+    const uint64_t a = rng->Below(extent + 1);
+    const uint64_t b = rng->Below(extent + 1);
+    box.lo[static_cast<size_t>(d)] = std::min(a, b);
+    box.hi[static_cast<size_t>(d)] = std::max(a, b);
+  }
+  return box;
+}
+
+/// AppendRuns output must equal the per-cell reference exactly, pass
+/// ValidateRuns, cover box.NumCells() ranks, and leave preceding entries of
+/// the output vector untouched.
+void CheckDecomposition(const Linearization& lin, const CellBox& box) {
+  std::vector<RankRun> expected{{uint64_t{1} << 60, 1}};  // sentinel
+  lin.AppendRunsByRankScan(box, &expected);
+  std::vector<RankRun> actual{{uint64_t{1} << 60, 1}};
+  lin.AppendRuns(box, &actual);
+  ASSERT_FALSE(actual.empty());
+  EXPECT_EQ(actual.front(), (RankRun{uint64_t{1} << 60, 1}))
+      << lin.name() << ": AppendRuns disturbed existing entries";
+  expected.erase(expected.begin());
+  actual.erase(actual.begin());
+  EXPECT_EQ(actual, expected) << lin.name();
+  EXPECT_TRUE(ValidateRuns(actual).ok()) << lin.name();
+  uint64_t cells = 1;
+  bool empty = false;
+  for (size_t d = 0; d < box.lo.size(); ++d) {
+    cells *= box.hi[d] - box.lo[d];
+    empty = empty || box.hi[d] <= box.lo[d];
+  }
+  EXPECT_EQ(TotalRunCells(actual), empty ? 0 : cells) << lin.name();
+}
+
+/// Random boxes (clipped and degenerate) plus every query box of every
+/// lattice class.
+void CheckStrategy(const Linearization& lin, Rng* rng) {
+  const StarSchema& schema = lin.schema();
+  for (int i = 0; i < 12; ++i) {
+    CheckDecomposition(lin, RandomBox(schema, rng));
+  }
+  const QueryClassLattice lat(schema);
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    const uint64_t num_queries = NumQueriesInClass(schema, cls);
+    for (uint64_t q = 0; q < num_queries; ++q) {
+      CheckDecomposition(lin, BoxOf(schema, QueryAt(schema, cls, q)));
+    }
+  }
+}
+
+class RankRunRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankRunRandomizedTest, PathOrders) {
+  Rng rng(GetParam() * 101);
+  auto schema = RandomSchema(&rng, 1024);
+  const QueryClassLattice lat(*schema);
+  const LatticePath path = RandomPath(lat, &rng);
+  auto plain = PathOrder::Make(schema, path, false).value();
+  auto snaked = PathOrder::Make(schema, path, true).value();
+  EXPECT_TRUE(plain->HasRunDecomposition());
+  EXPECT_TRUE(snaked->HasRunDecomposition());
+  CheckStrategy(*plain, &rng);
+  CheckStrategy(*snaked, &rng);
+}
+
+TEST_P(RankRunRandomizedTest, RowMajorAndMaterialized) {
+  Rng rng(GetParam() * 211);
+  auto schema = RandomSchema(&rng, 1024);
+  std::vector<int> perm(static_cast<size_t>(schema->num_dims()));
+  for (size_t d = 0; d < perm.size(); ++d) perm[d] = static_cast<int>(d);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Below(i)]);
+  }
+  auto row_major = RowMajorOrder::Make(schema, perm).value();
+  EXPECT_TRUE(row_major->HasRunDecomposition());
+  CheckStrategy(*row_major, &rng);
+
+  // Materialized copy of a snaked path: correct via the inverse_ scan.
+  const QueryClassLattice lat(*schema);
+  auto snaked =
+      PathOrder::Make(schema, RandomPath(lat, &rng), true).value();
+  auto materialized = MaterializedLinearization::From(*snaked);
+  EXPECT_FALSE(materialized->HasRunDecomposition());
+  CheckStrategy(*materialized, &rng);
+}
+
+TEST_P(RankRunRandomizedTest, BitInterleavedCurves) {
+  Rng rng(GetParam() * 307);
+  auto schema = RandomSchema(&rng, 1024, /*pow2=*/true);
+  auto z = ZCurve::Make(schema).value();
+  auto gray = GrayCurve::Make(schema).value();
+  EXPECT_TRUE(z->HasRunDecomposition());
+  EXPECT_TRUE(gray->HasRunDecomposition());
+  CheckStrategy(*z, &rng);
+  CheckStrategy(*gray, &rng);
+}
+
+TEST_P(RankRunRandomizedTest, HilbertCurve) {
+  Rng rng(GetParam() * 401);
+  // Hilbert needs equal power-of-two extents; split the bits over 1-2
+  // levels so class boxes are non-trivial.
+  const int k = 2 + static_cast<int>(rng.Below(2));
+  const int bits = 2 + static_cast<int>(rng.Below(k == 2 ? 2 : 1));
+  const char* kNames[] = {"x", "y", "z"};
+  std::vector<Hierarchy> dims;
+  for (int d = 0; d < k; ++d) {
+    std::vector<uint64_t> fanouts;
+    if (bits > 1 && rng.Chance(0.5)) {
+      fanouts = {uint64_t{1} << (bits - 1), 2};
+    } else {
+      fanouts = {uint64_t{1} << bits};
+    }
+    dims.push_back(Hierarchy::Uniform(kNames[d], fanouts).value());
+  }
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("hilbert-grid", std::move(dims)).value());
+  auto hilbert = HilbertCurve::Make(schema, rng.Chance(0.5)).value();
+  EXPECT_TRUE(hilbert->HasRunDecomposition());
+  CheckStrategy(*hilbert, &rng);
+}
+
+TEST_P(RankRunRandomizedTest, ChunkedOrders) {
+  Rng rng(GetParam() * 503);
+  auto schema = RandomSchema(&rng, 1024);
+  // Random chunk class (strictly below the top in every dimension so the
+  // chunk grid keeps at least one level); chunk order is a snaked path or
+  // row-major over the chunk grid.
+  const QueryClassLattice lat(*schema);
+  QueryClass chunk_class = lat.Bottom();
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    chunk_class.set_level(
+        d, static_cast<int>(rng.Below(static_cast<uint64_t>(lat.levels(d)))));
+  }
+  auto chunk_grid = ChunkGridSchema(*schema, chunk_class).value();
+  std::shared_ptr<const Linearization> chunk_order;
+  if (rng.Chance(0.5)) {
+    const QueryClassLattice chunk_lat(*chunk_grid);
+    chunk_order = std::shared_ptr<const Linearization>(
+        MakePathOrder(chunk_grid, RandomPath(chunk_lat, &rng), true)
+            .value());
+  } else {
+    std::vector<int> perm(static_cast<size_t>(chunk_grid->num_dims()));
+    for (size_t d = 0; d < perm.size(); ++d) perm[d] = static_cast<int>(d);
+    for (size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.Below(i)]);
+    }
+    chunk_order = std::shared_ptr<const Linearization>(
+        RowMajorOrder::Make(chunk_grid, perm).value());
+  }
+  auto chunked = ChunkedOrder::Make(schema, chunk_class, chunk_order).value();
+  EXPECT_TRUE(chunked->HasRunDecomposition());
+  CheckStrategy(*chunked, &rng);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator and cost-model cross-checks: run-based evaluation must equal the
+// seed's cell walk on every number it produces.
+
+std::vector<std::shared_ptr<const Linearization>> RandomStrategies(
+    std::shared_ptr<const StarSchema> schema, Rng* rng) {
+  const QueryClassLattice lat(*schema);
+  std::vector<std::shared_ptr<const Linearization>> strategies;
+  const LatticePath path = RandomPath(lat, rng);
+  strategies.push_back(PathOrder::Make(schema, path, false).value());
+  strategies.push_back(PathOrder::Make(schema, path, true).value());
+  std::vector<int> perm(static_cast<size_t>(schema->num_dims()));
+  for (size_t d = 0; d < perm.size(); ++d) perm[d] = static_cast<int>(d);
+  strategies.push_back(RowMajorOrder::Make(schema, perm).value());
+  strategies.push_back(
+      MaterializedLinearization::From(*strategies.back()));
+  return strategies;
+}
+
+TEST_P(RankRunRandomizedTest, SimulatorMatchesCellWalk) {
+  Rng rng(GetParam() * 607);
+  auto schema = RandomSchema(&rng, 512);
+  auto facts = std::make_shared<FactTable>(schema);
+  const uint64_t records = 1 + rng.Below(6 * schema->num_cells());
+  for (uint64_t r = 0; r < records; ++r) {
+    facts->AddRecord(schema->Unflatten(rng.Below(schema->num_cells())), 1.0);
+  }
+  const StorageConfig config{64 + rng.Below(512), 16};
+  const QueryClassLattice lat(*schema);
+
+  for (auto& lin : RandomStrategies(schema, &rng)) {
+    const auto layout = PackedLayout::Pack(lin, facts, config).value();
+    const IoSimulator sim(layout);
+    for (uint64_t i = 0; i < lat.size(); ++i) {
+      const QueryClass cls = lat.ClassAt(i);
+      // Query-by-query: run-based Measure equals the cell walk exactly.
+      const uint64_t num_queries = NumQueriesInClass(*schema, cls);
+      for (uint64_t q = 0; q < num_queries; ++q) {
+        const GridQuery query = QueryAt(*schema, cls, q);
+        const QueryIo runs_io = sim.Measure(query);
+        const QueryIo walk_io = sim.MeasureCellWalk(query);
+        EXPECT_EQ(runs_io.records, walk_io.records) << query.ToString();
+        EXPECT_EQ(runs_io.pages, walk_io.pages) << query.ToString();
+        EXPECT_EQ(runs_io.seeks, walk_io.seeks) << query.ToString();
+        EXPECT_EQ(runs_io.min_pages, walk_io.min_pages) << query.ToString();
+      }
+      // Class aggregates: both paths produce identical stats, including the
+      // bit-identical normalized-blocks sum (same summation order).
+      const ClassIoStats runs_stats = sim.MeasureClass(cls);
+      const ClassIoStats walk_stats = sim.MeasureClassCellWalk(cls);
+      EXPECT_EQ(runs_stats.num_queries, walk_stats.num_queries);
+      EXPECT_EQ(runs_stats.num_nonempty, walk_stats.num_nonempty);
+      EXPECT_EQ(runs_stats.total_pages, walk_stats.total_pages);
+      EXPECT_EQ(runs_stats.total_seeks, walk_stats.total_seeks);
+      EXPECT_EQ(runs_stats.total_normalized, walk_stats.total_normalized);
+    }
+  }
+}
+
+TEST_P(RankRunRandomizedTest, ExpectedCostMatchesEdgeWalk) {
+  Rng rng(GetParam() * 701);
+  auto schema = RandomSchema(&rng, 1024);
+  const QueryClassLattice lat(*schema);
+  const Workload mu = Workload::Random(lat, &rng);
+  for (auto& lin : RandomStrategies(schema, &rng)) {
+    const double edge =
+        MeasureExpectedCost(mu, *lin, {}, CostEvalMode::kEdgeWalk);
+    const double runs =
+        MeasureExpectedCost(mu, *lin, {}, CostEvalMode::kRankRuns);
+    const double autod = MeasureExpectedCost(mu, *lin);
+    // Bit-identical, not just close: the run path feeds the same per-class
+    // integers through the same summation.
+    EXPECT_EQ(edge, runs) << lin->name();
+    EXPECT_EQ(edge, autod) << lin->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankRunRandomizedTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace snakes

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: build Release and ThreadSanitizer configurations and run the full
-# test suite under both. Usage: tools/check.sh [jobs]
+# CI gate: build Release, ASan+UBSan and ThreadSanitizer configurations and
+# run the full test suite under each. Usage: tools/check.sh [jobs]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,6 +18,12 @@ run_matrix_entry() {
 }
 
 run_matrix_entry release -DCMAKE_BUILD_TYPE=Release
+# ASan+UBSan catches lifetime/bounds bugs the run-decomposition recursions
+# could hide; halt_on_error turns any report into a hard failure.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  run_matrix_entry asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSNAKES_SANITIZE=address,undefined
 # TSAN_OPTIONS makes any race a hard failure instead of a report.
 TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
   run_matrix_entry tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSNAKES_SANITIZE=thread
@@ -35,11 +41,12 @@ out = sys.argv[1]
 m = json.load(open(out + "/metrics.json"))
 for key in ["advisor.strategies_evaluated", "cache.hits", "cache.misses",
             "cache.evictions", "dp.cells_relaxed", "storage.pages_read",
-            "storage.seeks"]:
+            "storage.seeks", "curves.runs_emitted"]:
     assert key in m["counters"], "missing counter " + key
 for key in ["cache.hit_rate", "dp.table_bytes"]:
     assert key in m["gauges"], "missing gauge " + key
-for key in ["advisor.strategy_compute_ns", "storage.run_length_pages"]:
+for key in ["advisor.strategy_compute_ns", "storage.run_length_pages",
+            "curves.cells_per_run"]:
     assert key in m["histograms"], "missing histogram " + key
 trace = json.load(open(out + "/trace.json"))
 events = trace["traceEvents"]
