@@ -1,0 +1,166 @@
+// Incremental re-advise payoff: after a small workload drift, re-advising
+// through the memoized state must cost >= 5x fewer per-class cost
+// evaluations than advising cold — while recommending bit-identically to a
+// cold Advise on the drifted workload.
+//
+// Setup: the Table-4 LineItem schema (no fact table; the guard is about the
+// analytic pipeline) and Section-6 workload 7. The cold advise populates
+// the state's per-class cost memo; the drift then moves 10% of probability
+// mass toward workload 21 (total variation <= 0.1) and the warm advise
+// re-evaluates only classes never costed before. Because per-class costs
+// are workload-independent integers and the weighted summation is re-run
+// exactly, the warm recommendation must match a from-scratch Advise on the
+// drifted workload bit for bit: same ranking, same expected-cost doubles,
+// same DP paths. Writes BENCH_incremental_advise.json.
+//
+//   $ ./micro_incremental_advise
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "lattice/workload.h"
+#include "lattice/workload_delta.h"
+#include "tpcd/schema.h"
+#include "tpcd/workloads.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool SameBits(double a, double b) {
+  uint64_t x, y;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+/// Bitwise recommendation equality: ranking, costs, and both DP paths.
+bool Identical(const Recommendation& a, const Recommendation& b) {
+  if (!(a.optimal_path == b.optimal_path) ||
+      !(a.optimal_snaked_path == b.optimal_snaked_path)) {
+    return false;
+  }
+  if (!SameBits(a.optimal_path_cost, b.optimal_path_cost) ||
+      !SameBits(a.snaked_optimal_cost, b.snaked_optimal_cost) ||
+      !SameBits(a.optimal_snaked_cost, b.optimal_snaked_cost)) {
+    return false;
+  }
+  if (a.ranked.size() != b.ranked.size()) return false;
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    if (a.ranked[i].name != b.ranked[i].name ||
+        !SameBits(a.ranked[i].expected_cost, b.ranked[i].expected_cost)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Run() {
+  const tpcd::Config config;  // the paper's 200 x 10 x 84 grid
+  const auto schema = tpcd::BuildSharedSchema(config).ValueOrDie();
+  const QueryClassLattice lattice(*schema);
+  const ClusteringAdvisor advisor(schema);
+
+  const Workload base = tpcd::SectionSixWorkload(lattice, 7).ValueOrDie();
+  const Workload target = tpcd::SectionSixWorkload(lattice, 21).ValueOrDie();
+
+  // Drift 10% of the mass toward the target: total variation <= 0.1.
+  std::vector<double> p(base.size());
+  for (uint64_t i = 0; i < base.size(); ++i) {
+    p[i] = 0.9 * base.probability_at(i) + 0.1 * target.probability_at(i);
+  }
+  const Workload drifted =
+      Workload::FromDense(lattice, std::move(p), /*normalize=*/true)
+          .ValueOrDie();
+  const double tv = WorkloadDelta::Between(base, drifted)
+                        .ValueOrDie()
+                        .total_variation();
+  SNAKES_CHECK(tv <= 0.1) << "drift perturbs " << tv << " of the mass";
+
+  IncrementalAdvisorState state;
+
+  auto start = Clock::now();
+  const Recommendation cold_rec =
+      advisor.AdviseIncremental(EvaluationRequest{base}, &state).ValueOrDie();
+  const double cold_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  const uint64_t cold_evals = state.last_cost_evaluations;
+
+  start = Clock::now();
+  const Recommendation warm_rec =
+      advisor.AdviseIncremental(EvaluationRequest{drifted}, &state)
+          .ValueOrDie();
+  const double warm_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  const uint64_t warm_evals = state.last_cost_evaluations;
+  const uint64_t warm_hits = state.last_cost_hits;
+
+  // The reference: a from-scratch Advise on the drifted workload.
+  start = Clock::now();
+  const Recommendation fresh_rec =
+      advisor.Advise(EvaluationRequest{drifted}).ValueOrDie();
+  const double fresh_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  const bool identical = Identical(warm_rec, fresh_rec);
+
+  const double ratio = static_cast<double>(cold_evals) /
+                       static_cast<double>(warm_evals == 0 ? 1 : warm_evals);
+
+  TextTable table({"advise", "cost evals", "cache hits", "ms", "best"});
+  table.AddRow({"cold (workload 7)", std::to_string(cold_evals), "0",
+                FormatDouble(cold_ms, 1), cold_rec.best().name});
+  table.AddRow({"warm (10% drift)", std::to_string(warm_evals),
+                std::to_string(warm_hits), FormatDouble(warm_ms, 1),
+                warm_rec.best().name});
+  table.AddRow({"fresh (reference)", std::to_string(cold_evals), "0",
+                FormatDouble(fresh_ms, 1), fresh_rec.best().name});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("drift tv=%.4f; %llu cold vs %llu warm evaluations (%.0fx); "
+              "warm == fresh: %s\n",
+              tv, static_cast<unsigned long long>(cold_evals),
+              static_cast<unsigned long long>(warm_evals), ratio,
+              identical ? "bit-identical" : "DIVERGED");
+
+  SNAKES_CHECK(identical)
+      << "incremental re-advise diverged from the cold reference";
+  SNAKES_CHECK(ratio >= 5.0)
+      << "incremental re-advise only saves " << ratio
+      << "x cost evaluations (need >= 5x)";
+
+  std::string json = "{\n  \"bench\": \"incremental_advise\",\n";
+  json += "  \"cells\": " + std::to_string(schema->num_cells()) + ",\n";
+  json += "  \"classes\": " + std::to_string(lattice.size()) + ",\n";
+  json += "  \"drift_total_variation\": " + FormatDouble(tv, 4) + ",\n";
+  json += "  \"cold_cost_evaluations\": " + std::to_string(cold_evals) + ",\n";
+  json += "  \"warm_cost_evaluations\": " + std::to_string(warm_evals) + ",\n";
+  json += "  \"warm_cache_hits\": " + std::to_string(warm_hits) + ",\n";
+  json += "  \"evaluation_ratio\": " + FormatDouble(ratio, 2) + ",\n";
+  json += "  \"required_ratio\": 5.0,\n";
+  json += "  \"cold_ms\": " + FormatDouble(cold_ms, 3) + ",\n";
+  json += "  \"warm_ms\": " + FormatDouble(warm_ms, 3) + ",\n";
+  json += "  \"fresh_ms\": " + FormatDouble(fresh_ms, 3) + ",\n";
+  json += "  \"bit_identical\": ";
+  json += identical ? "true" : "false";
+  json += ",\n  \"best\": \"" + warm_rec.best().name + "\"\n}\n";
+  const char* path = "BENCH_incremental_advise.json";
+  std::ofstream out(path);
+  out << json;
+  SNAKES_CHECK(out.good()) << "failed to write " << path;
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

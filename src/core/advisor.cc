@@ -103,13 +103,33 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
 
   std::optional<ThreadPool> pool;
   if (num_threads > 1) pool.emplace(num_threads);
-  SNAKES_ASSIGN_OR_RETURN(
-      OptimalPathResult dp,
-      FindOptimalLatticePath(request.workload, pool ? &*pool : nullptr,
-                             request.obs));
-  SNAKES_ASSIGN_OR_RETURN(
-      OptimalPathResult snaked_dp,
-      FindOptimalSnakedLatticePath(request.workload, request.obs));
+  std::optional<OptimalPathResult> dp_opt;
+  std::optional<OptimalPathResult> snaked_dp_opt;
+  if (request.dp_cache != nullptr) {
+    // Memoized DPs: bit-identical reuse when the workload is exactly a
+    // previously solved one (exact probability verification inside).
+    SNAKES_ASSIGN_OR_RETURN(
+        OptimalPathResult dp,
+        request.dp_cache->OptimalPath(request.workload,
+                                      pool ? &*pool : nullptr, request.obs));
+    SNAKES_ASSIGN_OR_RETURN(
+        OptimalPathResult snaked_dp,
+        request.dp_cache->OptimalSnakedPath(request.workload, request.obs));
+    dp_opt.emplace(std::move(dp));
+    snaked_dp_opt.emplace(std::move(snaked_dp));
+  } else {
+    SNAKES_ASSIGN_OR_RETURN(
+        OptimalPathResult dp,
+        FindOptimalLatticePath(request.workload, pool ? &*pool : nullptr,
+                               request.obs));
+    SNAKES_ASSIGN_OR_RETURN(
+        OptimalPathResult snaked_dp,
+        FindOptimalSnakedLatticePath(request.workload, request.obs));
+    dp_opt.emplace(std::move(dp));
+    snaked_dp_opt.emplace(std::move(snaked_dp));
+  }
+  OptimalPathResult& dp = *dp_opt;
+  OptimalPathResult& snaked_dp = *snaked_dp_opt;
 
   EvaluationPlan plan{request.workload,
                       std::move(dp),
@@ -123,6 +143,7 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
                       request.facts,
                       request.obs,
                       request.cost_mode};
+  plan.cost_cache = request.cost_cache;
   plan.snaked_cost_of_optimal =
       ExpectedSnakedPathCost(plan.workload, plan.optimal_path.path);
 
@@ -179,8 +200,14 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
     span.AddArg("factory", candidate.factory);
     StrategyReport report;
     report.name = candidate.linearization->name();
-    report.expected_cost = MeasureExpectedCost(
-        plan.workload, *candidate.linearization, obs, plan.cost_mode);
+    report.linearization = candidate.linearization;
+    report.expected_cost =
+        plan.cost_cache != nullptr
+            ? MeasureExpectedCostCached(plan.workload,
+                                        *candidate.linearization,
+                                        plan.cost_cache, obs, plan.cost_mode)
+            : MeasureExpectedCost(plan.workload, *candidate.linearization,
+                                  obs, plan.cost_mode);
     if (plan.measure_storage) {
       SNAKES_ASSIGN_OR_RETURN(
           PackedLayout layout,
@@ -239,6 +266,37 @@ Result<Recommendation> ClusteringAdvisor::Advise(
     const EvaluationRequest& request) const {
   SNAKES_ASSIGN_OR_RETURN(EvaluationPlan plan, Plan(request));
   return Evaluate(plan);
+}
+
+Result<Recommendation> ClusteringAdvisor::AdviseIncremental(
+    const EvaluationRequest& request, IncrementalAdvisorState* state) const {
+  SNAKES_CHECK(state != nullptr) << "AdviseIncremental requires state";
+  ScopedSpan span(request.obs.tracer, "advisor/advise_incremental", "advisor");
+  EvaluationRequest cached = request;
+  cached.cost_cache = &state->cost_cache;
+  cached.dp_cache = &state->dp_cache;
+  const ClassCostCache::Stats cost_before = state->cost_cache.stats();
+  const DpCache::Stats dp_before = state->dp_cache.stats();
+  SNAKES_ASSIGN_OR_RETURN(EvaluationPlan plan, Plan(cached));
+  SNAKES_ASSIGN_OR_RETURN(Recommendation rec, Evaluate(plan));
+  const ClassCostCache::Stats cost_after = state->cost_cache.stats();
+  const DpCache::Stats dp_after = state->dp_cache.stats();
+  state->last_cost_evaluations = cost_after.misses - cost_before.misses;
+  state->last_cost_hits = cost_after.hits - cost_before.hits;
+  state->last_dp_hits = dp_after.hits - dp_before.hits;
+  state->last_dp_misses = dp_after.misses - dp_before.misses;
+  ++state->advises;
+  span.AddArg("cost_evaluations", state->last_cost_evaluations);
+  span.AddArg("cost_hits", state->last_cost_hits);
+  if (request.obs.metrics != nullptr) {
+    MetricsRegistry& metrics = *request.obs.metrics;
+    metrics.GetCounter("advisor.incremental_advises")->Inc();
+    metrics.GetCounter("advisor.incremental_cost_evaluations")
+        ->Inc(state->last_cost_evaluations);
+    metrics.GetCounter("advisor.incremental_cost_hits")
+        ->Inc(state->last_cost_hits);
+  }
+  return rec;
 }
 
 Result<Recommendation> ClusteringAdvisor::Advise(

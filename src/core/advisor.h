@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "core/evaluation.h"
+#include "cost/cost_cache.h"
 #include "curves/linearization.h"
+#include "path/dp_cache.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/workload.h"
 #include "path/lattice_path.h"
@@ -43,6 +45,10 @@ struct StrategyReport {
   double expected_cost = 0.0;
   /// Measured expected I/O when the request set measure_storage.
   std::optional<WorkloadIoStats> io;
+  /// The evaluated cell order itself, shared with the plan — lets callers
+  /// (the recluster engine, storage) act on a recommendation without
+  /// re-deriving the strategy from its name.
+  std::shared_ptr<const Linearization> linearization;
 };
 
 /// The advisor's answer for one workload.
@@ -81,6 +87,26 @@ struct Recommendation {
   std::string ToString() const;
 };
 
+/// Memoized state threaded through AdviseIncremental calls. One instance
+/// per (advisor, strategy set) sequence of workload epochs: the caller keeps
+/// it alive across epochs and the advisor fills it as it goes. The caches
+/// only ever hold workload-independent per-class integers (cost_cache) and
+/// exactly-verified DP solutions (dp_cache), so reuse across epochs is
+/// bit-identical to advising from scratch — just cheaper.
+struct IncrementalAdvisorState {
+  ClassCostCache cost_cache;
+  DpCache dp_cache;
+  /// Completed AdviseIncremental calls.
+  uint64_t advises = 0;
+  /// Per-class cost evaluations (cache misses) and avoided re-evaluations
+  /// (cache hits) during the most recent advise — the incremental-speedup
+  /// numbers the recluster engine and the bench guard report.
+  uint64_t last_cost_evaluations = 0;
+  uint64_t last_cost_hits = 0;
+  uint64_t last_dp_hits = 0;
+  uint64_t last_dp_misses = 0;
+};
+
 /// The library's top-level API: given a star schema and an expected workload
 /// over its query-class lattice, finds the optimal lattice path (DP), applies
 /// snaking, evaluates the requested strategy families in parallel, and
@@ -116,6 +142,17 @@ class ClusteringAdvisor {
 
   /// Plan + Evaluate in one call.
   Result<Recommendation> Advise(const EvaluationRequest& request) const;
+
+  /// Advise through `state`'s memos: per-class strategy costs computed in
+  /// earlier calls are reused (they are workload-independent), and the path
+  /// DPs are reused when the workload is bit-identical to a previous epoch.
+  /// The recommendation is bit-identical to Advise(request) on the same
+  /// workload — same costs, same ranking — while re-advising after a small
+  /// drift performs evaluations only for classes never costed before.
+  /// Ignores request.cost_cache / request.dp_cache (the state's are used).
+  /// `state` must outlive the call; one advise at a time per state.
+  Result<Recommendation> AdviseIncremental(const EvaluationRequest& request,
+                                           IncrementalAdvisorState* state) const;
 
   /// Backward-compatible wrapper over the request pipeline. `facts` is only
   /// consulted when options.measure_storage is set.

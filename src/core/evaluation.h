@@ -17,6 +17,9 @@
 
 namespace snakes {
 
+class ClassCostCache;  // cost/cost_cache.h
+class DpCache;         // path/dp_cache.h
+
 /// What to evaluate and how — the explicit replacement for the old
 /// AdvisorOptions flag set. A request names strategy *families* from a
 /// registry instead of toggling booleans, so new families need no new flags:
@@ -56,6 +59,15 @@ struct EvaluationRequest {
   /// them; the recommendation itself is bit-identical either way. The
   /// caller keeps ownership and must outlive Plan/Evaluate.
   ObsSink obs;
+  /// Optional memo of per-class strategy costs (cost/cost_cache.h). When
+  /// set, Evaluate scores candidates through the cache: classes already
+  /// costed in a previous advise are not re-measured, and the result is
+  /// bit-identical to the uncached evaluation. Caller owns; must outlive
+  /// Evaluate. AdviseIncremental wires this from its state automatically.
+  ClassCostCache* cost_cache = nullptr;
+  /// Optional memo of the two path DPs (path/dp_cache.h). When set, Plan
+  /// reuses DP solutions for bit-identical workloads instead of re-solving.
+  DpCache* dp_cache = nullptr;
 };
 
 /// One concrete candidate the plan will score.
@@ -93,6 +105,8 @@ struct EvaluationPlan {
   /// Copied from the request; consulted by Evaluate's scoring tasks.
   ObsSink obs;
   CostEvalMode cost_mode = CostEvalMode::kAuto;
+  /// Carried over from the request; consulted by Evaluate when non-null.
+  ClassCostCache* cost_cache = nullptr;
 
   /// Human-readable plan summary (candidates and skip reasons).
   std::string ToString() const;

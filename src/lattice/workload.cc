@@ -96,6 +96,29 @@ Result<Workload> Workload::FromMasses(
   return Workload(lattice, std::move(p));
 }
 
+Result<Workload> Workload::FromDense(const QueryClassLattice& lattice,
+                                     std::vector<double> p, bool normalize) {
+  if (p.size() != lattice.size()) {
+    return Status::InvalidArgument(
+        "FromDense needs lattice.size() = " + std::to_string(lattice.size()) +
+        " probabilities, got " + std::to_string(p.size()));
+  }
+  double sum = 0.0;
+  for (double v : p) {
+    if (v < 0.0) return Status::InvalidArgument("negative probability");
+    sum += v;
+  }
+  if (normalize) {
+    if (sum <= 0.0) return Status::InvalidArgument("total mass must be > 0");
+    for (double& v : p) v /= sum;
+  } else if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("probabilities sum to " +
+                                   std::to_string(sum) +
+                                   ", expected 1 (or pass normalize=true)");
+  }
+  return Workload(lattice, std::move(p));
+}
+
 Workload Workload::Random(const QueryClassLattice& lattice, Rng* rng) {
   std::vector<double> p(lattice.size());
   double sum = 0.0;

@@ -44,6 +44,15 @@ class Workload {
       const std::vector<std::pair<QueryClass, double>>& masses,
       bool normalize = false);
 
+  /// Dense per-class probabilities, indexed by lattice index. `p` must have
+  /// lattice.size() non-negative entries; with `normalize` they are rescaled
+  /// to sum to 1, otherwise they must already sum to 1 within 1e-9. The
+  /// entry point for drift estimators and epoch traces, which naturally
+  /// produce dense vectors.
+  static Result<Workload> FromDense(const QueryClassLattice& lattice,
+                                    std::vector<double> p,
+                                    bool normalize = false);
+
   /// Random workload (Dirichlet-ish: independent exponentials, normalized).
   /// Used by property tests and ablations.
   static Workload Random(const QueryClassLattice& lattice, Rng* rng);

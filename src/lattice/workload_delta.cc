@@ -1,0 +1,184 @@
+#include "lattice/workload_delta.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace snakes {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashU64(uint64_t v, uint64_t* h) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *h ^= (v >> (8 * byte)) & 0xffULL;
+    *h *= kFnvPrime;
+  }
+}
+
+void HashDouble(double v, uint64_t* h) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(bits, h);
+}
+
+}  // namespace
+
+uint64_t WorkloadFingerprint(const Workload& mu) {
+  const QueryClassLattice& lat = mu.lattice();
+  uint64_t h = kFnvOffset;
+  HashU64(static_cast<uint64_t>(lat.num_dims()), &h);
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    HashU64(static_cast<uint64_t>(lat.levels(d)), &h);
+    for (int i = 1; i <= lat.levels(d); ++i) HashDouble(lat.fanout(d, i), &h);
+  }
+  for (uint64_t i = 0; i < mu.size(); ++i) HashDouble(mu.probability_at(i), &h);
+  return h;
+}
+
+bool SameProbabilities(const Workload& a, const Workload& b) {
+  if (!(a.lattice() == b.lattice())) return false;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    // Bit comparison, not ==: two NaNs compare equal, +0/-0 do not.
+    uint64_t x, y;
+    const double pa = a.probability_at(i), pb = b.probability_at(i);
+    std::memcpy(&x, &pa, sizeof(x));
+    std::memcpy(&y, &pb, sizeof(y));
+    if (x != y) return false;
+  }
+  return true;
+}
+
+WorkloadDelta::WorkloadDelta(QueryClassLattice lattice,
+                             std::vector<double> delta)
+    : lattice_(std::move(lattice)), delta_(std::move(delta)) {
+  for (const double d : delta_) {
+    l1_ += std::abs(d);
+    linf_ = std::max(linf_, std::abs(d));
+  }
+}
+
+Result<WorkloadDelta> WorkloadDelta::Between(const Workload& from,
+                                             const Workload& to) {
+  if (!(from.lattice() == to.lattice())) {
+    return Status::InvalidArgument(
+        "WorkloadDelta requires workloads over equal lattices");
+  }
+  std::vector<double> delta(from.size());
+  for (uint64_t i = 0; i < from.size(); ++i) {
+    delta[i] = to.probability_at(i) - from.probability_at(i);
+  }
+  return WorkloadDelta(from.lattice(), std::move(delta));
+}
+
+uint64_t WorkloadDelta::NumChanged(double threshold) const {
+  uint64_t n = 0;
+  for (const double d : delta_) {
+    if (std::abs(d) > threshold) ++n;
+  }
+  return n;
+}
+
+std::vector<uint64_t> WorkloadDelta::ChangedClasses(double threshold) const {
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < delta_.size(); ++i) {
+    if (std::abs(delta_[i]) > threshold) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+double TotalVariation(const std::vector<double>& a, const Workload& b) {
+  double l1 = 0.0;
+  for (uint64_t i = 0; i < b.size(); ++i) {
+    l1 += std::abs(a[i] - b.probability_at(i));
+  }
+  return l1 / 2.0;
+}
+
+}  // namespace
+
+EwmaDriftEstimator::EwmaDriftEstimator(QueryClassLattice lattice, double alpha)
+    : lattice_(std::move(lattice)),
+      alpha_(alpha),
+      smoothed_(lattice_.size(),
+                1.0 / static_cast<double>(lattice_.size())) {
+  SNAKES_CHECK(alpha > 0.0 && alpha <= 1.0)
+      << "EWMA alpha must be in (0, 1], got " << alpha;
+}
+
+Status EwmaDriftEstimator::Observe(const Workload& epoch) {
+  if (!(epoch.lattice() == lattice_)) {
+    return Status::InvalidArgument("epoch lattice does not match estimator");
+  }
+  if (epochs_ == 0) {
+    // The first epoch seeds the estimate; there is no prior to drift from.
+    for (uint64_t i = 0; i < lattice_.size(); ++i) {
+      smoothed_[i] = epoch.probability_at(i);
+    }
+    last_drift_ = 0.0;
+  } else {
+    last_drift_ = TotalVariation(smoothed_, epoch);
+    for (uint64_t i = 0; i < lattice_.size(); ++i) {
+      smoothed_[i] =
+          (1.0 - alpha_) * smoothed_[i] + alpha_ * epoch.probability_at(i);
+    }
+  }
+  ++epochs_;
+  return Status::OK();
+}
+
+Workload EwmaDriftEstimator::Smoothed() const {
+  // Convex combinations of distributions stay normalized up to rounding;
+  // normalize to absorb the accumulated floating error.
+  return Workload::FromDense(lattice_, smoothed_, /*normalize=*/true)
+      .ValueOrDie();
+}
+
+WindowDriftEstimator::WindowDriftEstimator(QueryClassLattice lattice,
+                                           int window)
+    : lattice_(std::move(lattice)), window_(window) {
+  SNAKES_CHECK(window >= 1) << "window must be >= 1, got " << window;
+}
+
+Status WindowDriftEstimator::Observe(const Workload& epoch) {
+  if (!(epoch.lattice() == lattice_)) {
+    return Status::InvalidArgument("epoch lattice does not match estimator");
+  }
+  if (epochs_ == 0) {
+    last_drift_ = 0.0;
+  } else {
+    std::vector<double> avg(lattice_.size(), 0.0);
+    for (const auto& h : history_) {
+      for (uint64_t i = 0; i < lattice_.size(); ++i) avg[i] += h[i];
+    }
+    for (double& v : avg) v /= static_cast<double>(history_.size());
+    last_drift_ = TotalVariation(avg, epoch);
+  }
+  std::vector<double> probs(lattice_.size());
+  for (uint64_t i = 0; i < lattice_.size(); ++i) {
+    probs[i] = epoch.probability_at(i);
+  }
+  history_.push_back(std::move(probs));
+  if (static_cast<int>(history_.size()) > window_) history_.pop_front();
+  ++epochs_;
+  return Status::OK();
+}
+
+Workload WindowDriftEstimator::Smoothed() const {
+  if (history_.empty()) return Workload::Uniform(lattice_);
+  std::vector<double> avg(lattice_.size(), 0.0);
+  for (const auto& h : history_) {
+    for (uint64_t i = 0; i < lattice_.size(); ++i) avg[i] += h[i];
+  }
+  return Workload::FromDense(lattice_, std::move(avg), /*normalize=*/true)
+      .ValueOrDie();
+}
+
+}  // namespace snakes

@@ -1,0 +1,131 @@
+#ifndef SNAKES_LATTICE_WORKLOAD_DELTA_H_
+#define SNAKES_LATTICE_WORKLOAD_DELTA_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "lattice/lattice.h"
+#include "lattice/workload.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Exact 64-bit fingerprint of a workload: FNV-1a over the lattice shape
+/// (levels and fanout bit patterns) and the bit pattern of every class
+/// probability. Two workloads fingerprint equal iff they are bit-identical
+/// over the same lattice (up to hash collisions — callers that must not
+/// tolerate collisions verify with SameProbabilities). The incremental
+/// advisor keys its memoized DP tables and its last recommendation on this.
+uint64_t WorkloadFingerprint(const Workload& mu);
+
+/// True iff the two workloads assign bit-identical probability to every
+/// class (requires equal lattices).
+bool SameProbabilities(const Workload& a, const Workload& b);
+
+/// The per-class probability change between two workloads over one lattice —
+/// the unit of drift the reclustering engine reasons about. An epoch's delta
+/// tells the engine how much mass moved (l1 / total-variation) and which
+/// classes moved beyond its recompute threshold.
+class WorkloadDelta {
+ public:
+  /// Delta from `from` to `to`; the lattices must be equal.
+  static Result<WorkloadDelta> Between(const Workload& from,
+                                       const Workload& to);
+
+  const QueryClassLattice& lattice() const { return lattice_; }
+
+  /// Signed probability change of the class at dense lattice index `i`.
+  double delta_at(uint64_t i) const { return delta_[i]; }
+
+  /// sum_c |p_to(c) - p_from(c)|.
+  double l1() const { return l1_; }
+
+  /// Total-variation distance, l1 / 2 — the fraction of probability mass
+  /// that moved, in [0, 1].
+  double total_variation() const { return l1_ / 2.0; }
+
+  /// max_c |p_to(c) - p_from(c)|.
+  double linf() const { return linf_; }
+
+  /// Number of classes with |delta| > threshold.
+  uint64_t NumChanged(double threshold) const;
+
+  /// Dense lattice indices of the classes with |delta| > threshold,
+  /// ascending.
+  std::vector<uint64_t> ChangedClasses(double threshold) const;
+
+ private:
+  WorkloadDelta(QueryClassLattice lattice, std::vector<double> delta);
+
+  QueryClassLattice lattice_;
+  std::vector<double> delta_;
+  double l1_ = 0.0;
+  double linf_ = 0.0;
+};
+
+/// Exponentially-weighted drift tracker over a sequence of workload epochs.
+/// Observe() folds each epoch's distribution into a smoothed estimate
+/// p_hat = (1 - alpha) * p_hat + alpha * p_epoch (the first epoch seeds it),
+/// and records the drift the epoch caused: the total-variation distance
+/// between the incoming epoch and the previous smoothed estimate. The
+/// smoothed estimate is what the reclustering engine advises on — a single
+/// noisy epoch moves it by at most alpha, which damps plan flapping at the
+/// source.
+class EwmaDriftEstimator {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest epoch (1.0 = no smoothing).
+  EwmaDriftEstimator(QueryClassLattice lattice, double alpha);
+
+  /// Folds one epoch. Fails if the epoch's lattice differs.
+  Status Observe(const Workload& epoch);
+
+  /// The smoothed distribution (uniform before any epoch was observed).
+  Workload Smoothed() const;
+
+  /// Total-variation distance between the last observed epoch and the
+  /// smoothed estimate it was folded into; 0 before the second epoch.
+  double LastDrift() const { return last_drift_; }
+
+  int epochs() const { return epochs_; }
+  const QueryClassLattice& lattice() const { return lattice_; }
+
+ private:
+  QueryClassLattice lattice_;
+  double alpha_;
+  std::vector<double> smoothed_;
+  double last_drift_ = 0.0;
+  int epochs_ = 0;
+};
+
+/// Sliding-window drift tracker: the estimate is the plain average of the
+/// last `window` epoch distributions. Forgets abruptly where the EWMA
+/// forgets geometrically; useful when the workload shifts in regimes rather
+/// than continuously.
+class WindowDriftEstimator {
+ public:
+  WindowDriftEstimator(QueryClassLattice lattice, int window);
+
+  Status Observe(const Workload& epoch);
+
+  /// Average of the retained epochs (uniform before any epoch).
+  Workload Smoothed() const;
+
+  /// Total-variation distance between the last epoch and the window average
+  /// it joined; 0 before the second epoch.
+  double LastDrift() const { return last_drift_; }
+
+  int epochs() const { return epochs_; }
+  int window() const { return window_; }
+
+ private:
+  QueryClassLattice lattice_;
+  int window_;
+  std::deque<std::vector<double>> history_;
+  double last_drift_ = 0.0;
+  int epochs_ = 0;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_LATTICE_WORKLOAD_DELTA_H_

@@ -1,0 +1,73 @@
+#include "path/dp_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "lattice/workload_delta.h"
+
+namespace snakes {
+
+const DpCache::Entry* DpCache::Lookup(
+    const std::unordered_map<uint64_t, Entry>& map, uint64_t fingerprint,
+    const Workload& mu) const {
+  const auto it = map.find(fingerprint);
+  if (it == map.end()) return nullptr;
+  if (it->second.probs.size() != mu.size()) return nullptr;
+  for (uint64_t i = 0; i < mu.size(); ++i) {
+    // Bit-exact verification: a fingerprint collision must miss, not alias.
+    uint64_t x, y;
+    const double pa = it->second.probs[i], pb = mu.probability_at(i);
+    std::memcpy(&x, &pa, sizeof(x));
+    std::memcpy(&y, &pb, sizeof(y));
+    if (x != y) return nullptr;
+  }
+  return &it->second;
+}
+
+DpCache::Entry DpCache::MakeEntry(const Workload& mu,
+                                  OptimalPathResult result) {
+  std::vector<double> probs(mu.size());
+  for (uint64_t i = 0; i < mu.size(); ++i) probs[i] = mu.probability_at(i);
+  return Entry{std::move(probs), std::move(result)};
+}
+
+Result<OptimalPathResult> DpCache::OptimalPath(const Workload& mu,
+                                               ThreadPool* pool,
+                                               const ObsSink& obs) {
+  const uint64_t fp = WorkloadFingerprint(mu);
+  if (const Entry* entry = Lookup(unsnaked_, fp, mu)) {
+    ++stats_.hits;
+    return entry->result;
+  }
+  ++stats_.misses;
+  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult result,
+                          FindOptimalLatticePath(mu, pool, obs));
+  const Entry& stored =
+      unsnaked_.insert_or_assign(fp, MakeEntry(mu, std::move(result)))
+          .first->second;
+  return stored.result;
+}
+
+Result<OptimalPathResult> DpCache::OptimalSnakedPath(const Workload& mu,
+                                                     const ObsSink& obs) {
+  const uint64_t fp = WorkloadFingerprint(mu);
+  if (const Entry* entry = Lookup(snaked_, fp, mu)) {
+    ++stats_.hits;
+    return entry->result;
+  }
+  ++stats_.misses;
+  SNAKES_ASSIGN_OR_RETURN(OptimalPathResult result,
+                          FindOptimalSnakedLatticePath(mu, obs));
+  const Entry& stored =
+      snaked_.insert_or_assign(fp, MakeEntry(mu, std::move(result)))
+          .first->second;
+  return stored.result;
+}
+
+void DpCache::Clear() {
+  unsnaked_.clear();
+  snaked_.clear();
+  stats_ = Stats();
+}
+
+}  // namespace snakes

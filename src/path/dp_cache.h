@@ -1,0 +1,67 @@
+#ifndef SNAKES_PATH_DP_CACHE_H_
+#define SNAKES_PATH_DP_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lattice/workload.h"
+#include "obs/obs.h"
+#include "path/dpkd.h"
+#include "path/snaked_dp.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace snakes {
+
+/// Memoized lattice-path dynamic programs, keyed by workload fingerprint.
+///
+/// Unlike per-class strategy costs (workload-independent; see
+/// cost/cost_cache.h), the two DP solutions depend on the entire probability
+/// vector, so they can only be reused when the workload is *identical* —
+/// which is exactly what happens when the drift estimator smooths away a
+/// quiet epoch, or when the engine re-plans under an unchanged estimate.
+/// Entries are verified against the stored probability vector on lookup, so
+/// a 64-bit fingerprint collision degrades to a miss, never a wrong path.
+class DpCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  DpCache() = default;
+
+  /// FindOptimalLatticePath through the memo; bit-identical to the direct
+  /// call (the DP itself is bit-identical at any thread count).
+  Result<OptimalPathResult> OptimalPath(const Workload& mu,
+                                        ThreadPool* pool = nullptr,
+                                        const ObsSink& obs = {});
+
+  /// FindOptimalSnakedLatticePath through the memo.
+  Result<OptimalPathResult> OptimalSnakedPath(const Workload& mu,
+                                              const ObsSink& obs = {});
+
+  Stats stats() const { return stats_; }
+  uint64_t size() const { return unsnaked_.size() + snaked_.size(); }
+  void Clear();
+
+ private:
+  struct Entry {
+    std::vector<double> probs;  // exact key verification
+    OptimalPathResult result;
+  };
+
+  /// The cached entry for `mu` in `map`, or nullptr. Exact-verifies probs.
+  const Entry* Lookup(const std::unordered_map<uint64_t, Entry>& map,
+                      uint64_t fingerprint, const Workload& mu) const;
+  static Entry MakeEntry(const Workload& mu, OptimalPathResult result);
+
+  std::unordered_map<uint64_t, Entry> unsnaked_;
+  std::unordered_map<uint64_t, Entry> snaked_;
+  Stats stats_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_PATH_DP_CACHE_H_

@@ -1,0 +1,212 @@
+#include "recluster/engine.h"
+
+#include <utility>
+
+#include "cost/cost_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/text_table.h"
+
+namespace snakes {
+
+const char* ReclusterDecisionName(ReclusterDecision decision) {
+  switch (decision) {
+    case ReclusterDecision::kInitialAdopt:
+      return "initial-adopt";
+    case ReclusterDecision::kAdopt:
+      return "adopt";
+    case ReclusterDecision::kKeepDriftBelowThreshold:
+      return "keep-drift-below-threshold";
+    case ReclusterDecision::kKeepAlreadyOptimal:
+      return "keep-already-optimal";
+    case ReclusterDecision::kKeepCooldown:
+      return "keep-cooldown";
+    case ReclusterDecision::kKeepBelowHysteresis:
+      return "keep-below-hysteresis";
+    case ReclusterDecision::kKeepOverBudget:
+      return "keep-over-budget";
+    case ReclusterDecision::kKeepNegativeNetBenefit:
+      return "keep-negative-net-benefit";
+  }
+  return "unknown";
+}
+
+std::string EpochReport::ToString() const {
+  std::string out = "epoch " + std::to_string(epoch) + ": " +
+                    ReclusterDecisionName(decision) +
+                    " (drift " + FormatDouble(drift, 4) + ")\n";
+  out += "  current  " + current_strategy + " cost " +
+         FormatDouble(current_cost, 4) + "\n";
+  out += "  proposed " + proposed_strategy + " cost " +
+         FormatDouble(proposed_cost, 4) + " (improvement " +
+         FormatDouble(100.0 * relative_improvement, 2) + "%, net benefit " +
+         FormatDouble(net_benefit, 2) + ")\n";
+  out += "  movement: " + std::to_string(movement.pages_moved()) +
+         " pages (" + std::to_string(movement.moved_runs) + " runs, " +
+         std::to_string(movement.moved_records) + " records, stable prefix " +
+         std::to_string(movement.stable_prefix_cells) + "/" +
+         std::to_string(movement.total_cells) + " cells)\n";
+  out += "  recompute: " + std::to_string(cost_evaluations) +
+         " class evaluations, " + std::to_string(cost_cache_hits) +
+         " cached\n";
+  return out;
+}
+
+ReclusterEngine::ReclusterEngine(std::shared_ptr<const StarSchema> schema,
+                                 std::shared_ptr<const FactTable> facts,
+                                 ReclusterConfig config)
+    : schema_(std::move(schema)),
+      facts_(std::move(facts)),
+      config_(std::move(config)),
+      advisor_(schema_),
+      estimator_(QueryClassLattice(*schema_), config_.ewma_alpha) {}
+
+double ReclusterEngine::CurrentCostUnder(const Workload& mu,
+                                         const Recommendation& rec) {
+  for (const StrategyReport& report : rec.ranked) {
+    if (report.name == current_->name()) return report.expected_cost;
+  }
+  // The live strategy fell out of the evaluated set (config change between
+  // epochs); measure it directly, still through the memo.
+  return MeasureExpectedCostCached(mu, *current_, &state_.cost_cache,
+                                   config_.obs, config_.cost_mode);
+}
+
+Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
+  ScopedSpan span(config_.obs.tracer, "recluster/epoch", "recluster");
+  {
+    Status observed = estimator_.Observe(epoch_mu);
+    if (!observed.ok()) return observed;
+  }
+  ++epochs_seen_;
+  const bool in_cooldown = cooldown_remaining_ > 0;
+  if (in_cooldown) --cooldown_remaining_;
+
+  EpochReport report;
+  report.epoch = epochs_seen_;
+  report.drift = estimator_.LastDrift();
+  report.current_strategy = current_ != nullptr ? current_->name() : "";
+  span.AddArg("drift", report.drift);
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("recluster.epochs")->Inc();
+  }
+
+  // A quiet epoch (and an already-adopted layout) skips the advisor
+  // entirely; the drift estimator alone absorbs the observation.
+  if (current_ != nullptr && state_.advises > 0 &&
+      report.drift < config_.readvise_drift_threshold) {
+    report.decision = ReclusterDecision::kKeepDriftBelowThreshold;
+    report.proposed_strategy = report.current_strategy;
+    span.AddArg("decision", ReclusterDecisionName(report.decision));
+    return report;
+  }
+
+  const Workload mu = estimator_.Smoothed();
+  EvaluationRequest request{mu};
+  request.strategies = config_.strategies;
+  request.num_threads = config_.num_threads;
+  request.cost_mode = config_.cost_mode;
+  request.obs = config_.obs;
+  SNAKES_ASSIGN_OR_RETURN(Recommendation rec,
+                          advisor_.AdviseIncremental(request, &state_));
+  report.cost_evaluations = state_.last_cost_evaluations;
+  report.cost_cache_hits = state_.last_cost_hits;
+  if (config_.obs.metrics != nullptr) {
+    MetricsRegistry& metrics = *config_.obs.metrics;
+    metrics.GetCounter("recluster.classes_recomputed")
+        ->Inc(report.cost_evaluations);
+    metrics.GetCounter("recluster.cache_hits")->Inc(report.cost_cache_hits);
+    metrics.GetCounter("recluster.cache_misses")->Inc(report.cost_evaluations);
+  }
+  if (!rec.has_best()) {
+    return Status::InvalidArgument(
+        "recluster: no strategy family applies to the schema");
+  }
+  const std::string best_name = rec.best().name;
+  const double best_cost = rec.best().expected_cost;
+  std::shared_ptr<const Linearization> best_lin = rec.best().linearization;
+  report.proposed_strategy = best_name;
+  report.proposed_cost = best_cost;
+
+  const auto finish = [&](ReclusterDecision decision) -> EpochReport {
+    report.decision = decision;
+    span.AddArg("decision", ReclusterDecisionName(decision));
+    report.recommendation = std::move(rec);
+    return std::move(report);
+  };
+
+  const auto adopt = [&]() -> Status {
+    current_ = best_lin;
+    if (facts_ != nullptr) {
+      // Initial adoption packs fresh; re-adoptions already packed the
+      // proposed layout to price the movement.
+      if (!current_layout_.has_value() ||
+          &current_layout_->linearization() != best_lin.get()) {
+        SNAKES_ASSIGN_OR_RETURN(
+            PackedLayout layout,
+            PackedLayout::Pack(best_lin, facts_, config_.storage,
+                               config_.obs));
+        current_layout_.emplace(std::move(layout));
+      }
+    }
+    ++adoptions_;
+    cooldown_remaining_ = config_.cooldown_epochs;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->GetCounter("recluster.adoptions")->Inc();
+    }
+    return Status::OK();
+  };
+
+  if (current_ == nullptr) {
+    report.current_strategy = best_name;
+    report.current_cost = best_cost;
+    SNAKES_RETURN_IF_ERROR(adopt());
+    return finish(ReclusterDecision::kInitialAdopt);
+  }
+
+  report.current_cost = CurrentCostUnder(mu, rec);
+  if (best_name == current_->name() || best_cost >= report.current_cost ||
+      report.current_cost <= 0.0) {
+    report.proposed_cost = best_cost;
+    return finish(ReclusterDecision::kKeepAlreadyOptimal);
+  }
+  const double improvement_seeks = report.current_cost - best_cost;
+  report.relative_improvement = improvement_seeks / report.current_cost;
+  if (in_cooldown) return finish(ReclusterDecision::kKeepCooldown);
+  if (report.relative_improvement < config_.hysteresis_min_improvement) {
+    return finish(ReclusterDecision::kKeepBelowHysteresis);
+  }
+
+  uint64_t pages_moved = 0;
+  std::optional<PackedLayout> proposed_layout;
+  if (facts_ != nullptr && current_layout_.has_value()) {
+    SNAKES_ASSIGN_OR_RETURN(
+        PackedLayout packed,
+        PackedLayout::Pack(best_lin, facts_, config_.storage, config_.obs));
+    SNAKES_ASSIGN_OR_RETURN(report.movement,
+                            ComputeMovementCost(*current_layout_, packed));
+    proposed_layout.emplace(std::move(packed));
+    pages_moved = report.movement.pages_moved();
+    if (config_.movement_budget_pages > 0 &&
+        pages_moved > config_.movement_budget_pages) {
+      return finish(ReclusterDecision::kKeepOverBudget);
+    }
+  }
+  report.net_benefit =
+      improvement_seeks * config_.queries_per_epoch -
+      static_cast<double>(pages_moved) * config_.movement_cost_per_page;
+  if (proposed_layout.has_value() && report.net_benefit <= 0.0) {
+    return finish(ReclusterDecision::kKeepNegativeNetBenefit);
+  }
+
+  if (proposed_layout.has_value()) {
+    current_layout_.emplace(std::move(*proposed_layout));
+  }
+  SNAKES_RETURN_IF_ERROR(adopt());
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("recluster.pages_moved")->Inc(pages_moved);
+  }
+  return finish(ReclusterDecision::kAdopt);
+}
+
+}  // namespace snakes

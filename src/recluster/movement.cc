@@ -1,0 +1,63 @@
+#include "recluster/movement.h"
+
+#include <vector>
+
+namespace snakes {
+
+namespace {
+
+/// Pages of a RangeIo span; 0 when the range holds no records.
+uint64_t PagesOf(const PackedLayout::RangeIo& io) {
+  if (io.records == 0) return 0;
+  return io.last_page - io.first_page + 1;
+}
+
+}  // namespace
+
+Result<MovementCost> ComputeMovementCost(const PackedLayout& current,
+                                         const PackedLayout& proposed) {
+  const uint64_t n = current.linearization().num_cells();
+  if (proposed.linearization().num_cells() != n) {
+    return Status::InvalidArgument(
+        "movement cost requires layouts over the same grid");
+  }
+  const uint64_t total_records = current.MeasureRange(0, n).records;
+  if (proposed.MeasureRange(0, n).records != total_records) {
+    return Status::InvalidArgument(
+        "movement cost requires layouts of the same fact table");
+  }
+
+  MovementCost cost;
+  cost.total_cells = n;
+
+  // Where each proposed rank's cell lives today.
+  std::vector<uint64_t> source(n);
+  for (uint64_t r = 0; r < n; ++r) {
+    source[r] =
+        current.linearization().RankOf(proposed.linearization().CellAt(r));
+  }
+
+  uint64_t stable = 0;
+  while (stable < n && source[stable] == stable) ++stable;
+  cost.stable_prefix_cells = stable;
+
+  // Decompose the remainder into maximal runs consecutive in the source;
+  // each run is one sequential copy, priced by its page span on both sides.
+  uint64_t r = stable;
+  while (r < n) {
+    uint64_t len = 1;
+    while (r + len < n && source[r + len] == source[r] + len) ++len;
+    const PackedLayout::RangeIo src = current.MeasureRange(source[r], len);
+    if (src.records > 0) {
+      const PackedLayout::RangeIo dst = proposed.MeasureRange(r, len);
+      ++cost.moved_runs;
+      cost.moved_records += src.records;
+      cost.pages_read += PagesOf(src);
+      cost.pages_written += PagesOf(dst);
+    }
+    r += len;
+  }
+  return cost;
+}
+
+}  // namespace snakes

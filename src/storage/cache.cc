@@ -43,6 +43,12 @@ bool LruPageCache::Access(uint64_t page) {
   return false;
 }
 
+void LruPageCache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
 void LruPageCache::Clear() {
   lru_.clear();
   index_.clear();

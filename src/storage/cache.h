@@ -34,6 +34,12 @@ class LruPageCache {
 
   void Clear();
 
+  /// Zeroes hits/misses/evictions but keeps the cached pages resident, so
+  /// callers replaying a multi-epoch stream can report per-epoch hit rates
+  /// without cold-starting the pool each epoch. (The obs counters are
+  /// cumulative by design and are not reset.)
+  void ResetStats();
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   /// Pages dropped to make room (0-capacity rejects are not evictions).

@@ -50,6 +50,26 @@ TEST(LruCacheTest, ClearResets) {
   EXPECT_FALSE(cache.Access(1));
 }
 
+TEST(LruCacheTest, ResetStatsKeepsResidentPages) {
+  LruPageCache cache(4);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(1);
+  for (uint64_t p = 3; p < 7; ++p) cache.Access(p);  // evicts 1 then 2
+  ASSERT_GT(cache.hits(), 0u);
+  ASSERT_GT(cache.evictions(), 0u);
+
+  cache.ResetStats();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  // Unlike Clear, the resident set survives: pages 3..6 still hit.
+  EXPECT_EQ(cache.size(), 4u);
+  for (uint64_t p = 3; p < 7; ++p) EXPECT_TRUE(cache.Access(p));
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
 TEST(LruCacheTest, EvictionCountMatchesOverflow) {
   LruPageCache cache(3);
   for (uint64_t p = 0; p < 3; ++p) cache.Access(p);

@@ -125,6 +125,88 @@ TEST(HierarchyTest, FromTreeSingleLeaf) {
   EXPECT_EQ(h.num_leaves(), 1u);
 }
 
+TEST(HierarchyTest, FromTreeDepthOneIsUniform) {
+  // A root with only leaf children needs no balancing at all.
+  HierarchyNode root{"all", {{"a", {}}, {"b", {}}, {"c", {}}}};
+  auto h = Hierarchy::FromTree("flat", root).value();
+  EXPECT_EQ(h.num_levels(), 1);
+  EXPECT_EQ(h.num_leaves(), 3u);
+  EXPECT_TRUE(h.is_uniform());
+  EXPECT_DOUBLE_EQ(h.avg_fanout(1), 3.0);
+  for (uint64_t leaf = 0; leaf < 3; ++leaf) {
+    EXPECT_EQ(h.AncestorAt(leaf, 0), leaf);
+    EXPECT_EQ(h.AncestorAt(leaf, 1), 0u);
+  }
+  uint64_t first = 0;
+  uint64_t last = 0;
+  h.BlockLeafRange(1, 0, &first, &last);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 3u);
+}
+
+TEST(HierarchyTest, SingleLeafDimensionComposesIntoSchemas) {
+  // A degenerate one-member dimension must not perturb the grid.
+  auto unit = Hierarchy::FromTree("unit", HierarchyNode{"only", {}}).value();
+  auto other = Hierarchy::Uniform("other", {2, 3}).value();
+  auto schema = StarSchema::Make("mixed", {unit, other}).value();
+  EXPECT_EQ(schema.num_cells(), other.num_leaves());
+  for (uint64_t c = 0; c < schema.num_cells(); ++c) {
+    const CellCoord coord = schema.Unflatten(c);
+    EXPECT_EQ(coord[0], 0u);
+    EXPECT_EQ(schema.Flatten(coord), c);
+  }
+}
+
+TEST(HierarchyTest, FromTreeMixedDepthAncestorMaps) {
+  // Leaves at depths 1, 2 and 3 of the same tree: x | y1 | y2a, y2b.
+  HierarchyNode root{
+      "all",
+      {{"x", {}},
+       {"y", {{"y1", {}}, {"y2", {{"y2a", {}}, {"y2b", {}}}}}}}};
+  auto h = Hierarchy::FromTree("mixed", root).value();
+  ASSERT_EQ(h.num_levels(), 3);
+  ASSERT_EQ(h.num_leaves(), 4u);
+  EXPECT_FALSE(h.is_uniform());
+
+  // Level 1 blocks: {x}, {y1}, {y2a, y2b}; level 2: {x}, {y1, y2a, y2b}.
+  EXPECT_EQ(h.num_blocks(1), 3u);
+  EXPECT_EQ(h.num_blocks(2), 2u);
+  const uint64_t want_l1[] = {0, 1, 2, 2};
+  const uint64_t want_l2[] = {0, 1, 1, 1};
+  for (uint64_t leaf = 0; leaf < 4; ++leaf) {
+    EXPECT_EQ(h.AncestorAt(leaf, 1), want_l1[leaf]) << "leaf " << leaf;
+    EXPECT_EQ(h.AncestorAt(leaf, 2), want_l2[leaf]) << "leaf " << leaf;
+    EXPECT_EQ(h.AncestorAt(leaf, 3), 0u) << "leaf " << leaf;
+  }
+
+  // Dummy balancing makes the per-level average fanouts fractional, but
+  // they still telescope to the leaf count.
+  EXPECT_DOUBLE_EQ(h.avg_fanout(1), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.avg_fanout(2), 3.0 / 2.0);
+  EXPECT_DOUBLE_EQ(h.avg_fanout(3), 2.0);
+  double product = 1.0;
+  for (int l = 1; l <= h.num_levels(); ++l) product *= h.avg_fanout(l);
+  EXPECT_DOUBLE_EQ(product, 4.0);
+
+  // Block/leaf bookkeeping stays consistent on unbalanced hierarchies:
+  // blocks partition the leaves and agree with the ancestor map.
+  for (int level = 0; level <= h.num_levels(); ++level) {
+    uint64_t covered = 0;
+    for (uint64_t b = 0; b < h.num_blocks(level); ++b) {
+      uint64_t first = 0;
+      uint64_t last = 0;
+      h.BlockLeafRange(level, b, &first, &last);
+      EXPECT_EQ(first, covered) << "level " << level << " block " << b;
+      EXPECT_EQ(last - first, h.BlockLeafCount(level, b));
+      for (uint64_t leaf = first; leaf < last; ++leaf) {
+        EXPECT_EQ(h.AncestorAt(leaf, level), b);
+      }
+      covered = last;
+    }
+    EXPECT_EQ(covered, h.num_leaves()) << "level " << level;
+  }
+}
+
 TEST(StarSchemaTest, ToySchemaShape) {
   auto jeans = Hierarchy::Uniform("jeans", {2, 2}).value();
   auto location = Hierarchy::Uniform("location", {2, 2}).value();

@@ -6,15 +6,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/advisor.h"
 #include "cost/class_cost.h"
 #include "cost/edge_model.h"
 #include "cost/workload_cost.h"
 #include "curves/path_order.h"
 #include "curves/row_major.h"
 #include "cv/consistency.h"
+#include "cv/sandwich.h"
+#include "cv/transform.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/workload.h"
 #include "path/dpkd.h"
@@ -154,6 +159,137 @@ TEST_P(RandomizedTest, StorageInvariants) {
   // Leaf-class query counts: non-empty queries == occupied cells.
   const ClassIoStats bottom = sim.MeasureClass(lat.Bottom());
   EXPECT_EQ(bottom.num_nonempty, facts->NumOccupiedCells());
+}
+
+// The exhaustive cousin of invariant 6: on lattices small enough to
+// enumerate, the DP optima must beat *every* monotone path, not just the
+// random one drawn above — and must coincide with the enumerated minimum.
+TEST_P(RandomizedTest, DpOptimaBeatEveryEnumeratedPath) {
+  Rng rng(GetParam() * 104729);
+  auto schema = RandomSchema(&rng, 4096);
+  const QueryClassLattice lat(*schema);
+  const Workload mu = Workload::Random(lat, &rng);
+
+  const auto all = EnumerateAllPaths(lat).value();
+  ASSERT_FALSE(all.empty());
+  const auto dp = FindOptimalLatticePath(mu).value();
+  const auto snaked_dp = FindOptimalSnakedLatticePath(mu).value();
+
+  double best_plain = ExpectedPathCost(mu, all.front());
+  double best_snaked = ExpectedSnakedPathCost(mu, all.front());
+  for (const LatticePath& path : all) {
+    const double plain = ExpectedPathCost(mu, path);
+    const double snaked = ExpectedSnakedPathCost(mu, path);
+    EXPECT_LE(dp.cost, plain + 1e-9) << path.ToString();
+    EXPECT_LE(snaked_dp.cost, snaked + 1e-9) << path.ToString();
+    best_plain = std::min(best_plain, plain);
+    best_snaked = std::min(best_snaked, snaked);
+  }
+  // The DP is not merely a lower bound: it attains the enumerated minimum.
+  EXPECT_NEAR(dp.cost, best_plain, 1e-9);
+  EXPECT_NEAR(snaked_dp.cost, best_snaked, 1e-9);
+}
+
+// Theorem-2 machinery end to end: measure a random strategy's CV on the
+// paper's binary schema, strip diagonals, sandwich down to snaked-path
+// vectors, and check every structural promise along the way.
+TEST_P(RandomizedTest, SandwichLeavesAreConsistentSnakedPathCVs) {
+  Rng rng(GetParam() * 6151);
+  const int n = 1 + static_cast<int>(rng.Below(3));
+  std::vector<Hierarchy> dims;
+  for (int d = 0; d < 2; ++d) {
+    dims.push_back(Hierarchy::Uniform("d" + std::to_string(d),
+                                      std::vector<uint64_t>(n, 2))
+                       .value());
+  }
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Make("binary", std::move(dims)).value());
+  const QueryClassLattice lat(*schema);
+
+  const LatticePath path = RandomPath(lat, &rng);
+  auto order = PathOrder::Make(schema, path, false).value();
+  const BinaryCV measured =
+      BinaryCV::FromHistogram(MeasureEdgeHistogram(*order)).value();
+  ASSERT_TRUE(IsConsistent(measured)) << measured.ToString();
+
+  const BinaryCV nd = EliminateDiagonals(measured).value();
+  ASSERT_TRUE(nd.IsNonDiagonal());
+  ASSERT_TRUE(IsConsistent(nd)) << nd.ToString();
+
+  const auto leaves = SandwichToSnakedPaths(nd).value();
+  ASSERT_FALSE(leaves.empty());
+  for (const BinaryCV& leaf : leaves) {
+    EXPECT_TRUE(IsConsistent(leaf)) << leaf.ToString();
+    EXPECT_TRUE(IsSnakedPathCV(leaf)) << leaf.ToString();
+  }
+
+  // The sandwich guarantee: on any workload, some leaf costs no more than
+  // the (diagonal-free) input, and diagonal elimination costs nothing.
+  for (int trial = 0; trial < 4; ++trial) {
+    const Workload mu = Workload::Random(lat, &rng);
+    EXPECT_LE(nd.CostMu(mu), measured.CostMu(mu) + 1e-9);
+    double best = leaves.front().CostMu(mu);
+    for (const BinaryCV& leaf : leaves) {
+      best = std::min(best, leaf.CostMu(mu));
+    }
+    EXPECT_LE(best, nd.CostMu(mu) + 1e-9) << nd.ToString();
+  }
+}
+
+bool SameBits(double x, double y) {
+  uint64_t bx = 0;
+  uint64_t by = 0;
+  std::memcpy(&bx, &x, sizeof(bx));
+  std::memcpy(&by, &y, sizeof(by));
+  return bx == by;
+}
+
+bool SameRecommendation(const Recommendation& a, const Recommendation& b) {
+  if (!(a.optimal_path == b.optimal_path) ||
+      !(a.optimal_snaked_path == b.optimal_snaked_path) ||
+      a.ranked.size() != b.ranked.size()) {
+    return false;
+  }
+  if (!SameBits(a.optimal_path_cost, b.optimal_path_cost) ||
+      !SameBits(a.snaked_optimal_cost, b.snaked_optimal_cost) ||
+      !SameBits(a.optimal_snaked_cost, b.optimal_snaked_cost)) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    if (a.ranked[i].name != b.ranked[i].name ||
+        !SameBits(a.ranked[i].expected_cost, b.ranked[i].expected_cost)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Incremental advise on random schemas: warm answers must be bit-identical
+// to cold ones, and a zero-drift re-advise must hit the caches completely.
+TEST_P(RandomizedTest, IncrementalAdviseMatchesColdBitForBit) {
+  Rng rng(GetParam() * 31337);
+  auto schema = RandomSchema(&rng, 1024);
+  const QueryClassLattice lat(*schema);
+  const ClusteringAdvisor advisor(schema);
+  const Workload mu = Workload::Random(lat, &rng);
+
+  EvaluationRequest request{mu};
+  request.num_threads = 1;
+
+  const Recommendation cold = advisor.Advise(request).value();
+  IncrementalAdvisorState state;
+  const Recommendation warm =
+      advisor.AdviseIncremental(request, &state).value();
+  EXPECT_TRUE(SameRecommendation(cold, warm));
+  EXPECT_GT(state.last_cost_evaluations, 0u);
+
+  // Same workload again: everything is served from the caches.
+  const Recommendation again =
+      advisor.AdviseIncremental(request, &state).value();
+  EXPECT_TRUE(SameRecommendation(cold, again));
+  EXPECT_EQ(state.last_cost_evaluations, 0u);
+  EXPECT_EQ(state.last_dp_misses, 0u);
+  EXPECT_GT(state.last_cost_hits, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedTest,

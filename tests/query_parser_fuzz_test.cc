@@ -1,0 +1,164 @@
+// Differential fuzzing for core/query_parser: random (spec -> text -> parse)
+// round trips must reproduce the spec exactly, and randomly malformed inputs
+// must come back as error Statuses — never crashes or UB. The whole file
+// runs under the sanitizer legs of tools/check.sh like every other test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/query_parser.h"
+#include "hierarchy/dimension_table.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+struct LabeledSchema {
+  StarSchema schema;
+  std::vector<DimensionTable> tables;
+};
+
+/// A random schema of 1..3 dimensions, 1..3 levels each, fanouts 2..3, with
+/// globally unique labels per dimension (so the parser's bottom-up bare
+/// lookup is unambiguous). ~30% of labels contain a space and must be
+/// rendered double-quoted; some contain apostrophes, which are ordinary.
+LabeledSchema RandomLabeledSchema(Rng* rng) {
+  const int num_dims = 1 + static_cast<int>(rng->Below(3));
+  std::vector<Hierarchy> hierarchies;
+  std::vector<DimensionTable> tables;
+  for (int d = 0; d < num_dims; ++d) {
+    const int levels = 1 + static_cast<int>(rng->Below(3));
+    std::vector<uint64_t> fanouts;
+    std::vector<std::string> level_names;
+    for (int l = 0; l < levels; ++l) {
+      fanouts.push_back(2 + rng->Below(2));
+      level_names.push_back("lv" + std::to_string(l));
+    }
+    level_names.push_back("all");
+    Hierarchy h = Hierarchy::Uniform("dim" + std::to_string(d), fanouts,
+                                     level_names)
+                      .value();
+    std::vector<std::vector<std::string>> labels(
+        static_cast<size_t>(levels) + 1);
+    for (int l = 0; l <= levels; ++l) {
+      for (uint64_t b = 0; b < h.num_blocks(l); ++b) {
+        std::string label = "d" + std::to_string(d) + "l" + std::to_string(l) +
+                            "b" + std::to_string(b);
+        if (rng->Chance(0.15)) label += "'s";
+        if (rng->Chance(0.3)) label += " x";  // forces quoting
+        labels[static_cast<size_t>(l)].push_back(std::move(label));
+      }
+    }
+    tables.push_back(DimensionTable::Make(h, std::move(labels)).value());
+    hierarchies.push_back(std::move(h));
+  }
+  return LabeledSchema{StarSchema::Make("fuzz", hierarchies).value(),
+                       std::move(tables)};
+}
+
+bool NeedsQuoting(const std::string& label) {
+  return label.find(' ') != std::string::npos;
+}
+
+class QueryParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryParserFuzzTest, RoundTripReproducesTheSpec) {
+  Rng rng(0x51A9 + static_cast<uint64_t>(GetParam()) * 7919);
+  LabeledSchema ls = RandomLabeledSchema(&rng);
+  const StarSchema& schema = ls.schema;
+
+  for (int trial = 0; trial < 25; ++trial) {
+    // Draw a spec: a level per dimension, a block within that level.
+    std::vector<int> levels(static_cast<size_t>(schema.num_dims()));
+    std::vector<uint64_t> blocks(static_cast<size_t>(schema.num_dims()));
+    std::string text;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      const Hierarchy& h = schema.dim(d);
+      levels[static_cast<size_t>(d)] =
+          static_cast<int>(rng.Below(static_cast<uint64_t>(h.num_levels()) + 1));
+      const int level = levels[static_cast<size_t>(d)];
+      blocks[static_cast<size_t>(d)] =
+          level == h.num_levels() ? 0 : rng.Below(h.num_blocks(level));
+      if (level == h.num_levels()) continue;  // "all": no clause
+      const std::string& label =
+          ls.tables[static_cast<size_t>(d)].label(level,
+                                                  blocks[static_cast<size_t>(d)]);
+      std::string clause = h.name();
+      // Bare and explicit-level forms must agree (labels are unique).
+      if (rng.Chance(0.5)) clause += "." + h.level_name(level);
+      clause += "=";
+      clause += NeedsQuoting(label) || rng.Chance(0.2)
+                    ? "\"" + label + "\""
+                    : label;
+      if (!text.empty()) text += " ";
+      text += clause;
+    }
+
+    const Result<GridQuery> parsed = ParseGridQuery(schema, ls.tables, text);
+    ASSERT_TRUE(parsed.ok())
+        << "failed to parse rendered query '" << text
+        << "': " << parsed.status().ToString();
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      EXPECT_EQ(parsed.value().cls.level(d), levels[static_cast<size_t>(d)])
+          << "dim " << d << " of '" << text << "'";
+      EXPECT_EQ(parsed.value().block[static_cast<size_t>(d)],
+                blocks[static_cast<size_t>(d)])
+          << "dim " << d << " of '" << text << "'";
+    }
+  }
+}
+
+TEST_P(QueryParserFuzzTest, MalformedInputsReturnErrorsNotCrashes) {
+  Rng rng(0xBAD + static_cast<uint64_t>(GetParam()) * 104729);
+  LabeledSchema ls = RandomLabeledSchema(&rng);
+  const StarSchema& schema = ls.schema;
+  const std::string dim0 = schema.dim(0).name();
+  const std::string label0 = ls.tables[0].label(0, 0);
+
+  // Structured malformations: each must fail cleanly.
+  const std::vector<std::string> malformed = {
+      dim0 + "=" + label0 + " " + dim0 + "=" + label0,  // duplicate dim
+      "nosuchdim=" + label0,                            // unknown dimension
+      dim0 + "=nosuchlabel",                            // unknown label
+      dim0 + ".nosuchlevel=" + label0,                  // unknown level
+      dim0 + ".all=" + label0,       // top level label is not selectable by
+                                     // every hierarchy's label set
+      "=" + label0,                  // missing dimension
+      dim0 + "=",                    // missing label
+      dim0,                          // missing '='
+      dim0 + "=\"" + label0,         // unterminated quote
+      "\"",                          // lone quote
+      dim0 + "==" + label0,          // double '='
+  };
+  for (const std::string& text : malformed) {
+    const Result<GridQuery> parsed = ParseGridQuery(schema, ls.tables, text);
+    // "dim.all=<top label>" can legitimately parse; everything else must not.
+    if (text.find(".all=") == std::string::npos) {
+      EXPECT_FALSE(parsed.ok()) << "accepted malformed '" << text << "'";
+    }
+  }
+
+  // Byte soup: printable garbage must never crash; ok() is allowed only if
+  // the parser found a real query in the noise (vanishingly unlikely).
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .=\"'\t";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text;
+    const uint64_t len = rng.Below(40);
+    for (uint64_t i = 0; i < len; ++i) {
+      text += alphabet[rng.Below(alphabet.size())];
+    }
+    const Result<GridQuery> parsed = ParseGridQuery(schema, ls.tables, text);
+    (void)parsed;  // any Status is fine; crashing/UB is the failure mode
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryParserFuzzTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace snakes

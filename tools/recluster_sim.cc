@@ -1,0 +1,181 @@
+// recluster_sim — replay a drifting TPC-D workload trace through the
+// incremental reclustering engine.
+//
+//   recluster_sim [--epochs N] [--queries N] [--cache-pages N]
+//                 [--from ID] [--to ID] [--drift-threshold D]
+//                 [--hysteresis H] [--budget PAGES] [--cooldown N]
+//                 [--alpha A] [--seed S]
+//
+// The trace interpolates between two Section-6 workloads (--from, --to;
+// ids 1..27): epoch e's observed workload is the normalized blend
+// (1 - t) * from + t * to with t = e / (epochs - 1), so probability mass
+// migrates gradually across the lattice the way a reporting calendar
+// shifts analyst behavior. Each epoch the engine re-advises incrementally
+// (memoized per-class costs + DP cache), prices the best re-layout by
+// rank-run movement, and adopts only when the net benefit clears the
+// hysteresis/budget/cooldown guards. After each decision the epoch's
+// queries replay through an LRU page cache over the live layout;
+// LruPageCache::ResetStats() isolates per-epoch hit rates (the pool stays
+// warm across epochs, and is cleared when a re-layout lands).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lattice/workload.h"
+#include "obs/metrics.h"
+#include "recluster/engine.h"
+#include "storage/cache.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/workloads.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::string FlagValue(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+Result<Workload> Blend(const Workload& from, const Workload& to, double t) {
+  std::vector<double> p(from.size());
+  for (uint64_t i = 0; i < from.size(); ++i) {
+    p[i] = (1.0 - t) * from.probability_at(i) + t * to.probability_at(i);
+  }
+  return Workload::FromDense(from.lattice(), std::move(p),
+                             /*normalize=*/true);
+}
+
+int Run(int argc, char** argv) {
+  const int epochs =
+      std::atoi(FlagValue(argc, argv, "--epochs", "12").c_str());
+  const uint64_t queries = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--queries", "400").c_str()));
+  const uint64_t cache_pages = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--cache-pages", "64").c_str()));
+  const int from_id = std::atoi(FlagValue(argc, argv, "--from", "7").c_str());
+  const int to_id = std::atoi(FlagValue(argc, argv, "--to", "21").c_str());
+  const double drift_threshold =
+      std::atof(FlagValue(argc, argv, "--drift-threshold", "0.01").c_str());
+  const double hysteresis =
+      std::atof(FlagValue(argc, argv, "--hysteresis", "0.02").c_str());
+  const uint64_t budget = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--budget", "0").c_str()));
+  const int cooldown =
+      std::atoi(FlagValue(argc, argv, "--cooldown", "2").c_str());
+  const double alpha =
+      std::atof(FlagValue(argc, argv, "--alpha", "0.4").c_str());
+  const uint64_t seed = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--seed", "1999").c_str()));
+  if (epochs < 2) return Fail(Status::InvalidArgument("--epochs must be >= 2"));
+
+  // Small warehouse: each epoch's full pipeline (advise + pack + replay)
+  // stays fast enough for CI while still spanning thousands of pages.
+  tpcd::Config config;
+  config.parts_per_mfgr = 4;
+  config.num_mfgrs = 3;
+  config.num_suppliers = 4;
+  config.months_per_year = 6;
+  config.num_years = 2;
+  config.num_orders = 8'000;
+  auto warehouse = tpcd::GenerateWarehouse(config, seed);
+  if (!warehouse.ok()) return Fail(warehouse.status());
+  const auto& schema = warehouse.value().schema;
+  const QueryClassLattice lat(*schema);
+
+  auto from = tpcd::SectionSixWorkload(lat, from_id);
+  if (!from.ok()) return Fail(from.status());
+  auto to = tpcd::SectionSixWorkload(lat, to_id);
+  if (!to.ok()) return Fail(to.status());
+  std::printf("drifting trace: %s  ->  %s over %d epochs\n",
+              tpcd::DescribeWorkload(from_id).c_str(),
+              tpcd::DescribeWorkload(to_id).c_str(), epochs);
+
+  MetricsRegistry metrics;
+  const ObsSink obs{&metrics, nullptr};
+
+  ReclusterConfig rc;
+  rc.ewma_alpha = alpha;
+  rc.readvise_drift_threshold = drift_threshold;
+  rc.queries_per_epoch = static_cast<double>(queries);
+  rc.movement_cost_per_page = 1.0;
+  rc.movement_budget_pages = budget;
+  rc.hysteresis_min_improvement = hysteresis;
+  rc.cooldown_epochs = cooldown;
+  rc.storage = StorageConfig{2048, 125};
+  rc.obs = obs;
+  ReclusterEngine engine(schema, warehouse.value().facts, rc);
+
+  LruPageCache cache(cache_pages, obs);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  TextTable table({"epoch", "drift", "decision", "layout", "cost", "evals",
+                   "cached", "pages moved", "cache hit%"});
+  for (int e = 0; e < epochs; ++e) {
+    const double t = static_cast<double>(e) / (epochs - 1);
+    auto mu = Blend(from.value(), to.value(), t);
+    if (!mu.ok()) return Fail(mu.status());
+    auto report = engine.OnEpoch(mu.value());
+    if (!report.ok()) return Fail(report.status());
+    const EpochReport& r = report.value();
+
+    // Replay this epoch's queries against the live layout. An adopted
+    // re-layout invalidates the pool (same page ids, different bytes);
+    // otherwise only the stats reset so the hit rate is per-epoch.
+    double hit_rate = 0.0;
+    if (engine.current_layout().has_value()) {
+      if (r.decision == ReclusterDecision::kAdopt ||
+          r.decision == ReclusterDecision::kInitialAdopt) {
+        cache.Clear();
+      } else {
+        cache.ResetStats();
+      }
+      ReplayWorkload(*engine.current_layout(), mu.value(), queries, &cache,
+                     &rng);
+      hit_rate = cache.HitRate();
+    }
+
+    table.AddRow({std::to_string(r.epoch), FormatDouble(r.drift, 4),
+                  ReclusterDecisionName(r.decision),
+                  engine.current() != nullptr ? engine.current()->name() : "-",
+                  FormatDouble(r.proposed_cost, 3),
+                  std::to_string(r.cost_evaluations),
+                  std::to_string(r.cost_cache_hits),
+                  std::to_string(r.movement.pages_moved()),
+                  FormatDouble(100.0 * hit_rate, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const ClassCostCache::Stats cost_stats = engine.state().cost_cache.stats();
+  const DpCache::Stats dp_stats = engine.state().dp_cache.stats();
+  std::printf(
+      "epochs %llu, adoptions %llu; per-class cost evaluations %llu, "
+      "avoided by cache %llu; DP solves %llu, DP cache hits %llu\n",
+      static_cast<unsigned long long>(engine.epochs_seen()),
+      static_cast<unsigned long long>(engine.adoptions()),
+      static_cast<unsigned long long>(cost_stats.misses),
+      static_cast<unsigned long long>(cost_stats.hits),
+      static_cast<unsigned long long>(dp_stats.misses),
+      static_cast<unsigned long long>(dp_stats.hits));
+  std::printf("\n%s\n", metrics.Snapshot().ToTable().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main(int argc, char** argv) { return snakes::Run(argc, argv); }
