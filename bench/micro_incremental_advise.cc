@@ -35,34 +35,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-bool SameBits(double a, double b) {
-  uint64_t x, y;
-  std::memcpy(&x, &a, sizeof(x));
-  std::memcpy(&y, &b, sizeof(y));
-  return x == y;
-}
-
-/// Bitwise recommendation equality: ranking, costs, and both DP paths.
-bool Identical(const Recommendation& a, const Recommendation& b) {
-  if (!(a.optimal_path == b.optimal_path) ||
-      !(a.optimal_snaked_path == b.optimal_snaked_path)) {
-    return false;
-  }
-  if (!SameBits(a.optimal_path_cost, b.optimal_path_cost) ||
-      !SameBits(a.snaked_optimal_cost, b.snaked_optimal_cost) ||
-      !SameBits(a.optimal_snaked_cost, b.optimal_snaked_cost)) {
-    return false;
-  }
-  if (a.ranked.size() != b.ranked.size()) return false;
-  for (size_t i = 0; i < a.ranked.size(); ++i) {
-    if (a.ranked[i].name != b.ranked[i].name ||
-        !SameBits(a.ranked[i].expected_cost, b.ranked[i].expected_cost)) {
-      return false;
-    }
-  }
-  return true;
-}
-
 void Run() {
   const tpcd::Config config;  // the paper's 200 x 10 x 84 grid
   const auto schema = tpcd::BuildSharedSchema(config).ValueOrDie();
@@ -109,7 +81,7 @@ void Run() {
       advisor.Advise(EvaluationRequest{drifted}).ValueOrDie();
   const double fresh_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-  const bool identical = Identical(warm_rec, fresh_rec);
+  const bool identical = BitIdenticalRecommendations(warm_rec, fresh_rec);
 
   const double ratio = static_cast<double>(cold_evals) /
                        static_cast<double>(warm_evals == 0 ? 1 : warm_evals);

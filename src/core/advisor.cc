@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <utility>
 
@@ -40,6 +41,38 @@ std::string Recommendation::ToString() const {
   }
   out += table.Render();
   return out;
+}
+
+namespace {
+
+bool SameBits(double a, double b) {
+  uint64_t x, y;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+}  // namespace
+
+bool BitIdenticalRecommendations(const Recommendation& a,
+                                 const Recommendation& b) {
+  if (!(a.optimal_path == b.optimal_path) ||
+      !(a.optimal_snaked_path == b.optimal_snaked_path)) {
+    return false;
+  }
+  if (!SameBits(a.optimal_path_cost, b.optimal_path_cost) ||
+      !SameBits(a.snaked_optimal_cost, b.snaked_optimal_cost) ||
+      !SameBits(a.optimal_snaked_cost, b.optimal_snaked_cost)) {
+    return false;
+  }
+  if (a.ranked.size() != b.ranked.size()) return false;
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    if (a.ranked[i].name != b.ranked[i].name ||
+        !SameBits(a.ranked[i].expected_cost, b.ranked[i].expected_cost)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string EvaluationPlan::ToString() const {

@@ -87,6 +87,15 @@ struct Recommendation {
   std::string ToString() const;
 };
 
+/// Bitwise recommendation equality: both DP paths, every cost double
+/// compared by bit pattern (no epsilon), and the full ranking (names, order,
+/// expected costs). This is the contract the memoized paths are held to —
+/// AdviseIncremental vs a cold Advise, and the service's warm serving path
+/// vs a direct library call. Shared so benches, tests, and the service
+/// simulator all check the same predicate.
+bool BitIdenticalRecommendations(const Recommendation& a,
+                                 const Recommendation& b);
+
 /// Memoized state threaded through AdviseIncremental calls. One instance
 /// per (advisor, strategy set) sequence of workload epochs: the caller keeps
 /// it alive across epochs and the advisor fills it as it goes. The caches

@@ -140,13 +140,14 @@ Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
     if (facts_ != nullptr) {
       // Initial adoption packs fresh; re-adoptions already packed the
       // proposed layout to price the movement.
-      if (!current_layout_.has_value() ||
+      if (current_layout_ == nullptr ||
           &current_layout_->linearization() != best_lin.get()) {
         SNAKES_ASSIGN_OR_RETURN(
             PackedLayout layout,
             PackedLayout::Pack(best_lin, facts_, config_.storage,
                                config_.obs));
-        current_layout_.emplace(std::move(layout));
+        current_layout_ =
+            std::make_shared<const PackedLayout>(std::move(layout));
       }
     }
     ++adoptions_;
@@ -178,14 +179,14 @@ Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
   }
 
   uint64_t pages_moved = 0;
-  std::optional<PackedLayout> proposed_layout;
-  if (facts_ != nullptr && current_layout_.has_value()) {
+  std::shared_ptr<const PackedLayout> proposed_layout;
+  if (facts_ != nullptr && current_layout_ != nullptr) {
     SNAKES_ASSIGN_OR_RETURN(
         PackedLayout packed,
         PackedLayout::Pack(best_lin, facts_, config_.storage, config_.obs));
     SNAKES_ASSIGN_OR_RETURN(report.movement,
                             ComputeMovementCost(*current_layout_, packed));
-    proposed_layout.emplace(std::move(packed));
+    proposed_layout = std::make_shared<const PackedLayout>(std::move(packed));
     pages_moved = report.movement.pages_moved();
     if (config_.movement_budget_pages > 0 &&
         pages_moved > config_.movement_budget_pages) {
@@ -195,12 +196,12 @@ Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
   report.net_benefit =
       improvement_seeks * config_.queries_per_epoch -
       static_cast<double>(pages_moved) * config_.movement_cost_per_page;
-  if (proposed_layout.has_value() && report.net_benefit <= 0.0) {
+  if (proposed_layout != nullptr && report.net_benefit <= 0.0) {
     return finish(ReclusterDecision::kKeepNegativeNetBenefit);
   }
 
-  if (proposed_layout.has_value()) {
-    current_layout_.emplace(std::move(*proposed_layout));
+  if (proposed_layout != nullptr) {
+    current_layout_ = std::move(proposed_layout);
   }
   SNAKES_RETURN_IF_ERROR(adopt());
   if (config_.obs.metrics != nullptr) {

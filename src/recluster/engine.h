@@ -127,9 +127,12 @@ class ReclusterEngine {
 
   /// The live clustering; null until the first advised epoch adopts.
   std::shared_ptr<const Linearization> current() const { return current_; }
-  /// The live packed layout; nullopt until first adoption or when `facts`
-  /// is null.
-  const std::optional<PackedLayout>& current_layout() const {
+  /// The live packed layout; null until first adoption or when `facts` is
+  /// null. Shared so a serving layer can publish the layout as an epoch and
+  /// let in-flight readers keep it alive after the engine adopts a
+  /// replacement (double-buffering: the engine never mutates a published
+  /// layout, it swaps in a freshly packed one).
+  std::shared_ptr<const PackedLayout> current_layout() const {
     return current_layout_;
   }
 
@@ -150,7 +153,7 @@ class ReclusterEngine {
   EwmaDriftEstimator estimator_;
   IncrementalAdvisorState state_;
   std::shared_ptr<const Linearization> current_;
-  std::optional<PackedLayout> current_layout_;
+  std::shared_ptr<const PackedLayout> current_layout_;
   uint64_t epochs_seen_ = 0;
   uint64_t adoptions_ = 0;
   int cooldown_remaining_ = 0;

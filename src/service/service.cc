@@ -1,0 +1,589 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "lattice/lattice.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/executor.h"
+#include "util/text_table.h"
+
+namespace snakes {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Typed requests bypass the parser, so the service re-checks the geometry
+/// a GridQuery claims before any storage code trusts it.
+Status ValidateQuery(const StarSchema& schema, const GridQuery& query) {
+  if (query.cls.num_dims() != schema.num_dims() ||
+      query.block.size() != static_cast<size_t>(schema.num_dims())) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query.cls.num_dims()) +
+        " class dims / " + std::to_string(query.block.size()) +
+        " blocks for a " + std::to_string(schema.num_dims()) + "-dim schema");
+  }
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    const int level = query.cls.level(d);
+    if (level < 0 || level > h.num_levels()) {
+      return Status::OutOfRange("query level " + std::to_string(level) +
+                                " outside [0, " +
+                                std::to_string(h.num_levels()) +
+                                "] in dimension " + h.name());
+    }
+    if (query.block[static_cast<size_t>(d)] >= h.num_blocks(level)) {
+      return Status::OutOfRange(
+          "query block " +
+          std::to_string(query.block[static_cast<size_t>(d)]) +
+          " outside level " + std::to_string(level) + " of dimension " +
+          h.name() + " (" + std::to_string(h.num_blocks(level)) + " blocks)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string TenantStatus::ToString() const {
+  std::string out = "tenant " + name + " (id " + std::to_string(id) + ")\n";
+  out += "  epochs closed " + std::to_string(epochs_closed) + ", ingested " +
+         std::to_string(ingested_total) + " (" +
+         std::to_string(ingested_this_epoch) + " open)\n";
+  out += "  published epoch " + std::to_string(published_sequence) +
+         ", strategy " + (current_strategy.empty() ? "-" : current_strategy) +
+         "\n";
+  out += "  recluster epochs " + std::to_string(recluster_epochs) +
+         ", adoptions " + std::to_string(recluster_adoptions) + "\n";
+  return out;
+}
+
+struct AdvisorService::Tenant {
+  Tenant(TenantId id_in, TenantSpec spec, const ReclusterConfig& engine_config,
+         int window_epochs)
+      : id(id_in),
+        name(std::move(spec.name)),
+        schema(std::move(spec.schema)),
+        facts(std::move(spec.facts)),
+        tables(std::move(spec.tables)),
+        lattice(*schema),
+        advisor(schema),
+        window(lattice, window_epochs),
+        pending(lattice.size(), 0.0),
+        engine(schema, facts, engine_config) {}
+
+  TenantId id;
+  const std::string name;
+  const std::shared_ptr<const StarSchema> schema;
+  const std::shared_ptr<const FactTable> facts;
+  const std::vector<DimensionTable> tables;
+  const QueryClassLattice lattice;
+  const ClusteringAdvisor advisor;
+
+  /// Guards the workload state: window, advise memo, open-epoch counts.
+  mutable std::mutex state_mu;
+  WindowDriftEstimator window;
+  IncrementalAdvisorState advise_state;
+  std::vector<double> pending;
+  uint64_t pending_ingests = 0;
+  uint64_t ingested_total = 0;
+  uint64_t epochs_closed = 0;
+
+  /// Serializes ReclusterEngine epochs (the engine is not thread-safe).
+  std::mutex recluster_mu;
+  ReclusterEngine engine;
+
+  /// Held only to copy or swap the epoch pointer — never across an advise,
+  /// a pack, or any I/O, which is what keeps readers block-free.
+  mutable std::mutex epoch_mu;
+  std::shared_ptr<const TenantEpoch> epoch;
+  uint64_t published_sequence = 0;
+
+  /// Resolved once at registration when metrics are attached.
+  Counter* requests_counter = nullptr;
+  Counter* ingested_counter = nullptr;
+  Counter* reclusters_counter = nullptr;
+
+  void CountRequest() const {
+    if (requests_counter != nullptr) requests_counter->Inc();
+  }
+};
+
+AdvisorService::AdvisorService(ServiceConfig config)
+    : config_(std::move(config)),
+      request_pool_(std::make_unique<ThreadPool>(
+          config_.request_threads <= 0 ? 1 : config_.request_threads)),
+      background_pool_(std::make_unique<ThreadPool>(1)) {}
+
+AdvisorService::~AdvisorService() { Shutdown(); }
+
+void AdvisorService::Shutdown() {
+  // Requests first: a draining request may still schedule a recluster,
+  // which the background pool either runs (pre-shutdown) or rejects into
+  // the service.recluster.rejected counter.
+  request_pool_->Shutdown();
+  background_pool_->Shutdown();
+}
+
+Result<AdvisorService::Tenant*> AdvisorService::Find(TenantId id) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  if (id >= tenants_.size()) {
+    return Status::NotFound("no tenant with id " + std::to_string(id));
+  }
+  return tenants_[id].get();
+}
+
+Result<TenantId> AdvisorService::FindTenant(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no tenant named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+uint64_t AdvisorService::num_tenants() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_.size();
+}
+
+Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
+  ScopedSpan span(config_.obs.tracer, "service/register", "service");
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  if (spec.schema == nullptr) {
+    return Status::InvalidArgument("tenant schema must be non-null");
+  }
+  if (spec.facts != nullptr && &spec.facts->schema() != spec.schema.get()) {
+    return Status::InvalidArgument(
+        "tenant fact table belongs to a different schema");
+  }
+  if (!spec.tables.empty() &&
+      spec.tables.size() != static_cast<size_t>(spec.schema->num_dims())) {
+    return Status::InvalidArgument(
+        "tenant needs one dimension table per schema dimension (got " +
+        std::to_string(spec.tables.size()) + " for " +
+        std::to_string(spec.schema->num_dims()) + " dims)");
+  }
+  span.AddArg("tenant", spec.name);
+
+  ReclusterConfig engine_config = config_.recluster;
+  engine_config.storage = config_.storage;
+  engine_config.obs = config_.obs;
+
+  const QueryClassLattice lattice(*spec.schema);
+  Workload initial = spec.initial_workload.has_value()
+                         ? *spec.initial_workload
+                         : Workload::Uniform(lattice);
+  if (initial.size() != lattice.size()) {
+    return Status::InvalidArgument(
+        "initial workload lattice does not match the tenant schema");
+  }
+
+  auto tenant = std::make_unique<Tenant>(0, std::move(spec), engine_config,
+                                         config_.window_epochs);
+  Tenant* t = tenant.get();
+  SNAKES_RETURN_IF_ERROR(t->window.Observe(initial));
+
+  // Advise + pack + publish epoch 1 before the tenant becomes visible, so a
+  // registered tenant always serves from a live epoch.
+  {
+    std::lock_guard<std::mutex> lock(t->recluster_mu);
+    SNAKES_ASSIGN_OR_RETURN(EpochReport report, t->engine.OnEpoch(initial));
+    (void)report;
+    Publish(t, t->engine.current(), t->engine.current_layout());
+  }
+
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  if (by_name_.count(t->name) > 0) {
+    return Status::InvalidArgument("tenant '" + t->name +
+                                   "' is already registered");
+  }
+  const TenantId id = tenants_.size();
+  t->id = id;
+  if (config_.obs.metrics != nullptr) {
+    const std::string prefix = "service.tenant." + t->name;
+    t->requests_counter = config_.obs.metrics->GetCounter(prefix + ".requests");
+    t->ingested_counter = config_.obs.metrics->GetCounter(prefix + ".ingested");
+    t->reclusters_counter =
+        config_.obs.metrics->GetCounter(prefix + ".reclusters");
+    config_.obs.metrics->GetCounter("service.tenants")->Inc();
+  }
+  by_name_.emplace(t->name, id);
+  tenants_.push_back(std::move(tenant));
+  return id;
+}
+
+void AdvisorService::Publish(Tenant* tenant,
+                             std::shared_ptr<const Linearization> lin,
+                             std::shared_ptr<const PackedLayout> layout) {
+  auto epoch = std::make_shared<TenantEpoch>();
+  epoch->linearization = std::move(lin);
+  epoch->layout = std::move(layout);
+  {
+    std::lock_guard<std::mutex> lock(tenant->epoch_mu);
+    epoch->sequence = ++tenant->published_sequence;
+    tenant->epoch = std::move(epoch);
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("service.epochs_published")->Inc();
+  }
+}
+
+Result<std::shared_ptr<const TenantEpoch>> AdvisorService::PinEpoch(
+    TenantId id) const {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const TenantEpoch> pinned;
+  {
+    std::lock_guard<std::mutex> lock(tenant->epoch_mu);
+    pinned = tenant->epoch;
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetHistogram("service.epoch.pin_ns")
+        ->Record(ElapsedNs(start));
+  }
+  if (pinned == nullptr) {
+    return Status::Internal("tenant '" + tenant->name +
+                            "' has no published epoch");
+  }
+  return pinned;
+}
+
+Result<Workload> AdvisorService::SmoothedWorkload(TenantId id) const {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  std::lock_guard<std::mutex> lock(tenant->state_mu);
+  return tenant->window.Smoothed();
+}
+
+Status AdvisorService::Ingest(TenantId id, const GridQuery& query) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  SNAKES_RETURN_IF_ERROR(ValidateQuery(*tenant->schema, query));
+  tenant->CountRequest();
+  if (tenant->ingested_counter != nullptr) tenant->ingested_counter->Inc();
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    tenant->pending[tenant->lattice.Index(query.cls)] += 1.0;
+    ++tenant->pending_ingests;
+    ++tenant->ingested_total;
+    if (config_.ingests_per_epoch > 0 &&
+        tenant->pending_ingests >= config_.ingests_per_epoch) {
+      const Result<Workload> closed_epoch = CloseEpochLocked(tenant);
+      if (!closed_epoch.ok()) return closed_epoch.status();
+      closed = true;
+    }
+  }
+  if (closed) MaybeScheduleRecluster(id);
+  return Status::OK();
+}
+
+Result<Workload> AdvisorService::CloseEpochLocked(Tenant* tenant) {
+  if (tenant->pending_ingests == 0) {
+    return Status::FailedPrecondition(
+        "tenant '" + tenant->name +
+        "': no queries ingested since the last epoch close");
+  }
+  SNAKES_ASSIGN_OR_RETURN(
+      Workload epoch_mu_w,
+      Workload::FromDense(tenant->lattice, tenant->pending,
+                          /*normalize=*/true));
+  SNAKES_RETURN_IF_ERROR(tenant->window.Observe(epoch_mu_w));
+  std::fill(tenant->pending.begin(), tenant->pending.end(), 0.0);
+  tenant->pending_ingests = 0;
+  ++tenant->epochs_closed;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("service.epochs_closed")->Inc();
+    config_.obs.metrics->GetGauge("service.window.last_drift")
+        ->Set(tenant->window.LastDrift());
+  }
+  return epoch_mu_w;
+}
+
+Result<uint64_t> AdvisorService::EndEpoch(TenantId id) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  tenant->CountRequest();
+  uint64_t closed_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    const Result<Workload> closed_epoch = CloseEpochLocked(tenant);
+    if (!closed_epoch.ok()) return closed_epoch.status();
+    closed_count = tenant->epochs_closed;
+  }
+  MaybeScheduleRecluster(id);
+  return closed_count;
+}
+
+void AdvisorService::MaybeScheduleRecluster(TenantId id) {
+  if (!config_.recluster_on_epoch_close) return;
+  MetricsRegistry* metrics = config_.obs.metrics;
+  auto submitted = background_pool_->TrySubmit([this, id, metrics]() {
+    auto tenant = Find(id);
+    if (!tenant.ok()) return;
+    const auto report = RunRecluster(tenant.value());
+    if (!report.ok() && metrics != nullptr) {
+      metrics->GetCounter("service.recluster.errors")->Inc();
+    }
+  });
+  if (!submitted.ok() && metrics != nullptr) {
+    metrics->GetCounter("service.recluster.rejected")->Inc();
+  }
+}
+
+Result<EpochReport> AdvisorService::RunRecluster(Tenant* tenant) {
+  ScopedSpan span(config_.obs.tracer, "service/recluster", "service");
+  span.AddArg("tenant", tenant->name);
+  if (tenant->reclusters_counter != nullptr) tenant->reclusters_counter->Inc();
+  Workload mu = [&] {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    return tenant->window.Smoothed();
+  }();
+  std::lock_guard<std::mutex> lock(tenant->recluster_mu);
+  SNAKES_ASSIGN_OR_RETURN(EpochReport report, tenant->engine.OnEpoch(mu));
+  if (report.decision == ReclusterDecision::kAdopt ||
+      report.decision == ReclusterDecision::kInitialAdopt) {
+    // Double-buffer publish: readers pinned to the previous epoch keep it
+    // alive; new pins see the fresh layout immediately.
+    Publish(tenant, tenant->engine.current(),
+            tenant->engine.current_layout());
+  }
+  return report;
+}
+
+Result<EpochReport> AdvisorService::ReclusterNow(TenantId id) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  tenant->CountRequest();
+  return RunRecluster(tenant);
+}
+
+Result<Recommendation> AdvisorService::Advise(TenantId id) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  ScopedSpan span(config_.obs.tracer, "service/advise", "service");
+  span.AddArg("tenant", tenant->name);
+  tenant->CountRequest();
+  std::lock_guard<std::mutex> lock(tenant->state_mu);
+  EvaluationRequest request{tenant->window.Smoothed()};
+  request.strategies = config_.recluster.strategies;
+  request.num_threads = 1;  // the request pool is the parallelism
+  request.cost_mode = config_.recluster.cost_mode;
+  request.obs = config_.obs;
+  return tenant->advisor.AdviseIncremental(request, &tenant->advise_state);
+}
+
+Result<QueryAnswer> AdvisorService::Query(TenantId id, const GridQuery& query) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  SNAKES_RETURN_IF_ERROR(ValidateQuery(*tenant->schema, query));
+  tenant->CountRequest();
+  SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const TenantEpoch> epoch,
+                          PinEpoch(id));
+  if (epoch->layout == nullptr) {
+    return Status::FailedPrecondition("tenant '" + tenant->name +
+                                      "' is analytic (no fact table)");
+  }
+  const QueryEngine engine(*epoch->layout);
+  return engine.Execute(query);
+}
+
+Result<QueryIo> AdvisorService::Measure(TenantId id, const GridQuery& query) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  SNAKES_RETURN_IF_ERROR(ValidateQuery(*tenant->schema, query));
+  tenant->CountRequest();
+  SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const TenantEpoch> epoch,
+                          PinEpoch(id));
+  if (epoch->layout == nullptr) {
+    return Status::FailedPrecondition("tenant '" + tenant->name +
+                                      "' is analytic (no fact table)");
+  }
+  const IoSimulator simulator(*epoch->layout, config_.obs);
+  return simulator.Measure(query);
+}
+
+Result<TenantStatus> AdvisorService::StatusOf(TenantId id) const {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TenantStatus status;
+  status.id = tenant->id;
+  status.name = tenant->name;
+  {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    status.epochs_closed = tenant->epochs_closed;
+    status.ingested_total = tenant->ingested_total;
+    status.ingested_this_epoch = tenant->pending_ingests;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenant->epoch_mu);
+    status.published_sequence = tenant->published_sequence;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenant->recluster_mu);
+    status.recluster_epochs = tenant->engine.epochs_seen();
+    status.recluster_adoptions = tenant->engine.adoptions();
+    if (tenant->engine.current() != nullptr) {
+      status.current_strategy = tenant->engine.current()->name();
+    }
+  }
+  return status;
+}
+
+// ---- Batched request surface ------------------------------------------
+
+template <typename R>
+std::future<R> AdvisorService::SubmitInstrumented(ThreadPool* pool,
+                                                  const char* type,
+                                                  std::function<R()> fn) {
+  Histogram* queue_hist = nullptr;
+  Histogram* compute_hist = nullptr;
+  if (config_.obs.metrics != nullptr) {
+    const std::string prefix = std::string("service.") + type;
+    queue_hist = config_.obs.metrics->GetHistogram(prefix + ".queue_ns");
+    compute_hist = config_.obs.metrics->GetHistogram(prefix + ".compute_ns");
+  }
+  const auto submitted = std::chrono::steady_clock::now();
+  auto accepted = pool->TrySubmit(
+      [submitted, queue_hist, compute_hist, fn = std::move(fn)]() -> R {
+        const auto start = std::chrono::steady_clock::now();
+        if (queue_hist != nullptr) queue_hist->Record(ElapsedNs(submitted));
+        R out = fn();
+        if (compute_hist != nullptr) compute_hist->Record(ElapsedNs(start));
+        return out;
+      });
+  if (accepted.ok()) return std::move(accepted).value();
+  std::promise<R> rejected;
+  rejected.set_value(R(Status::FailedPrecondition(
+      std::string("service: ") + type + " submitted after Shutdown()")));
+  return rejected.get_future();
+}
+
+std::future<Status> AdvisorService::SubmitIngest(TenantId id, GridQuery query) {
+  return SubmitInstrumented<Status>(
+      request_pool_.get(), "ingest",
+      [this, id, query = std::move(query)]() { return Ingest(id, query); });
+}
+
+std::future<Result<uint64_t>> AdvisorService::SubmitEndEpoch(TenantId id) {
+  return SubmitInstrumented<Result<uint64_t>>(
+      request_pool_.get(), "end_epoch", [this, id]() { return EndEpoch(id); });
+}
+
+std::future<Result<Recommendation>> AdvisorService::SubmitAdvise(TenantId id) {
+  return SubmitInstrumented<Result<Recommendation>>(
+      request_pool_.get(), "advise", [this, id]() { return Advise(id); });
+}
+
+std::future<Result<QueryAnswer>> AdvisorService::SubmitQuery(TenantId id,
+                                                             GridQuery query) {
+  return SubmitInstrumented<Result<QueryAnswer>>(
+      request_pool_.get(), "query",
+      [this, id, query = std::move(query)]() { return Query(id, query); });
+}
+
+std::future<Result<QueryIo>> AdvisorService::SubmitMeasure(TenantId id,
+                                                           GridQuery query) {
+  return SubmitInstrumented<Result<QueryIo>>(
+      request_pool_.get(), "measure",
+      [this, id, query = std::move(query)]() { return Measure(id, query); });
+}
+
+std::future<Result<EpochReport>> AdvisorService::SubmitRecluster(TenantId id) {
+  return SubmitInstrumented<Result<EpochReport>>(
+      background_pool_.get(), "recluster",
+      [this, id]() { return ReclusterNow(id); });
+}
+
+std::future<Result<std::string>> AdvisorService::SubmitDispatch(
+    std::string tenant_name, std::string request) {
+  return SubmitInstrumented<Result<std::string>>(
+      request_pool_.get(), "dispatch",
+      [this, tenant_name = std::move(tenant_name),
+       request = std::move(request)]() {
+        return Dispatch(tenant_name, request);
+      });
+}
+
+// ---- Textual surface ---------------------------------------------------
+
+Result<std::string> AdvisorService::Dispatch(std::string_view tenant_name,
+                                             std::string_view request) {
+  SNAKES_ASSIGN_OR_RETURN(TenantId id, FindTenant(tenant_name));
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  const std::string_view trimmed = TrimWhitespace(request);
+  const size_t space = trimmed.find(' ');
+  const std::string_view verb = trimmed.substr(0, space);
+  const std::string_view payload =
+      space == std::string_view::npos
+          ? std::string_view{}
+          : TrimWhitespace(trimmed.substr(space + 1));
+
+  const auto parse_query = [&]() -> Result<GridQuery> {
+    if (tenant->tables.empty()) {
+      return Status::FailedPrecondition(
+          "tenant '" + tenant->name +
+          "' registered no dimension tables; textual queries are disabled");
+    }
+    return ParseGridQuery(*tenant->schema, tenant->tables, payload);
+  };
+
+  if (verb == "advise") {
+    SNAKES_ASSIGN_OR_RETURN(Recommendation rec, Advise(id));
+    if (!rec.has_best()) {
+      return Status::InvalidArgument("no strategy applies to the schema");
+    }
+    return "best " + rec.best().name + " cost " +
+           FormatDouble(rec.best().expected_cost, 4) + " (" +
+           std::to_string(rec.ranked.size()) + " strategies)";
+  }
+  if (verb == "ingest") {
+    SNAKES_ASSIGN_OR_RETURN(GridQuery query, parse_query());
+    SNAKES_RETURN_IF_ERROR(Ingest(id, query));
+    return std::string("ingested " + query.ToString());
+  }
+  if (verb == "query") {
+    SNAKES_ASSIGN_OR_RETURN(GridQuery query, parse_query());
+    SNAKES_ASSIGN_OR_RETURN(QueryAnswer answer, Query(id, query));
+    return "count " + std::to_string(answer.count) + " sum " +
+           FormatDouble(answer.sum, 2) + " pages " +
+           std::to_string(answer.io.pages) + " seeks " +
+           std::to_string(answer.io.seeks);
+  }
+  if (verb == "measure") {
+    SNAKES_ASSIGN_OR_RETURN(GridQuery query, parse_query());
+    SNAKES_ASSIGN_OR_RETURN(QueryIo io, Measure(id, query));
+    return "records " + std::to_string(io.records) + " pages " +
+           std::to_string(io.pages) + " seeks " + std::to_string(io.seeks);
+  }
+  if (verb == "end-epoch") {
+    SNAKES_ASSIGN_OR_RETURN(uint64_t epoch, EndEpoch(id));
+    return "closed epoch " + std::to_string(epoch);
+  }
+  if (verb == "recluster") {
+    SNAKES_ASSIGN_OR_RETURN(EpochReport report, ReclusterNow(id));
+    return std::string(ReclusterDecisionName(report.decision)) + " " +
+           report.proposed_strategy;
+  }
+  if (verb == "status") {
+    SNAKES_ASSIGN_OR_RETURN(TenantStatus status, StatusOf(id));
+    return status.ToString();
+  }
+  return Status::InvalidArgument("unknown request verb '" +
+                                 std::string(verb) + "'");
+}
+
+}  // namespace snakes

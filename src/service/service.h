@@ -1,0 +1,267 @@
+#ifndef SNAKES_SERVICE_SERVICE_H_
+#define SNAKES_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/query_parser.h"
+#include "hierarchy/dimension_table.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "lattice/workload_delta.h"
+#include "obs/obs.h"
+#include "recluster/engine.h"
+#include "storage/fact_table.h"
+#include "storage/pager.h"
+#include "storage/query_engine.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace snakes {
+
+/// Stable id of a registered tenant (dense, assigned at registration).
+using TenantId = uint64_t;
+
+/// Knobs of the always-on advisor service.
+struct ServiceConfig {
+  /// Workers serving advise/measure/query/ingest requests. Relayouts never
+  /// run here — they go to a dedicated background worker so a long pack
+  /// cannot occupy the serving pool.
+  int request_threads = 1;
+  /// Sliding window (epochs) of each tenant's WindowDriftEstimator.
+  int window_epochs = 4;
+  /// Ingested queries that automatically close a tenant epoch (0 = epochs
+  /// close only via EndEpoch/SubmitEndEpoch).
+  uint64_t ingests_per_epoch = 0;
+  /// Fire a background recluster epoch whenever a tenant epoch closes.
+  bool recluster_on_epoch_close = true;
+  /// Per-tenant ReclusterEngine knobs. The engine advises on the workload
+  /// the service feeds it — the window-smoothed estimate — so the default
+  /// alpha of 1.0 avoids smoothing twice; obs and storage are overridden
+  /// with the service's own below.
+  ReclusterConfig recluster = [] {
+    ReclusterConfig config;
+    config.ewma_alpha = 1.0;
+    return config;
+  }();
+  StorageConfig storage;
+  /// Metrics/tracing backends shared by every tenant. Request handlers
+  /// record per-type queue-wait and compute histograms
+  /// (service.<type>.queue_ns / service.<type>.compute_ns), per-tenant
+  /// counters (service.tenant.<name>.<type>), and spans nesting
+  /// service/<type> -> tenant -> the library's advisor/storage spans.
+  ObsSink obs;
+};
+
+/// Everything the service needs to own one fact table.
+struct TenantSpec {
+  /// Unique name; doubles as the tenant key of the textual Dispatch surface.
+  std::string name;
+  std::shared_ptr<const StarSchema> schema;
+  /// May be null: an analytic tenant (advise only; measure/query fail with
+  /// FailedPrecondition).
+  std::shared_ptr<const FactTable> facts;
+  /// One table per schema dimension, in schema order; empty disables the
+  /// textual query surface for this tenant (typed requests still work).
+  std::vector<DimensionTable> tables;
+  /// Seeds the drift window and drives the initial advise + pack, so the
+  /// tenant serves queries from registration on. Unset = uniform workload.
+  std::optional<Workload> initial_workload;
+};
+
+/// One published generation of a tenant's physical design. Readers pin the
+/// epoch by holding the shared_ptr; a background relayout publishes a fresh
+/// epoch by swapping the tenant's pointer under a mutex held only for the
+/// swap, and the superseded epoch is destroyed when its last pinned reader
+/// drains — the double-buffering that keeps readers block-free during
+/// reclustering.
+struct TenantEpoch {
+  /// Publish count (1 = the registration layout).
+  uint64_t sequence = 0;
+  std::shared_ptr<const Linearization> linearization;
+  /// Null for analytic tenants.
+  std::shared_ptr<const PackedLayout> layout;
+};
+
+/// Point-in-time view of one tenant's serving state.
+struct TenantStatus {
+  TenantId id = 0;
+  std::string name;
+  uint64_t epochs_closed = 0;
+  uint64_t ingested_total = 0;
+  uint64_t ingested_this_epoch = 0;
+  uint64_t published_sequence = 0;
+  uint64_t recluster_epochs = 0;
+  uint64_t recluster_adoptions = 0;
+  std::string current_strategy;
+
+  std::string ToString() const;
+};
+
+/// A long-lived, multi-tenant advisor daemon over the library: registers
+/// fact tables, ingests a stream of parsed GridQuerys per tenant, maintains
+/// sliding-window workload estimates, and serves concurrent Advise /
+/// Measure / Query traffic batched onto a ThreadPool while per-tenant
+/// ReclusterEngine epochs fire on a background worker against double-
+/// buffered PackedLayout epochs.
+///
+///   AdvisorService service(config);
+///   TenantId t = service.RegisterTenant(spec).value();
+///   auto answer = service.SubmitQuery(t, query);     // future<Result<...>>
+///   service.Ingest(t, query); ...; service.EndEpoch(t);
+///   auto rec = service.Advise(t);  // bit-identical to AdviseIncremental
+///
+/// Thread-safety: every public method is safe to call concurrently. Per
+/// tenant, workload state (window + advise memo) is guarded by one mutex,
+/// the recluster engine by another, and the published epoch pointer by a
+/// third held only for pointer copies — readers never wait on an advise or
+/// a relayout. Warm results are bit-identical to direct library calls
+/// (BitIdenticalRecommendations): the service adds no numeric state of its
+/// own, only memoization that is already exact.
+class AdvisorService {
+ public:
+  explicit AdvisorService(ServiceConfig config = {});
+  /// Drains both pools (pending requests and reclusters complete).
+  ~AdvisorService();
+
+  AdvisorService(const AdvisorService&) = delete;
+  AdvisorService& operator=(const AdvisorService&) = delete;
+
+  /// Registers a tenant: validates the spec, seeds the drift window with
+  /// the initial workload, advises, packs (when facts are present), and
+  /// publishes epoch 1. Names must be unique and non-empty.
+  Result<TenantId> RegisterTenant(TenantSpec spec);
+
+  uint64_t num_tenants() const;
+  /// The id registered under `name`, or NotFound.
+  Result<TenantId> FindTenant(std::string_view name) const;
+
+  // ---- Synchronous request surface (also the task bodies of Submit*) ----
+
+  /// Records one parsed query into the tenant's open epoch. Closes the
+  /// epoch automatically when config.ingests_per_epoch is reached.
+  Status Ingest(TenantId id, const GridQuery& query);
+
+  /// Closes the tenant's open epoch: folds the ingested distribution into
+  /// the sliding window and (per config) fires a background recluster.
+  /// Returns the closed-epoch count; FailedPrecondition when no queries
+  /// were ingested since the last close.
+  Result<uint64_t> EndEpoch(TenantId id);
+
+  /// Advises on the tenant's window-smoothed workload through its memoized
+  /// incremental state. Bit-identical to ClusteringAdvisor::AdviseIncremental
+  /// on SmoothedWorkload(id) — the contract service_test and service_sim
+  /// verify with BitIdenticalRecommendations.
+  Result<Recommendation> Advise(TenantId id);
+
+  /// Executes an aggregate grid query against the pinned epoch's layout.
+  Result<QueryAnswer> Query(TenantId id, const GridQuery& query);
+
+  /// Measures the I/O footprint of one query against the pinned epoch.
+  Result<QueryIo> Measure(TenantId id, const GridQuery& query);
+
+  /// Runs one ReclusterEngine epoch on the calling thread and publishes the
+  /// adopted layout (if any) as a new TenantEpoch.
+  Result<EpochReport> ReclusterNow(TenantId id);
+
+  // ---- Batched request surface ----------------------------------------
+
+  /// Each Submit* enqueues the corresponding synchronous call onto the
+  /// request pool and returns its future; queue-wait and compute times are
+  /// recorded per request type. After Shutdown() the future is immediately
+  /// ready with FailedPrecondition.
+  std::future<Status> SubmitIngest(TenantId id, GridQuery query);
+  std::future<Result<uint64_t>> SubmitEndEpoch(TenantId id);
+  std::future<Result<Recommendation>> SubmitAdvise(TenantId id);
+  std::future<Result<QueryAnswer>> SubmitQuery(TenantId id, GridQuery query);
+  std::future<Result<QueryIo>> SubmitMeasure(TenantId id, GridQuery query);
+  /// Queues a recluster epoch on the background worker.
+  std::future<Result<EpochReport>> SubmitRecluster(TenantId id);
+
+  // ---- Textual surface -------------------------------------------------
+
+  /// Parses and serves one textual request against the named tenant:
+  ///
+  ///   advise                 | end-epoch | recluster | status
+  ///   ingest <query text>    | query <query text> | measure <query text>
+  ///
+  /// Query text is the core/query_parser clause syntax and requires the
+  /// tenant to have registered dimension tables. Every malformed input —
+  /// unknown tenant, unknown verb, unparsable query — comes back as an
+  /// error Status, never a crash (fuzzed by tests/service_fuzz_test.cc).
+  Result<std::string> Dispatch(std::string_view tenant_name,
+                               std::string_view request);
+
+  /// Dispatch on the request pool.
+  std::future<Result<std::string>> SubmitDispatch(std::string tenant_name,
+                                                  std::string request);
+
+  // ---- Introspection ---------------------------------------------------
+
+  /// Pins the tenant's current epoch (never null once registered).
+  Result<std::shared_ptr<const TenantEpoch>> PinEpoch(TenantId id) const;
+
+  /// The tenant's current window-smoothed workload estimate.
+  Result<Workload> SmoothedWorkload(TenantId id) const;
+
+  Result<TenantStatus> StatusOf(TenantId id) const;
+
+  /// Stops admission on both pools and drains them. Idempotent; in-flight
+  /// requests finish, new submissions fail with FailedPrecondition.
+  void Shutdown();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Tenant;
+
+  /// Looks a tenant up by id; NotFound past the registered range.
+  Result<Tenant*> Find(TenantId id) const;
+
+  /// Closes the open epoch. Caller holds tenant->state_mu; returns the
+  /// closed epoch's observed workload for the recluster trigger.
+  Result<Workload> CloseEpochLocked(Tenant* tenant);
+
+  /// Epoch-close follow-up: fire-and-forget background recluster.
+  void MaybeScheduleRecluster(TenantId id);
+
+  /// The OnEpoch + publish body shared by ReclusterNow and SubmitRecluster.
+  Result<EpochReport> RunRecluster(Tenant* tenant);
+
+  /// Builds a TenantEpoch around the adopted linearization/layout, stamps
+  /// the next sequence number, and swaps it in as the tenant's published
+  /// epoch (the pointer swap is the only step under epoch_mu).
+  void Publish(Tenant* tenant, std::shared_ptr<const Linearization> lin,
+               std::shared_ptr<const PackedLayout> layout);
+
+  /// Wraps `fn` with queue-wait/compute instrumentation for `type` and
+  /// submits it to `pool`; rejection surfaces as an immediately-ready
+  /// future (built by the caller-supplied `rejected` value factory).
+  template <typename R>
+  std::future<R> SubmitInstrumented(ThreadPool* pool, const char* type,
+                                    std::function<R()> fn);
+
+  ServiceConfig config_;
+  std::unique_ptr<ThreadPool> request_pool_;
+  /// One worker: relayouts for different tenants run serially in the
+  /// background, never on the serving pool.
+  std::unique_ptr<ThreadPool> background_pool_;
+
+  mutable std::mutex tenants_mu_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::unordered_map<std::string, TenantId> by_name_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_SERVICE_SERVICE_H_

@@ -17,21 +17,33 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Idempotence: a second Shutdown finds every worker already joined.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::IsShutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutting_down_;
+}
+
+bool ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return false;
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {

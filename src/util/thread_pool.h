@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/result.h"
+
 namespace snakes {
 
 /// A fixed-size worker pool with a task-futures interface, built for the
@@ -40,7 +42,8 @@ class ThreadPool {
   /// size 1 is a valid serial executor (one worker, FIFO order).
   explicit ThreadPool(int num_threads = 0);
 
-  /// Joins all workers; pending tasks are completed first.
+  /// Calls Shutdown(): pending tasks are completed first, then the workers
+  /// join.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -48,8 +51,23 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Drain-on-shutdown: stops admission (TrySubmit fails, Submit returns a
+  /// broken-promise future), lets every task submitted *before* the call run
+  /// to completion, then joins the workers. Idempotent, and safe to race
+  /// with concurrent submitters (they are cleanly rejected); concurrent
+  /// Shutdown calls from two threads are not supported — the owner shuts
+  /// the pool down, exactly like destruction.
+  void Shutdown();
+
+  /// True once Shutdown() has begun (admission closed). Tasks may still be
+  /// draining.
+  bool IsShutdown() const;
+
   /// Enqueues `fn` and returns its future. Exceptions thrown by `fn` are
   /// captured into the future (rethrown by get()), never onto a worker.
+  /// After Shutdown() the task is rejected and never runs: the returned
+  /// future is broken (get() throws std::future_error{broken_promise}) —
+  /// well-defined, but prefer TrySubmit when shutdown can race submission.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -59,15 +77,33 @@ class ThreadPool {
     return future;
   }
 
+  /// Submit with explicit admission: FailedPrecondition after Shutdown(),
+  /// otherwise the task's future. The service layer uses this so a request
+  /// arriving during teardown becomes a status, not a broken future.
+  template <typename F>
+  auto TrySubmit(F&& fn)
+      -> Result<std::future<std::invoke_result_t<std::decay_t<F>>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (!Enqueue([task]() { (*task)(); })) {
+      return Status::FailedPrecondition(
+          "ThreadPool: submit after Shutdown()");
+    }
+    return future;
+  }
+
   /// Runs fn(i) for every i in [0, n) across the pool and blocks until all
   /// complete. If any invocation throws, the exception of the *lowest failing
   /// index* is rethrown (deterministic regardless of scheduling); the
   /// remaining invocations still run to completion. n == 0 is a no-op, and a
-  /// 1-thread pool degrades to a plain sequential loop.
+  /// 1-thread pool degrades to a plain sequential loop — as does a pool that
+  /// has been Shutdown() (the caller's thread runs every index itself, so
+  /// ParallelFor stays total instead of deadlocking on rejected tasks).
   template <typename Fn>
   void ParallelFor(uint64_t n, Fn&& fn) {
     if (n == 0) return;
-    if (num_threads() == 1 || n == 1) {
+    if (num_threads() == 1 || n == 1 || IsShutdown()) {
       for (uint64_t i = 0; i < n; ++i) fn(i);
       return;
     }
@@ -88,10 +124,11 @@ class ThreadPool {
   }
 
  private:
-  void Enqueue(std::function<void()> task);
+  /// Queues `task`; false when admission is closed (shutting down).
+  bool Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;

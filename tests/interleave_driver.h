@@ -1,0 +1,95 @@
+#ifndef SNAKES_TESTS_INTERLEAVE_DRIVER_H_
+#define SNAKES_TESTS_INTERLEAVE_DRIVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace snakes {
+
+/// Deterministic concurrency harness for service-level tests: takes N
+/// operation closures and executes them under seeded schedules, so "the
+/// result is independent of request ordering" becomes a property checked
+/// over many reproducible interleavings instead of one lucky run.
+///
+/// Two execution modes cover the two halves of that property:
+///
+///  * RunSerial — executes the ops one at a time in a seeded Fisher-Yates
+///    permutation. Fully deterministic: seed s always yields the same
+///    schedule, so a failing seed is a repro. Sweeping seeds enumerates
+///    distinct total orders of {advise, ingest, recluster, ...}.
+///  * RunConcurrent — hands the permuted ops to real threads behind a
+///    start gate (every thread spins up before any op runs). Scheduling is
+///    up to the OS; this is the leg TSan watches for data races while the
+///    test asserts the final state still matches the serial runs.
+///
+/// One driver instance = one schedule stream: Permutation/RunSerial/
+/// RunConcurrent draw from the seeded Rng in call order.
+class InterleaveDriver {
+ public:
+  using Op = std::function<void()>;
+
+  explicit InterleaveDriver(uint64_t seed) : rng_(seed) {}
+
+  /// Seeded Fisher-Yates permutation of [0, n).
+  std::vector<size_t> Permutation(size_t n) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    for (size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.Below(i)]);
+    }
+    return order;
+  }
+
+  /// Executes every op exactly once, serially, in a seeded order.
+  void RunSerial(const std::vector<Op>& ops) {
+    for (size_t index : Permutation(ops.size())) ops[index]();
+  }
+
+  /// Executes every op exactly once across `num_threads` real threads.
+  /// Ops are dealt to threads in a seeded permutation (thread t runs its
+  /// share in that order); a start gate releases all threads at once to
+  /// maximize overlap. Blocks until every op has returned.
+  void RunConcurrent(int num_threads, const std::vector<Op>& ops) {
+    if (num_threads < 1) num_threads = 1;
+    const std::vector<size_t> order = Permutation(ops.size());
+    std::mutex gate_mu;
+    std::condition_variable gate_cv;
+    bool open = false;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t]() {
+        {
+          std::unique_lock<std::mutex> lock(gate_mu);
+          gate_cv.wait(lock, [&]() { return open; });
+        }
+        // Strided deal: thread t executes order[t], order[t + T], ...
+        for (size_t i = static_cast<size_t>(t); i < order.size();
+             i += static_cast<size_t>(num_threads)) {
+          ops[order[i]]();
+        }
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      open = true;
+    }
+    gate_cv.notify_all();
+    for (std::thread& thread : threads) thread.join();
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_TESTS_INTERLEAVE_DRIVER_H_

@@ -489,7 +489,7 @@ TEST(ReclusterEngineTest, FirstEpochAdoptsUnconditionally) {
   EXPECT_EQ(report.decision, ReclusterDecision::kInitialAdopt);
   ASSERT_NE(engine.current(), nullptr);
   EXPECT_EQ(engine.current()->name(), report.proposed_strategy);
-  EXPECT_TRUE(engine.current_layout().has_value());
+  EXPECT_NE(engine.current_layout(), nullptr);
   EXPECT_EQ(engine.adoptions(), 1u);
   EXPECT_GT(report.cost_evaluations, 0u);
   ASSERT_TRUE(report.recommendation.has_value());
@@ -602,7 +602,7 @@ TEST(ReclusterEngineTest, AnalyticModeAdoptsWithoutMovement) {
   const QueryClassLattice lat(*schema);
   ReclusterEngine engine(schema, nullptr, RowMajorConfig());
   engine.OnEpoch(PreferAB(lat)).value();
-  EXPECT_FALSE(engine.current_layout().has_value());
+  EXPECT_EQ(engine.current_layout(), nullptr);
   const EpochReport report = engine.OnEpoch(PreferBA(lat)).value();
   EXPECT_EQ(report.decision, ReclusterDecision::kAdopt);
   EXPECT_EQ(report.movement.pages_moved(), 0u);

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -111,6 +113,76 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
     }
   }
   EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsSubmittedTasksThenJoins) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&ran]() { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  // Every task submitted before Shutdown ran to completion.
+  EXPECT_EQ(ran.load(), 200);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  EXPECT_TRUE(pool.IsShutdown());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Submit([]() {}).get();
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a harmless no-op
+  EXPECT_TRUE(pool.IsShutdown());
+}
+
+TEST(ThreadPoolTest, TrySubmitAfterShutdownReturnsStatus) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.IsShutdown());
+  auto accepted = pool.TrySubmit([]() { return 41; });
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted.value().get(), 41);
+  pool.Shutdown();
+  auto rejected = pool.TrySubmit([]() { return 42; });
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownBreaksTheFutureNotTheProcess) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  auto future = pool.Submit([&ran]() { ran.store(true); });
+  // The rejected task never runs; its future reports broken_promise.
+  EXPECT_THROW(future.get(), std::future_error);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownRunsInline) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  std::vector<int> hits(32, 0);
+  pool.ParallelFor(32, [&hits](uint64_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ShutdownRacingSubmittersRejectsCleanly) {
+  // Submitters racing a concurrent Shutdown either get their task executed
+  // or a clean rejection — never a hang or a lost execution count.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  std::atomic<int> accepted{0};
+  std::thread submitter([&pool, &executed, &accepted]() {
+    for (int i = 0; i < 1000; ++i) {
+      auto result = pool.TrySubmit([&executed]() { executed.fetch_add(1); });
+      if (!result.ok()) break;
+      accepted.fetch_add(1);
+    }
+  });
+  pool.Shutdown();
+  submitter.join();
+  EXPECT_EQ(executed.load(), accepted.load());
 }
 
 }  // namespace

@@ -28,6 +28,19 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
   run_matrix_entry tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSNAKES_SANITIZE=thread
 
+# Service concurrency leg: the epoch-publication and reader-pinning contract
+# of src/service is the part of the tree where a silent race would corrupt
+# results instead of crashing, so the service suites (including the seeded
+# InterleaveDriver schedules) get an explicit pass under both the Release
+# and the TSan builds on top of the full-matrix runs above.
+echo "==> [service] release leg"
+ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS" \
+  -R 'Service(Registration|Advise|Query|Epoch|Submit|Dispatch|Interleave|Fuzz)'
+echo "==> [service] tsan leg"
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
+  -R 'Service(Registration|Advise|Query|Epoch|Submit|Dispatch|Interleave|Fuzz)'
+
 # Observability smoke: run the instrumented end-to-end report on the tiny
 # TPC-D grid and validate that both artifacts parse and carry the headline
 # metrics (obs_report exercises advisor + DP + simulator + cache with live
@@ -59,9 +72,41 @@ print("obs smoke ok: %d metrics, %d spans" %
        len(events)))
 EOF
 
+# Service throughput smoke: drive the daemon with mixed batched traffic and
+# a background-recluster storm across 8 tenants, then validate the guard
+# artifact — headline numbers plus the embedded MetricsRegistry snapshot.
+# The binary SNAKES_CHECKs its own bounds (sustained req/s, query p99,
+# epoch pin-wait p99, zero storm failures, bit-identical warm advice), so
+# reaching the python validation means the guards held.
+echo "==> [service] throughput smoke"
+SERVICE_BENCH="$ROOT/build-release/BENCH_service_throughput.json"
+(cd "$ROOT/build-release" && ./tools/service_sim --requests 2000 \
+  --out "$SERVICE_BENCH" > /dev/null)
+python3 - "$SERVICE_BENCH" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["bench"] == "service_throughput"
+assert d["tenants"] >= 8, "guard must cover >= 8 tenants"
+assert d["bit_identical"] is True, "service advice diverged from the library"
+assert d["storm_failures"] == 0, "queries failed during background recluster"
+assert d["sustained_rps"] >= d["required_rps"]
+assert d["pin_wait_p99_ns"] <= d["pin_p99_bound_ns"], "readers blocked"
+assert d["query_compute_p99_ns"] <= d["query_p99_bound_ns"]
+m = d["metrics"]
+for key in ["service.tenants", "service.epochs_published",
+            "service.epochs_closed"]:
+    assert key in m["counters"], "missing counter " + key
+for key in ["service.query.queue_ns", "service.query.compute_ns",
+            "service.advise.compute_ns", "service.epoch.pin_ns"]:
+    assert key in m["histograms"], "missing histogram " + key
+print("service smoke ok: %.0f req/s over %d tenants, pin p99 %.0f ns" %
+      (d["sustained_rps"], d["tenants"], d["pin_wait_p99_ns"]))
+EOF
+
 # Coverage gate: instrument with gcc --coverage, rerun the suite, and hold
 # the modules whose correctness rests on tests alone (the CV sandwich
-# machinery and the reclustering engine) to >= 80% line coverage. gcovr is
+# machinery, the reclustering engine, and the advisor service) to >= 80%
+# line coverage. gcovr is
 # not available in the image, so the .gcda files are digested with plain
 # gcov --json-format and a stdlib-only python gate.
 echo "==> [coverage] configure"
@@ -81,7 +126,7 @@ python3 - "$COV_DIR/gcov.jsonl" <<'EOF'
 import json, sys
 
 # Line hit counts per source file, merged across translation units.
-cov = {"src/cv": {}, "src/recluster": {}}
+cov = {"src/cv": {}, "src/recluster": {}, "src/service": {}}
 with open(sys.argv[1]) as jsonl:
     for line in jsonl:
         line = line.strip()

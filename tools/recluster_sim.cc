@@ -137,7 +137,7 @@ int Run(int argc, char** argv) {
     // re-layout invalidates the pool (same page ids, different bytes);
     // otherwise only the stats reset so the hit rate is per-epoch.
     double hit_rate = 0.0;
-    if (engine.current_layout().has_value()) {
+    if (engine.current_layout() != nullptr) {
       if (r.decision == ReclusterDecision::kAdopt ||
           r.decision == ReclusterDecision::kInitialAdopt) {
         cache.Clear();
