@@ -15,6 +15,7 @@
 #include "curves/row_major.h"
 #include "path/snaked_dp.h"
 #include "storage/cache.h"
+#include "storage/pager.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"
 #include "util/logging.h"

@@ -17,6 +17,7 @@
 #include "path/snaked_dp.h"
 #include "storage/chunks.h"
 #include "storage/executor.h"
+#include "storage/pager.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"
 #include "util/logging.h"

@@ -14,6 +14,7 @@
 #include "curves/path_order.h"
 #include "path/snaked_dp.h"
 #include "storage/append.h"
+#include "storage/pager.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"
 #include "util/logging.h"

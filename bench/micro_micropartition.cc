@@ -1,0 +1,212 @@
+// Zone-map pruning power of the micro-partition backend on the TPC-D
+// warehouse: how much of the partition directory a query skips, as a
+// function of how coarse the query class is, under the recommended
+// (snaked optimal path) clustering.
+//
+// Setup: the Table-4 LineItem warehouse packed twice from the same fact
+// table — once as PackedLayout, once as MicroPartitionStore — under the
+// snaked optimal lattice path for the uniform workload. The bench first
+// proves the backends interchangeable (ClassIoStats equal on every class,
+// QueryAnswers bit-identical on a per-class query sample), then measures
+// per-class pruned fractions with PruneBox.
+//
+// Pruning power runs opposite to clustering depth: the top class (whole
+// grid) prunes nothing, while any class restricted in at least one
+// dimension selects a box whose zone overlap shrinks with the box. The
+// guard SNAKES_CHECKs that restricted classes — every class except the
+// grid-spanning top — skip >= 50% of partitions on average, and writes
+// BENCH_micropartition.json.
+//
+//   $ ./micro_micropartition
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "curves/path_order.h"
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "path/snaked_dp.h"
+#include "storage/backend.h"
+#include "storage/executor.h"
+#include "storage/query_engine.h"
+#include "tpcd/dbgen.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+struct ClassPruning {
+  QueryClass cls;
+  uint64_t num_queries = 0;
+  uint64_t sampled = 0;
+  uint64_t partitions_scanned = 0;
+  uint64_t partitions_pruned = 0;
+
+  double PrunedFraction() const {
+    const uint64_t total = partitions_scanned + partitions_pruned;
+    return total == 0 ? 0.0
+                      : static_cast<double>(partitions_pruned) /
+                            static_cast<double>(total);
+  }
+};
+
+void Run() {
+  tpcd::Config config;
+  std::fprintf(stderr, "generating ~%llu lineitems...\n",
+               static_cast<unsigned long long>(4 * config.num_orders));
+  const auto warehouse = tpcd::GenerateWarehouse(config).ValueOrDie();
+  const StarSchema& schema = *warehouse.schema;
+  const QueryClassLattice lattice(schema);
+
+  const Workload uniform = Workload::Uniform(lattice);
+  const auto dp = FindOptimalSnakedLatticePath(uniform).ValueOrDie();
+  auto order =
+      MakePathOrder(warehouse.schema, dp.path, /*snaked=*/true).ValueOrDie();
+  const std::shared_ptr<const Linearization> lin = std::move(order);
+  std::fprintf(stderr, "packing under %s (both backends)...\n",
+               lin->name().c_str());
+
+  const StorageConfig storage;  // the paper's 125-byte records on 8 KB pages
+  const auto packed =
+      MakeStorageBackend(StorageBackendKind::kPacked, lin, warehouse.facts,
+                         storage)
+          .ValueOrDie();
+  const auto micro =
+      MakeStorageBackend(StorageBackendKind::kMicroPartition, lin,
+                         warehouse.facts, storage)
+          .ValueOrDie();
+  SNAKES_CHECK(packed->num_pages() == micro->num_pages());
+  SNAKES_CHECK(micro->num_partitions() > 0);
+  std::fprintf(stderr, "%llu pages in %llu micro-partitions\n",
+               static_cast<unsigned long long>(micro->num_pages()),
+               static_cast<unsigned long long>(micro->num_partitions()));
+
+  const IoSimulator packed_sim(*packed);
+  const IoSimulator micro_sim(*micro);
+  const QueryEngine packed_engine(*packed);
+  const QueryEngine micro_engine(*micro);
+
+  // Interchangeability first: identical per-class I/O statistics (covers
+  // every query of every class) and bit-identical QueryAnswers on a strided
+  // per-class sample through the full query engine.
+  uint64_t answers_compared = 0;
+  std::vector<ClassPruning> per_class;
+  for (uint64_t i = 0; i < lattice.size(); ++i) {
+    ClassPruning pruning;
+    pruning.cls = lattice.ClassAt(i);
+    pruning.num_queries = NumQueriesInClass(schema, pruning.cls);
+
+    const ClassIoStats a = packed_sim.MeasureClass(pruning.cls);
+    const ClassIoStats b = micro_sim.MeasureClass(pruning.cls);
+    SNAKES_CHECK(a.num_queries == b.num_queries &&
+                 a.num_nonempty == b.num_nonempty &&
+                 a.total_pages == b.total_pages &&
+                 a.total_seeks == b.total_seeks &&
+                 a.total_normalized == b.total_normalized)
+        << "backend divergence in class " << pruning.cls.ToString();
+
+    // Stride so the sample spans the class instead of clustering at the
+    // rank-space origin.
+    const uint64_t sample = pruning.num_queries < 256 ? pruning.num_queries
+                                                      : uint64_t{256};
+    const uint64_t stride = pruning.num_queries / sample;
+    for (uint64_t s = 0; s < sample; ++s) {
+      const GridQuery query = QueryAt(schema, pruning.cls, s * stride);
+      const QueryAnswer pa = packed_engine.Execute(query);
+      const QueryAnswer ma = micro_engine.Execute(query);
+      SNAKES_CHECK(pa.count == ma.count && pa.sum == ma.sum &&
+                   pa.io.records == ma.io.records &&
+                   pa.io.pages == ma.io.pages && pa.io.seeks == ma.io.seeks &&
+                   pa.io.min_pages == ma.io.min_pages)
+          << "answer divergence on " << query.ToString();
+      ++answers_compared;
+
+      const PruneStats stats = micro->PruneBox(BoxOf(schema, query));
+      pruning.partitions_scanned += stats.scanned;
+      pruning.partitions_pruned += stats.pruned;
+    }
+    pruning.sampled = sample;
+    per_class.push_back(pruning);
+  }
+  std::fprintf(stderr, "%llu answers bit-identical across backends\n",
+               static_cast<unsigned long long>(answers_compared));
+
+  // Aggregate pruning power over the restricted classes: everything below
+  // the grid-spanning top, where zone maps have a box edge to cut against.
+  const QueryClass top = lattice.Top();
+  uint64_t restricted_scanned = 0, restricted_pruned = 0;
+  TextTable table(
+      {"class", "queries", "sampled", "scanned", "pruned", "pruned%"});
+  for (const ClassPruning& pruning : per_class) {
+    const bool restricted = pruning.cls != top;
+    if (restricted) {
+      restricted_scanned += pruning.partitions_scanned;
+      restricted_pruned += pruning.partitions_pruned;
+    }
+    table.AddRow({pruning.cls.ToString() + (restricted ? "" : " (top)"),
+                  std::to_string(pruning.num_queries),
+                  std::to_string(pruning.sampled),
+                  std::to_string(pruning.partitions_scanned),
+                  std::to_string(pruning.partitions_pruned),
+                  FormatDouble(100.0 * pruning.PrunedFraction(), 1)});
+  }
+  const double restricted_fraction =
+      static_cast<double>(restricted_pruned) /
+      static_cast<double>(restricted_scanned + restricted_pruned);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("restricted classes: %.1f%% of partitions pruned "
+              "(%llu scanned, %llu pruned)\n",
+              100.0 * restricted_fraction,
+              static_cast<unsigned long long>(restricted_scanned),
+              static_cast<unsigned long long>(restricted_pruned));
+
+  SNAKES_CHECK(restricted_fraction >= 0.5)
+      << "zone maps prune only " << 100.0 * restricted_fraction
+      << "% of partitions on restricted classes (need >= 50%)";
+
+  std::string json = "{\n  \"bench\": \"micropartition\",\n";
+  json += "  \"layout\": \"" + lin->name() + "\",\n";
+  json += "  \"cells\": " + std::to_string(lin->num_cells()) + ",\n";
+  json += "  \"records\": " +
+          std::to_string(warehouse.facts->total_records()) + ",\n";
+  json += "  \"pages\": " + std::to_string(micro->num_pages()) + ",\n";
+  json += "  \"partitions\": " + std::to_string(micro->num_partitions()) +
+          ",\n";
+  json += "  \"micro_partition_pages\": " +
+          std::to_string(storage.micro_partition_pages) + ",\n";
+  json += "  \"answers_compared\": " + std::to_string(answers_compared) +
+          ",\n";
+  json += "  \"bit_identical\": true,\n";
+  json += "  \"restricted_pruned_fraction\": " +
+          FormatDouble(restricted_fraction, 4) + ",\n";
+  json += "  \"required_fraction\": 0.5,\n";
+  json += "  \"classes\": [\n";
+  for (size_t i = 0; i < per_class.size(); ++i) {
+    const ClassPruning& pruning = per_class[i];
+    json += "    {\"class\": \"" + pruning.cls.ToString() +
+            "\", \"queries\": " + std::to_string(pruning.num_queries) +
+            ", \"sampled\": " + std::to_string(pruning.sampled) +
+            ", \"scanned\": " + std::to_string(pruning.partitions_scanned) +
+            ", \"pruned\": " + std::to_string(pruning.partitions_pruned) +
+            ", \"pruned_fraction\": " +
+            FormatDouble(pruning.PrunedFraction(), 4) + "}";
+    json += i + 1 < per_class.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  const char* path = "BENCH_micropartition.json";
+  std::ofstream out(path);
+  out << json;
+  SNAKES_CHECK(out.good()) << "failed to write " << path;
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

@@ -31,6 +31,7 @@
 #include "lattice/workload.h"
 #include "path/snaked_dp.h"
 #include "storage/executor.h"
+#include "storage/pager.h"
 #include "tpcd/dbgen.h"
 #include "util/logging.h"
 #include "util/text_table.h"

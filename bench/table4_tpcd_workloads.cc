@@ -22,6 +22,7 @@
 #include "curves/row_major.h"
 #include "path/dpkd.h"
 #include "storage/executor.h"
+#include "storage/pager.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"
 #include "util/logging.h"

@@ -15,6 +15,7 @@
 #include "hierarchy/dimension_table.h"
 #include "storage/disk_model.h"
 #include "storage/file_store.h"
+#include "storage/pager.h"
 #include "util/rng.h"
 
 using namespace snakes;

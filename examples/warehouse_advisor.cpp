@@ -17,6 +17,7 @@
 #include "lattice/grid_query.h"
 #include "obs/metrics.h"
 #include "storage/executor.h"
+#include "storage/pager.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/queries.h"
 #include "tpcd/workloads.h"

@@ -173,6 +173,7 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
                       num_threads,
                       request.measure_storage,
                       request.storage,
+                      request.backend,
                       request.facts,
                       request.obs,
                       request.cost_mode};
@@ -243,10 +244,10 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
                                   obs, plan.cost_mode);
     if (plan.measure_storage) {
       SNAKES_ASSIGN_OR_RETURN(
-          PackedLayout layout,
-          PackedLayout::Pack(candidate.linearization, plan.facts,
-                             plan.storage, obs));
-      const IoSimulator sim(layout, obs);
+          std::shared_ptr<const StorageBackend> backend,
+          MakeStorageBackend(plan.backend, candidate.linearization,
+                             plan.facts, plan.storage, obs));
+      const IoSimulator sim(*backend, obs);
       report.io = IoSimulator::Expect(plan.workload, sim.MeasureAllClasses());
     }
     if (obs.metrics != nullptr) {
@@ -330,23 +331,6 @@ Result<Recommendation> ClusteringAdvisor::AdviseIncremental(
         ->Inc(state->last_cost_hits);
   }
   return rec;
-}
-
-Result<Recommendation> ClusteringAdvisor::Advise(
-    const Workload& mu, const AdvisorOptions& options,
-    std::shared_ptr<const FactTable> facts) const {
-  EvaluationRequest request{mu};
-  request.strategies = {"lattice-paths"};
-  if (options.include_row_majors) request.strategies.push_back("row-major");
-  if (options.include_curves) {
-    request.strategies.push_back("z-curve");
-    request.strategies.push_back("gray-curve");
-    request.strategies.push_back("hilbert");
-  }
-  request.measure_storage = options.measure_storage;
-  request.storage = options.storage;
-  request.facts = std::move(facts);
-  return Advise(request);
 }
 
 Result<std::unique_ptr<Linearization>> ClusteringAdvisor::RecommendedOrder(

@@ -15,27 +15,10 @@
 #include "path/lattice_path.h"
 #include "storage/executor.h"
 #include "storage/fact_table.h"
-#include "storage/pager.h"
 #include "util/logging.h"
 #include "util/result.h"
 
 namespace snakes {
-
-/// Legacy knobs for the boolean-flag Advise overload. New code should build
-/// an EvaluationRequest (core/evaluation.h), which names strategy families
-/// explicitly and controls the evaluation engine's parallelism; this struct
-/// is kept as a thin compatibility surface over it.
-struct AdvisorOptions {
-  /// Evaluate every row-major axis order (k! strategies) as baselines.
-  bool include_row_majors = true;
-  /// Evaluate the classical curves where the schema shape permits
-  /// (power-of-two extents for Z/Gray; equal power-of-two for Hilbert).
-  bool include_curves = true;
-  /// Also pack a fact table and report measured page/seek I/O per strategy.
-  /// Requires `facts` in Advise.
-  bool measure_storage = false;
-  StorageConfig storage;
-};
 
 /// One evaluated strategy in a recommendation report.
 struct StrategyReport {
@@ -162,12 +145,6 @@ class ClusteringAdvisor {
   /// `state` must outlive the call; one advise at a time per state.
   Result<Recommendation> AdviseIncremental(const EvaluationRequest& request,
                                            IncrementalAdvisorState* state) const;
-
-  /// Backward-compatible wrapper over the request pipeline. `facts` is only
-  /// consulted when options.measure_storage is set.
-  Result<Recommendation> Advise(
-      const Workload& mu, const AdvisorOptions& options = {},
-      std::shared_ptr<const FactTable> facts = nullptr) const;
 
   /// The physical cell order to hand to the storage layer: the snaked
   /// clustering of the optimal snaked lattice path for `mu`.

@@ -11,8 +11,8 @@
 #include "lattice/workload.h"
 #include "obs/obs.h"
 #include "path/dpkd.h"
+#include "storage/backend.h"
 #include "storage/fact_table.h"
-#include "storage/pager.h"
 #include "util/result.h"
 
 namespace snakes {
@@ -44,6 +44,11 @@ struct EvaluationRequest {
   /// Also pack `facts` under every strategy and report measured I/O.
   bool measure_storage = false;
   StorageConfig storage;
+  /// Storage representation measured strategies are packed into. Measured
+  /// QueryIo is bit-identical across backends (zone-map pruning is
+  /// conservative); the knob selects what pruning/movement structure the
+  /// downstream recluster and serving layers inherit.
+  StorageBackendKind backend = StorageBackendKind::kPacked;
   std::shared_ptr<const FactTable> facts;
   /// The factory registry to plan from; nullptr = StrategyRegistry::BuiltIns().
   const StrategyRegistry* registry = nullptr;
@@ -101,6 +106,7 @@ struct EvaluationPlan {
   int num_threads = 0;
   bool measure_storage = false;
   StorageConfig storage;
+  StorageBackendKind backend = StorageBackendKind::kPacked;
   std::shared_ptr<const FactTable> facts;
   /// Copied from the request; consulted by Evaluate's scoring tasks.
   ObsSink obs;

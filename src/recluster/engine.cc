@@ -45,7 +45,13 @@ std::string EpochReport::ToString() const {
          " pages (" + std::to_string(movement.moved_runs) + " runs, " +
          std::to_string(movement.moved_records) + " records, stable prefix " +
          std::to_string(movement.stable_prefix_cells) + "/" +
-         std::to_string(movement.total_cells) + " cells)\n";
+         std::to_string(movement.total_cells) + " cells";
+  if (movement.partitions_read + movement.partitions_written > 0) {
+    out += ", partitions " + std::to_string(movement.partitions_read) +
+           " read / " + std::to_string(movement.partitions_written) +
+           " written";
+  }
+  out += ")\n";
   out += "  recompute: " + std::to_string(cost_evaluations) +
          " class evaluations, " + std::to_string(cost_cache_hits) +
          " cached\n";
@@ -139,15 +145,13 @@ Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
     current_ = best_lin;
     if (facts_ != nullptr) {
       // Initial adoption packs fresh; re-adoptions already packed the
-      // proposed layout to price the movement.
-      if (current_layout_ == nullptr ||
-          &current_layout_->linearization() != best_lin.get()) {
+      // proposed backend to price the movement.
+      if (current_backend_ == nullptr ||
+          &current_backend_->linearization() != best_lin.get()) {
         SNAKES_ASSIGN_OR_RETURN(
-            PackedLayout layout,
-            PackedLayout::Pack(best_lin, facts_, config_.storage,
-                               config_.obs));
-        current_layout_ =
-            std::make_shared<const PackedLayout>(std::move(layout));
+            current_backend_,
+            MakeStorageBackend(config_.backend, best_lin, facts_,
+                               config_.storage, config_.obs));
       }
     }
     ++adoptions_;
@@ -179,14 +183,15 @@ Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
   }
 
   uint64_t pages_moved = 0;
-  std::shared_ptr<const PackedLayout> proposed_layout;
-  if (facts_ != nullptr && current_layout_ != nullptr) {
+  std::shared_ptr<const StorageBackend> proposed_backend;
+  if (facts_ != nullptr && current_backend_ != nullptr) {
     SNAKES_ASSIGN_OR_RETURN(
-        PackedLayout packed,
-        PackedLayout::Pack(best_lin, facts_, config_.storage, config_.obs));
-    SNAKES_ASSIGN_OR_RETURN(report.movement,
-                            ComputeMovementCost(*current_layout_, packed));
-    proposed_layout = std::make_shared<const PackedLayout>(std::move(packed));
+        proposed_backend,
+        MakeStorageBackend(config_.backend, best_lin, facts_, config_.storage,
+                           config_.obs));
+    SNAKES_ASSIGN_OR_RETURN(
+        report.movement,
+        ComputeMovementCost(*current_backend_, *proposed_backend));
     pages_moved = report.movement.pages_moved();
     if (config_.movement_budget_pages > 0 &&
         pages_moved > config_.movement_budget_pages) {
@@ -196,18 +201,37 @@ Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
   report.net_benefit =
       improvement_seeks * config_.queries_per_epoch -
       static_cast<double>(pages_moved) * config_.movement_cost_per_page;
-  if (proposed_layout != nullptr && report.net_benefit <= 0.0) {
+  if (proposed_backend != nullptr && report.net_benefit <= 0.0) {
     return finish(ReclusterDecision::kKeepNegativeNetBenefit);
   }
 
-  if (proposed_layout != nullptr) {
-    current_layout_ = std::move(proposed_layout);
+  if (proposed_backend != nullptr) {
+    current_backend_ = std::move(proposed_backend);
   }
   SNAKES_RETURN_IF_ERROR(adopt());
   if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->GetCounter("recluster.pages_moved")->Inc(pages_moved);
   }
   return finish(ReclusterDecision::kAdopt);
+}
+
+Result<std::shared_ptr<const StorageBackend>> ReclusterEngine::SwitchBackend(
+    StorageBackendKind kind) {
+  if (kind == config_.backend) return current_backend_;
+  config_.backend = kind;
+  if (current_ == nullptr || facts_ == nullptr) {
+    // Nothing adopted yet (or analytic engine): later adoptions pack into
+    // the new representation; there is no live backend to convert.
+    return std::shared_ptr<const StorageBackend>();
+  }
+  SNAKES_ASSIGN_OR_RETURN(
+      current_backend_,
+      MakeStorageBackend(kind, current_, facts_, config_.storage,
+                         config_.obs));
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("recluster.backend_switches")->Inc();
+  }
+  return current_backend_;
 }
 
 }  // namespace snakes

@@ -13,8 +13,8 @@
 #include "lattice/workload_delta.h"
 #include "obs/obs.h"
 #include "recluster/movement.h"
+#include "storage/backend.h"
 #include "storage/fact_table.h"
-#include "storage/pager.h"
 #include "util/result.h"
 
 namespace snakes {
@@ -45,6 +45,8 @@ struct ReclusterConfig {
   int num_threads = 1;
   CostEvalMode cost_mode = CostEvalMode::kAuto;
   StorageConfig storage;
+  /// Storage representation the engine packs adopted layouts into.
+  StorageBackendKind backend = StorageBackendKind::kPacked;
   ObsSink obs;
 };
 
@@ -127,14 +129,25 @@ class ReclusterEngine {
 
   /// The live clustering; null until the first advised epoch adopts.
   std::shared_ptr<const Linearization> current() const { return current_; }
-  /// The live packed layout; null until first adoption or when `facts` is
-  /// null. Shared so a serving layer can publish the layout as an epoch and
+  /// The live storage backend; null until first adoption or when `facts` is
+  /// null. Shared so a serving layer can publish the backend as an epoch and
   /// let in-flight readers keep it alive after the engine adopts a
   /// replacement (double-buffering: the engine never mutates a published
-  /// layout, it swaps in a freshly packed one).
-  std::shared_ptr<const PackedLayout> current_layout() const {
-    return current_layout_;
+  /// backend, it swaps in a freshly packed one).
+  std::shared_ptr<const StorageBackend> current_backend() const {
+    return current_backend_;
   }
+
+  /// The representation adopted layouts are packed into.
+  StorageBackendKind backend_kind() const { return config_.backend; }
+
+  /// Repacks the live clustering into `kind` and makes it the engine's
+  /// storage representation for every later adoption. Returns the new live
+  /// backend — the same object when the kind is already current, null when
+  /// nothing is adopted yet or the engine is analytic (null facts; the kind
+  /// still switches for later use).
+  Result<std::shared_ptr<const StorageBackend>> SwitchBackend(
+      StorageBackendKind kind);
 
   const IncrementalAdvisorState& state() const { return state_; }
   const EwmaDriftEstimator& estimator() const { return estimator_; }
@@ -153,7 +166,7 @@ class ReclusterEngine {
   EwmaDriftEstimator estimator_;
   IncrementalAdvisorState state_;
   std::shared_ptr<const Linearization> current_;
-  std::shared_ptr<const PackedLayout> current_layout_;
+  std::shared_ptr<const StorageBackend> current_backend_;
   uint64_t epochs_seen_ = 0;
   uint64_t adoptions_ = 0;
   int cooldown_remaining_ = 0;

@@ -4,27 +4,17 @@
 
 namespace snakes {
 
-namespace {
-
-/// Pages of a RangeIo span; 0 when the range holds no records.
-uint64_t PagesOf(const PackedLayout::RangeIo& io) {
-  if (io.records == 0) return 0;
-  return io.last_page - io.first_page + 1;
-}
-
-}  // namespace
-
-Result<MovementCost> ComputeMovementCost(const PackedLayout& current,
-                                         const PackedLayout& proposed) {
+Result<MovementCost> ComputeMovementCost(const StorageBackend& current,
+                                         const StorageBackend& proposed) {
   const uint64_t n = current.linearization().num_cells();
   if (proposed.linearization().num_cells() != n) {
     return Status::InvalidArgument(
-        "movement cost requires layouts over the same grid");
+        "movement cost requires backends over the same grid");
   }
   const uint64_t total_records = current.MeasureRange(0, n).records;
   if (proposed.MeasureRange(0, n).records != total_records) {
     return Status::InvalidArgument(
-        "movement cost requires layouts of the same fact table");
+        "movement cost requires backends of the same fact table");
   }
 
   MovementCost cost;
@@ -41,22 +31,31 @@ Result<MovementCost> ComputeMovementCost(const PackedLayout& current,
   while (stable < n && source[stable] == stable) ++stable;
   cost.stable_prefix_cells = stable;
 
-  // Decompose the remainder into maximal runs consecutive in the source;
-  // each run is one sequential copy, priced by its page span on both sides.
+  // Decompose the remainder into maximal runs consecutive in the source.
+  // The permutation structure (moved_runs, moved_records) is granularity
+  // independent; each backend then prices the same run lists at its own
+  // rewrite granularity.
+  std::vector<RankRun> src_ranges;  // disjoint on `current`, unsorted
+  std::vector<RankRun> dst_ranges;  // sorted and disjoint on `proposed`
   uint64_t r = stable;
   while (r < n) {
     uint64_t len = 1;
     while (r + len < n && source[r + len] == source[r] + len) ++len;
-    const PackedLayout::RangeIo src = current.MeasureRange(source[r], len);
+    const StorageBackend::RangeIo src = current.MeasureRange(source[r], len);
     if (src.records > 0) {
-      const PackedLayout::RangeIo dst = proposed.MeasureRange(r, len);
       ++cost.moved_runs;
       cost.moved_records += src.records;
-      cost.pages_read += PagesOf(src);
-      cost.pages_written += PagesOf(dst);
+      src_ranges.push_back(RankRun{source[r], len});
+      dst_ranges.push_back(RankRun{r, len});
     }
     r += len;
   }
+  const RewriteIo read = current.RewriteReadIo(src_ranges);
+  const RewriteIo write = proposed.RewriteWriteIo(dst_ranges);
+  cost.pages_read = read.pages;
+  cost.pages_written = write.pages;
+  cost.partitions_read = read.partitions;
+  cost.partitions_written = write.partitions;
   return cost;
 }
 

@@ -70,7 +70,7 @@ std::string TenantStatus::ToString() const {
          std::to_string(ingested_this_epoch) + " open)\n";
   out += "  published epoch " + std::to_string(published_sequence) +
          ", strategy " + (current_strategy.empty() ? "-" : current_strategy) +
-         "\n";
+         ", backend " + (backend.empty() ? "-" : backend) + "\n";
   out += "  recluster epochs " + std::to_string(recluster_epochs) +
          ", adoptions " + std::to_string(recluster_adoptions) + "\n";
   return out;
@@ -188,6 +188,7 @@ Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
 
   ReclusterConfig engine_config = config_.recluster;
   engine_config.storage = config_.storage;
+  engine_config.backend = spec.backend;
   engine_config.obs = config_.obs;
 
   const QueryClassLattice lattice(*spec.schema);
@@ -210,7 +211,7 @@ Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
     std::lock_guard<std::mutex> lock(t->recluster_mu);
     SNAKES_ASSIGN_OR_RETURN(EpochReport report, t->engine.OnEpoch(initial));
     (void)report;
-    Publish(t, t->engine.current(), t->engine.current_layout());
+    Publish(t, t->engine.current(), t->engine.current_backend());
   }
 
   std::lock_guard<std::mutex> lock(tenants_mu_);
@@ -235,10 +236,10 @@ Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
 
 void AdvisorService::Publish(Tenant* tenant,
                              std::shared_ptr<const Linearization> lin,
-                             std::shared_ptr<const PackedLayout> layout) {
+                             std::shared_ptr<const StorageBackend> backend) {
   auto epoch = std::make_shared<TenantEpoch>();
   epoch->linearization = std::move(lin);
-  epoch->layout = std::move(layout);
+  epoch->backend = std::move(backend);
   {
     std::lock_guard<std::mutex> lock(tenant->epoch_mu);
     epoch->sequence = ++tenant->published_sequence;
@@ -364,7 +365,7 @@ Result<EpochReport> AdvisorService::RunRecluster(Tenant* tenant) {
     // Double-buffer publish: readers pinned to the previous epoch keep it
     // alive; new pins see the fresh layout immediately.
     Publish(tenant, tenant->engine.current(),
-            tenant->engine.current_layout());
+            tenant->engine.current_backend());
   }
   return report;
 }
@@ -373,6 +374,24 @@ Result<EpochReport> AdvisorService::ReclusterNow(TenantId id) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
   tenant->CountRequest();
   return RunRecluster(tenant);
+}
+
+Status AdvisorService::SetBackend(TenantId id, StorageBackendKind kind) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  ScopedSpan span(config_.obs.tracer, "service/set_backend", "service");
+  span.AddArg("tenant", tenant->name);
+  span.AddArg("backend", StorageBackendKindName(kind));
+  tenant->CountRequest();
+  std::lock_guard<std::mutex> lock(tenant->recluster_mu);
+  if (tenant->engine.backend_kind() == kind) return Status::OK();
+  SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const StorageBackend> backend,
+                          tenant->engine.SwitchBackend(kind));
+  if (tenant->engine.current() != nullptr) {
+    // Analytic tenants publish a null backend either way; fact-backed ones
+    // double-buffer the repacked representation exactly like an adoption.
+    Publish(tenant, tenant->engine.current(), std::move(backend));
+  }
+  return Status::OK();
 }
 
 Result<Recommendation> AdvisorService::Advise(TenantId id) {
@@ -395,11 +414,11 @@ Result<QueryAnswer> AdvisorService::Query(TenantId id, const GridQuery& query) {
   tenant->CountRequest();
   SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const TenantEpoch> epoch,
                           PinEpoch(id));
-  if (epoch->layout == nullptr) {
+  if (epoch->backend == nullptr) {
     return Status::FailedPrecondition("tenant '" + tenant->name +
                                       "' is analytic (no fact table)");
   }
-  const QueryEngine engine(*epoch->layout);
+  const QueryEngine engine(*epoch->backend);
   return engine.Execute(query);
 }
 
@@ -409,11 +428,11 @@ Result<QueryIo> AdvisorService::Measure(TenantId id, const GridQuery& query) {
   tenant->CountRequest();
   SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const TenantEpoch> epoch,
                           PinEpoch(id));
-  if (epoch->layout == nullptr) {
+  if (epoch->backend == nullptr) {
     return Status::FailedPrecondition("tenant '" + tenant->name +
                                       "' is analytic (no fact table)");
   }
-  const IoSimulator simulator(*epoch->layout, config_.obs);
+  const IoSimulator simulator(*epoch->backend, config_.obs);
   return simulator.Measure(query);
 }
 
@@ -436,6 +455,7 @@ Result<TenantStatus> AdvisorService::StatusOf(TenantId id) const {
     std::lock_guard<std::mutex> lock(tenant->recluster_mu);
     status.recluster_epochs = tenant->engine.epochs_seen();
     status.recluster_adoptions = tenant->engine.adoptions();
+    status.backend = StorageBackendKindName(tenant->engine.backend_kind());
     if (tenant->engine.current() != nullptr) {
       status.current_strategy = tenant->engine.current()->name();
     }
@@ -581,6 +601,17 @@ Result<std::string> AdvisorService::Dispatch(std::string_view tenant_name,
   if (verb == "status") {
     SNAKES_ASSIGN_OR_RETURN(TenantStatus status, StatusOf(id));
     return status.ToString();
+  }
+  if (verb == "backend") {
+    if (payload.empty()) {
+      std::lock_guard<std::mutex> lock(tenant->recluster_mu);
+      return "backend " +
+             std::string(StorageBackendKindName(tenant->engine.backend_kind()));
+    }
+    SNAKES_ASSIGN_OR_RETURN(StorageBackendKind kind,
+                            ParseStorageBackendKind(payload));
+    SNAKES_RETURN_IF_ERROR(SetBackend(id, kind));
+    return "backend " + std::string(StorageBackendKindName(kind));
   }
   return Status::InvalidArgument("unknown request verb '" +
                                  std::string(verb) + "'");

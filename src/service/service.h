@@ -21,8 +21,8 @@
 #include "lattice/workload_delta.h"
 #include "obs/obs.h"
 #include "recluster/engine.h"
+#include "storage/backend.h"
 #include "storage/fact_table.h"
-#include "storage/pager.h"
 #include "storage/query_engine.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -74,6 +74,10 @@ struct TenantSpec {
   /// One table per schema dimension, in schema order; empty disables the
   /// textual query surface for this tenant (typed requests still work).
   std::vector<DimensionTable> tables;
+  /// Storage representation the tenant's layouts are packed into. Switchable
+  /// live via SetBackend / the `backend` Dispatch verb; QueryAnswers are
+  /// bit-identical across backends.
+  StorageBackendKind backend = StorageBackendKind::kPacked;
   /// Seeds the drift window and drives the initial advise + pack, so the
   /// tenant serves queries from registration on. Unset = uniform workload.
   std::optional<Workload> initial_workload;
@@ -89,8 +93,8 @@ struct TenantEpoch {
   /// Publish count (1 = the registration layout).
   uint64_t sequence = 0;
   std::shared_ptr<const Linearization> linearization;
-  /// Null for analytic tenants.
-  std::shared_ptr<const PackedLayout> layout;
+  /// The packed storage representation; null for analytic tenants.
+  std::shared_ptr<const StorageBackend> backend;
 };
 
 /// Point-in-time view of one tenant's serving state.
@@ -104,6 +108,8 @@ struct TenantStatus {
   uint64_t recluster_epochs = 0;
   uint64_t recluster_adoptions = 0;
   std::string current_strategy;
+  /// Name of the tenant's storage backend ("packed" / "micropartition").
+  std::string backend;
 
   std::string ToString() const;
 };
@@ -113,7 +119,7 @@ struct TenantStatus {
 /// sliding-window workload estimates, and serves concurrent Advise /
 /// Measure / Query traffic batched onto a ThreadPool while per-tenant
 /// ReclusterEngine epochs fire on a background worker against double-
-/// buffered PackedLayout epochs.
+/// buffered StorageBackend epochs.
 ///
 ///   AdvisorService service(config);
 ///   TenantId t = service.RegisterTenant(spec).value();
@@ -174,6 +180,12 @@ class AdvisorService {
   /// adopted layout (if any) as a new TenantEpoch.
   Result<EpochReport> ReclusterNow(TenantId id);
 
+  /// Repacks the tenant's live clustering into `kind` and publishes the
+  /// result as a new epoch. No-op when the tenant already serves from that
+  /// representation. Later recluster adoptions pack into `kind` too.
+  /// QueryAnswers before and after the switch are bit-identical.
+  Status SetBackend(TenantId id, StorageBackendKind kind);
+
   // ---- Batched request surface ----------------------------------------
 
   /// Each Submit* enqueues the corresponding synchronous call onto the
@@ -194,6 +206,7 @@ class AdvisorService {
   ///
   ///   advise                 | end-epoch | recluster | status
   ///   ingest <query text>    | query <query text> | measure <query text>
+  ///   backend [packed|micropartition]   (no argument = report current)
   ///
   /// Query text is the core/query_parser clause syntax and requires the
   /// tenant to have registered dimension tables. Every malformed input —
@@ -238,11 +251,11 @@ class AdvisorService {
   /// The OnEpoch + publish body shared by ReclusterNow and SubmitRecluster.
   Result<EpochReport> RunRecluster(Tenant* tenant);
 
-  /// Builds a TenantEpoch around the adopted linearization/layout, stamps
+  /// Builds a TenantEpoch around the adopted linearization/backend, stamps
   /// the next sequence number, and swaps it in as the tenant's published
   /// epoch (the pointer swap is the only step under epoch_mu).
   void Publish(Tenant* tenant, std::shared_ptr<const Linearization> lin,
-               std::shared_ptr<const PackedLayout> layout);
+               std::shared_ptr<const StorageBackend> backend);
 
   /// Wraps `fn` with queue-wait/compute instrumentation for `type` and
   /// submits it to `pool`; rejection surfaces as an immediately-ready

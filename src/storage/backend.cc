@@ -1,0 +1,165 @@
+#include "storage/backend.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace snakes {
+
+const char* StorageBackendKindName(StorageBackendKind kind) {
+  switch (kind) {
+    case StorageBackendKind::kPacked:
+      return "packed";
+    case StorageBackendKind::kMicroPartition:
+      return "micropartition";
+  }
+  SNAKES_CHECK(false) << "unknown StorageBackendKind";
+  return "";
+}
+
+Result<StorageBackendKind> ParseStorageBackendKind(std::string_view name) {
+  if (name == "packed") return StorageBackendKind::kPacked;
+  if (name == "micropartition" || name == "micro-partition") {
+    return StorageBackendKind::kMicroPartition;
+  }
+  return Status::InvalidArgument("unknown storage backend: \"" +
+                                 std::string(name) +
+                                 "\" (expected packed|micropartition)");
+}
+
+Status StorageBackend::PackPages(std::shared_ptr<const Linearization> lin,
+                                 std::shared_ptr<const FactTable> facts,
+                                 StorageConfig config, const ObsSink& obs) {
+  ScopedSpan span(obs.tracer, "storage/pack", "storage");
+  span.AddArg("strategy", lin->name());
+  if (config.record_size_bytes == 0 ||
+      config.page_size_bytes < config.record_size_bytes) {
+    return Status::InvalidArgument(
+        "page must hold at least one whole record");
+  }
+  if (&lin->schema() != &facts->schema() &&
+      lin->num_cells() != facts->num_cells()) {
+    return Status::InvalidArgument(
+        "linearization and fact table describe different grids");
+  }
+  lin_ = std::move(lin);
+  facts_ = std::move(facts);
+  config_ = config;
+  const uint64_t n = lin_->num_cells();
+  first_page_.resize(n);
+  last_page_.resize(n);
+  records_.resize(n);
+
+  uint64_t page = 0;
+  uint64_t used = 0;  // bytes used on the current page
+  const StarSchema& schema = lin_->schema();
+  lin_->Walk([&](uint64_t rank, const CellCoord& coord) {
+    const uint32_t records = facts_->count(schema.Flatten(coord));
+    records_[rank] = records;
+    if (records == 0) {
+      // Empty cell: occupies nothing; mark with an inverted span.
+      first_page_[rank] = 1;
+      last_page_[rank] = 0;
+      return;
+    }
+    uint64_t placed = 0;
+    uint64_t first = UINT64_MAX;
+    while (placed < records) {
+      if (config.page_size_bytes - used < config.record_size_bytes) {
+        // Close the page: the remainder cannot hold a whole record.
+        ++page;
+        used = 0;
+      }
+      // Place as many of the cell's remaining records as fit on this page.
+      const uint64_t fit =
+          (config.page_size_bytes - used) / config.record_size_bytes;
+      const uint64_t take = std::min<uint64_t>(fit, records - placed);
+      if (first == UINT64_MAX) first = page;
+      used += take * config.record_size_bytes;
+      placed += take;
+    }
+    first_page_[rank] = first;
+    last_page_[rank] = page;
+  });
+  num_pages_ = page + (used > 0 ? 1 : 0);
+  cum_records_.resize(n + 1);
+  next_first_page_.resize(n);
+  prev_last_page_.resize(n);
+  cum_records_[0] = 0;
+  uint64_t last_page_so_far = 0;
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    // Checked: near-2^63-cell grids must abort rather than wrap the prefix
+    // sums MeasureRange subtracts (the CellBox::NumCells convention).
+    cum_records_[rank + 1] = CheckedAdd(cum_records_[rank], records_[rank]);
+    if (!CellEmpty(rank)) last_page_so_far = last_page_[rank];
+    prev_last_page_[rank] = last_page_so_far;
+  }
+  uint64_t first_page_so_far = 0;
+  for (uint64_t rank = n; rank-- > 0;) {
+    if (!CellEmpty(rank)) first_page_so_far = first_page_[rank];
+    next_first_page_[rank] = first_page_so_far;
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->GetCounter("storage.pages_packed")->Inc(num_pages_);
+    obs.metrics->GetCounter("storage.records_packed")
+        ->Inc(facts_->total_records());
+  }
+  return Status::OK();
+}
+
+StorageBackend::RangeIo StorageBackend::MeasureRange(uint64_t start,
+                                                     uint64_t len) const {
+  // Explicit overflow-safe bounds check: start + len may wrap uint64 when
+  // cell counts approach 2^63, so compare against the grid without adding.
+  SNAKES_CHECK(len <= records_.size() && start <= records_.size() - len)
+      << "MeasureRange past the grid: start=" << start << " len=" << len
+      << " cells=" << records_.size();
+  RangeIo io;
+  if (len == 0) return io;
+  io.records = cum_records_[start + len] - cum_records_[start];
+  if (io.records == 0) return io;
+  // Non-empty range: the first non-empty cell at rank >= start and the last
+  // one at rank <= start + len - 1 both lie inside the range, and packing
+  // makes every page in between hold records of in-range cells.
+  io.first_page = next_first_page_[start];
+  io.last_page = prev_last_page_[start + len - 1];
+  return io;
+}
+
+QueryIo StorageBackend::MeasureRuns(const std::vector<RankRun>& runs) const {
+  QueryIo io;
+  int64_t last_page = -1;
+  for (const RankRun& r : runs) {
+    const RangeIo range = MeasureRange(r.start, r.len);
+    if (range.records == 0) continue;
+    io.records += range.records;
+    const int64_t f = static_cast<int64_t>(range.first_page);
+    const int64_t l = static_cast<int64_t>(range.last_page);
+    if (f > last_page + 1 || last_page < 0) ++io.seeks;
+    if (l > last_page) {
+      const int64_t from = std::max(last_page + 1, f);
+      io.pages += static_cast<uint64_t>(l - from + 1);
+      last_page = l;
+    }
+  }
+  io.min_pages = CeilDiv(CheckedMul(io.records, config_.record_size_bytes),
+                         config_.page_size_bytes);
+  return io;
+}
+
+RewriteIo StorageBackend::RunGranularityIo(
+    const std::vector<RankRun>& ranges) const {
+  RewriteIo io;
+  for (const RankRun& r : ranges) {
+    const RangeIo range = MeasureRange(r.start, r.len);
+    if (range.records == 0) continue;
+    io.pages += range.last_page - range.first_page + 1;
+    ++io.units;
+  }
+  return io;
+}
+
+}  // namespace snakes

@@ -57,10 +57,10 @@ void LruPageCache::Clear() {
   evictions_ = 0;
 }
 
-CachedRunStats ReplayWorkload(const PackedLayout& layout, const Workload& mu,
+CachedRunStats ReplayWorkload(const StorageBackend& backend, const Workload& mu,
                               uint64_t num_queries, LruPageCache* cache,
                               Rng* rng) {
-  const Linearization& lin = layout.linearization();
+  const Linearization& lin = backend.linearization();
   const StarSchema& schema = lin.schema();
   CachedRunStats stats;
   std::vector<uint64_t> ranks;
@@ -88,9 +88,9 @@ CachedRunStats ReplayWorkload(const PackedLayout& layout, const Workload& mu,
     ++stats.queries;
     int64_t last_page = -1;
     for (const uint64_t rank : ranks) {
-      if (layout.CellEmpty(rank)) continue;
-      const int64_t first = static_cast<int64_t>(layout.CellFirstPage(rank));
-      const int64_t last = static_cast<int64_t>(layout.CellLastPage(rank));
+      if (backend.CellEmpty(rank)) continue;
+      const int64_t first = static_cast<int64_t>(backend.CellFirstPage(rank));
+      const int64_t last = static_cast<int64_t>(backend.CellLastPage(rank));
       for (int64_t page = std::max(first, last_page + 1); page <= last;
            ++page) {
         ++stats.page_accesses;

@@ -8,7 +8,7 @@
 #include "lattice/grid_query.h"
 #include "lattice/workload.h"
 #include "obs/obs.h"
-#include "storage/pager.h"
+#include "storage/backend.h"
 #include "util/rng.h"
 
 namespace snakes {
@@ -62,7 +62,7 @@ class LruPageCache {
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
 };
 
-/// Result of replaying a query stream against a layout through a cache.
+/// Result of replaying a query stream against a backend through a cache.
 struct CachedRunStats {
   uint64_t queries = 0;
   uint64_t page_accesses = 0;  // page touches incl. cache hits
@@ -76,9 +76,9 @@ struct CachedRunStats {
 };
 
 /// Replays `num_queries` random grid queries drawn from `mu` against
-/// `layout`, touching each query's pages in disk order through `cache`.
+/// `backend`, touching each query's pages in disk order through `cache`.
 /// Deterministic for a given rng seed.
-CachedRunStats ReplayWorkload(const PackedLayout& layout, const Workload& mu,
+CachedRunStats ReplayWorkload(const StorageBackend& backend, const Workload& mu,
                               uint64_t num_queries, LruPageCache* cache,
                               Rng* rng);
 

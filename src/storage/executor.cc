@@ -50,27 +50,43 @@ struct RunState {
 
 }  // namespace
 
-IoSimulator::IoSimulator(const PackedLayout& layout, const ObsSink& obs)
-    : layout_(layout), tracer_(obs.tracer) {
+IoSimulator::IoSimulator(const StorageBackend& backend, const ObsSink& obs)
+    : backend_(backend), tracer_(obs.tracer) {
   if (obs.metrics != nullptr) {
     pages_read_ = obs.metrics->GetCounter("storage.pages_read");
     seeks_ = obs.metrics->GetCounter("storage.seeks");
     cells_scanned_ = obs.metrics->GetCounter("storage.cells_scanned");
     runs_emitted_ = obs.metrics->GetCounter("curves.runs_emitted");
+    partitions_scanned_ =
+        obs.metrics->GetCounter("storage.partitions_scanned");
+    partitions_pruned_ = obs.metrics->GetCounter("storage.partitions_pruned");
     run_length_ = obs.metrics->GetHistogram("storage.run_length_pages");
     cells_per_run_ = obs.metrics->GetHistogram("curves.cells_per_run");
   }
 }
 
+bool IoSimulator::AllPartitionsPruned(const CellBox& box) const {
+  if (backend_.num_partitions() == 0) return false;
+  const PruneStats prune = backend_.PruneBox(box);
+  if (partitions_scanned_ != nullptr) {
+    partitions_scanned_->Inc(prune.scanned);
+    partitions_pruned_->Inc(prune.pruned);
+  }
+  return prune.scanned == 0;
+}
+
 QueryIo IoSimulator::Measure(const GridQuery& query) const {
-  const Linearization& lin = layout_.linearization();
+  const Linearization& lin = backend_.linearization();
   const CellBox box = BoxOf(lin.schema(), query);
+  // Zone maps first: a box every partition prunes holds no records, so the
+  // run decomposition (and its I/O) is skipped outright.
+  if (AllPartitionsPruned(box)) return QueryIo{};
   std::vector<RankRun> runs;
   lin.AppendRuns(box, &runs);
 
   RunState run;
   for (const RankRun& r : runs) {
-    const PackedLayout::RangeIo range = layout_.MeasureRange(r.start, r.len);
+    const StorageBackend::RangeIo range = backend_.MeasureRange(r.start, r.len);
     if (range.records == 0) continue;
     run.Add(range.first_page, range.last_page, range.records, run_length_);
   }
@@ -78,8 +94,8 @@ QueryIo IoSimulator::Measure(const GridQuery& query) const {
   io.records = run.records;
   io.pages = run.pages;
   io.seeks = run.seeks;
-  io.min_pages = CeilDiv(run.records * layout_.config().record_size_bytes,
-                         layout_.config().page_size_bytes);
+  io.min_pages = CeilDiv(CheckedMul(run.records, backend_.config().record_size_bytes),
+                         backend_.config().page_size_bytes);
   if (run_length_ != nullptr) run.CloseRun(run_length_);
   if (pages_read_ != nullptr) {
     pages_read_->Inc(io.pages);
@@ -91,7 +107,7 @@ QueryIo IoSimulator::Measure(const GridQuery& query) const {
 }
 
 QueryIo IoSimulator::MeasureCellWalk(const GridQuery& query) const {
-  const Linearization& lin = layout_.linearization();
+  const Linearization& lin = backend_.linearization();
   const StarSchema& schema = lin.schema();
   const CellBox box = BoxOf(schema, query);
 
@@ -115,16 +131,16 @@ QueryIo IoSimulator::MeasureCellWalk(const GridQuery& query) const {
 
   RunState run;
   for (uint64_t rank : ranks) {
-    if (layout_.CellEmpty(rank)) continue;
-    run.Add(layout_.CellFirstPage(rank), layout_.CellLastPage(rank),
-            layout_.CellRecords(rank), run_length_);
+    if (backend_.CellEmpty(rank)) continue;
+    run.Add(backend_.CellFirstPage(rank), backend_.CellLastPage(rank),
+            backend_.CellRecords(rank), run_length_);
   }
   QueryIo io;
   io.records = run.records;
   io.pages = run.pages;
   io.seeks = run.seeks;
-  io.min_pages = CeilDiv(run.records * layout_.config().record_size_bytes,
-                         layout_.config().page_size_bytes);
+  io.min_pages = CeilDiv(CheckedMul(run.records, backend_.config().record_size_bytes),
+                         backend_.config().page_size_bytes);
   if (run_length_ != nullptr) run.CloseRun(run_length_);
   if (pages_read_ != nullptr) {
     pages_read_->Inc(io.pages);
@@ -135,7 +151,7 @@ QueryIo IoSimulator::MeasureCellWalk(const GridQuery& query) const {
 }
 
 ClassIoStats IoSimulator::MeasureClass(const QueryClass& cls) const {
-  const Linearization& lin = layout_.linearization();
+  const Linearization& lin = backend_.linearization();
   // Intervals pay off when each query covers many cells; at the fine end
   // (as many queries as cells) the single cell-walk pass is cheaper than
   // one decomposition per query.
@@ -147,22 +163,24 @@ ClassIoStats IoSimulator::MeasureClass(const QueryClass& cls) const {
 }
 
 ClassIoStats IoSimulator::MeasureClassRuns(const QueryClass& cls) const {
-  const Linearization& lin = layout_.linearization();
+  const Linearization& lin = backend_.linearization();
   const StarSchema& schema = lin.schema();
   const uint64_t num_queries = NumQueriesInClass(schema, cls);
 
   ClassIoStats stats;
   stats.num_queries = num_queries;
-  const uint64_t record_size = layout_.config().record_size_bytes;
-  const uint64_t page_size = layout_.config().page_size_bytes;
+  const uint64_t record_size = backend_.config().record_size_bytes;
+  const uint64_t page_size = backend_.config().page_size_bytes;
   uint64_t total_runs = 0;
   std::vector<RankRun> runs;
   for (uint64_t i = 0; i < num_queries; ++i) {
+    const CellBox box = BoxOf(schema, QueryAt(schema, cls, i));
+    if (AllPartitionsPruned(box)) continue;
     runs.clear();
-    lin.AppendRuns(BoxOf(schema, QueryAt(schema, cls, i)), &runs);
+    lin.AppendRuns(box, &runs);
     RunState run;
     for (const RankRun& r : runs) {
-      const PackedLayout::RangeIo range = layout_.MeasureRange(r.start, r.len);
+      const StorageBackend::RangeIo range = backend_.MeasureRange(r.start, r.len);
       if (range.records == 0) continue;
       run.Add(range.first_page, range.last_page, range.records, run_length_);
     }
@@ -175,7 +193,7 @@ ClassIoStats IoSimulator::MeasureClassRuns(const QueryClass& cls) const {
     stats.total_pages += run.pages;
     stats.total_seeks += run.seeks;
     if (run_length_ != nullptr) run.CloseRun(run_length_);
-    const uint64_t min_pages = CeilDiv(run.records * record_size, page_size);
+    const uint64_t min_pages = CeilDiv(CheckedMul(run.records, record_size), page_size);
     stats.total_normalized +=
         static_cast<double>(run.pages) / static_cast<double>(min_pages);
   }
@@ -188,7 +206,7 @@ ClassIoStats IoSimulator::MeasureClassRuns(const QueryClass& cls) const {
 }
 
 ClassIoStats IoSimulator::MeasureClassCellWalk(const QueryClass& cls) const {
-  const Linearization& lin = layout_.linearization();
+  const Linearization& lin = backend_.linearization();
   const StarSchema& schema = lin.schema();
   const int k = schema.num_dims();
 
@@ -203,28 +221,28 @@ ClassIoStats IoSimulator::MeasureClassCellWalk(const QueryClass& cls) const {
 
   std::vector<RunState> state(num_queries);
   lin.Walk([&](uint64_t rank, const CellCoord& coord) {
-    if (layout_.CellEmpty(rank)) return;
+    if (backend_.CellEmpty(rank)) return;
     uint64_t qid = 0;
     for (int d = 0; d < k; ++d) {
       qid += schema.dim(d).AncestorAt(coord[static_cast<size_t>(d)],
                                       cls.level(d)) *
              strides[static_cast<size_t>(d)];
     }
-    state[qid].Add(layout_.CellFirstPage(rank), layout_.CellLastPage(rank),
-                   layout_.CellRecords(rank), run_length_);
+    state[qid].Add(backend_.CellFirstPage(rank), backend_.CellLastPage(rank),
+                   backend_.CellRecords(rank), run_length_);
   });
 
   ClassIoStats stats;
   stats.num_queries = num_queries;
-  const uint64_t record_size = layout_.config().record_size_bytes;
-  const uint64_t page_size = layout_.config().page_size_bytes;
+  const uint64_t record_size = backend_.config().record_size_bytes;
+  const uint64_t page_size = backend_.config().page_size_bytes;
   for (const RunState& run : state) {
     if (run.records == 0) continue;
     ++stats.num_nonempty;
     stats.total_pages += run.pages;
     stats.total_seeks += run.seeks;
     if (run_length_ != nullptr) run.CloseRun(run_length_);
-    const uint64_t min_pages = CeilDiv(run.records * record_size, page_size);
+    const uint64_t min_pages = CeilDiv(CheckedMul(run.records, record_size), page_size);
     stats.total_normalized +=
         static_cast<double>(run.pages) / static_cast<double>(min_pages);
   }
@@ -237,9 +255,9 @@ ClassIoStats IoSimulator::MeasureClassCellWalk(const QueryClass& cls) const {
 }
 
 std::vector<ClassIoStats> IoSimulator::MeasureAllClasses() const {
-  const QueryClassLattice lat(layout_.linearization().schema());
+  const QueryClassLattice lat(backend_.linearization().schema());
   ScopedSpan span(tracer_, "storage/measure_all", "storage");
-  span.AddArg("strategy", layout_.linearization().name());
+  span.AddArg("strategy", backend_.linearization().name());
   span.AddArg("classes", lat.size());
   std::vector<ClassIoStats> all;
   all.reserve(lat.size());

@@ -8,7 +8,7 @@
 #include "lattice/lattice.h"
 #include "lattice/workload.h"
 #include "obs/obs.h"
-#include "storage/pager.h"
+#include "storage/backend.h"
 #include "util/logging.h"
 #include "util/result.h"
 
@@ -16,23 +16,6 @@ namespace snakes {
 
 class Counter;
 class Histogram;
-
-/// Measured I/O of a single grid query against a packed layout.
-struct QueryIo {
-  uint64_t records = 0;    // records selected
-  uint64_t pages = 0;      // distinct pages read
-  uint64_t seeks = 0;      // non-sequential accesses (maximal page runs)
-  uint64_t min_pages = 0;  // ceil(records * record_size / page_size)
-
-  /// Pages read over the perfectly-clustered minimum (Section 6.1's
-  /// normalized blocks). Defined only for non-empty queries; asking for it
-  /// on an empty one aborts instead of silently returning inf/NaN.
-  double NormalizedBlocks() const {
-    SNAKES_CHECK(min_pages > 0)
-        << "NormalizedBlocks is undefined for empty queries";
-    return static_cast<double>(pages) / static_cast<double>(min_pages);
-  }
-};
 
 /// Exact aggregates over every query of one query class.
 struct ClassIoStats {
@@ -75,16 +58,24 @@ struct WorkloadIoStats {
   double expected_pages = 0.0;
 };
 
-/// Measures grid-query I/O against a PackedLayout, exactly (aggregating over
-/// every query of a class in one linear pass) or per query.
+/// Measures grid-query I/O against any StorageBackend, exactly (aggregating
+/// over every query of a class in one linear pass) or per query.
 ///
 /// Queries are evaluated interval-first: the linearization decomposes the
 /// query box into rank runs (Linearization::AppendRuns) and each run's page
-/// footprint comes from PackedLayout::MeasureRange in O(1), so a query costs
-/// O(runs) instead of O(cells in box). The seed's cell-walk evaluators are
-/// kept as MeasureCellWalk / MeasureClassCellWalk — they are the reference
-/// the run path is property-tested against, and remain the better choice
-/// when queries are cell-sized (MeasureClass falls back automatically).
+/// footprint comes from StorageBackend::MeasureRange in O(1), so a query
+/// costs O(runs) instead of O(cells in box). The seed's cell-walk evaluators
+/// are kept as MeasureCellWalk / MeasureClassCellWalk — they are the
+/// reference the run path is property-tested against, and remain the better
+/// choice when queries are cell-sized (MeasureClass falls back
+/// automatically).
+///
+/// On partitioned backends the run paths first consult the zone maps
+/// (StorageBackend::PruneBox). Pruning is conservative, so measured QueryIo
+/// is bit-identical across backends; what changes is the evaluation work —
+/// a query whose box misses every partition skips its run decomposition
+/// entirely, and the storage.partitions_scanned / storage.partitions_pruned
+/// counters expose the pruning power of the directory.
 ///
 /// With an ObsSink the simulator mirrors its measurements into the registry
 /// — storage.pages_read / storage.seeks counters on every path,
@@ -95,7 +86,7 @@ struct WorkloadIoStats {
 /// are resolved once here, so the per-measurement cost is a null test.
 class IoSimulator {
  public:
-  explicit IoSimulator(const PackedLayout& layout, const ObsSink& obs = {});
+  explicit IoSimulator(const StorageBackend& backend, const ObsSink& obs = {});
 
   /// I/O of one query from its rank-run decomposition, O(runs).
   QueryIo Measure(const GridQuery& query) const;
@@ -127,12 +118,19 @@ class IoSimulator {
   /// Run-based per-class pass; requires run-decomposition to be worthwhile.
   ClassIoStats MeasureClassRuns(const QueryClass& cls) const;
 
-  const PackedLayout& layout_;
+  /// Consults the backend's zone maps for `box` and mirrors the outcome
+  /// into the pruning counters. True iff every partition was pruned (the
+  /// caller may skip run decomposition; the box holds no records).
+  bool AllPartitionsPruned(const CellBox& box) const;
+
+  const StorageBackend& backend_;
   Tracer* tracer_ = nullptr;
   Counter* pages_read_ = nullptr;
   Counter* seeks_ = nullptr;
   Counter* cells_scanned_ = nullptr;
   Counter* runs_emitted_ = nullptr;
+  Counter* partitions_scanned_ = nullptr;
+  Counter* partitions_pruned_ = nullptr;
   Histogram* run_length_ = nullptr;
   Histogram* cells_per_run_ = nullptr;
 };

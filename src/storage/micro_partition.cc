@@ -1,0 +1,155 @@
+#include "storage/micro_partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/pager.h"
+#include "util/logging.h"
+
+namespace snakes {
+
+Result<MicroPartitionStore> MicroPartitionStore::Pack(
+    std::shared_ptr<const Linearization> lin,
+    std::shared_ptr<const FactTable> facts, StorageConfig config,
+    const ObsSink& obs) {
+  if (config.micro_partition_pages == 0) {
+    return Status::InvalidArgument(
+        "micro_partition_pages must be >= 1 page per partition");
+  }
+  MicroPartitionStore store;
+  Status packed =
+      store.PackPages(std::move(lin), std::move(facts), config, obs);
+  if (!packed.ok()) return packed;
+  Status built = store.BuildPartitions();
+  if (!built.ok()) return built;
+  return store;
+}
+
+Status MicroPartitionStore::BuildPartitions() {
+  const Linearization& lin = linearization();
+  const uint64_t n = lin.num_cells();
+  const uint64_t target_pages = config().micro_partition_pages;
+  partitions_.clear();
+  if (n == 0) return Status::OK();
+
+  Partition open;
+  open.first_rank = 0;
+  lin.Walk([&](uint64_t rank, const CellCoord& coord) {
+    if (CellEmpty(rank)) return;  // empty cells ride along with their run
+    const uint64_t first = CellFirstPage(rank);
+    // Close the open partition at a clean page boundary once it is full:
+    // the next cell must start a fresh page, or the two partitions would
+    // share one (mutable) page and lose their immutability.
+    if (open.records > 0 && open.last_page - open.first_page + 1 >= target_pages &&
+        first > open.last_page) {
+      open.num_ranks = rank - open.first_rank;
+      partitions_.push_back(open);
+      open = Partition{};
+      open.first_rank = rank;
+    }
+    if (open.records == 0) {
+      open.first_page = first;
+      open.zone_lo = coord;
+      open.zone_hi = coord;
+    } else {
+      for (size_t d = 0; d < coord.size(); ++d) {
+        open.zone_lo[d] = std::min(open.zone_lo[d], coord[d]);
+        open.zone_hi[d] = std::max(open.zone_hi[d], coord[d]);
+      }
+    }
+    open.last_page = CellLastPage(rank);
+    open.records += CellRecords(rank);
+  });
+  open.num_ranks = n - open.first_rank;
+  partitions_.push_back(open);
+  return Status::OK();
+}
+
+uint64_t MicroPartitionStore::PartitionOf(uint64_t rank) const {
+  SNAKES_DCHECK(!partitions_.empty() && rank < partitions_.back().end_rank());
+  // Last partition whose first_rank <= rank.
+  const auto it = std::upper_bound(
+      partitions_.begin(), partitions_.end(), rank,
+      [](uint64_t r, const Partition& p) { return r < p.first_rank; });
+  return static_cast<uint64_t>(it - partitions_.begin()) - 1;
+}
+
+PruneStats MicroPartitionStore::PruneBox(const CellBox& box) const {
+  PruneStats stats;
+  stats.partitions = partitions_.size();
+  for (const Partition& p : partitions_) {
+    bool overlaps = p.records > 0;
+    for (size_t d = 0; overlaps && d < box.lo.size(); ++d) {
+      overlaps = p.zone_lo[d] < box.hi[d] && p.zone_hi[d] >= box.lo[d];
+    }
+    if (overlaps) {
+      ++stats.scanned;
+    } else {
+      ++stats.pruned;
+    }
+  }
+  return stats;
+}
+
+RewriteIo MicroPartitionStore::PartitionGranularityIo(
+    const std::vector<RankRun>& ranges) const {
+  RewriteIo io;
+  if (partitions_.empty()) return io;
+  std::vector<char> touched(partitions_.size(), 0);
+  for (const RankRun& r : ranges) {
+    if (r.len == 0 || MeasureRange(r.start, r.len).records == 0) continue;
+    const uint64_t end = r.start + r.len;
+    for (uint64_t p = PartitionOf(r.start);
+         p < partitions_.size() && partitions_[p].first_rank < end; ++p) {
+      if (touched[p] != 0) continue;
+      // Only the intersection's records matter: a partition overlapped
+      // purely by empty cells is not rewritten.
+      const Partition& part = partitions_[p];
+      const uint64_t lo = std::max(r.start, part.first_rank);
+      const uint64_t hi = std::min(end, part.end_rank());
+      if (MeasureRange(lo, hi - lo).records > 0) touched[p] = 1;
+    }
+  }
+  for (uint64_t p = 0; p < partitions_.size(); ++p) {
+    if (touched[p] == 0) continue;
+    io.pages += partitions_[p].num_data_pages();
+    ++io.units;
+    ++io.partitions;
+  }
+  return io;
+}
+
+RewriteIo MicroPartitionStore::RewriteReadIo(
+    const std::vector<RankRun>& ranges) const {
+  return PartitionGranularityIo(ranges);
+}
+
+RewriteIo MicroPartitionStore::RewriteWriteIo(
+    const std::vector<RankRun>& ranges) const {
+  return PartitionGranularityIo(ranges);
+}
+
+Result<std::shared_ptr<const StorageBackend>> MakeStorageBackend(
+    StorageBackendKind kind, std::shared_ptr<const Linearization> lin,
+    std::shared_ptr<const FactTable> facts, StorageConfig config,
+    const ObsSink& obs) {
+  switch (kind) {
+    case StorageBackendKind::kPacked: {
+      SNAKES_ASSIGN_OR_RETURN(
+          PackedLayout layout,
+          PackedLayout::Pack(std::move(lin), std::move(facts), config, obs));
+      return std::shared_ptr<const StorageBackend>(
+          std::make_shared<const PackedLayout>(std::move(layout)));
+    }
+    case StorageBackendKind::kMicroPartition: {
+      SNAKES_ASSIGN_OR_RETURN(MicroPartitionStore store,
+                              MicroPartitionStore::Pack(
+                                  std::move(lin), std::move(facts), config, obs));
+      return std::shared_ptr<const StorageBackend>(
+          std::make_shared<const MicroPartitionStore>(std::move(store)));
+    }
+  }
+  return Status::InvalidArgument("unknown storage backend kind");
+}
+
+}  // namespace snakes

@@ -1,0 +1,89 @@
+#ifndef SNAKES_STORAGE_MICRO_PARTITION_H_
+#define SNAKES_STORAGE_MICRO_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hierarchy/star_schema.h"
+#include "obs/obs.h"
+#include "storage/backend.h"
+#include "storage/fact_table.h"
+#include "util/result.h"
+
+namespace snakes {
+
+/// Snowflake-style storage backend: the same rank-order page packing as
+/// PackedLayout, with consecutive rank runs of pages grouped into immutable
+/// micro-partitions that carry per-dimension cell-coordinate min/max zone
+/// maps. Queries prune the partition directory with the zone maps before
+/// scanning rank runs inside the survivors, and reclustering rewrites whole
+/// partitions — immutable files are replaced, never patched in place.
+///
+/// Partitions tile the rank space exactly: every rank belongs to one
+/// partition, partitions cover disjoint page ranges, and a partition closes
+/// at the first clean page boundary once it spans at least
+/// config.micro_partition_pages pages. Zone maps aggregate only non-empty
+/// cells, so pruning is conservative: a pruned partition holds no record of
+/// the query box and measured QueryIo stays bit-identical to PackedLayout.
+class MicroPartitionStore : public StorageBackend {
+ public:
+  struct Partition {
+    uint64_t first_rank = 0;
+    uint64_t num_ranks = 0;
+    /// Inclusive page span; inverted (first > last) when records == 0.
+    uint64_t first_page = 1;
+    uint64_t last_page = 0;
+    uint64_t records = 0;
+    /// Per-dimension min/max leaf coordinates over the partition's
+    /// non-empty cells (inclusive); meaningful only when records > 0.
+    CellCoord zone_lo;
+    CellCoord zone_hi;
+
+    uint64_t end_rank() const { return first_rank + num_ranks; }
+    uint64_t num_data_pages() const {
+      return records == 0 ? 0 : last_page - first_page + 1;
+    }
+  };
+
+  /// Packs `facts` along `lin` and builds the partition directory. Fails on
+  /// the same degenerate configs as PackedLayout::Pack, and additionally
+  /// when config.micro_partition_pages == 0.
+  static Result<MicroPartitionStore> Pack(
+      std::shared_ptr<const Linearization> lin,
+      std::shared_ptr<const FactTable> facts, StorageConfig config = {},
+      const ObsSink& obs = {});
+
+  StorageBackendKind kind() const override {
+    return StorageBackendKind::kMicroPartition;
+  }
+
+  uint64_t num_partitions() const override { return partitions_.size(); }
+  const Partition& partition(uint64_t index) const {
+    return partitions_[index];
+  }
+
+  /// Index of the partition whose rank range contains `rank`.
+  uint64_t PartitionOf(uint64_t rank) const;
+
+  /// Zone-map pruning: a partition survives iff it holds records and its
+  /// zone box intersects `box` in every dimension.
+  PruneStats PruneBox(const CellBox& box) const override;
+
+  /// Partition-granularity rewrite pricing: every partition whose rank
+  /// range intersects `ranges` with >= 1 record is read (written) in full.
+  RewriteIo RewriteReadIo(const std::vector<RankRun>& ranges) const override;
+  RewriteIo RewriteWriteIo(const std::vector<RankRun>& ranges) const override;
+
+ private:
+  MicroPartitionStore() = default;
+
+  Status BuildPartitions();
+  RewriteIo PartitionGranularityIo(const std::vector<RankRun>& ranges) const;
+
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_STORAGE_MICRO_PARTITION_H_

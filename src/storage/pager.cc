@@ -1,10 +1,6 @@
 #include "storage/pager.h"
 
-#include <algorithm>
-
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "util/logging.h"
+#include <utility>
 
 namespace snakes {
 
@@ -12,93 +8,11 @@ Result<PackedLayout> PackedLayout::Pack(
     std::shared_ptr<const Linearization> lin,
     std::shared_ptr<const FactTable> facts, StorageConfig config,
     const ObsSink& obs) {
-  ScopedSpan span(obs.tracer, "storage/pack", "storage");
-  span.AddArg("strategy", lin->name());
-  if (config.record_size_bytes == 0 ||
-      config.page_size_bytes < config.record_size_bytes) {
-    return Status::InvalidArgument(
-        "page must hold at least one whole record");
-  }
-  if (&lin->schema() != &facts->schema() &&
-      lin->num_cells() != facts->num_cells()) {
-    return Status::InvalidArgument(
-        "linearization and fact table describe different grids");
-  }
-  PackedLayout layout(std::move(lin), std::move(facts), config);
-  const uint64_t n = layout.lin_->num_cells();
-  layout.first_page_.resize(n);
-  layout.last_page_.resize(n);
-  layout.records_.resize(n);
-
-  uint64_t page = 0;
-  uint64_t used = 0;  // bytes used on the current page
-  const StarSchema& schema = layout.lin_->schema();
-  layout.lin_->Walk([&](uint64_t rank, const CellCoord& coord) {
-    const uint32_t records = layout.facts_->count(schema.Flatten(coord));
-    layout.records_[rank] = records;
-    if (records == 0) {
-      // Empty cell: occupies nothing; mark with an inverted span.
-      layout.first_page_[rank] = 1;
-      layout.last_page_[rank] = 0;
-      return;
-    }
-    uint64_t placed = 0;
-    uint64_t first = UINT64_MAX;
-    while (placed < records) {
-      if (config.page_size_bytes - used < config.record_size_bytes) {
-        // Close the page: the remainder cannot hold a whole record.
-        ++page;
-        used = 0;
-      }
-      // Place as many of the cell's remaining records as fit on this page.
-      const uint64_t fit =
-          (config.page_size_bytes - used) / config.record_size_bytes;
-      const uint64_t take = std::min<uint64_t>(fit, records - placed);
-      if (first == UINT64_MAX) first = page;
-      used += take * config.record_size_bytes;
-      placed += take;
-    }
-    layout.first_page_[rank] = first;
-    layout.last_page_[rank] = page;
-  });
-  layout.num_pages_ = page + (used > 0 ? 1 : 0);
-  layout.cum_records_.resize(n + 1);
-  layout.next_first_page_.resize(n);
-  layout.prev_last_page_.resize(n);
-  layout.cum_records_[0] = 0;
-  uint64_t last_page_so_far = 0;
-  for (uint64_t rank = 0; rank < n; ++rank) {
-    layout.cum_records_[rank + 1] =
-        layout.cum_records_[rank] + layout.records_[rank];
-    if (!layout.CellEmpty(rank)) last_page_so_far = layout.last_page_[rank];
-    layout.prev_last_page_[rank] = last_page_so_far;
-  }
-  uint64_t first_page_so_far = 0;
-  for (uint64_t rank = n; rank-- > 0;) {
-    if (!layout.CellEmpty(rank)) first_page_so_far = layout.first_page_[rank];
-    layout.next_first_page_[rank] = first_page_so_far;
-  }
-  if (obs.metrics != nullptr) {
-    obs.metrics->GetCounter("storage.pages_packed")->Inc(layout.num_pages_);
-    obs.metrics->GetCounter("storage.records_packed")
-        ->Inc(layout.facts_->total_records());
-  }
+  PackedLayout layout;
+  Status packed =
+      layout.PackPages(std::move(lin), std::move(facts), config, obs);
+  if (!packed.ok()) return packed;
   return layout;
-}
-
-PackedLayout::RangeIo PackedLayout::MeasureRange(uint64_t start,
-                                                 uint64_t len) const {
-  SNAKES_DCHECK(start + len <= records_.size());
-  RangeIo io;
-  if (len == 0) return io;
-  io.records = cum_records_[start + len] - cum_records_[start];
-  if (io.records == 0) return io;
-  // Non-empty range: the first non-empty cell at rank >= start and the last
-  // one at rank <= start + len - 1 both lie inside the range, and packing
-  // makes every page in between hold records of in-range cells.
-  io.first_page = next_first_page_[start];
-  io.last_page = prev_last_page_[start + len - 1];
-  return io;
 }
 
 }  // namespace snakes

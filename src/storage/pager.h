@@ -1,36 +1,19 @@
 #ifndef SNAKES_STORAGE_PAGER_H_
 #define SNAKES_STORAGE_PAGER_H_
 
-#include <cstdint>
 #include <memory>
-#include <string>
-#include <vector>
 
-#include "curves/linearization.h"
 #include "obs/obs.h"
+#include "storage/backend.h"
 #include "storage/fact_table.h"
 #include "util/result.h"
 
 namespace snakes {
 
-/// Physical parameters of the simulated disk (Section 6.1 uses 125-byte
-/// records on 8 KB pages).
-struct StorageConfig {
-  uint64_t page_size_bytes = 8192;
-  uint64_t record_size_bytes = 125;
-
-  /// Records that fit a fresh page.
-  uint64_t RecordsPerPage() const {
-    return page_size_bytes / record_size_bytes;
-  }
-};
-
-/// The on-disk image of a fact table under one clustering strategy: records
-/// are packed page by page following the linearization's rank order. A cell's
-/// records may span a page boundary, but single records never split — when a
-/// page's remainder is smaller than one record the page is closed and the
-/// record starts the next page (Section 6.1).
-class PackedLayout {
+/// The paper's storage backend: one flat run of pages in rank order with no
+/// partition structure. All behavior lives in StorageBackend — PackedLayout
+/// is exactly the shared page representation, priced at run granularity.
+class PackedLayout : public StorageBackend {
  public:
   /// Packs `facts` along `lin`. Fails if config is degenerate (page smaller
   /// than a record) or the linearization belongs to a different schema.
@@ -41,59 +24,12 @@ class PackedLayout {
                                    StorageConfig config = {},
                                    const ObsSink& obs = {});
 
-  const Linearization& linearization() const { return *lin_; }
-  const FactTable& facts() const { return *facts_; }
-  const StorageConfig& config() const { return config_; }
-
-  /// Total pages used.
-  uint64_t num_pages() const { return num_pages_; }
-
-  /// True iff the cell at `rank` holds no records.
-  bool CellEmpty(uint64_t rank) const { return first_page_[rank] > last_page_[rank]; }
-
-  /// First/last page (inclusive) holding records of the cell at `rank`;
-  /// meaningful only when !CellEmpty(rank).
-  uint64_t CellFirstPage(uint64_t rank) const { return first_page_[rank]; }
-  uint64_t CellLastPage(uint64_t rank) const { return last_page_[rank]; }
-
-  /// Record count of the cell at `rank` (cached from the fact table).
-  uint32_t CellRecords(uint64_t rank) const { return records_[rank]; }
-
-  /// Aggregate I/O footprint of a rank run. Because records pack in rank
-  /// order, the pages of any consecutive-rank range form one contiguous
-  /// interval with no internal gaps; empty ranges use the same inverted
-  /// convention as CellEmpty (first > last).
-  struct RangeIo {
-    uint64_t records = 0;
-    uint64_t first_page = 1;
-    uint64_t last_page = 0;
-  };
-
-  /// Footprint of ranks [start, start + len) in O(1), from prefix sums
-  /// built at pack time.
-  RangeIo MeasureRange(uint64_t start, uint64_t len) const;
+  StorageBackendKind kind() const override {
+    return StorageBackendKind::kPacked;
+  }
 
  private:
-  PackedLayout(std::shared_ptr<const Linearization> lin,
-               std::shared_ptr<const FactTable> facts, StorageConfig config)
-      : lin_(std::move(lin)), facts_(std::move(facts)), config_(config) {}
-
-  std::shared_ptr<const Linearization> lin_;
-  std::shared_ptr<const FactTable> facts_;
-  StorageConfig config_;
-  uint64_t num_pages_ = 0;
-  // Indexed by rank. Empty cells have first > last.
-  std::vector<uint64_t> first_page_;
-  std::vector<uint64_t> last_page_;
-  std::vector<uint32_t> records_;
-  // Rank-range accelerators for MeasureRange. cum_records_[r] = records in
-  // ranks [0, r) (n + 1 entries); next_first_page_[r] = first page of the
-  // first non-empty cell at rank >= r; prev_last_page_[r] = last page of
-  // the last non-empty cell at rank <= r. The page sentinels are only read
-  // when the queried range holds >= 1 record.
-  std::vector<uint64_t> cum_records_;
-  std::vector<uint64_t> next_first_page_;
-  std::vector<uint64_t> prev_last_page_;
+  PackedLayout() = default;
 };
 
 }  // namespace snakes

@@ -3,8 +3,8 @@
 namespace snakes {
 
 QueryAnswer QueryEngine::Execute(const GridQuery& query) const {
-  const StarSchema& schema = layout_.linearization().schema();
-  const FactTable& facts = layout_.facts();
+  const StarSchema& schema = backend_.linearization().schema();
+  const FactTable& facts = backend_.facts();
   QueryAnswer answer;
   answer.io = simulator_.Measure(query);
 
@@ -29,7 +29,7 @@ QueryAnswer QueryEngine::Execute(const GridQuery& query) const {
 
 QueryAnswer QueryEngine::ExecuteAt(const QueryClass& cls,
                                    const CellCoord& coord) const {
-  const StarSchema& schema = layout_.linearization().schema();
+  const StarSchema& schema = backend_.linearization().schema();
   return Execute(QueryContaining(schema, cls, coord));
 }
 

@@ -4,8 +4,8 @@
 #include <cstdint>
 
 #include "lattice/grid_query.h"
+#include "storage/backend.h"
 #include "storage/executor.h"
-#include "storage/pager.h"
 
 namespace snakes {
 
@@ -20,14 +20,16 @@ struct QueryAnswer {
 };
 
 /// Executes aggregate grid queries (COUNT / SUM / AVG of the measure) against
-/// a packed layout — the operations the paper's OLAP sessions issue (Q1/Q2
+/// a storage backend — the operations the paper's OLAP sessions issue (Q1/Q2
 /// of the motivating example are exactly this shape). Results are computed
-/// from the fact table; I/O is accounted against the layout, so callers see
-/// both the answer and what it cost under the chosen clustering.
+/// from the fact table; I/O is accounted against the backend, so callers see
+/// both the answer and what it cost under the chosen clustering. Answers are
+/// bit-identical across backends: zone-map pruning only changes how much
+/// metadata the simulator consults, never what a query reads or returns.
 class QueryEngine {
  public:
-  explicit QueryEngine(const PackedLayout& layout)
-      : layout_(layout), simulator_(layout) {}
+  explicit QueryEngine(const StorageBackend& backend)
+      : backend_(backend), simulator_(backend) {}
 
   /// Runs one grid query.
   QueryAnswer Execute(const GridQuery& query) const;
@@ -37,7 +39,7 @@ class QueryEngine {
   QueryAnswer ExecuteAt(const QueryClass& cls, const CellCoord& coord) const;
 
  private:
-  const PackedLayout& layout_;
+  const StorageBackend& backend_;
   IoSimulator simulator_;
 };
 

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "path/snaked_dp.h"
 #include "storage/cache.h"
+#include "storage/pager.h"
 #include "storage/query_engine.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"

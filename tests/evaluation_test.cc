@@ -146,15 +146,19 @@ TEST(EvaluationTest, ParallelDpMatchesSerialDpExactly) {
   }
 }
 
-TEST(EvaluationTest, LegacyWrapperMatchesRequestApi) {
+TEST(EvaluationTest, PlanThenEvaluateMatchesAdvise) {
+  // Advise is exactly Plan + Evaluate; the split pipeline and the one-shot
+  // call must produce bit-identical recommendations.
   auto schema = SymmetricSchema(2);
   const ClusteringAdvisor advisor(schema);
   Rng rng(11);
   const Workload mu = Workload::Random(advisor.Lattice(), &rng);
-  const auto legacy = advisor.Advise(mu);
-  const auto request = advisor.Advise(EvaluationRequest(mu));
-  ASSERT_TRUE(legacy.ok() && request.ok());
-  ExpectIdenticalRecommendations(legacy.value(), request.value());
+  const auto plan = advisor.Plan(EvaluationRequest(mu));
+  ASSERT_TRUE(plan.ok());
+  const auto staged = advisor.Evaluate(plan.value());
+  const auto one_shot = advisor.Advise(EvaluationRequest(mu));
+  ASSERT_TRUE(staged.ok() && one_shot.ok());
+  ExpectIdenticalRecommendations(staged.value(), one_shot.value());
 }
 
 TEST(EvaluationTest, NonPowerOfTwoExtentsRejectCurvesExactlyAsBefore) {

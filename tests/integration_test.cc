@@ -9,6 +9,7 @@
 #include "curves/row_major.h"
 #include "path/dpkd.h"
 #include "storage/executor.h"
+#include "storage/pager.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"
 
@@ -78,7 +79,7 @@ TEST(AdvisorTest, RecommendsAndRanks) {
   const QueryClassLattice lat = advisor.Lattice();
   const Workload mu = tpcd::SectionSixWorkload(lat, 7).value();
 
-  const Recommendation rec = advisor.Advise(mu).value();
+  const Recommendation rec = advisor.Advise(EvaluationRequest{mu}).value();
   EXPECT_FALSE(rec.ranked.empty());
   // Ranked ascending by expected cost.
   for (size_t i = 1; i < rec.ranked.size(); ++i) {
@@ -107,16 +108,17 @@ TEST(AdvisorTest, AdviseWithStorageMeasurements) {
   const ClusteringAdvisor advisor(warehouse.schema);
   const Workload mu =
       tpcd::SectionSixWorkload(advisor.Lattice(), 1).value();
-  AdvisorOptions options;
-  options.measure_storage = true;
-  const Recommendation rec =
-      advisor.Advise(mu, options, warehouse.facts).value();
+  EvaluationRequest request{mu};
+  request.measure_storage = true;
+  request.facts = warehouse.facts;
+  const Recommendation rec = advisor.Advise(request).value();
   for (const StrategyReport& report : rec.ranked) {
     ASSERT_TRUE(report.io.has_value()) << report.name;
     EXPECT_GE(report.io->expected_seeks, 0.9) << report.name;
   }
   // Requesting storage without facts fails cleanly.
-  EXPECT_FALSE(advisor.Advise(mu, options, nullptr).ok());
+  request.facts = nullptr;
+  EXPECT_FALSE(advisor.Advise(request).ok());
 }
 
 TEST(AdvisorTest, RecommendedOrderIsValidSnakedPath) {
@@ -129,24 +131,22 @@ TEST(AdvisorTest, RecommendedOrderIsValidSnakedPath) {
   EXPECT_EQ(order->name().rfind("snaked-path", 0), 0u);
 }
 
-TEST(AdvisorTest, OptionsControlTheCandidateSet) {
+TEST(AdvisorTest, RequestedStrategiesControlTheCandidateSet) {
   auto schema = std::make_shared<StarSchema>(
       StarSchema::Symmetric(2, 2, 2).value());
   const ClusteringAdvisor advisor(schema);
   const Workload mu = Workload::Uniform(advisor.Lattice());
 
-  AdvisorOptions bare;
-  bare.include_row_majors = false;
-  bare.include_curves = false;
-  const Recommendation rec = advisor.Advise(mu, bare).value();
+  EvaluationRequest bare{mu};
+  bare.strategies = {"lattice-paths"};
+  const Recommendation rec = advisor.Advise(bare).value();
   for (const StrategyReport& report : rec.ranked) {
     EXPECT_TRUE(report.name.find("path") != std::string::npos)
         << report.name;
     EXPECT_FALSE(report.io.has_value());
   }
 
-  AdvisorOptions full;
-  const Recommendation all = advisor.Advise(mu, full).value();
+  const Recommendation all = advisor.Advise(EvaluationRequest{mu}).value();
   EXPECT_GT(all.ranked.size(), rec.ranked.size());
   bool saw_hilbert = false, saw_row_major = false;
   for (const StrategyReport& report : all.ranked) {
@@ -163,7 +163,7 @@ TEST(AdvisorTest, CurvesSkippedWhereInapplicable) {
   const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 37).value();
   const ClusteringAdvisor advisor(warehouse.schema);
   const Workload mu = tpcd::SectionSixWorkload(advisor.Lattice(), 1).value();
-  const Recommendation rec = advisor.Advise(mu).value();
+  const Recommendation rec = advisor.Advise(EvaluationRequest{mu}).value();
   for (const StrategyReport& report : rec.ranked) {
     EXPECT_EQ(report.name.find("hilbert"), std::string::npos);
     EXPECT_EQ(report.name.find("z-curve"), std::string::npos);
@@ -174,7 +174,7 @@ TEST(AdvisorTest, RejectsForeignWorkload) {
   const auto warehouse = tpcd::GenerateWarehouse(SmallConfig(), 29).value();
   const ClusteringAdvisor advisor(warehouse.schema);
   auto other = QueryClassLattice::FromFanouts({{2.0}, {2.0}}).value();
-  EXPECT_FALSE(advisor.Advise(Workload::Uniform(other)).ok());
+  EXPECT_FALSE(advisor.Advise(EvaluationRequest{Workload::Uniform(other)}).ok());
 }
 
 TEST(AdvisorTest, ToySchemaRecommendationMatchesTheory) {
@@ -185,7 +185,7 @@ TEST(AdvisorTest, ToySchemaRecommendationMatchesTheory) {
       StarSchema::Symmetric(2, 2, 2).value());
   const ClusteringAdvisor advisor(schema);
   const Workload mu = Workload::Uniform(advisor.Lattice());
-  const Recommendation rec = advisor.Advise(mu).value();
+  const Recommendation rec = advisor.Advise(EvaluationRequest{mu}).value();
   EXPECT_NEAR(rec.optimal_path_cost, 15.0 / 9, 1e-12);
   double hilbert_cost = -1.0;
   for (const auto& report : rec.ranked) {

@@ -489,7 +489,7 @@ TEST(ReclusterEngineTest, FirstEpochAdoptsUnconditionally) {
   EXPECT_EQ(report.decision, ReclusterDecision::kInitialAdopt);
   ASSERT_NE(engine.current(), nullptr);
   EXPECT_EQ(engine.current()->name(), report.proposed_strategy);
-  EXPECT_NE(engine.current_layout(), nullptr);
+  EXPECT_NE(engine.current_backend(), nullptr);
   EXPECT_EQ(engine.adoptions(), 1u);
   EXPECT_GT(report.cost_evaluations, 0u);
   ASSERT_TRUE(report.recommendation.has_value());
@@ -537,7 +537,7 @@ TEST(ReclusterEngineTest, AdoptsWhenDriftFlipsTheOptimum) {
   EXPECT_GT(report.net_benefit, 0.0);
   EXPECT_GT(report.movement.pages_moved(), 0u);
   // The adopted layout is the proposed one, repacked under the new order.
-  EXPECT_EQ(&engine.current_layout()->linearization(),
+  EXPECT_EQ(&engine.current_backend()->linearization(),
             engine.current().get());
 }
 
@@ -602,7 +602,7 @@ TEST(ReclusterEngineTest, AnalyticModeAdoptsWithoutMovement) {
   const QueryClassLattice lat(*schema);
   ReclusterEngine engine(schema, nullptr, RowMajorConfig());
   engine.OnEpoch(PreferAB(lat)).value();
-  EXPECT_EQ(engine.current_layout(), nullptr);
+  EXPECT_EQ(engine.current_backend(), nullptr);
   const EpochReport report = engine.OnEpoch(PreferBA(lat)).value();
   EXPECT_EQ(report.decision, ReclusterDecision::kAdopt);
   EXPECT_EQ(report.movement.pages_moved(), 0u);

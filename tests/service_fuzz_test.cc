@@ -144,6 +144,10 @@ TEST_P(ServiceFuzzTest, ByteSoupDispatchNeverCrashes) {
       "end-epoch twice",
       "recluster recluster",
       "status status status",
+      "backend nosuchbackend",
+      "backend PACKED",  // names are case-sensitive lowercase
+      "backend micro partition",
+      "backend packed extra",
       "unknown-verb payload",
   };
   for (const std::string& request : malformed) {
@@ -166,6 +170,19 @@ TEST_P(ServiceFuzzTest, ByteSoupDispatchNeverCrashes) {
     const Result<std::string> served = service.Dispatch("t", request);
     (void)served;
   }
+
+  // The backend verb: bare form reports, valid switches flip live (the
+  // repack happens under the tenant lock), garbage names are clean errors.
+  EXPECT_EQ(service.Dispatch("t", "backend").value(), "backend packed");
+  for (int flip = 0; flip < 8; ++flip) {
+    const char* kind = flip % 2 == 0 ? "micropartition" : "packed";
+    const Result<std::string> switched =
+        service.Dispatch("t", std::string("backend ") + kind);
+    ASSERT_TRUE(switched.ok()) << switched.status().ToString();
+    EXPECT_EQ(switched.value(), std::string("backend ") + kind);
+    EXPECT_FALSE(service.Dispatch("t", "backend columnstore").ok());
+  }
+  EXPECT_EQ(service.Dispatch("t", "backend").value(), "backend packed");
 
   // The service survived it all: a well-formed request still works.
   EXPECT_TRUE(service.Dispatch("t", "status").ok());

@@ -165,8 +165,8 @@ TEST(ServiceRegistrationTest, PublishesEpochOneBeforeReturning) {
   const auto epoch = service.PinEpoch(id).value();
   EXPECT_EQ(epoch->sequence, 1u);
   ASSERT_NE(epoch->linearization, nullptr);
-  ASSERT_NE(epoch->layout, nullptr);
-  EXPECT_EQ(&epoch->layout->linearization(), epoch->linearization.get());
+  ASSERT_NE(epoch->backend, nullptr);
+  EXPECT_EQ(&epoch->backend->linearization(), epoch->linearization.get());
 
   const TenantStatus status = service.StatusOf(id).value();
   EXPECT_EQ(status.published_sequence, 1u);
@@ -184,7 +184,7 @@ TEST(ServiceRegistrationTest, AnalyticTenantAdvisesButDoesNotServeQueries) {
   spec.schema = schema;  // no facts
   const TenantId id = service.RegisterTenant(std::move(spec)).value();
 
-  EXPECT_EQ(service.PinEpoch(id).value()->layout, nullptr);
+  EXPECT_EQ(service.PinEpoch(id).value()->backend, nullptr);
   EXPECT_TRUE(service.Advise(id).ok());
   const auto query = service.Query(id, MakeQuery(0, 0, 0, 0));
   ASSERT_FALSE(query.ok());
@@ -236,8 +236,8 @@ TEST(ServiceQueryTest, AnswersMatchADirectEngineOnThePinnedLayout) {
   const TenantId id = service.RegisterTenant(std::move(spec)).value();
 
   const auto epoch = service.PinEpoch(id).value();
-  const QueryEngine direct(*epoch->layout);
-  const IoSimulator simulator(*epoch->layout);
+  const QueryEngine direct(*epoch->backend);
+  const IoSimulator simulator(*epoch->backend);
   const std::vector<GridQuery> queries = {
       MakeQuery(0, 0, 3, 1), MakeQuery(1, 1, 0, 1), MakeQuery(2, 2, 0, 0),
       MakeQuery(0, 2, 2, 0), MakeQuery(2, 0, 0, 3)};
@@ -360,13 +360,13 @@ TEST(ServiceEpochTest, ReclusterPublishesWhilePinnedReadersKeepTheOldEpoch) {
 
   const auto fresh = service.PinEpoch(id).value();
   EXPECT_EQ(fresh->sequence, 2u);
-  EXPECT_NE(fresh->layout, pinned->layout);
+  EXPECT_NE(fresh->backend, pinned->backend);
   EXPECT_NE(service.StatusOf(id).value().current_strategy, before);
 
   // The superseded epoch stays fully usable for as long as it is pinned —
   // readers in flight during the publish never see a torn layout.
   const GridQuery q = MakeQuery(1, 1, 1, 0);
-  const QueryAnswer old_answer = QueryEngine(*pinned->layout).Execute(q);
+  const QueryAnswer old_answer = QueryEngine(*pinned->backend).Execute(q);
   const QueryAnswer new_answer = service.Query(id, q).value();
   EXPECT_EQ(old_answer.count, new_answer.count);
   EXPECT_EQ(old_answer.sum, new_answer.sum);
@@ -542,7 +542,7 @@ std::vector<InterleaveDriver::Op> MixedOps(AdvisorService* service,
     // Pin, then read through the pin: must stay coherent even if a
     // recluster publishes a fresh epoch in between.
     const auto epoch = service->PinEpoch(id).value();
-    const QueryAnswer a = QueryEngine(*epoch->layout).Execute(
+    const QueryAnswer a = QueryEngine(*epoch->backend).Execute(
         MakeQuery(1, 1, 0, 1));
     const QueryAnswer b = service->Query(id, MakeQuery(1, 1, 0, 1)).value();
     ASSERT_EQ(a.count, b.count);

@@ -5,6 +5,7 @@
 //                 [--from ID] [--to ID] [--drift-threshold D]
 //                 [--hysteresis H] [--budget PAGES] [--cooldown N]
 //                 [--alpha A] [--seed S]
+//                 [--backend packed|micropartition]
 //
 // The trace interpolates between two Section-6 workloads (--from, --to;
 // ids 1..27): epoch e's observed workload is the normalized blend
@@ -17,6 +18,13 @@
 // queries replay through an LRU page cache over the live layout;
 // LruPageCache::ResetStats() isolates per-epoch hit rates (the pool stays
 // warm across epochs, and is cleared when a re-layout lands).
+//
+// With --backend micropartition the engine packs adopted layouts into
+// micro-partitions and the table gains a live pruned% column — the fraction
+// of the partition directory a sample of the epoch's own queries skips via
+// zone maps. Sweeping --from/--to under both backends compares how
+// clustering depth (movement spent reordering) trades against pruning
+// power (partitions skipped without reordering anything).
 
 #include <cstdio>
 #include <cstring>
@@ -25,9 +33,11 @@
 #include <utility>
 #include <vector>
 
+#include "lattice/grid_query.h"
 #include "lattice/workload.h"
 #include "obs/metrics.h"
 #include "recluster/engine.h"
+#include "storage/backend.h"
 #include "storage/cache.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"
@@ -81,6 +91,9 @@ int Run(int argc, char** argv) {
       std::atof(FlagValue(argc, argv, "--alpha", "0.4").c_str());
   const uint64_t seed = static_cast<uint64_t>(
       std::atoll(FlagValue(argc, argv, "--seed", "1999").c_str()));
+  auto backend_kind =
+      ParseStorageBackendKind(FlagValue(argc, argv, "--backend", "packed"));
+  if (!backend_kind.ok()) return Fail(backend_kind.status());
   if (epochs < 2) return Fail(Status::InvalidArgument("--epochs must be >= 2"));
 
   // Small warehouse: each epoch's full pipeline (advise + pack + replay)
@@ -117,6 +130,7 @@ int Run(int argc, char** argv) {
   rc.hysteresis_min_improvement = hysteresis;
   rc.cooldown_epochs = cooldown;
   rc.storage = StorageConfig{2048, 125};
+  rc.backend = backend_kind.value();
   rc.obs = obs;
   ReclusterEngine engine(schema, warehouse.value().facts, rc);
 
@@ -124,7 +138,7 @@ int Run(int argc, char** argv) {
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
 
   TextTable table({"epoch", "drift", "decision", "layout", "cost", "evals",
-                   "cached", "pages moved", "cache hit%"});
+                   "cached", "pages moved", "cache hit%", "pruned%"});
   for (int e = 0; e < epochs; ++e) {
     const double t = static_cast<double>(e) / (epochs - 1);
     auto mu = Blend(from.value(), to.value(), t);
@@ -137,16 +151,37 @@ int Run(int argc, char** argv) {
     // re-layout invalidates the pool (same page ids, different bytes);
     // otherwise only the stats reset so the hit rate is per-epoch.
     double hit_rate = 0.0;
-    if (engine.current_layout() != nullptr) {
+    double pruned_fraction = 0.0;
+    const auto backend = engine.current_backend();
+    if (backend != nullptr) {
       if (r.decision == ReclusterDecision::kAdopt ||
           r.decision == ReclusterDecision::kInitialAdopt) {
         cache.Clear();
       } else {
         cache.ResetStats();
       }
-      ReplayWorkload(*engine.current_layout(), mu.value(), queries, &cache,
-                     &rng);
+      ReplayWorkload(*backend, mu.value(), queries, &cache, &rng);
       hit_rate = cache.HitRate();
+
+      // Zone-map pruning power under this epoch's own workload: the
+      // fraction of the partition directory a query sample skips. A
+      // dedicated rng keeps the replay stream identical across backends.
+      if (backend->num_partitions() > 0) {
+        Rng prune_rng(seed + static_cast<uint64_t>(e) * 0x9e3779b9ULL);
+        const StarSchema& schema = backend->linearization().schema();
+        uint64_t scanned = 0, pruned = 0;
+        for (int q = 0; q < 64; ++q) {
+          const QueryClass cls = mu.value().Sample(&prune_rng);
+          const GridQuery query = SampleQuery(schema, cls, &prune_rng);
+          const PruneStats stats = backend->PruneBox(BoxOf(schema, query));
+          scanned += stats.scanned;
+          pruned += stats.pruned;
+        }
+        pruned_fraction = scanned + pruned == 0
+                              ? 0.0
+                              : static_cast<double>(pruned) /
+                                    static_cast<double>(scanned + pruned);
+      }
     }
 
     table.AddRow({std::to_string(r.epoch), FormatDouble(r.drift, 4),
@@ -156,7 +191,8 @@ int Run(int argc, char** argv) {
                   std::to_string(r.cost_evaluations),
                   std::to_string(r.cost_cache_hits),
                   std::to_string(r.movement.pages_moved()),
-                  FormatDouble(100.0 * hit_rate, 1)});
+                  FormatDouble(100.0 * hit_rate, 1),
+                  FormatDouble(100.0 * pruned_fraction, 1)});
   }
   std::printf("%s\n", table.Render().c_str());
 

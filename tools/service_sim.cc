@@ -1,7 +1,7 @@
 // service_sim — throughput and safety guard for the AdvisorService daemon.
 //
 //   service_sim [--tenants N] [--requests N] [--threads T] [--rounds R]
-//               [--seed S] [--out PATH]
+//               [--seed S] [--out PATH] [--backend packed|micropartition]
 //
 // Registers N tenants (N >= 8 in the guard configuration), then drives two
 // phases against the service:
@@ -48,8 +48,8 @@
 #include "lattice/workload.h"
 #include "obs/metrics.h"
 #include "service/service.h"
+#include "storage/backend.h"
 #include "storage/fact_table.h"
-#include "storage/pager.h"
 #include "util/logging.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -105,6 +105,9 @@ int Run(int argc, char** argv) {
       std::atoll(FlagValue(argc, argv, "--seed", "1999").c_str()));
   const std::string out_path =
       FlagValue(argc, argv, "--out", "BENCH_service_throughput.json");
+  auto backend_kind =
+      ParseStorageBackendKind(FlagValue(argc, argv, "--backend", "packed"));
+  if (!backend_kind.ok()) return Fail(backend_kind.status());
   if (tenants < 1) return Fail(Status::InvalidArgument("--tenants >= 1"));
 
   MetricsRegistry metrics;
@@ -128,6 +131,7 @@ int Run(int argc, char** argv) {
     spec.name = "tenant" + std::to_string(t);
     spec.schema = schema;
     spec.facts = RandomFacts(schema, &rng);
+    spec.backend = backend_kind.value();
     spec.initial_workload = Workload::Random(lat, &rng);
     auto id = service.RegisterTenant(std::move(spec));
     if (!id.ok()) return Fail(id.status());
@@ -290,6 +294,8 @@ int Run(int argc, char** argv) {
 
   // ---- Artifact --------------------------------------------------------
   std::string json = "{\n  \"bench\": \"service_throughput\",\n";
+  json += "  \"backend\": \"" +
+          std::string(StorageBackendKindName(backend_kind.value())) + "\",\n";
   json += "  \"tenants\": " + std::to_string(tenants) + ",\n";
   json += "  \"request_threads\": " + std::to_string(threads) + ",\n";
   json += "  \"mixed_requests\": " + std::to_string(submitted) + ",\n";

@@ -81,7 +81,7 @@ int RunAdvise(int argc, char** argv) {
   auto mu = ParseWorkloadSpec(advisor.Lattice(), workload_text.value());
   if (!mu.ok()) return Fail(mu.status());
 
-  auto rec = advisor.Advise(mu.value());
+  auto rec = advisor.Advise(EvaluationRequest{mu.value()});
   if (!rec.ok()) return Fail(rec.status());
   std::printf("%s", rec->ToString().c_str());
 
@@ -131,7 +131,7 @@ int RunDemo(int argc, char** argv) {
   if (!mu.ok()) return Fail(mu.status());
   std::printf("TPC-D LineItem schema, workload %d (%s)\n\n", id,
               tpcd::DescribeWorkload(id).c_str());
-  auto rec = advisor.Advise(mu.value());
+  auto rec = advisor.Advise(EvaluationRequest{mu.value()});
   if (!rec.ok()) return Fail(rec.status());
   std::printf("%s", rec->ToString().c_str());
   return 0;
