@@ -48,29 +48,39 @@ uint64_t Histogram::min() const {
 
 uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
 
-double Histogram::Quantile(double q) const {
-  const uint64_t n = count();
+double LogBucketQuantile(const uint64_t (&buckets)[Histogram::kNumBuckets],
+                         double q) {
+  uint64_t n = 0;
+  for (const uint64_t b : buckets) n += b;
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(n);
   double cumulative = 0.0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    const double in_bucket = static_cast<double>(
-        buckets_[b].load(std::memory_order_relaxed));
+  double last_hi = 0.0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
     if (in_bucket == 0.0) continue;
+    const double lo = static_cast<double>(BucketLo(b));
+    const double hi = static_cast<double>(BucketHi(b));
+    last_hi = hi;
     if (cumulative + in_bucket >= target) {
-      const double frac =
-          in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
-      const double lo = static_cast<double>(BucketLo(b));
-      const double hi = static_cast<double>(BucketHi(b));
-      const double v = lo + frac * (hi - lo);
-      // The true extremes are tracked exactly; never report beyond them.
-      return std::clamp(v, static_cast<double>(min()),
-                        static_cast<double>(max()));
+      const double frac = (target - cumulative) / in_bucket;
+      return lo + frac * (hi - lo);
     }
     cumulative += in_bucket;
   }
-  return static_cast<double>(max());
+  return last_hi;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count() == 0) return 0.0;
+  uint64_t buckets[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  // The true extremes are tracked exactly; never report beyond them.
+  return std::clamp(LogBucketQuantile(buckets, q),
+                    static_cast<double>(min()), static_cast<double>(max()));
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {

@@ -72,6 +72,14 @@ class Histogram {
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
 };
 
+/// Interpolated quantile (q in [0, 1]) over raw power-of-two bucket counts
+/// laid out as Histogram stores them (bucket b = samples of bit width b).
+/// Returns 0 when all buckets are empty. Shared by Histogram::Quantile and
+/// the SLO windows, which merge bucket arrays from several time slices
+/// before asking for a quantile.
+double LogBucketQuantile(const uint64_t (&buckets)[Histogram::kNumBuckets],
+                         double q);
+
 /// One histogram, condensed for reporting.
 struct HistogramStats {
   uint64_t count = 0;

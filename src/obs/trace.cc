@@ -3,12 +3,17 @@
 #include <cstdio>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "util/logging.h"
 
 namespace snakes {
 
 void Tracer::Record(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   events_.push_back(std::move(event));
 }
 
@@ -61,6 +66,12 @@ ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name,
   event_.name.assign(name);
   event_.category.assign(category);
   event_.thread_id = ThisThreadId();
+  // Attribute the span to the request being served on this thread, if any:
+  // the "rid" arg is what groups advisor/storage spans under their request
+  // when reading a trace.
+  if (const RequestContext* ctx = RequestContext::Current()) {
+    event_.args.emplace_back("rid", std::to_string(ctx->id));
+  }
   event_.start_ns = tracer_->NowNs();
 }
 

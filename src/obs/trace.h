@@ -1,6 +1,7 @@
 #ifndef SNAKES_OBS_TRACE_H_
 #define SNAKES_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -32,9 +33,19 @@ struct TraceEvent {
 /// append — spans are recorded once, at destruction, so the lock sits off
 /// the timed region. The epoch is fixed at construction, making every
 /// event's timestamp comparable within one trace file.
+///
+/// The buffer is bounded: once `capacity` spans are resident, further
+/// records are counted (dropped_spans()) and discarded instead of growing
+/// without limit — a tracer left on in a long-lived service must not become
+/// an unbounded allocation. The earliest spans win, matching the usual use
+/// (trace the start of a run, dump, inspect).
 class Tracer {
  public:
-  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity)
+      : epoch_(std::chrono::steady_clock::now()),
+        capacity_(capacity == 0 ? 1 : capacity) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -48,6 +59,12 @@ class Tracer {
 
   void Record(TraceEvent event);
 
+  size_t capacity() const { return capacity_; }
+  /// Spans discarded because the buffer was full.
+  uint64_t dropped_spans() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
+
   size_t num_events() const;
   std::vector<TraceEvent> events() const;
 
@@ -58,6 +75,8 @@ class Tracer {
 
  private:
   const std::chrono::steady_clock::time_point epoch_;
+  const size_t capacity_;
+  std::atomic<uint64_t> dropped_spans_{0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <utility>
 
 #include "lattice/lattice.h"
@@ -19,6 +20,16 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - since)
           .count());
+}
+
+/// Hand-off from SubmitInstrumented to the RequestGuard the task body
+/// constructs: the enqueue timestamp (service clock) of the request this
+/// pool thread is about to run, 0 when the running request was not batched.
+thread_local uint64_t tls_pending_enqueue_ns = 0;
+
+/// Attributes the innermost active request to `id` (no-op outside one).
+void TagRequestTenant(TenantId id) {
+  if (RequestContext* ctx = RequestContext::Current()) ctx->tenant = id;
 }
 
 /// Typed requests bypass the parser, so the service re-checks the geometry
@@ -78,7 +89,7 @@ std::string TenantStatus::ToString() const {
 
 struct AdvisorService::Tenant {
   Tenant(TenantId id_in, TenantSpec spec, const ReclusterConfig& engine_config,
-         int window_epochs)
+         int window_epochs, int slo_buckets)
       : id(id_in),
         name(std::move(spec.name)),
         schema(std::move(spec.schema)),
@@ -88,7 +99,8 @@ struct AdvisorService::Tenant {
         advisor(schema),
         window(lattice, window_epochs),
         pending(lattice.size(), 0.0),
-        engine(schema, facts, engine_config) {}
+        engine(schema, facts, engine_config),
+        slo(slo_buckets) {}
 
   TenantId id;
   const std::string name;
@@ -117,6 +129,15 @@ struct AdvisorService::Tenant {
   std::shared_ptr<const TenantEpoch> epoch;
   uint64_t published_sequence = 0;
 
+  /// Sliding-window latency/error SLO tracker, rotated by the sampler.
+  SloWindow slo;
+  /// Service-clock time of the last Publish (epoch age in telemetry).
+  std::atomic<uint64_t> last_publish_ns{0};
+  /// Background reclusters scheduled vs finished; the difference is the
+  /// tenant's recluster backlog.
+  std::atomic<uint64_t> reclusters_scheduled{0};
+  std::atomic<uint64_t> reclusters_completed{0};
+
   /// Resolved once at registration when metrics are attached.
   Counter* requests_counter = nullptr;
   Counter* ingested_counter = nullptr;
@@ -127,15 +148,149 @@ struct AdvisorService::Tenant {
   }
 };
 
+class AdvisorService::RequestGuard {
+ public:
+  RequestGuard(AdvisorService* service, RequestVerb verb)
+      : service_(service),
+        owner_(RequestContext::Current() == nullptr),
+        ctx_(MakeContext(service, verb, owner_)),
+        scope_(owner_ ? &ctx_ : nullptr),
+        span_(owner_ ? service->config_.obs.tracer : nullptr,
+              std::string("request/") + RequestVerbName(verb), "request") {}
+
+  RequestGuard(const RequestGuard&) = delete;
+  RequestGuard& operator=(const RequestGuard&) = delete;
+
+  /// Stamps the handler's outcome on the innermost request. Nested guards
+  /// write too, but the owner wraps them and writes last, so the recorded
+  /// status is the one the caller saw.
+  void Finish(const Status& status) {
+    if (RequestContext* ctx = RequestContext::Current()) {
+      ctx->status = status.code();
+    }
+  }
+
+  ~RequestGuard() {
+    if (!owner_) return;
+    ctx_.finish_ns = service_->NowNs();
+    RequestRecord record;
+    record.id = ctx_.id;
+    record.tenant = ctx_.tenant;
+    record.verb = ctx_.verb;
+    record.status = ctx_.status;
+    record.enqueue_ns = ctx_.enqueue_ns;
+    record.start_ns = ctx_.start_ns;
+    record.finish_ns = ctx_.finish_ns;
+    record.pages = ctx_.pages;
+    record.partitions_pruned = ctx_.partitions_pruned;
+    service_->recorder_.Record(record);
+    if (ctx_.tenant != kNoTenant) {
+      const Result<Tenant*> tenant = service_->Find(ctx_.tenant);
+      if (tenant.ok()) {
+        tenant.value()->slo.Record(ctx_.verb, record.compute_ns(),
+                                   ctx_.status != StatusCode::kOk);
+      }
+    }
+    if (service_->requests_completed_ != nullptr) {
+      service_->requests_completed_->Inc();
+      if (ctx_.status != StatusCode::kOk) service_->requests_errors_->Inc();
+    }
+  }
+
+ private:
+  static RequestContext MakeContext(AdvisorService* service, RequestVerb verb,
+                                    bool owner) {
+    RequestContext ctx;
+    if (!owner) return ctx;
+    ctx.id = service->next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    ctx.verb = verb;
+    ctx.start_ns = service->NowNs();
+    // A batched request left its submit time in the thread-local; a direct
+    // sync call was never queued, so enqueue == start.
+    ctx.enqueue_ns =
+        tls_pending_enqueue_ns != 0 ? tls_pending_enqueue_ns : ctx.start_ns;
+    tls_pending_enqueue_ns = 0;
+    return ctx;
+  }
+
+  AdvisorService* service_;
+  const bool owner_;
+  RequestContext ctx_;
+  // Order matters: the scope must be active before the span opens (the span
+  // reads Current() for its "rid" arg) and must outlive it.
+  RequestContextScope scope_;
+  ScopedSpan span_;
+};
+
 AdvisorService::AdvisorService(ServiceConfig config)
     : config_(std::move(config)),
+      clock_epoch_(std::chrono::steady_clock::now()),
+      recorder_(config_.telemetry.recorder_capacity),
+      audit_(config_.telemetry.audit_capacity),
       request_pool_(std::make_unique<ThreadPool>(
           config_.request_threads <= 0 ? 1 : config_.request_threads)),
-      background_pool_(std::make_unique<ThreadPool>(1)) {}
+      background_pool_(std::make_unique<ThreadPool>(1)) {
+  if (config_.obs.metrics != nullptr) {
+    requests_completed_ =
+        config_.obs.metrics->GetCounter("service.requests.completed");
+    requests_errors_ =
+        config_.obs.metrics->GetCounter("service.requests.errors");
+  }
+  if (!config_.telemetry.error_dump_path.empty()) {
+    // One-shot: on the first non-OK request the recorder dumps itself, so
+    // the lead-up to the first failure is preserved without being asked.
+    recorder_.SetErrorHook([this](const RequestRecord&) {
+      std::ofstream out(config_.telemetry.error_dump_path);
+      out << recorder_.ToJson(/*pretty=*/true);
+    });
+  }
+  if (config_.telemetry.sampler_interval_ms > 0) {
+    sampler_thread_ = std::thread(&AdvisorService::SamplerLoop, this);
+  }
+}
 
 AdvisorService::~AdvisorService() { Shutdown(); }
 
+uint64_t AdvisorService::NowNs() const { return ElapsedNs(clock_epoch_); }
+
+void AdvisorService::SamplerLoop() {
+  const auto interval =
+      std::chrono::milliseconds(config_.telemetry.sampler_interval_ms);
+  std::unique_lock<std::mutex> lock(sampler_mu_);
+  while (!sampler_stop_) {
+    if (sampler_cv_.wait_for(lock, interval,
+                             [this] { return sampler_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    AdvanceSloWindows();
+    lock.lock();
+  }
+}
+
+void AdvisorService::StopSampler() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_thread_.joinable()) sampler_thread_.join();
+}
+
+void AdvisorService::AdvanceSloWindows() {
+  std::vector<Tenant*> tenants;
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    tenants.reserve(tenants_.size());
+    for (const auto& tenant : tenants_) tenants.push_back(tenant.get());
+  }
+  // Tenant storage is stable (append-only vector of unique_ptrs), so the
+  // rotation runs outside tenants_mu_.
+  for (Tenant* tenant : tenants) tenant->slo.Advance();
+}
+
 void AdvisorService::Shutdown() {
+  StopSampler();
   // Requests first: a draining request may still schedule a recluster,
   // which the background pool either runs (pre-shutdown) or rejects into
   // the service.recluster.rejected counter.
@@ -166,6 +321,13 @@ uint64_t AdvisorService::num_tenants() const {
 }
 
 Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
+  RequestGuard guard(this, RequestVerb::kRegister);
+  Result<TenantId> out = RegisterTenantImpl(std::move(spec));
+  guard.Finish(out.status());
+  return out;
+}
+
+Result<TenantId> AdvisorService::RegisterTenantImpl(TenantSpec spec) {
   ScopedSpan span(config_.obs.tracer, "service/register", "service");
   if (spec.name.empty()) {
     return Status::InvalidArgument("tenant name must be non-empty");
@@ -201,16 +363,17 @@ Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
   }
 
   auto tenant = std::make_unique<Tenant>(0, std::move(spec), engine_config,
-                                         config_.window_epochs);
+                                         config_.window_epochs,
+                                         config_.telemetry.slo_buckets);
   Tenant* t = tenant.get();
   SNAKES_RETURN_IF_ERROR(t->window.Observe(initial));
 
   // Advise + pack + publish epoch 1 before the tenant becomes visible, so a
   // registered tenant always serves from a live epoch.
+  EpochReport initial_report;
   {
     std::lock_guard<std::mutex> lock(t->recluster_mu);
-    SNAKES_ASSIGN_OR_RETURN(EpochReport report, t->engine.OnEpoch(initial));
-    (void)report;
+    SNAKES_ASSIGN_OR_RETURN(initial_report, t->engine.OnEpoch(initial));
     Publish(t, t->engine.current(), t->engine.current_backend());
   }
 
@@ -221,6 +384,8 @@ Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
   }
   const TenantId id = tenants_.size();
   t->id = id;
+  TagRequestTenant(id);
+  AuditDecision(t, initial_report);
   if (config_.obs.metrics != nullptr) {
     const std::string prefix = "service.tenant." + t->name;
     t->requests_counter = config_.obs.metrics->GetCounter(prefix + ".requests");
@@ -234,6 +399,28 @@ Result<TenantId> AdvisorService::RegisterTenant(TenantSpec spec) {
   return id;
 }
 
+void AdvisorService::AuditDecision(const Tenant* tenant,
+                                   const EpochReport& report) {
+  ReclusterAuditEntry entry;
+  entry.timestamp_ns = NowNs();
+  if (const RequestContext* ctx = RequestContext::Current()) {
+    entry.request_id = ctx->id;
+  }
+  entry.tenant = tenant->id;
+  entry.engine_epoch = report.epoch;
+  entry.decision = report.decision;
+  entry.drift = report.drift;
+  entry.budget_pages = config_.recluster.movement_budget_pages;
+  entry.current_cost = report.current_cost;
+  entry.proposed_cost = report.proposed_cost;
+  entry.relative_improvement = report.relative_improvement;
+  entry.net_benefit = report.net_benefit;
+  entry.pages_moved = report.movement.pages_moved();
+  entry.current_strategy = report.current_strategy;
+  entry.proposed_strategy = report.proposed_strategy;
+  audit_.Record(std::move(entry));
+}
+
 void AdvisorService::Publish(Tenant* tenant,
                              std::shared_ptr<const Linearization> lin,
                              std::shared_ptr<const StorageBackend> backend) {
@@ -245,6 +432,7 @@ void AdvisorService::Publish(Tenant* tenant,
     epoch->sequence = ++tenant->published_sequence;
     tenant->epoch = std::move(epoch);
   }
+  tenant->last_publish_ns.store(NowNs(), std::memory_order_relaxed);
   if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->GetCounter("service.epochs_published")->Inc();
   }
@@ -277,7 +465,16 @@ Result<Workload> AdvisorService::SmoothedWorkload(TenantId id) const {
 }
 
 Status AdvisorService::Ingest(TenantId id, const GridQuery& query) {
+  RequestGuard guard(this, RequestVerb::kIngest);
+  const Status out = IngestImpl(id, query);
+  guard.Finish(out);
+  return out;
+}
+
+Status AdvisorService::IngestImpl(TenantId id, const GridQuery& query) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
+  ScopedSpan span(config_.obs.tracer, "service/ingest", "service");
   SNAKES_RETURN_IF_ERROR(ValidateQuery(*tenant->schema, query));
   tenant->CountRequest();
   if (tenant->ingested_counter != nullptr) tenant->ingested_counter->Inc();
@@ -321,7 +518,16 @@ Result<Workload> AdvisorService::CloseEpochLocked(Tenant* tenant) {
 }
 
 Result<uint64_t> AdvisorService::EndEpoch(TenantId id) {
+  RequestGuard guard(this, RequestVerb::kEndEpoch);
+  Result<uint64_t> out = EndEpochImpl(id);
+  guard.Finish(out.status());
+  return out;
+}
+
+Result<uint64_t> AdvisorService::EndEpochImpl(TenantId id) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
+  ScopedSpan span(config_.obs.tracer, "service/end_epoch", "service");
   tenant->CountRequest();
   uint64_t closed_count = 0;
   {
@@ -338,14 +544,31 @@ void AdvisorService::MaybeScheduleRecluster(TenantId id) {
   if (!config_.recluster_on_epoch_close) return;
   MetricsRegistry* metrics = config_.obs.metrics;
   auto submitted = background_pool_->TrySubmit([this, id, metrics]() {
+    // The background job is a request of its own: it gets the next id, its
+    // spans nest under "request/recluster", and its completion lands in the
+    // flight recorder like any foreground request.
+    RequestGuard guard(this, RequestVerb::kRecluster);
     auto tenant = Find(id);
-    if (!tenant.ok()) return;
+    if (!tenant.ok()) {
+      guard.Finish(tenant.status());
+      return;
+    }
+    TagRequestTenant(id);
     const auto report = RunRecluster(tenant.value());
+    guard.Finish(report.status());
+    tenant.value()->reclusters_completed.fetch_add(1,
+                                                   std::memory_order_relaxed);
     if (!report.ok() && metrics != nullptr) {
       metrics->GetCounter("service.recluster.errors")->Inc();
     }
   });
-  if (!submitted.ok() && metrics != nullptr) {
+  if (submitted.ok()) {
+    const auto tenant = Find(id);
+    if (tenant.ok()) {
+      tenant.value()->reclusters_scheduled.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  } else if (metrics != nullptr) {
     metrics->GetCounter("service.recluster.rejected")->Inc();
   }
 }
@@ -360,6 +583,7 @@ Result<EpochReport> AdvisorService::RunRecluster(Tenant* tenant) {
   }();
   std::lock_guard<std::mutex> lock(tenant->recluster_mu);
   SNAKES_ASSIGN_OR_RETURN(EpochReport report, tenant->engine.OnEpoch(mu));
+  AuditDecision(tenant, report);
   if (report.decision == ReclusterDecision::kAdopt ||
       report.decision == ReclusterDecision::kInitialAdopt) {
     // Double-buffer publish: readers pinned to the previous epoch keep it
@@ -371,13 +595,29 @@ Result<EpochReport> AdvisorService::RunRecluster(Tenant* tenant) {
 }
 
 Result<EpochReport> AdvisorService::ReclusterNow(TenantId id) {
+  RequestGuard guard(this, RequestVerb::kRecluster);
+  Result<EpochReport> out = ReclusterNowImpl(id);
+  guard.Finish(out.status());
+  return out;
+}
+
+Result<EpochReport> AdvisorService::ReclusterNowImpl(TenantId id) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
   tenant->CountRequest();
   return RunRecluster(tenant);
 }
 
 Status AdvisorService::SetBackend(TenantId id, StorageBackendKind kind) {
+  RequestGuard guard(this, RequestVerb::kBackend);
+  const Status out = SetBackendImpl(id, kind);
+  guard.Finish(out);
+  return out;
+}
+
+Status AdvisorService::SetBackendImpl(TenantId id, StorageBackendKind kind) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
   ScopedSpan span(config_.obs.tracer, "service/set_backend", "service");
   span.AddArg("tenant", tenant->name);
   span.AddArg("backend", StorageBackendKindName(kind));
@@ -395,7 +635,15 @@ Status AdvisorService::SetBackend(TenantId id, StorageBackendKind kind) {
 }
 
 Result<Recommendation> AdvisorService::Advise(TenantId id) {
+  RequestGuard guard(this, RequestVerb::kAdvise);
+  Result<Recommendation> out = AdviseImpl(id);
+  guard.Finish(out.status());
+  return out;
+}
+
+Result<Recommendation> AdvisorService::AdviseImpl(TenantId id) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
   ScopedSpan span(config_.obs.tracer, "service/advise", "service");
   span.AddArg("tenant", tenant->name);
   tenant->CountRequest();
@@ -409,7 +657,17 @@ Result<Recommendation> AdvisorService::Advise(TenantId id) {
 }
 
 Result<QueryAnswer> AdvisorService::Query(TenantId id, const GridQuery& query) {
+  RequestGuard guard(this, RequestVerb::kQuery);
+  Result<QueryAnswer> out = QueryImpl(id, query);
+  guard.Finish(out.status());
+  return out;
+}
+
+Result<QueryAnswer> AdvisorService::QueryImpl(TenantId id,
+                                              const GridQuery& query) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
+  ScopedSpan span(config_.obs.tracer, "service/query", "service");
   SNAKES_RETURN_IF_ERROR(ValidateQuery(*tenant->schema, query));
   tenant->CountRequest();
   SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const TenantEpoch> epoch,
@@ -418,12 +676,28 @@ Result<QueryAnswer> AdvisorService::Query(TenantId id, const GridQuery& query) {
     return Status::FailedPrecondition("tenant '" + tenant->name +
                                       "' is analytic (no fact table)");
   }
-  const QueryEngine engine(*epoch->backend);
-  return engine.Execute(query);
+  const QueryEngine engine(*epoch->backend, config_.obs);
+  PruneStats prune;
+  const QueryAnswer answer = engine.Execute(query, &prune);
+  if (RequestContext* ctx = RequestContext::Current()) {
+    ctx->pages += answer.io.pages;
+    ctx->partitions_pruned += prune.pruned;
+  }
+  return answer;
 }
 
 Result<QueryIo> AdvisorService::Measure(TenantId id, const GridQuery& query) {
+  RequestGuard guard(this, RequestVerb::kMeasure);
+  Result<QueryIo> out = MeasureImpl(id, query);
+  guard.Finish(out.status());
+  return out;
+}
+
+Result<QueryIo> AdvisorService::MeasureImpl(TenantId id,
+                                            const GridQuery& query) {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
+  ScopedSpan span(config_.obs.tracer, "service/measure", "service");
   SNAKES_RETURN_IF_ERROR(ValidateQuery(*tenant->schema, query));
   tenant->CountRequest();
   SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const TenantEpoch> epoch,
@@ -433,11 +707,18 @@ Result<QueryIo> AdvisorService::Measure(TenantId id, const GridQuery& query) {
                                       "' is analytic (no fact table)");
   }
   const IoSimulator simulator(*epoch->backend, config_.obs);
-  return simulator.Measure(query);
+  PruneStats prune;
+  const QueryIo io = simulator.Measure(query, &prune);
+  if (RequestContext* ctx = RequestContext::Current()) {
+    ctx->pages += io.pages;
+    ctx->partitions_pruned += prune.pruned;
+  }
+  return io;
 }
 
 Result<TenantStatus> AdvisorService::StatusOf(TenantId id) const {
   SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
   TenantStatus status;
   status.id = tenant->id;
   status.name = tenant->name;
@@ -477,11 +758,17 @@ std::future<R> AdvisorService::SubmitInstrumented(ThreadPool* pool,
     compute_hist = config_.obs.metrics->GetHistogram(prefix + ".compute_ns");
   }
   const auto submitted = std::chrono::steady_clock::now();
+  const uint64_t enqueue_ns = NowNs();
   auto accepted = pool->TrySubmit(
-      [submitted, queue_hist, compute_hist, fn = std::move(fn)]() -> R {
+      [submitted, enqueue_ns, queue_hist, compute_hist,
+       fn = std::move(fn)]() -> R {
         const auto start = std::chrono::steady_clock::now();
         if (queue_hist != nullptr) queue_hist->Record(ElapsedNs(submitted));
+        // Leave the submit time for the RequestGuard the handler constructs,
+        // so batched requests record a real queue wait.
+        tls_pending_enqueue_ns = enqueue_ns;
         R out = fn();
+        tls_pending_enqueue_ns = 0;
         if (compute_hist != nullptr) compute_hist->Record(ElapsedNs(start));
         return out;
       });
@@ -542,8 +829,6 @@ std::future<Result<std::string>> AdvisorService::SubmitDispatch(
 
 Result<std::string> AdvisorService::Dispatch(std::string_view tenant_name,
                                              std::string_view request) {
-  SNAKES_ASSIGN_OR_RETURN(TenantId id, FindTenant(tenant_name));
-  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
   const std::string_view trimmed = TrimWhitespace(request);
   const size_t space = trimmed.find(' ');
   const std::string_view verb = trimmed.substr(0, space);
@@ -551,6 +836,20 @@ Result<std::string> AdvisorService::Dispatch(std::string_view tenant_name,
       space == std::string_view::npos
           ? std::string_view{}
           : TrimWhitespace(trimmed.substr(space + 1));
+  // The verb is parsed before the guard so the recorded request carries it
+  // even when the tenant lookup (or the request itself) fails.
+  RequestGuard guard(this, ParseRequestVerb(verb));
+  Result<std::string> out = DispatchImpl(tenant_name, verb, payload);
+  guard.Finish(out.status());
+  return out;
+}
+
+Result<std::string> AdvisorService::DispatchImpl(std::string_view tenant_name,
+                                                 std::string_view verb,
+                                                 std::string_view payload) {
+  SNAKES_ASSIGN_OR_RETURN(TenantId id, FindTenant(tenant_name));
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
 
   const auto parse_query = [&]() -> Result<GridQuery> {
     if (tenant->tables.empty()) {
@@ -613,8 +912,65 @@ Result<std::string> AdvisorService::Dispatch(std::string_view tenant_name,
     SNAKES_RETURN_IF_ERROR(SetBackend(id, kind));
     return "backend " + std::string(StorageBackendKindName(kind));
   }
+  if (verb == "telemetry") {
+    // Service-wide telemetry, reachable from any registered tenant:
+    //   telemetry [json]   -> full snapshot as JSON
+    //   telemetry prom     -> Prometheus text exposition
+    //   telemetry recorder -> flight-recorder dump only
+    //   telemetry advance  -> rotate the SLO windows (sampler-less mode)
+    if (payload.empty() || payload == "json") {
+      return Telemetry().ToJson(/*pretty=*/true);
+    }
+    if (payload == "prom" || payload == "prometheus") {
+      return Telemetry().ToPrometheus();
+    }
+    if (payload == "recorder") return recorder_.ToJson(/*pretty=*/true);
+    if (payload == "advance") {
+      AdvanceSloWindows();
+      return std::string("advanced slo windows");
+    }
+    return Status::InvalidArgument("unknown telemetry format '" +
+                                   std::string(payload) + "'");
+  }
   return Status::InvalidArgument("unknown request verb '" +
                                  std::string(verb) + "'");
+}
+
+TelemetrySnapshot AdvisorService::Telemetry() const {
+  TelemetrySnapshot snap;
+  snap.now_ns = NowNs();
+  snap.recorder_capacity = recorder_.capacity();
+  snap.recorder_recorded = recorder_.recorded();
+  snap.requests = recorder_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    snap.tenants.reserve(tenants_.size());
+    for (const auto& tenant : tenants_) {
+      TenantTelemetry t;
+      t.tenant = tenant->id;
+      t.name = tenant->name;
+      t.slo = tenant->slo.Snap();
+      const uint64_t published =
+          tenant->last_publish_ns.load(std::memory_order_relaxed);
+      t.epoch_age_ns = snap.now_ns >= published ? snap.now_ns - published : 0;
+      {
+        std::lock_guard<std::mutex> epoch_lock(tenant->epoch_mu);
+        t.published_sequence = tenant->published_sequence;
+      }
+      const uint64_t scheduled =
+          tenant->reclusters_scheduled.load(std::memory_order_relaxed);
+      const uint64_t completed =
+          tenant->reclusters_completed.load(std::memory_order_relaxed);
+      t.recluster_backlog = scheduled >= completed ? scheduled - completed : 0;
+      snap.tenants.push_back(std::move(t));
+    }
+  }
+  snap.audit = audit_.Snapshot();
+  if (config_.obs.tracer != nullptr) {
+    snap.trace_spans = config_.obs.tracer->num_events();
+    snap.trace_dropped_spans = config_.obs.tracer->dropped_spans();
+  }
+  return snap;
 }
 
 }  // namespace snakes

@@ -1,6 +1,9 @@
 #ifndef SNAKES_SERVICE_SERVICE_H_
 #define SNAKES_SERVICE_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -9,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -19,8 +23,11 @@
 #include "lattice/grid_query.h"
 #include "lattice/workload.h"
 #include "lattice/workload_delta.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
+#include "obs/request_context.h"
 #include "recluster/engine.h"
+#include "service/telemetry.h"
 #include "storage/backend.h"
 #include "storage/fact_table.h"
 #include "storage/query_engine.h"
@@ -28,6 +35,8 @@
 #include "util/thread_pool.h"
 
 namespace snakes {
+
+class Counter;
 
 /// Stable id of a registered tenant (dense, assigned at registration).
 using TenantId = uint64_t;
@@ -59,8 +68,12 @@ struct ServiceConfig {
   /// record per-type queue-wait and compute histograms
   /// (service.<type>.queue_ns / service.<type>.compute_ns), per-tenant
   /// counters (service.tenant.<name>.<type>), and spans nesting
-  /// service/<type> -> tenant -> the library's advisor/storage spans.
+  /// request/<verb> -> service/<type> -> the library's advisor/storage
+  /// spans (every span under a request carries its "rid" arg).
   ObsSink obs;
+  /// Always-on request telemetry: flight-recorder capacity, SLO-window
+  /// shape, sampler cadence, recluster-audit depth, error-dump path.
+  TelemetryConfig telemetry;
 };
 
 /// Everything the service needs to own one fact table.
@@ -219,6 +232,28 @@ class AdvisorService {
   std::future<Result<std::string>> SubmitDispatch(std::string tenant_name,
                                                   std::string request);
 
+  // ---- Telemetry -------------------------------------------------------
+
+  /// Nanoseconds since the service was constructed (the service clock every
+  /// request timestamp, epoch age, and audit entry is stamped on).
+  uint64_t NowNs() const;
+
+  /// Point-in-time view of the telemetry layer: the flight recorder's
+  /// resident requests, per-tenant SLO windows / epoch age / recluster
+  /// backlog, the recluster audit log, and tracer span accounting.
+  TelemetrySnapshot Telemetry() const;
+
+  /// The always-on ring of completed requests.
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Every ReclusterDecision with the inputs that produced it.
+  const ReclusterAuditLog& audit_log() const { return audit_; }
+
+  /// Rotates every tenant's SLO window by one slice. Called by the sampler
+  /// thread each config.telemetry.sampler_interval_ms; exposed so tests and
+  /// tools with the sampler disabled can rotate deterministically.
+  void AdvanceSloWindows();
+
   // ---- Introspection ---------------------------------------------------
 
   /// Pins the tenant's current epoch (never null once registered).
@@ -238,8 +273,38 @@ class AdvisorService {
  private:
   struct Tenant;
 
+  /// RAII per-request bookkeeping: assigns the request id, installs the
+  /// thread's RequestContext, opens the "request/<verb>" span, and on
+  /// destruction stamps the finish time and records the completed request
+  /// into the flight recorder and the tenant's SLO window. Nested
+  /// construction (a Dispatch verb calling the sync surface) is a no-op —
+  /// the outermost guard owns the request.
+  class RequestGuard;
+
   /// Looks a tenant up by id; NotFound past the registered range.
   Result<Tenant*> Find(TenantId id) const;
+
+  // Un-instrumented bodies of the public request surface; the public
+  // methods wrap them in a RequestGuard.
+  Status IngestImpl(TenantId id, const GridQuery& query);
+  Result<uint64_t> EndEpochImpl(TenantId id);
+  Result<Recommendation> AdviseImpl(TenantId id);
+  Result<QueryAnswer> QueryImpl(TenantId id, const GridQuery& query);
+  Result<QueryIo> MeasureImpl(TenantId id, const GridQuery& query);
+  Result<EpochReport> ReclusterNowImpl(TenantId id);
+  Status SetBackendImpl(TenantId id, StorageBackendKind kind);
+  Result<TenantId> RegisterTenantImpl(TenantSpec spec);
+  Result<std::string> DispatchImpl(std::string_view tenant_name,
+                                   std::string_view verb,
+                                   std::string_view payload);
+
+  /// Appends the decision of one engine epoch (with its inputs) to the
+  /// audit log, attributed to the current request if any.
+  void AuditDecision(const Tenant* tenant, const EpochReport& report);
+
+  /// Body of the sampler thread: AdvanceSloWindows every interval.
+  void SamplerLoop();
+  void StopSampler();
 
   /// Closes the open epoch. Caller holds tenant->state_mu; returns the
   /// closed epoch's observed workload for the recluster trigger.
@@ -265,10 +330,24 @@ class AdvisorService {
                                     std::function<R()> fn);
 
   ServiceConfig config_;
+  /// Epoch of the service clock (NowNs).
+  const std::chrono::steady_clock::time_point clock_epoch_;
+  FlightRecorder recorder_;
+  ReclusterAuditLog audit_;
+  std::atomic<uint64_t> next_request_id_{1};
+  /// Resolved once when metrics are attached.
+  Counter* requests_completed_ = nullptr;
+  Counter* requests_errors_ = nullptr;
+
   std::unique_ptr<ThreadPool> request_pool_;
   /// One worker: relayouts for different tenants run serially in the
   /// background, never on the serving pool.
   std::unique_ptr<ThreadPool> background_pool_;
+
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::thread sampler_thread_;
 
   mutable std::mutex tenants_mu_;
   std::vector<std::unique_ptr<Tenant>> tenants_;

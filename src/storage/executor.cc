@@ -65,22 +65,26 @@ IoSimulator::IoSimulator(const StorageBackend& backend, const ObsSink& obs)
   }
 }
 
-bool IoSimulator::AllPartitionsPruned(const CellBox& box) const {
+bool IoSimulator::AllPartitionsPruned(const CellBox& box,
+                                      PruneStats* prune_out) const {
   if (backend_.num_partitions() == 0) return false;
   const PruneStats prune = backend_.PruneBox(box);
   if (partitions_scanned_ != nullptr) {
     partitions_scanned_->Inc(prune.scanned);
     partitions_pruned_->Inc(prune.pruned);
   }
+  if (prune_out != nullptr) *prune_out = prune;
   return prune.scanned == 0;
 }
 
-QueryIo IoSimulator::Measure(const GridQuery& query) const {
+QueryIo IoSimulator::Measure(const GridQuery& query,
+                             PruneStats* prune) const {
+  ScopedSpan span(tracer_, "storage/measure", "storage");
   const Linearization& lin = backend_.linearization();
   const CellBox box = BoxOf(lin.schema(), query);
   // Zone maps first: a box every partition prunes holds no records, so the
   // run decomposition (and its I/O) is skipped outright.
-  if (AllPartitionsPruned(box)) return QueryIo{};
+  if (AllPartitionsPruned(box, prune)) return QueryIo{};
   std::vector<RankRun> runs;
   lin.AppendRuns(box, &runs);
 

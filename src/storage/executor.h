@@ -88,8 +88,13 @@ class IoSimulator {
  public:
   explicit IoSimulator(const StorageBackend& backend, const ObsSink& obs = {});
 
-  /// I/O of one query from its rank-run decomposition, O(runs).
-  QueryIo Measure(const GridQuery& query) const;
+  /// I/O of one query from its rank-run decomposition, O(runs). When
+  /// `prune` is non-null it receives the zone-map outcome for this query
+  /// (zeros on unpartitioned backends) — the per-request attribution the
+  /// service's flight recorder records; the aggregate counters are
+  /// unaffected. Wrapped in a "storage/measure" span when tracing, so a
+  /// request's trace nests request -> verb -> storage.
+  QueryIo Measure(const GridQuery& query, PruneStats* prune = nullptr) const;
 
   /// I/O of one query by walking the query's cells in rank order. Reference
   /// implementation; identical results to Measure on every layout.
@@ -119,9 +124,11 @@ class IoSimulator {
   ClassIoStats MeasureClassRuns(const QueryClass& cls) const;
 
   /// Consults the backend's zone maps for `box` and mirrors the outcome
-  /// into the pruning counters. True iff every partition was pruned (the
-  /// caller may skip run decomposition; the box holds no records).
-  bool AllPartitionsPruned(const CellBox& box) const;
+  /// into the pruning counters (and `prune`, when non-null). True iff every
+  /// partition was pruned (the caller may skip run decomposition; the box
+  /// holds no records).
+  bool AllPartitionsPruned(const CellBox& box,
+                           PruneStats* prune = nullptr) const;
 
   const StorageBackend& backend_;
   Tracer* tracer_ = nullptr;

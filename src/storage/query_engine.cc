@@ -2,11 +2,12 @@
 
 namespace snakes {
 
-QueryAnswer QueryEngine::Execute(const GridQuery& query) const {
+QueryAnswer QueryEngine::Execute(const GridQuery& query,
+                                 PruneStats* prune) const {
   const StarSchema& schema = backend_.linearization().schema();
   const FactTable& facts = backend_.facts();
   QueryAnswer answer;
-  answer.io = simulator_.Measure(query);
+  answer.io = simulator_.Measure(query, prune);
 
   const CellBox box = BoxOf(schema, query);
   CellCoord coord = box.lo;

@@ -28,11 +28,15 @@ struct QueryAnswer {
 /// metadata the simulator consults, never what a query reads or returns.
 class QueryEngine {
  public:
-  explicit QueryEngine(const StorageBackend& backend)
-      : backend_(backend), simulator_(backend) {}
+  /// `obs` is forwarded to the I/O simulator: storage counters mirror each
+  /// query's cost and Execute runs under a "storage/measure" span.
+  explicit QueryEngine(const StorageBackend& backend, const ObsSink& obs = {})
+      : backend_(backend), simulator_(backend, obs) {}
 
-  /// Runs one grid query.
-  QueryAnswer Execute(const GridQuery& query) const;
+  /// Runs one grid query. `prune`, when non-null, receives the zone-map
+  /// outcome of the query's I/O measurement (see IoSimulator::Measure).
+  QueryAnswer Execute(const GridQuery& query,
+                      PruneStats* prune = nullptr) const;
 
   /// Runs the grid query of class `cls` containing `coord` (point-style
   /// drill-down sugar).

@@ -7,13 +7,16 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "hierarchy/dimension_table.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/grid_query.h"
+#include "obs/flight_recorder.h"
 #include "service/service.h"
+#include "service/telemetry.h"
 #include "storage/fact_table.h"
 #include "storage/pager.h"
 #include "util/rng.h"
@@ -222,6 +225,103 @@ TEST_P(ServiceFuzzTest, HostileTypedQueriesReturnErrorsNotCrashes) {
 
   // Still serving.
   EXPECT_TRUE(service.Advise(id).ok());
+}
+
+TEST_P(ServiceFuzzTest, TelemetryVerbSurvivesMalformedArgs) {
+  Rng rng(0x7E1E + static_cast<uint64_t>(GetParam()) * 7919);
+  FuzzTenant t = RandomTenant(&rng);
+  AdvisorService service(FuzzConfig());
+  TenantSpec spec;
+  spec.name = "t";
+  spec.schema = t.schema;
+  spec.facts = t.facts;
+  ASSERT_TRUE(service.RegisterTenant(std::move(spec)).ok());
+
+  // Structured malformations of the telemetry verb: every one must come
+  // back as a Status (ok or error), never a crash.
+  const std::vector<std::string> malformed = {
+      "telemetry",          "telemetry json",     "telemetry prom",
+      "telemetry prometheus", "telemetry recorder", "telemetry advance",
+      "telemetry JSON",     "telemetry  json",    "telemetry json extra",
+      "telemetry bogus",    "telemetry \"",       "telemetry =",
+      "telemetry telemetry", "telemetry\tprom",   "telemetryjson",
+  };
+  for (const std::string& request : malformed) {
+    (void)service.Dispatch("t", request);
+  }
+  EXPECT_FALSE(service.Dispatch("ghost", "telemetry").ok());
+
+  // Byte soup payloads.
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .=\"'\t-";
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string request = "telemetry ";
+    const uint64_t len = rng.Below(24);
+    for (uint64_t i = 0; i < len; ++i) {
+      request += alphabet[rng.Below(alphabet.size())];
+    }
+    (void)service.Dispatch("t", request);
+  }
+
+  // Still serving, and the malformed traffic itself is visible in the dump.
+  const std::string json = service.Dispatch("t", "telemetry").value();
+  EXPECT_NE(json.find("\"recorder\""), std::string::npos);
+}
+
+TEST_P(ServiceFuzzTest, ConcurrentTelemetryDumpsDuringReclusterStorm) {
+  Rng rng(0xD0D0 + static_cast<uint64_t>(GetParam()) * 104729);
+  FuzzTenant t = RandomTenant(&rng);
+  ServiceConfig config = FuzzConfig();
+  config.recluster_on_epoch_close = true;
+  config.telemetry.recorder_capacity = 64;  // wrap constantly under load
+  AdvisorService service(config);
+  TenantSpec spec;
+  spec.name = "t";
+  spec.schema = t.schema;
+  spec.facts = t.facts;
+  const TenantId id = service.RegisterTenant(std::move(spec)).value();
+  const std::shared_ptr<const StarSchema> schema = t.schema;
+
+  // Writers churn epochs (each close fires a background recluster);
+  // dumpers hammer every telemetry surface concurrently.
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&service, schema, id, w]() {
+      const int dims = schema->num_dims();
+      for (int i = 0; i < 20; ++i) {
+        GridQuery query;  // a valid leaf-level point query
+        query.cls = QueryClass(dims);
+        query.block.resize(static_cast<size_t>(dims));
+        for (int d = 0; d < dims; ++d) {
+          query.cls.set_level(d, 0);
+          query.block[static_cast<size_t>(d)] =
+              static_cast<uint64_t>(w + i) % schema->extent(d);
+        }
+        (void)service.Ingest(id, query);
+        (void)service.EndEpoch(id);
+      }
+    });
+  }
+  for (int d = 0; d < 2; ++d) {
+    threads.emplace_back([&service]() {
+      for (int i = 0; i < 30; ++i) {
+        const char* form = i % 3 == 0 ? "telemetry"
+                           : i % 3 == 1 ? "telemetry prom"
+                                        : "telemetry recorder";
+        (void)service.Dispatch("t", form);
+        const TelemetrySnapshot snap = service.Telemetry();
+        uint64_t prev = 0;
+        for (const RequestRecord& r : snap.requests) {
+          ASSERT_GT(r.id, prev) << "torn or duplicated record";
+          prev = r.id;
+          ASSERT_LE(r.start_ns, r.finish_ns);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.Shutdown();
+  EXPECT_TRUE(service.Dispatch("t", "telemetry").ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServiceFuzzTest, ::testing::Range(1, 13));

@@ -35,11 +35,11 @@ TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
 # and the TSan builds on top of the full-matrix runs above.
 echo "==> [service] release leg"
 ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS" \
-  -R 'Service(Registration|Advise|Query|Epoch|Submit|Dispatch|Interleave|Fuzz)'
+  -R 'Service(Registration|Advise|Query|Epoch|Submit|Dispatch|Interleave|Fuzz|Telemetry)|FlightRecorder|SloWindow'
 echo "==> [service] tsan leg"
 TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'Service(Registration|Advise|Query|Epoch|Submit|Dispatch|Interleave|Fuzz)'
+  -R 'Service(Registration|Advise|Query|Epoch|Submit|Dispatch|Interleave|Fuzz|Telemetry)|FlightRecorder|SloWindow'
 
 # Observability smoke: run the instrumented end-to-end report on the tiny
 # TPC-D grid and validate that both artifacts parse and carry the headline
@@ -94,11 +94,15 @@ assert d["pin_wait_p99_ns"] <= d["pin_p99_bound_ns"], "readers blocked"
 assert d["query_compute_p99_ns"] <= d["query_p99_bound_ns"]
 m = d["metrics"]
 for key in ["service.tenants", "service.epochs_published",
-            "service.epochs_closed"]:
+            "service.epochs_closed", "service.requests.completed"]:
     assert key in m["counters"], "missing counter " + key
 for key in ["service.query.queue_ns", "service.query.compute_ns",
             "service.advise.compute_ns", "service.epoch.pin_ns"]:
     assert key in m["histograms"], "missing histogram " + key
+t = d["telemetry"]
+assert t["recorder"]["requests"], "embedded flight recorder is empty"
+assert len(t["tenants"]) == d["tenants"], "telemetry missing tenants"
+assert t["audit"], "recluster audit log is empty after the storm"
 print("service smoke ok: %.0f req/s over %d tenants, pin p99 %.0f ns" %
       (d["sustained_rps"], d["tenants"], d["pin_wait_p99_ns"]))
 EOF
@@ -134,6 +138,91 @@ print("micropartition bench ok: %d partitions, %.1f%% pruned" %
       (d["partitions"], 100.0 * d["restricted_pruned_fraction"]))
 EOF
 
+# Telemetry smoke: the always-on request-telemetry layer end to end.
+#  1. service_sim --telemetry dumps the flight recorder + SLO windows +
+#     audit log; python checks request ids are strictly increasing with
+#     monotone timestamps, SLO windows are non-empty, and every audit entry
+#     names a decision with its inputs.
+#  2. telemetry_report renders the same surface as Prometheus text
+#     exposition via the Dispatch verb; python validates the exposition
+#     grammar (every sample belongs to a TYPE-declared family) and that the
+#     SLO summary carries both quantiles.
+#  3. micro_telemetry SNAKES_CHECKs the per-request telemetry cost under 2%
+#     of the mixed-request path and python re-checks the artifact.
+echo "==> [telemetry] service_sim dump"
+TELEMETRY_DUMP="$ROOT/build-release/telemetry-smoke.json"
+(cd "$ROOT/build-release" && ./tools/service_sim --requests 2000 \
+  --out BENCH_telemetry_smoke_throughput.json \
+  --telemetry "$TELEMETRY_DUMP" > /dev/null)
+python3 - "$TELEMETRY_DUMP" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+reqs = t["recorder"]["requests"]
+assert reqs, "flight recorder dumped no requests"
+ids = [r["id"] for r in reqs]
+assert all(a < b for a, b in zip(ids, ids[1:])), "ids not strictly increasing"
+for r in reqs:
+    assert r["queue_ns"] >= 0 and r["compute_ns"] >= 0, "negative latency"
+assert t["tenants"], "no tenants in telemetry snapshot"
+for tenant in t["tenants"]:
+    assert tenant["slo"], "SLO window empty for " + tenant["name"]
+    for verb, s in tenant["slo"].items():
+        assert s["count"] > 0 and s["p99_ns"] >= s["p50_ns"] >= 0.0, verb
+assert t["audit"], "no recluster decisions audited"
+for entry in t["audit"]:
+    assert entry["decision"], "audit entry without a decision"
+    assert "drift" in entry and "budget_pages" in entry and \
+        "net_benefit" in entry, "audit entry missing inputs"
+print("telemetry dump ok: %d requests, %d tenants, %d audited decisions" %
+      (len(reqs), len(t["tenants"]), len(t["audit"])))
+EOF
+echo "==> [telemetry] prometheus exposition"
+TELEMETRY_PROM="$ROOT/build-release/telemetry-smoke.prom"
+(cd "$ROOT/build-release" && ./tools/telemetry_report --format prom \
+  --requests 400 --out "$TELEMETRY_PROM")
+python3 - "$TELEMETRY_PROM" <<'EOF'
+import sys
+families = set()
+samples = 0
+quantiles = set()
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    assert line, "blank line in exposition"
+    if line.startswith("# TYPE "):
+        name, kind = line[len("# TYPE "):].split(" ")
+        assert kind in ("counter", "gauge", "summary"), kind
+        families.add(name)
+        continue
+    assert not line.startswith("#"), "unexpected comment: " + line
+    body, value = line.rsplit(" ", 1)
+    float(value)  # must parse
+    name = body.split("{", 1)[0]
+    base = name
+    for suffix in ("_sum", "_count"):
+        if base.endswith(suffix) and base not in families:
+            base = base[: -len(suffix)]
+    assert base in families, "sample from undeclared family: " + line
+    if "{" in body:
+        assert body.endswith("}"), "unclosed label set: " + line
+        if 'quantile="' in body:
+            quantiles.add(body.split('quantile="', 1)[1].split('"', 1)[0])
+    samples += 1
+assert "snakes_slo_request_latency_ns" in families, "missing SLO summary"
+assert quantiles == {"0.5", "0.99"}, "missing quantiles: %s" % quantiles
+print("exposition ok: %d samples across %d families" %
+      (samples, len(families)))
+EOF
+echo "==> [telemetry] overhead bench"
+(cd "$ROOT/build-release" && ./bench/micro_telemetry > /dev/null)
+python3 - "$ROOT/build-release/BENCH_telemetry.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["bench"] == "telemetry_overhead"
+assert d["overhead_bound_pct"] < d["budget_pct"]
+print("telemetry bench ok: %.3f%% bound (budget %.1f%%)" %
+      (d["overhead_bound_pct"], d["budget_pct"]))
+EOF
+
 # Coverage gate: instrument with gcc --coverage, rerun the suite, and hold
 # the modules whose correctness rests on tests alone (the CV sandwich
 # machinery, the reclustering engine, and the advisor service) to >= 80%
@@ -158,10 +247,14 @@ import json, sys
 
 # Line hit counts per source file, merged across translation units. The
 # storage-backend entry gates the two files behind the StorageBackend API
-# (backend.cc, micro_partition.cc) rather than all of src/storage.
+# (backend.cc, micro_partition.cc) rather than all of src/storage, and
+# obs-telemetry gates the request-telemetry primitives (request context,
+# flight recorder, SLO windows) rather than all of src/obs.
 cov = {"src/cv": {}, "src/recluster": {}, "src/service": {},
-       "storage-backend": {}}
+       "storage-backend": {}, "obs-telemetry": {}}
 backend_files = ("src/storage/backend.cc", "src/storage/micro_partition.cc")
+telemetry_files = ("src/obs/request_context.cc", "src/obs/flight_recorder.cc",
+                   "src/obs/slo_window.cc")
 with open(sys.argv[1]) as jsonl:
     for line in jsonl:
         line = line.strip()
@@ -172,6 +265,8 @@ with open(sys.argv[1]) as jsonl:
             name = f["file"]
             if name.endswith(backend_files):
                 module = "storage-backend"
+            elif name.endswith(telemetry_files):
+                module = "obs-telemetry"
             else:
                 module = next(
                     (m for m in cov if "/" + m + "/" in "/" + name), None)

@@ -6,6 +6,14 @@
 //                 [--hysteresis H] [--budget PAGES] [--cooldown N]
 //                 [--alpha A] [--seed S]
 //                 [--backend packed|micropartition]
+//                 [--telemetry PATH]
+//
+// --telemetry PATH writes a TelemetrySnapshot JSON at exit: each epoch's
+// OnEpoch call is recorded as a `recluster` request (and its replay as a
+// `query` request) in a flight recorder + SLO window, and every
+// ReclusterDecision lands in the audit log with its inputs — the same
+// artifact shape the advisor service's `telemetry` verb serves, so the
+// check.sh validators apply to both.
 //
 // The trace interpolates between two Section-6 workloads (--from, --to;
 // ids 1..27): epoch e's observed workload is the normalized blend
@@ -26,8 +34,10 @@
 // clustering depth (movement spent reordering) trades against pruning
 // power (partitions skipped without reordering anything).
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -35,8 +45,11 @@
 
 #include "lattice/grid_query.h"
 #include "lattice/workload.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo_window.h"
 #include "recluster/engine.h"
+#include "service/telemetry.h"
 #include "storage/backend.h"
 #include "storage/cache.h"
 #include "tpcd/dbgen.h"
@@ -91,6 +104,8 @@ int Run(int argc, char** argv) {
       std::atof(FlagValue(argc, argv, "--alpha", "0.4").c_str());
   const uint64_t seed = static_cast<uint64_t>(
       std::atoll(FlagValue(argc, argv, "--seed", "1999").c_str()));
+  const std::string telemetry_path =
+      FlagValue(argc, argv, "--telemetry", "");
   auto backend_kind =
       ParseStorageBackendKind(FlagValue(argc, argv, "--backend", "packed"));
   if (!backend_kind.ok()) return Fail(backend_kind.status());
@@ -137,15 +152,59 @@ int Run(int argc, char** argv) {
   LruPageCache cache(cache_pages, obs);
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
 
+  // Telemetry sinks, populated per epoch when --telemetry is set: OnEpoch
+  // and the replay become flight-recorder requests, decisions become audit
+  // entries.
+  const auto clock_epoch = std::chrono::steady_clock::now();
+  const auto now_ns = [&clock_epoch]() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - clock_epoch)
+            .count());
+  };
+  FlightRecorder recorder(256);
+  SloWindow slo;
+  ReclusterAuditLog audit(static_cast<size_t>(epochs) + 1);
+  uint64_t next_request_id = 1;
+
   TextTable table({"epoch", "drift", "decision", "layout", "cost", "evals",
                    "cached", "pages moved", "cache hit%", "pruned%"});
   for (int e = 0; e < epochs; ++e) {
     const double t = static_cast<double>(e) / (epochs - 1);
     auto mu = Blend(from.value(), to.value(), t);
     if (!mu.ok()) return Fail(mu.status());
+    const uint64_t epoch_start = now_ns();
     auto report = engine.OnEpoch(mu.value());
+    {
+      RequestRecord rec;
+      rec.id = next_request_id++;
+      rec.verb = RequestVerb::kRecluster;
+      rec.status = report.status().code();
+      rec.enqueue_ns = epoch_start;
+      rec.start_ns = epoch_start;
+      rec.finish_ns = now_ns();
+      recorder.Record(rec);
+      slo.Record(RequestVerb::kRecluster, rec.compute_ns(), !report.ok());
+    }
     if (!report.ok()) return Fail(report.status());
     const EpochReport& r = report.value();
+    {
+      ReclusterAuditEntry entry;
+      entry.timestamp_ns = now_ns();
+      entry.request_id = next_request_id - 1;
+      entry.engine_epoch = r.epoch;
+      entry.decision = r.decision;
+      entry.drift = r.drift;
+      entry.budget_pages = rc.movement_budget_pages;
+      entry.current_cost = r.current_cost;
+      entry.proposed_cost = r.proposed_cost;
+      entry.relative_improvement = r.relative_improvement;
+      entry.net_benefit = r.net_benefit;
+      entry.pages_moved = r.movement.pages_moved();
+      entry.current_strategy = r.current_strategy;
+      entry.proposed_strategy = r.proposed_strategy;
+      audit.Record(std::move(entry));
+    }
 
     // Replay this epoch's queries against the live layout. An adopted
     // re-layout invalidates the pool (same page ids, different bytes);
@@ -160,7 +219,18 @@ int Run(int argc, char** argv) {
       } else {
         cache.ResetStats();
       }
+      const uint64_t replay_start = now_ns();
       ReplayWorkload(*backend, mu.value(), queries, &cache, &rng);
+      {
+        RequestRecord rec;
+        rec.id = next_request_id++;
+        rec.verb = RequestVerb::kQuery;
+        rec.enqueue_ns = replay_start;
+        rec.start_ns = replay_start;
+        rec.finish_ns = now_ns();
+        recorder.Record(rec);
+        slo.Record(RequestVerb::kQuery, rec.compute_ns(), /*error=*/false);
+      }
       hit_rate = cache.HitRate();
 
       // Zone-map pruning power under this epoch's own workload: the
@@ -208,6 +278,27 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(dp_stats.misses),
       static_cast<unsigned long long>(dp_stats.hits));
   std::printf("\n%s\n", metrics.Snapshot().ToTable().c_str());
+
+  if (!telemetry_path.empty()) {
+    TelemetrySnapshot snap;
+    snap.now_ns = now_ns();
+    snap.recorder_capacity = recorder.capacity();
+    snap.recorder_recorded = recorder.recorded();
+    snap.requests = recorder.Snapshot();
+    TenantTelemetry trace;
+    trace.name = "trace";
+    trace.slo = slo.Snap();
+    snap.tenants.push_back(std::move(trace));
+    snap.audit = audit.Snapshot();
+    std::ofstream tout(telemetry_path);
+    tout << snap.ToJson(/*pretty=*/true);
+    if (!tout.good()) {
+      return Fail(Status::Internal("failed to write " + telemetry_path));
+    }
+    std::printf("wrote %s (%zu requests, %zu audit entries)\n",
+                telemetry_path.c_str(), snap.requests.size(),
+                snap.audit.size());
+  }
   return 0;
 }
 

@@ -2,6 +2,7 @@
 //
 //   service_sim [--tenants N] [--requests N] [--threads T] [--rounds R]
 //               [--seed S] [--out PATH] [--backend packed|micropartition]
+//               [--telemetry PATH]
 //
 // Registers N tenants (N >= 8 in the guard configuration), then drives two
 // phases against the service:
@@ -29,8 +30,11 @@
 //   * warm Advise bit-identical to the direct library call for all tenants.
 //
 // Writes BENCH_service_throughput.json with the headline numbers plus the
-// full MetricsRegistry snapshot embedded under "metrics" (validated by
-// tools/check.sh like the obs_report artifacts).
+// full MetricsRegistry snapshot embedded under "metrics" and the service's
+// TelemetrySnapshot under "telemetry" (validated by tools/check.sh like the
+// obs_report artifacts). With --telemetry PATH the same snapshot — flight
+// recorder, per-tenant SLO windows, recluster audit log — is also dumped
+// standalone to PATH for the check.sh exposition/consistency validators.
 
 #include <chrono>
 #include <cstdio>
@@ -48,6 +52,7 @@
 #include "lattice/workload.h"
 #include "obs/metrics.h"
 #include "service/service.h"
+#include "service/telemetry.h"
 #include "storage/backend.h"
 #include "storage/fact_table.h"
 #include "util/logging.h"
@@ -105,6 +110,8 @@ int Run(int argc, char** argv) {
       std::atoll(FlagValue(argc, argv, "--seed", "1999").c_str()));
   const std::string out_path =
       FlagValue(argc, argv, "--out", "BENCH_service_throughput.json");
+  const std::string telemetry_path =
+      FlagValue(argc, argv, "--telemetry", "");
   auto backend_kind =
       ParseStorageBackendKind(FlagValue(argc, argv, "--backend", "packed"));
   if (!backend_kind.ok()) return Fail(backend_kind.status());
@@ -248,6 +255,9 @@ int Run(int argc, char** argv) {
     total_adoptions += status.recluster_adoptions;
   }
 
+  // The final warm advises above are the freshest entries in the SLO
+  // windows, so the telemetry snapshot is taken after them.
+  const TelemetrySnapshot telemetry = service.Telemetry();
   const MetricsSnapshot snapshot = metrics.Snapshot();
   const HistogramStats query_compute =
       snapshot.histogram("service.query.compute_ns");
@@ -320,11 +330,21 @@ int Run(int argc, char** argv) {
           ",\n";
   json += "  \"bit_identical\": ";
   json += bit_identical ? "true" : "false";
-  json += ",\n  \"metrics\": " + snapshot.ToJson(/*pretty=*/false) + "\n}\n";
+  json += ",\n  \"metrics\": " + snapshot.ToJson(/*pretty=*/false);
+  json += ",\n  \"telemetry\": " + telemetry.ToJson(/*pretty=*/false) + "\n}\n";
   std::ofstream out(out_path);
   out << json;
   SNAKES_CHECK(out.good()) << "failed to write " << out_path;
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!telemetry_path.empty()) {
+    std::ofstream tout(telemetry_path);
+    tout << telemetry.ToJson(/*pretty=*/true);
+    SNAKES_CHECK(tout.good()) << "failed to write " << telemetry_path;
+    std::printf("wrote %s (%zu requests, %zu tenants, %zu audit entries)\n",
+                telemetry_path.c_str(), telemetry.requests.size(),
+                telemetry.tenants.size(), telemetry.audit.size());
+  }
   return 0;
 }
 

@@ -1,0 +1,159 @@
+// telemetry_report — drive a small multi-tenant advisor service and print
+// its live telemetry, as Prometheus text exposition or JSON.
+//
+//   telemetry_report [--format prom|json|recorder] [--tenants N]
+//                    [--requests N] [--seed S] [--out PATH]
+//
+// Registers N tenants, runs a mixed request storm (queries, measures,
+// ingests, advises, epoch closes with background reclusters), then renders
+// the service's TelemetrySnapshot:
+//
+//   prom      Prometheus exposition: SLO latency summaries (p50/p99 per
+//             tenant x verb), error rates, epoch age, recluster backlog,
+//             audit decision counts — what a scraper would pull from a
+//             /metrics endpoint.
+//   json      The full snapshot: flight-recorder requests, per-tenant SLO
+//             windows, the recluster decision audit log, tracer stats.
+//   recorder  Just the flight recorder (the "what were the last 4096
+//             requests" crash-cart view).
+//
+// The exposition comes from the same Dispatch verb the service serves
+// (`telemetry prom` / `telemetry` / `telemetry recorder`), so this tool
+// exercises the real surface, not a parallel rendering path.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/service.h"
+#include "storage/fact_table.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::string FlagValue(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::shared_ptr<const FactTable> RandomFacts(
+    const std::shared_ptr<const StarSchema>& schema, Rng* rng) {
+  auto facts = std::make_shared<FactTable>(schema);
+  for (CellId id = 0; id < schema->num_cells(); ++id) {
+    const uint64_t records = 1 + rng->Below(3);
+    for (uint64_t r = 0; r < records; ++r) {
+      facts->AddRecord(schema->Unflatten(id), rng->NextDouble());
+    }
+  }
+  return facts;
+}
+
+int Run(int argc, char** argv) {
+  const std::string format = FlagValue(argc, argv, "--format", "prom");
+  const int tenants = std::atoi(FlagValue(argc, argv, "--tenants", "3").c_str());
+  const int requests =
+      std::atoi(FlagValue(argc, argv, "--requests", "600").c_str());
+  const uint64_t seed = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--seed", "1999").c_str()));
+  const std::string out_path = FlagValue(argc, argv, "--out", "");
+  if (format != "prom" && format != "json" && format != "recorder") {
+    return Fail(Status::InvalidArgument(
+        "--format must be prom, json, or recorder; got '" + format + "'"));
+  }
+  if (tenants < 1) return Fail(Status::InvalidArgument("--tenants >= 1"));
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+  ServiceConfig config;
+  config.request_threads = 2;
+  config.window_epochs = 1;
+  config.recluster_on_epoch_close = true;
+  config.recluster.strategies = {"row-major"};
+  config.storage = StorageConfig{512, 60};
+  config.obs = ObsSink{&metrics, &tracer};
+  AdvisorService service(config);
+
+  auto schema = std::make_shared<StarSchema>(
+      StarSchema::Symmetric(2, 2, 2).ValueOrDie());
+  const QueryClassLattice lat(*schema);
+  Rng rng(seed);
+  std::vector<TenantId> ids;
+  for (int t = 0; t < tenants; ++t) {
+    TenantSpec spec;
+    spec.name = "tenant" + std::to_string(t);
+    spec.schema = schema;
+    spec.facts = RandomFacts(schema, &rng);
+    spec.initial_workload = Workload::Random(lat, &rng);
+    auto id = service.RegisterTenant(std::move(spec));
+    if (!id.ok()) return Fail(id.status());
+    ids.push_back(id.value());
+  }
+
+  // Mixed traffic: enough of every verb that the SLO windows, the flight
+  // recorder, and the audit log all have something to show.
+  const Workload sampler = Workload::Uniform(lat);
+  std::vector<int> ingested(static_cast<size_t>(tenants), 0);
+  for (int r = 0; r < requests; ++r) {
+    const size_t t = rng.Below(static_cast<uint64_t>(tenants));
+    const TenantId id = ids[t];
+    const GridQuery query =
+        SampleQuery(*schema, sampler.Sample(&rng), &rng);
+    const double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      (void)service.Query(id, query);
+    } else if (dice < 0.70) {
+      (void)service.Measure(id, query);
+    } else if (dice < 0.90) {
+      (void)service.Ingest(id, query);
+      ++ingested[t];
+    } else if (dice < 0.96 && ingested[t] > 0) {
+      (void)service.EndEpoch(id);  // fires a background recluster
+      ingested[t] = 0;
+    } else {
+      (void)service.Advise(id);
+    }
+  }
+  service.Shutdown();  // drain background reclusters into the recorder
+
+  const char* verb = format == "prom"       ? "telemetry prom"
+                     : format == "recorder" ? "telemetry recorder"
+                                            : "telemetry";
+  const Result<std::string> rendered = service.Dispatch("tenant0", verb);
+  if (!rendered.ok()) return Fail(rendered.status());
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << rendered.value();
+    if (!out.good()) {
+      return Fail(Status::Internal("failed to write " + out_path));
+    }
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::fputs(rendered.value().c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main(int argc, char** argv) { return snakes::Run(argc, argv); }
