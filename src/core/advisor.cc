@@ -29,10 +29,13 @@ std::string Recommendation::ToString() const {
            "inapplicable to the schema)\n";
     return out;
   }
-  TextTable table({"strategy", "expected cost", "seeks/query", "norm blocks"});
+  TextTable table(
+      {"strategy", "expected cost", "expected ms", "seeks/query",
+       "norm blocks"});
   for (const StrategyReport& report : ranked) {
     std::vector<std::string> row{report.name,
-                                 FormatDouble(report.expected_cost, 4)};
+                                 FormatDouble(report.expected_cost, 4),
+                                 FormatDouble(report.expected_ms, 4)};
     if (report.io.has_value()) {
       row.push_back(FormatDouble(report.io->expected_seeks, 2));
       row.push_back(FormatDouble(report.io->expected_normalized_blocks, 2));
@@ -177,6 +180,8 @@ Result<EvaluationPlan> ClusteringAdvisor::Plan(
                       request.facts,
                       request.obs,
                       request.cost_mode};
+  plan.cost_model =
+      request.cost_model != nullptr ? request.cost_model : DefaultCostModel();
   plan.cost_cache = request.cost_cache;
   plan.snaked_cost_of_optimal =
       ExpectedSnakedPathCost(plan.workload, plan.optimal_path.path);
@@ -250,6 +255,14 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
       const IoSimulator sim(*backend, obs);
       report.io = IoSimulator::Expect(plan.workload, sim.MeasureAllClasses());
     }
+    // The ms conversion happens here at the edge: the model prices the
+    // measured I/O when storage was measured, else the seek surrogate.
+    const CostModel& model =
+        plan.cost_model != nullptr ? *plan.cost_model : *DefaultCostModel();
+    report.expected_ms =
+        report.io.has_value()
+            ? model.ExpectedMs(*report.io, plan.storage.page_size_bytes)
+            : report.expected_cost * model.SeekMs();
     if (obs.metrics != nullptr) {
       const auto ns = [](Clock::duration d) {
         return static_cast<uint64_t>(

@@ -24,8 +24,13 @@ namespace snakes {
 struct StrategyReport {
   std::string name;
   /// Expected seek cost under the analytic cell-granularity model
-  /// (cost_mu of Section 4 / the extended CV cost of Section 5).
+  /// (cost_mu of Section 4 / the extended CV cost of Section 5). Model-
+  /// independent: the ranking key, and what the class-cost cache memoizes.
   double expected_cost = 0.0;
+  /// Expected per-query elapsed time under the request's CostModel: priced
+  /// from the measured WorkloadIoStats when storage was measured, else from
+  /// the seek surrogate alone (expected_cost * the model's per-seek ms).
+  double expected_ms = 0.0;
   /// Measured expected I/O when the request set measure_storage.
   std::optional<WorkloadIoStats> io;
   /// The evaluated cell order itself, shared with the plan — lets callers

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "cost/cost_model.h"
 #include "cost/workload_cost.h"
 #include "lattice/workload.h"
 #include "obs/obs.h"
@@ -64,6 +65,12 @@ struct EvaluationRequest {
   /// them; the recommendation itself is bit-identical either way. The
   /// caller keeps ownership and must outlive Plan/Evaluate.
   ObsSink obs;
+  /// Time model pricing each strategy's expected_ms (cost/cost_model.h).
+  /// Null selects the analytic default (the seed's DiskModel constants).
+  /// The model never affects ranking or expected_cost — those stay the
+  /// model-independent seek surrogate — only the ms conversion at the edge,
+  /// so cached per-class integers are shared across models.
+  std::shared_ptr<const CostModel> cost_model;
   /// Optional memo of per-class strategy costs (cost/cost_cache.h). When
   /// set, Evaluate scores candidates through the cache: classes already
   /// costed in a previous advise are not re-measured, and the result is
@@ -111,6 +118,8 @@ struct EvaluationPlan {
   /// Copied from the request; consulted by Evaluate's scoring tasks.
   ObsSink obs;
   CostEvalMode cost_mode = CostEvalMode::kAuto;
+  /// Carried over from the request; null = analytic default.
+  std::shared_ptr<const CostModel> cost_model;
   /// Carried over from the request; consulted by Evaluate when non-null.
   ClassCostCache* cost_cache = nullptr;
 

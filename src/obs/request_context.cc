@@ -30,6 +30,8 @@ const char* RequestVerbName(RequestVerb verb) {
       return "register";
     case RequestVerb::kTelemetry:
       return "telemetry";
+    case RequestVerb::kCostModel:
+      return "costmodel";
   }
   return "unknown";
 }
@@ -45,6 +47,7 @@ RequestVerb ParseRequestVerb(std::string_view verb) {
   if (verb == "status") return RequestVerb::kStatus;
   if (verb == "register") return RequestVerb::kRegister;
   if (verb == "telemetry") return RequestVerb::kTelemetry;
+  if (verb == "costmodel") return RequestVerb::kCostModel;
   return RequestVerb::kUnknown;
 }
 

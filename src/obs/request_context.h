@@ -23,10 +23,11 @@ enum class RequestVerb : uint8_t {
   kStatus,
   kRegister,
   kTelemetry,
+  kCostModel,
 };
 
 /// Number of distinct RequestVerb values (array-index bound).
-inline constexpr int kNumRequestVerbs = 11;
+inline constexpr int kNumRequestVerbs = 12;
 
 /// Short stable name ("query", "end-epoch", ...) for reports and JSON.
 const char* RequestVerbName(RequestVerb verb);

@@ -40,7 +40,9 @@ std::string EpochReport::ToString() const {
   out += "  proposed " + proposed_strategy + " cost " +
          FormatDouble(proposed_cost, 4) + " (improvement " +
          FormatDouble(100.0 * relative_improvement, 2) + "%, net benefit " +
-         FormatDouble(net_benefit, 2) + ")\n";
+         FormatDouble(net_benefit, 2) + " ms = " +
+         FormatDouble(benefit_ms, 2) + " saved - " +
+         FormatDouble(movement_ms, 2) + " rewrite)\n";
   out += "  movement: " + std::to_string(movement.pages_moved()) +
          " pages (" + std::to_string(movement.moved_runs) + " runs, " +
          std::to_string(movement.moved_records) + " records, stable prefix " +
@@ -198,9 +200,31 @@ Result<EpochReport> ReclusterEngine::OnEpoch(const Workload& epoch_mu) {
       return finish(ReclusterDecision::kKeepOverBudget);
     }
   }
+  // Both sides of the score in model milliseconds: the benefit is the
+  // epoch's saved query time (expected_cost is seeks/query), the cost is
+  // the modeled rewrite time. Read and write sides each pay one positioning
+  // op per moved run (or per partition at partition granularity) plus their
+  // page traffic; movement_cost_per_page scales the total as a unitless
+  // write-amplification multiplier.
+  const CostModel& model = cost_model();
+  report.benefit_ms =
+      improvement_seeks * model.SeekMs() * config_.queries_per_epoch;
+  if (pages_moved > 0) {
+    CostFeatures rewrite;
+    rewrite.seeks = static_cast<double>(
+        report.movement.partitions_read + report.movement.partitions_written >
+                0
+            ? report.movement.partitions_read +
+                  report.movement.partitions_written
+            : 2 * report.movement.moved_runs);
+    rewrite.pages = static_cast<double>(pages_moved);
+    rewrite.records = static_cast<double>(report.movement.moved_records);
+    rewrite.runs = static_cast<double>(report.movement.moved_runs);
+    report.movement_ms =
+        model.EstimateMs(rewrite, config_.storage.page_size_bytes);
+  }
   report.net_benefit =
-      improvement_seeks * config_.queries_per_epoch -
-      static_cast<double>(pages_moved) * config_.movement_cost_per_page;
+      report.benefit_ms - report.movement_ms * config_.movement_cost_per_page;
   if (proposed_backend != nullptr && report.net_benefit <= 0.0) {
     return finish(ReclusterDecision::kKeepNegativeNetBenefit);
   }

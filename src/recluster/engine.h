@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "cost/cost_model.h"
 #include "cost/workload_cost.h"
 #include "lattice/workload.h"
 #include "lattice/workload_delta.h"
@@ -29,7 +30,10 @@ struct ReclusterConfig {
   /// Queries expected per epoch: converts per-query expected-cost
   /// improvement into the benefit side of the net-benefit score.
   double queries_per_epoch = 1000.0;
-  /// Cost of moving one page, in the same seek units as expected cost.
+  /// Unitless multiplier on the modeled movement time (a write-amplification
+  /// fudge: rewrite pipelines rarely run at the model's read bandwidth).
+  /// Historically this was "seek units per page moved"; both sides of the
+  /// net-benefit score are now denominated in model milliseconds.
   double movement_cost_per_page = 1.0;
   /// Hard ceiling on pages a single re-layout may touch (0 = unlimited).
   uint64_t movement_budget_pages = 0;
@@ -47,6 +51,12 @@ struct ReclusterConfig {
   StorageConfig storage;
   /// Storage representation the engine packs adopted layouts into.
   StorageBackendKind backend = StorageBackendKind::kPacked;
+  /// Time model pricing both sides of the net-benefit score
+  /// (cost/cost_model.h). Null = the analytic default. The model never
+  /// changes which strategy ranks best — only whether an improvement is
+  /// worth its movement, so an hdd and an ssd model can legitimately
+  /// disagree about adopting the same re-layout.
+  std::shared_ptr<const CostModel> cost_model;
   ObsSink obs;
 };
 
@@ -88,9 +98,15 @@ struct EpochReport {
   double proposed_cost = 0.0;
   /// (current - proposed) / current; 0 when nothing cheaper was found.
   double relative_improvement = 0.0;
-  /// improvement_in_seeks * queries_per_epoch
-  ///   - pages_moved * movement_cost_per_page.
+  /// benefit_ms - movement_ms * movement_cost_per_page; both sides priced by
+  /// the engine's CostModel so the score is denominated in milliseconds.
   double net_benefit = 0.0;
+  /// improvement_in_seeks * model.SeekMs() * queries_per_epoch — the epoch's
+  /// modeled query-time savings from adopting the proposed layout.
+  double benefit_ms = 0.0;
+  /// Modeled time of the rewrite itself (read + write sides of `movement`
+  /// priced through the CostModel), before the movement_cost_per_page scale.
+  double movement_ms = 0.0;
   /// Rank-run movement price of the proposed re-layout (all zero when no
   /// move was priced — analytic mode, or the epoch kept early).
   MovementCost movement;
@@ -148,6 +164,20 @@ class ReclusterEngine {
   /// still switches for later use).
   Result<std::shared_ptr<const StorageBackend>> SwitchBackend(
       StorageBackendKind kind);
+
+  /// Swaps the time model used by every later epoch's net-benefit score
+  /// (null = back to the analytic default). Cached per-class costs are
+  /// model-independent and stay valid — switching models never invalidates
+  /// the advisor state.
+  void SetCostModel(std::shared_ptr<const CostModel> model) {
+    config_.cost_model = std::move(model);
+  }
+  /// The model the next epoch will price with (the analytic default when the
+  /// config holds none).
+  const CostModel& cost_model() const {
+    return config_.cost_model != nullptr ? *config_.cost_model
+                                         : *DefaultCostModel();
+  }
 
   const IncrementalAdvisorState& state() const { return state_; }
   const EwmaDriftEstimator& estimator() const { return estimator_; }

@@ -81,7 +81,8 @@ std::string TenantStatus::ToString() const {
          std::to_string(ingested_this_epoch) + " open)\n";
   out += "  published epoch " + std::to_string(published_sequence) +
          ", strategy " + (current_strategy.empty() ? "-" : current_strategy) +
-         ", backend " + (backend.empty() ? "-" : backend) + "\n";
+         ", backend " + (backend.empty() ? "-" : backend) + ", cost model " +
+         (cost_model.empty() ? "-" : cost_model) + "\n";
   out += "  recluster epochs " + std::to_string(recluster_epochs) +
          ", adoptions " + std::to_string(recluster_adoptions) + "\n";
   return out;
@@ -99,6 +100,9 @@ struct AdvisorService::Tenant {
         advisor(schema),
         window(lattice, window_epochs),
         pending(lattice.size(), 0.0),
+        cost_model(engine_config.cost_model != nullptr
+                       ? engine_config.cost_model
+                       : DefaultCostModel()),
         engine(schema, facts, engine_config),
         slo(slo_buckets) {}
 
@@ -118,6 +122,10 @@ struct AdvisorService::Tenant {
   uint64_t pending_ingests = 0;
   uint64_t ingested_total = 0;
   uint64_t epochs_closed = 0;
+  /// The tenant's live time model (never null); prices advise expected_ms.
+  /// Guarded by state_mu; SetCostModel also hands it to the engine under
+  /// recluster_mu for net-benefit pricing.
+  std::shared_ptr<const CostModel> cost_model;
 
   /// Serializes ReclusterEngine epochs (the engine is not thread-safe).
   std::mutex recluster_mu;
@@ -352,6 +360,9 @@ Result<TenantId> AdvisorService::RegisterTenantImpl(TenantSpec spec) {
   engine_config.storage = config_.storage;
   engine_config.backend = spec.backend;
   engine_config.obs = config_.obs;
+  SNAKES_ASSIGN_OR_RETURN(engine_config.cost_model,
+                          MakeCostModel(spec.cost_model));
+  span.AddArg("cost_model", engine_config.cost_model->name());
 
   const QueryClassLattice lattice(*spec.schema);
   Workload initial = spec.initial_workload.has_value()
@@ -634,6 +645,41 @@ Status AdvisorService::SetBackendImpl(TenantId id, StorageBackendKind kind) {
   return Status::OK();
 }
 
+Status AdvisorService::SetCostModel(TenantId id, const CostModelSpec& spec) {
+  RequestGuard guard(this, RequestVerb::kCostModel);
+  const Status out = SetCostModelImpl(id, spec);
+  guard.Finish(out);
+  return out;
+}
+
+Status AdvisorService::SetCostModelImpl(TenantId id,
+                                        const CostModelSpec& spec) {
+  SNAKES_ASSIGN_OR_RETURN(Tenant * tenant, Find(id));
+  TagRequestTenant(id);
+  ScopedSpan span(config_.obs.tracer, "service/set_cost_model", "service");
+  span.AddArg("tenant", tenant->name);
+  SNAKES_ASSIGN_OR_RETURN(std::shared_ptr<const CostModel> model,
+                          MakeCostModel(spec));
+  span.AddArg("cost_model", model->name());
+  tenant->CountRequest();
+  // Two consumers, two locks: the advise path reads under state_mu, the
+  // engine prices net benefit under recluster_mu. No cache is invalidated —
+  // per-class costs are model-independent, so the next warm advise still
+  // serves from the memo.
+  {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    tenant->cost_model = model;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenant->recluster_mu);
+    tenant->engine.SetCostModel(model);
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("service.costmodel_switches")->Inc();
+  }
+  return Status::OK();
+}
+
 Result<Recommendation> AdvisorService::Advise(TenantId id) {
   RequestGuard guard(this, RequestVerb::kAdvise);
   Result<Recommendation> out = AdviseImpl(id);
@@ -653,6 +699,7 @@ Result<Recommendation> AdvisorService::AdviseImpl(TenantId id) {
   request.num_threads = 1;  // the request pool is the parallelism
   request.cost_mode = config_.recluster.cost_mode;
   request.obs = config_.obs;
+  request.cost_model = tenant->cost_model;
   return tenant->advisor.AdviseIncremental(request, &tenant->advise_state);
 }
 
@@ -727,6 +774,7 @@ Result<TenantStatus> AdvisorService::StatusOf(TenantId id) const {
     status.epochs_closed = tenant->epochs_closed;
     status.ingested_total = tenant->ingested_total;
     status.ingested_this_epoch = tenant->pending_ingests;
+    status.cost_model = tenant->cost_model->name();
   }
   {
     std::lock_guard<std::mutex> lock(tenant->epoch_mu);
@@ -912,6 +960,26 @@ Result<std::string> AdvisorService::DispatchImpl(std::string_view tenant_name,
     SNAKES_RETURN_IF_ERROR(SetBackend(id, kind));
     return "backend " + std::string(StorageBackendKindName(kind));
   }
+  if (verb == "costmodel") {
+    //   costmodel                         -> report the live model's JSON
+    //   costmodel analytic|hdd|ssd        -> switch to a preset
+    //   costmodel calibrated <json|path>  -> load fitted coefficients
+    if (payload.empty()) {
+      std::lock_guard<std::mutex> lock(tenant->state_mu);
+      return "costmodel " + tenant->cost_model->name() + " " +
+             tenant->cost_model->ToJson();
+    }
+    const size_t space = payload.find(' ');
+    CostModelSpec spec;
+    SNAKES_ASSIGN_OR_RETURN(spec.kind,
+                            ParseCostModelKind(payload.substr(0, space)));
+    if (space != std::string_view::npos) {
+      spec.calibrated_json =
+          std::string(TrimWhitespace(payload.substr(space + 1)));
+    }
+    SNAKES_RETURN_IF_ERROR(SetCostModel(id, spec));
+    return "costmodel " + std::string(CostModelKindName(spec.kind));
+  }
   if (verb == "telemetry") {
     // Service-wide telemetry, reachable from any registered tenant:
     //   telemetry [json]   -> full snapshot as JSON
@@ -956,6 +1024,10 @@ TelemetrySnapshot AdvisorService::Telemetry() const {
       {
         std::lock_guard<std::mutex> epoch_lock(tenant->epoch_mu);
         t.published_sequence = tenant->published_sequence;
+      }
+      {
+        std::lock_guard<std::mutex> state_lock(tenant->state_mu);
+        t.cost_model = tenant->cost_model->name();
       }
       const uint64_t scheduled =
           tenant->reclusters_scheduled.load(std::memory_order_relaxed);

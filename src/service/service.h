@@ -18,6 +18,7 @@
 
 #include "core/advisor.h"
 #include "core/query_parser.h"
+#include "cost/cost_model.h"
 #include "hierarchy/dimension_table.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/grid_query.h"
@@ -91,6 +92,11 @@ struct TenantSpec {
   /// live via SetBackend / the `backend` Dispatch verb; QueryAnswers are
   /// bit-identical across backends.
   StorageBackendKind backend = StorageBackendKind::kPacked;
+  /// Time model pricing this tenant's expected_ms and net-benefit scores
+  /// (analytic default). Switchable live via SetCostModel / the `costmodel`
+  /// Dispatch verb; rankings and cached per-class costs are model-independent
+  /// and survive every switch.
+  CostModelSpec cost_model;
   /// Seeds the drift window and drives the initial advise + pack, so the
   /// tenant serves queries from registration on. Unset = uniform workload.
   std::optional<Workload> initial_workload;
@@ -123,6 +129,9 @@ struct TenantStatus {
   std::string current_strategy;
   /// Name of the tenant's storage backend ("packed" / "micropartition").
   std::string backend;
+  /// Name of the tenant's cost model ("analytic" / "hdd" / "ssd" /
+  /// "calibrated").
+  std::string cost_model;
 
   std::string ToString() const;
 };
@@ -199,6 +208,12 @@ class AdvisorService {
   /// QueryAnswers before and after the switch are bit-identical.
   Status SetBackend(TenantId id, StorageBackendKind kind);
 
+  /// Swaps the tenant's live cost model (advise expected_ms and recluster
+  /// net-benefit pricing). Rankings, expected_cost, and the per-class memo
+  /// are model-independent, so a warm re-advise after a switch still serves
+  /// entirely from cache with bit-identical expected_cost.
+  Status SetCostModel(TenantId id, const CostModelSpec& spec);
+
   // ---- Batched request surface ----------------------------------------
 
   /// Each Submit* enqueues the corresponding synchronous call onto the
@@ -220,6 +235,8 @@ class AdvisorService {
   ///   advise                 | end-epoch | recluster | status
   ///   ingest <query text>    | query <query text> | measure <query text>
   ///   backend [packed|micropartition]   (no argument = report current)
+  ///   costmodel [analytic|hdd|ssd | calibrated <json-or-path>]
+  ///                                     (no argument = report current)
   ///
   /// Query text is the core/query_parser clause syntax and requires the
   /// tenant to have registered dimension tables. Every malformed input —
@@ -293,6 +310,7 @@ class AdvisorService {
   Result<QueryIo> MeasureImpl(TenantId id, const GridQuery& query);
   Result<EpochReport> ReclusterNowImpl(TenantId id);
   Status SetBackendImpl(TenantId id, StorageBackendKind kind);
+  Status SetCostModelImpl(TenantId id, const CostModelSpec& spec);
   Result<TenantId> RegisterTenantImpl(TenantSpec spec);
   Result<std::string> DispatchImpl(std::string_view tenant_name,
                                    std::string_view verb,

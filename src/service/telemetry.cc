@@ -123,6 +123,7 @@ std::string TelemetrySnapshot::ToJson(bool pretty) const {
     out += ", \"published_sequence\": " +
            std::to_string(t.published_sequence);
     out += ", \"recluster_backlog\": " + std::to_string(t.recluster_backlog);
+    out += ", \"cost_model\": \"" + JsonEscape(t.cost_model) + "\"";
     out += ", \"slo_advances\": " + std::to_string(t.slo.advances);
     out += ", \"slo\": {";
     bool first = true;
@@ -235,6 +236,11 @@ std::string TelemetrySnapshot::ToPrometheus() const {
   for (const TenantTelemetry& t : tenants) {
     out += "snakes_recluster_backlog{tenant=\"" + PromEscape(t.name) +
            "\"} " + std::to_string(t.recluster_backlog) + "\n";
+  }
+  out += "# TYPE snakes_cost_model_info gauge\n";
+  for (const TenantTelemetry& t : tenants) {
+    out += "snakes_cost_model_info{tenant=\"" + PromEscape(t.name) +
+           "\",model=\"" + PromEscape(t.cost_model) + "\"} 1\n";
   }
 
   out += "# TYPE snakes_recluster_audit_decisions gauge\n";

@@ -96,6 +96,8 @@ struct TenantTelemetry {
   uint64_t published_sequence = 0;
   /// Background reclusters scheduled but not yet finished.
   uint64_t recluster_backlog = 0;
+  /// Name of the tenant's live cost model ("analytic" / "hdd" / ...).
+  std::string cost_model;
 };
 
 /// Point-in-time view of the whole telemetry layer, detached from the

@@ -63,6 +63,16 @@ struct QueryIo {
   }
 };
 
+/// A closed range predicate on the measure attribute — the record-level
+/// filter measure zone maps prune against (SELECT ... WHERE measure BETWEEN
+/// lo AND hi on top of the grid box).
+struct MeasureBounds {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+};
+
 /// Outcome of zone-map pruning a query box against a backend's partition
 /// directory. Non-partitioned backends report all-zero stats ("nothing to
 /// prune"); partitioned ones satisfy scanned + pruned == partitions.
@@ -161,6 +171,18 @@ class StorageBackend {
   virtual PruneStats PruneBox(const CellBox& box) const {
     (void)box;
     return PruneStats{};
+  }
+
+  /// Zone-map pruning of a query box with a measure predicate layered on
+  /// top: a partition may additionally be skipped when its record-level
+  /// measure min/max range misses `bounds`. Same conservativeness contract
+  /// as PruneBox — a pruned partition holds no record of the box whose
+  /// measure lies in `bounds`. The base backend has no partitions and
+  /// returns all-zero stats.
+  virtual PruneStats PruneBoxMeasure(const CellBox& box,
+                                     const MeasureBounds& bounds) const {
+    (void)bounds;
+    return PruneBox(box);
   }
 
   /// Read-side I/O of relocating the record ranges in `ranges` (disjoint

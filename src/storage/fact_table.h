@@ -20,7 +20,9 @@ class FactTable {
   explicit FactTable(std::shared_ptr<const StarSchema> schema)
       : schema_(std::move(schema)),
         counts_(schema_->num_cells(), 0),
-        measure_sums_(schema_->num_cells(), 0.0) {}
+        measure_sums_(schema_->num_cells(), 0.0),
+        measure_mins_(schema_->num_cells(), 0.0),
+        measure_maxs_(schema_->num_cells(), 0.0) {}
 
   const StarSchema& schema() const { return *schema_; }
   std::shared_ptr<const StarSchema> schema_ptr() const { return schema_; }
@@ -28,6 +30,13 @@ class FactTable {
   /// Adds one record in `coord`'s cell with the given measure value.
   void AddRecord(const CellCoord& coord, double measure = 0.0) {
     const CellId id = schema_->Flatten(coord);
+    if (counts_[id] == 0) {
+      measure_mins_[id] = measure;
+      measure_maxs_[id] = measure;
+    } else {
+      if (measure < measure_mins_[id]) measure_mins_[id] = measure;
+      if (measure > measure_maxs_[id]) measure_maxs_[id] = measure;
+    }
     ++counts_[id];
     measure_sums_[id] += measure;
     ++total_records_;
@@ -41,6 +50,12 @@ class FactTable {
 
   /// Sum of the measure attribute over a cell's records.
   double measure_sum(CellId id) const { return measure_sums_[id]; }
+
+  /// Record-level min/max of the measure attribute over a cell's records —
+  /// exact (tracked per AddRecord), not derived from the sum. Meaningful
+  /// only when count(id) > 0; empty cells report 0.
+  double measure_min(CellId id) const { return measure_mins_[id]; }
+  double measure_max(CellId id) const { return measure_maxs_[id]; }
 
   uint64_t total_records() const { return total_records_; }
   uint64_t num_cells() const { return counts_.size(); }
@@ -56,6 +71,8 @@ class FactTable {
   std::shared_ptr<const StarSchema> schema_;
   std::vector<uint32_t> counts_;
   std::vector<double> measure_sums_;
+  std::vector<double> measure_mins_;
+  std::vector<double> measure_maxs_;
   uint64_t total_records_ = 0;
 };
 

@@ -159,4 +159,15 @@ Result<QueryAnswer> FileStore::Execute(const GridQuery& query) {
   return answer;
 }
 
+Result<FileStore::TimedAnswer> FileStore::ExecuteTimed(const GridQuery& query,
+                                                       Clock* clock) {
+  if (clock == nullptr) clock = SteadyClock::Default();
+  TimedAnswer timed;
+  const uint64_t start_ns = clock->NowNs();
+  SNAKES_ASSIGN_OR_RETURN(timed.answer, Execute(query));
+  const uint64_t finish_ns = clock->NowNs();
+  timed.elapsed_ns = finish_ns >= start_ns ? finish_ns - start_ns : 0;
+  return timed;
+}
+
 }  // namespace snakes

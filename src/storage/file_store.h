@@ -9,6 +9,7 @@
 #include "lattice/grid_query.h"
 #include "storage/pager.h"
 #include "storage/query_engine.h"
+#include "util/clock.h"
 #include "util/result.h"
 
 namespace snakes {
@@ -34,6 +35,19 @@ class FileStore {
   /// Reads the query's pages from disk and aggregates its records.
   /// `io.pages`/`io.seeks` reflect the physical reads performed.
   Result<QueryAnswer> Execute(const GridQuery& query);
+
+  /// An executed query with the wall time it took.
+  struct TimedAnswer {
+    QueryAnswer answer;
+    uint64_t elapsed_ns = 0;
+  };
+
+  /// Execute wrapped in exactly two clock readings (before the file open,
+  /// after the last page) — the measurement side of the calibration loop
+  /// (cost/calibration.h). `clock` null = the process steady clock; a
+  /// FakeClock makes the elapsed time deterministic for tests.
+  Result<TimedAnswer> ExecuteTimed(const GridQuery& query,
+                                   Clock* clock = nullptr);
 
   /// Total file size in bytes (num_pages * page_size).
   uint64_t file_bytes() const { return file_bytes_; }

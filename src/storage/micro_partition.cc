@@ -27,6 +27,7 @@ Result<MicroPartitionStore> MicroPartitionStore::Pack(
 
 Status MicroPartitionStore::BuildPartitions() {
   const Linearization& lin = linearization();
+  const StarSchema& schema = lin.schema();
   const uint64_t n = lin.num_cells();
   const uint64_t target_pages = config().micro_partition_pages;
   partitions_.clear();
@@ -47,15 +48,22 @@ Status MicroPartitionStore::BuildPartitions() {
       open = Partition{};
       open.first_rank = rank;
     }
+    const CellId id = schema.Flatten(coord);
+    const double cell_min = facts().measure_min(id);
+    const double cell_max = facts().measure_max(id);
     if (open.records == 0) {
       open.first_page = first;
       open.zone_lo = coord;
       open.zone_hi = coord;
+      open.measure_lo = cell_min;
+      open.measure_hi = cell_max;
     } else {
       for (size_t d = 0; d < coord.size(); ++d) {
         open.zone_lo[d] = std::min(open.zone_lo[d], coord[d]);
         open.zone_hi[d] = std::max(open.zone_hi[d], coord[d]);
       }
+      open.measure_lo = std::min(open.measure_lo, cell_min);
+      open.measure_hi = std::max(open.measure_hi, cell_max);
     }
     open.last_page = CellLastPage(rank);
     open.records += CellRecords(rank);
@@ -81,6 +89,30 @@ PruneStats MicroPartitionStore::PruneBox(const CellBox& box) const {
     bool overlaps = p.records > 0;
     for (size_t d = 0; overlaps && d < box.lo.size(); ++d) {
       overlaps = p.zone_lo[d] < box.hi[d] && p.zone_hi[d] >= box.lo[d];
+    }
+    if (overlaps) {
+      ++stats.scanned;
+    } else {
+      ++stats.pruned;
+    }
+  }
+  return stats;
+}
+
+PruneStats MicroPartitionStore::PruneBoxMeasure(
+    const CellBox& box, const MeasureBounds& bounds) const {
+  PruneStats stats;
+  stats.partitions = partitions_.size();
+  for (const Partition& p : partitions_) {
+    bool overlaps = p.records > 0;
+    for (size_t d = 0; overlaps && d < box.lo.size(); ++d) {
+      overlaps = p.zone_lo[d] < box.hi[d] && p.zone_hi[d] >= box.lo[d];
+    }
+    // Record-level measure zones: the partition's [lo, hi] envelope covers
+    // every record measure inside it, so an empty intersection with `bounds`
+    // proves no record qualifies.
+    if (overlaps) {
+      overlaps = p.measure_lo <= bounds.hi && p.measure_hi >= bounds.lo;
     }
     if (overlaps) {
       ++stats.scanned;

@@ -39,6 +39,11 @@ class MicroPartitionStore : public StorageBackend {
     /// non-empty cells (inclusive); meaningful only when records > 0.
     CellCoord zone_lo;
     CellCoord zone_hi;
+    /// Record-level min/max of the measure attribute over the partition's
+    /// records (from FactTable's exact per-cell tracking); meaningful only
+    /// when records > 0.
+    double measure_lo = 0.0;
+    double measure_hi = 0.0;
 
     uint64_t end_rank() const { return first_rank + num_ranks; }
     uint64_t num_data_pages() const {
@@ -69,6 +74,14 @@ class MicroPartitionStore : public StorageBackend {
   /// Zone-map pruning: a partition survives iff it holds records and its
   /// zone box intersects `box` in every dimension.
   PruneStats PruneBox(const CellBox& box) const override;
+
+  /// PruneBox with the record-level measure zone maps consulted too: a
+  /// partition additionally prunes when [measure_lo, measure_hi] misses
+  /// `bounds`. Conservative — a pruned partition holds no record of the box
+  /// with its measure in `bounds` (the brute-force soundness contract
+  /// micro_partition_test checks record by record).
+  PruneStats PruneBoxMeasure(const CellBox& box,
+                             const MeasureBounds& bounds) const override;
 
   /// Partition-granularity rewrite pricing: every partition whose rank
   /// range intersects `ranges` with >= 1 record is read (written) in full.

@@ -1,0 +1,62 @@
+#ifndef SNAKES_UTIL_CLOCK_H_
+#define SNAKES_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace snakes {
+
+/// Injectable monotonic nanosecond clock. Timing paths (FileStore::
+/// ExecuteTimed, the calibration sweep) take a Clock* so tests can substitute
+/// a FakeClock and assert exact elapsed values instead of sleeping.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual uint64_t NowNs() = 0;
+};
+
+/// The real clock: std::chrono::steady_clock.
+class SteadyClock : public Clock {
+ public:
+  uint64_t NowNs() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Shared process-wide instance for callers that pass no clock.
+  static SteadyClock* Default() {
+    static SteadyClock clock;
+    return &clock;
+  }
+};
+
+/// Deterministic clock for tests: every NowNs() reading returns the current
+/// time and then advances it by a fixed step, so a measured interval spanning
+/// k readings is exactly k * step (plus whatever Advance() added).
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_ns = 0, uint64_t step_ns = 0)
+      : now_ns_(start_ns), step_ns_(step_ns) {}
+
+  uint64_t NowNs() override {
+    const uint64_t t = now_ns_;
+    now_ns_ += step_ns_;
+    return t;
+  }
+
+  /// Moves time forward without a reading.
+  void Advance(uint64_t ns) { now_ns_ += ns; }
+  void set_step_ns(uint64_t step_ns) { step_ns_ = step_ns; }
+  uint64_t now_ns() const { return now_ns_; }
+
+ private:
+  uint64_t now_ns_;
+  uint64_t step_ns_;
+};
+
+}  // namespace snakes
+
+#endif  // SNAKES_UTIL_CLOCK_H_

@@ -11,6 +11,7 @@
 #include "core/advisor.h"
 #include "core/evaluation.h"
 #include "core/strategy.h"
+#include "cost/cost_model.h"
 #include "curves/row_major.h"
 #include "curves/z_curve.h"
 #include "hierarchy/hierarchy.h"
@@ -242,6 +243,53 @@ TEST(EvaluationDeathTest, BestOnEmptyRankingAbortsWithClearMessage) {
   const auto rec = advisor.Advise(request);
   ASSERT_TRUE(rec.ok());
   EXPECT_DEATH(rec->best(), "no strategy was evaluated");
+}
+
+TEST(EvaluationTest, CostModelPricesExpectedMsOnlyAtTheEdge) {
+  // The default (no request.cost_model) prices the seek surrogate with the
+  // seed's DiskModel seek time; swapping the model repriced expected_ms but
+  // leaves expected_cost — the ranking key — bit-identical.
+  auto schema = SymmetricSchema(2);
+  const ClusteringAdvisor advisor(schema);
+  const Workload mu = Workload::Uniform(advisor.Lattice());
+
+  EvaluationRequest plain(mu);
+  plain.num_threads = 1;
+  const Recommendation by_default = advisor.Advise(plain).value();
+  ASSERT_FALSE(by_default.ranked.empty());
+  for (const StrategyReport& report : by_default.ranked) {
+    EXPECT_EQ(report.expected_ms,
+              report.expected_cost * DefaultCostModel()->SeekMs())
+        << report.name;
+  }
+
+  EvaluationRequest priced(mu);
+  priced.num_threads = 1;
+  priced.cost_model = MakeCostModel(CostModelKind::kSsd).value();
+  const Recommendation by_ssd = advisor.Advise(priced).value();
+  ASSERT_EQ(by_ssd.ranked.size(), by_default.ranked.size());
+  for (size_t i = 0; i < by_ssd.ranked.size(); ++i) {
+    EXPECT_EQ(by_ssd.ranked[i].name, by_default.ranked[i].name);
+    EXPECT_EQ(by_ssd.ranked[i].expected_cost,
+              by_default.ranked[i].expected_cost);
+    EXPECT_EQ(by_ssd.ranked[i].expected_ms,
+              by_ssd.ranked[i].expected_cost * priced.cost_model->SeekMs());
+  }
+
+  // With storage measured, the model prices the measured I/O instead.
+  EvaluationRequest measured(mu);
+  measured.num_threads = 1;
+  measured.measure_storage = true;
+  measured.facts = DenseFacts(schema, 5);
+  measured.cost_model = MakeCostModel(CostModelKind::kHdd).value();
+  const Recommendation by_io = advisor.Advise(measured).value();
+  for (const StrategyReport& report : by_io.ranked) {
+    ASSERT_TRUE(report.io.has_value()) << report.name;
+    EXPECT_EQ(report.expected_ms,
+              measured.cost_model->ExpectedMs(
+                  *report.io, measured.storage.page_size_bytes))
+        << report.name;
+  }
 }
 
 TEST(EvaluationTest, MeasureStorageWithoutFactsFails) {

@@ -9,6 +9,7 @@
 #include "storage/query_engine.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/workloads.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace snakes {
@@ -81,6 +82,54 @@ TEST_F(FileStoreTest, PhysicalReadsMatchSimulatorAndFacts) {
       EXPECT_EQ(physical.io.pages, expected.io.pages) << q.ToString();
       EXPECT_EQ(physical.io.seeks, expected.io.seeks) << q.ToString();
     }
+  }
+}
+
+TEST_F(FileStoreTest, ExecuteTimedTakesExactlyTwoClockReadings) {
+  // The timing contract the calibration sweep depends on: one reading
+  // before the file opens, one after the last page — nothing in between.
+  // Under a FakeClock that advances a fixed step per reading, every
+  // measured interval is therefore exactly one step, for every query class.
+  auto lin = std::shared_ptr<const Linearization>(
+      RowMajorOrder::Make(warehouse_.schema, {0, 1, 2}).value());
+  auto layout = MakeLayout(lin, StorageConfig{1024, 64});
+  const std::string path = ::testing::TempDir() + "/timed.bin";
+  auto store = FileStore::Create(path, layout);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const QueryClassLattice lat(*warehouse_.schema);
+  Rng rng(9);
+  FakeClock clock(/*start_ns=*/5'000, /*step_ns=*/750);
+  for (uint64_t ci = 0; ci < lat.size(); ++ci) {
+    const GridQuery q = SampleQuery(*warehouse_.schema, lat.ClassAt(ci), &rng);
+    const auto timed = store->ExecuteTimed(q, &clock);
+    ASSERT_TRUE(timed.ok()) << timed.status().ToString();
+    EXPECT_EQ(timed->elapsed_ns, 750u) << q.ToString();
+  }
+  // 2 readings per execution, no stray reads of the injected clock.
+  EXPECT_EQ(clock.now_ns(), 5'000u + 2u * 750u * lat.size());
+}
+
+TEST_F(FileStoreTest, ExecuteTimedAnswerMatchesExecute) {
+  auto lin = std::shared_ptr<const Linearization>(
+      RowMajorOrder::Make(warehouse_.schema, {1, 2, 0}).value());
+  auto layout = MakeLayout(lin, StorageConfig{1024, 64});
+  auto store =
+      FileStore::Create(::testing::TempDir() + "/timed_eq.bin", layout);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const QueryClassLattice lat(*warehouse_.schema);
+  Rng rng(21);
+  for (uint64_t ci = 0; ci < lat.size(); ++ci) {
+    const GridQuery q = SampleQuery(*warehouse_.schema, lat.ClassAt(ci), &rng);
+    const QueryAnswer plain = store->Execute(q).value();
+    const auto timed = store->ExecuteTimed(q);  // real steady clock
+    ASSERT_TRUE(timed.ok()) << timed.status().ToString();
+    EXPECT_EQ(timed->answer.count, plain.count) << q.ToString();
+    EXPECT_EQ(timed->answer.sum, plain.sum) << q.ToString();
+    EXPECT_EQ(timed->answer.io.pages, plain.io.pages) << q.ToString();
+    EXPECT_EQ(timed->answer.io.seeks, plain.io.seeks) << q.ToString();
+    EXPECT_GT(timed->elapsed_ns, 0u) << q.ToString();
   }
 }
 

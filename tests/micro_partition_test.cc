@@ -252,6 +252,128 @@ TEST_P(MicroPartitionDifferentialTest, PruningIsSoundAgainstBruteForce) {
   }
 }
 
+TEST_P(MicroPartitionDifferentialTest, MeasurePruningIsSoundPerRecord) {
+  // Record-level soundness of the measure zone maps: the test keeps its own
+  // list of every (coord, measure) record it inserts, so a partition pruned
+  // by PruneBoxMeasure can be checked record by record — it must hold NO
+  // record inside the query box whose measure lies in the bounds.
+  Rng rng(0x5EED + static_cast<uint64_t>(GetParam()) * 7919);
+  const auto schema = RandomSchema(&rng);
+  auto facts = std::make_shared<FactTable>(schema);
+  std::vector<std::pair<CellCoord, double>> records;
+  for (CellId id = 0; id < schema->num_cells(); ++id) {
+    if (!rng.Chance(0.7)) continue;
+    const uint64_t n = 1 + rng.Below(3);
+    for (uint64_t r = 0; r < n; ++r) {
+      const CellCoord coord = schema->Unflatten(id);
+      const double measure = rng.NextDouble() * 100.0;
+      facts->AddRecord(coord, measure);
+      records.emplace_back(coord, measure);
+    }
+  }
+  ASSERT_FALSE(records.empty());
+  const auto lin = RandomOrder(schema, &rng);
+  const auto store =
+      MicroPartitionStore::Pack(lin, facts, SmallConfig()).value();
+
+  // The per-partition measure envelope is the exact record-level min/max.
+  for (uint64_t p = 0; p < store.num_partitions(); ++p) {
+    const auto& part = store.partition(p);
+    if (part.records == 0) continue;
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    uint64_t count = 0;
+    for (const auto& [coord, measure] : records) {
+      const uint64_t rank = lin->RankOf(coord);
+      if (rank < part.first_rank || rank >= part.end_rank()) continue;
+      ++count;
+      if (first || measure < lo) lo = measure;
+      if (first || measure > hi) hi = measure;
+      first = false;
+    }
+    ASSERT_FALSE(first) << "partition " << p << " claims records it lacks";
+    EXPECT_EQ(part.records, count);
+    EXPECT_EQ(part.measure_lo, lo) << "partition " << p;
+    EXPECT_EQ(part.measure_hi, hi) << "partition " << p;
+  }
+
+  const QueryClassLattice lat(*schema);
+  const Workload mu = Workload::Uniform(lat);
+  for (int trial = 0; trial < 32; ++trial) {
+    const QueryClass cls = mu.Sample(&rng);
+    const GridQuery query = SampleQuery(*schema, cls, &rng);
+    const CellBox box = BoxOf(*schema, query);
+    MeasureBounds bounds;
+    bounds.lo = rng.NextDouble() * 80.0;
+    bounds.hi = bounds.lo + rng.NextDouble() * 40.0;
+
+    const PruneStats with_measure = store.PruneBoxMeasure(box, bounds);
+    const PruneStats box_only = store.PruneBox(box);
+    EXPECT_EQ(with_measure.partitions, store.num_partitions());
+    EXPECT_EQ(with_measure.scanned + with_measure.pruned,
+              with_measure.partitions);
+    // The measure predicate only ever prunes MORE, never less.
+    EXPECT_GE(with_measure.pruned, box_only.pruned);
+
+    // Brute force: replay the pruning decision per partition and check every
+    // pruned one against the raw record list.
+    uint64_t pruned = 0;
+    for (uint64_t p = 0; p < store.num_partitions(); ++p) {
+      const auto& part = store.partition(p);
+      bool overlaps = part.records > 0;
+      for (size_t d = 0; overlaps && d < box.lo.size(); ++d) {
+        overlaps =
+            part.zone_lo[d] < box.hi[d] && part.zone_hi[d] >= box.lo[d];
+      }
+      if (overlaps) {
+        overlaps = part.measure_lo <= bounds.hi && part.measure_hi >= bounds.lo;
+      }
+      if (overlaps) continue;
+      ++pruned;
+      for (const auto& [coord, measure] : records) {
+        const uint64_t rank = lin->RankOf(coord);
+        if (rank < part.first_rank || rank >= part.end_rank()) continue;
+        EXPECT_FALSE(box.Contains(coord) && bounds.Contains(measure))
+            << "partition " << p
+            << " pruned but holds a qualifying record: measure " << measure;
+      }
+    }
+    EXPECT_EQ(with_measure.pruned, pruned);
+  }
+
+  // Wide-open bounds reduce the measure pruner to the box pruner.
+  MeasureBounds open;
+  open.lo = -1.0;
+  open.hi = 101.0;
+  const CellBox all = BoxOf(*schema, QueryAt(*schema, lat.ClassAt(0), 0));
+  EXPECT_EQ(store.PruneBoxMeasure(all, open).scanned,
+            store.PruneBox(all).scanned);
+}
+
+TEST(MicroPartitionTest, BaseBackendMeasurePruningDelegatesToPruneBox) {
+  // A backend with no partition directory reports the same "nothing to
+  // prune" stats whether or not a measure predicate rides along.
+  Rng rng(0xBEEF);
+  const auto schema = RandomSchema(&rng);
+  const auto facts = RandomFacts(schema, &rng);
+  const auto lin = RandomOrder(schema, &rng);
+  const auto packed = MakeStorageBackend(StorageBackendKind::kPacked, lin,
+                                         facts, SmallConfig())
+                          .value();
+  const QueryClassLattice lat(*schema);
+  const GridQuery query = QueryAt(*schema, lat.ClassAt(0), 0);
+  const CellBox box = BoxOf(*schema, query);
+  MeasureBounds bounds;
+  bounds.lo = 0.25;
+  bounds.hi = 0.75;
+  const PruneStats plain = packed->PruneBox(box);
+  const PruneStats measured = packed->PruneBoxMeasure(box, bounds);
+  EXPECT_EQ(measured.partitions, plain.partitions);
+  EXPECT_EQ(measured.scanned, plain.scanned);
+  EXPECT_EQ(measured.pruned, plain.pruned);
+  EXPECT_EQ(measured.partitions, 0u);
+}
+
 TEST_P(MicroPartitionDifferentialTest, MovementPricingSharesPermutation) {
   Rng rng(0xF00D + static_cast<uint64_t>(GetParam()) * 104729);
   const auto schema = RandomSchema(&rng);

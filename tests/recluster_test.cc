@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -7,6 +8,7 @@
 
 #include "core/advisor.h"
 #include "cost/cost_cache.h"
+#include "cost/cost_model.h"
 #include "cost/workload_cost.h"
 #include "curves/row_major.h"
 #include "hierarchy/star_schema.h"
@@ -539,6 +541,97 @@ TEST(ReclusterEngineTest, AdoptsWhenDriftFlipsTheOptimum) {
   // The adopted layout is the proposed one, repacked under the new order.
   EXPECT_EQ(&engine.current_backend()->linearization(),
             engine.current().get());
+}
+
+TEST(ReclusterEngineTest, EpochReportCarriesCalibratedMsSides) {
+  // Both sides of the net-benefit comparison are in model milliseconds and
+  // reconcile exactly: net = benefit - movement * multiplier.
+  auto schema = SmallSchema();
+  const QueryClassLattice lat(*schema);
+  ReclusterConfig config = RowMajorConfig();
+  config.movement_cost_per_page = 2.0;
+  ReclusterEngine engine(schema, DenseFacts(schema, 3), config);
+  engine.OnEpoch(PreferAB(lat)).value();
+  const EpochReport report = engine.OnEpoch(PreferBA(lat)).value();
+  ASSERT_EQ(report.decision, ReclusterDecision::kAdopt);
+  EXPECT_GT(report.benefit_ms, 0.0);
+  EXPECT_GT(report.movement_ms, 0.0);
+  EXPECT_EQ(report.net_benefit,
+            report.benefit_ms - report.movement_ms * 2.0);
+  // The default model prices a saved seek at the seed's 9.5 ms.
+  EXPECT_EQ(report.benefit_ms,
+            (report.current_cost - report.proposed_cost) *
+                DefaultCostModel()->SeekMs() * config.queries_per_epoch);
+}
+
+TEST(ReclusterEngineTest, SeekTransferRatioFlipsTheDecision) {
+  // The satellite regression: the same workload shift, the same movement,
+  // the same queries_per_epoch — only the cost model differs. On an hdd
+  // (8 ms seeks) the saved seeks pay for the rewrite; on an ssd (0.05 ms
+  // seeks, 13x the transfer rate) the same savings never do.
+  auto schema = SmallSchema();
+  const QueryClassLattice lat(*schema);
+  const auto hdd = MakeCostModel(CostModelKind::kHdd).value();
+  const auto ssd = MakeCostModel(CostModelKind::kSsd).value();
+
+  // Dense cells make the rewrite transfer-bound (few moved runs, thousands
+  // of pages) while the benefit stays seek-bound — exactly the asymmetry
+  // the two presets price apart. 4000 records/cell -> ~60k pages moved
+  // across 15 runs.
+  const auto facts = DenseFacts(schema, 4000);
+
+  // Probe with each model to find its break-even queries/epoch; both
+  // reports price the identical improvement and rewrite.
+  auto probe = [&](std::shared_ptr<const CostModel> model) {
+    ReclusterConfig config = RowMajorConfig();
+    config.cost_model = std::move(model);
+    ReclusterEngine engine(schema, facts, config);
+    engine.OnEpoch(PreferAB(lat)).value();
+    const EpochReport report = engine.OnEpoch(PreferBA(lat)).value();
+    EXPECT_GT(report.benefit_ms, 0.0);
+    EXPECT_GT(report.movement_ms, 0.0);
+    // benefit_ms scales linearly in queries_per_epoch: break-even is where
+    // one epoch's savings equal the rewrite time.
+    return report.movement_ms /
+           (report.benefit_ms / RowMajorConfig().queries_per_epoch);
+  };
+  const double breakeven_hdd = probe(hdd);
+  const double breakeven_ssd = probe(ssd);
+  // Seeks dominate the benefit but not the rewrite, so the ssd needs far
+  // more queries per epoch before reclustering pays.
+  ASSERT_GT(breakeven_ssd, 3.0 * breakeven_hdd);
+  const double qpe = std::sqrt(breakeven_hdd * breakeven_ssd);
+
+  auto run = [&](std::shared_ptr<const CostModel> model) {
+    ReclusterConfig config = RowMajorConfig();
+    config.cost_model = std::move(model);
+    config.queries_per_epoch = qpe;
+    ReclusterEngine engine(schema, facts, config);
+    engine.OnEpoch(PreferAB(lat)).value();
+    return engine.OnEpoch(PreferBA(lat)).value();
+  };
+  const EpochReport on_hdd = run(hdd);
+  const EpochReport on_ssd = run(ssd);
+  EXPECT_EQ(on_hdd.decision, ReclusterDecision::kAdopt);
+  EXPECT_GT(on_hdd.net_benefit, 0.0);
+  EXPECT_EQ(on_ssd.decision, ReclusterDecision::kKeepNegativeNetBenefit);
+  EXPECT_LT(on_ssd.net_benefit, 0.0);
+}
+
+TEST(ReclusterEngineTest, SetCostModelSwapsLive) {
+  auto schema = SmallSchema();
+  const QueryClassLattice lat(*schema);
+  ReclusterEngine engine(schema, DenseFacts(schema, 3), RowMajorConfig());
+  EXPECT_EQ(engine.cost_model().kind(), CostModelKind::kAnalytic);
+  const auto ssd = MakeCostModel(CostModelKind::kSsd).value();
+  engine.SetCostModel(ssd);
+  EXPECT_EQ(&engine.cost_model(), ssd.get());
+  engine.OnEpoch(PreferAB(lat)).value();
+  const EpochReport report = engine.OnEpoch(PreferBA(lat)).value();
+  EXPECT_GT(report.benefit_ms, 0.0);
+  EXPECT_EQ(report.benefit_ms,
+            (report.current_cost - report.proposed_cost) *
+                ssd->SeekMs() * RowMajorConfig().queries_per_epoch);
 }
 
 TEST(ReclusterEngineTest, HysteresisBlocksMarginalWins) {

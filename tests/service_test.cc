@@ -11,12 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/advisor.h"
+#include "cost/cost_model.h"
 #include "hierarchy/dimension_table.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/grid_query.h"
@@ -24,6 +26,7 @@
 #include "lattice/workload_delta.h"
 #include "obs/metrics.h"
 #include "service/service.h"
+#include "service/telemetry.h"
 #include "storage/fact_table.h"
 #include "storage/pager.h"
 #include "storage/query_engine.h"
@@ -66,6 +69,13 @@ ServiceConfig SmallConfig() {
   config.recluster.strategies = {"row-major"};
   config.storage = StorageConfig{256, 125};
   return config;
+}
+
+bool SameBits(double a, double b) {
+  uint64_t x, y;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
 }
 
 GridQuery MakeQuery(int l0, int l1, uint64_t b0, uint64_t b1) {
@@ -494,6 +504,126 @@ TEST(ServiceDispatchTest, ServesTextualRequests) {
   EXPECT_FALSE(service.Dispatch("t", "").ok());
   EXPECT_FALSE(service.Dispatch("t", "query dim0=nosuchlabel").ok());
   EXPECT_FALSE(service.Dispatch("t", "ingest dim0==").ok());
+}
+
+TEST(ServiceDispatchTest, CostModelVerbReportsAndSwitches) {
+  auto schema = SmallSchema();
+  AdvisorService service(SmallConfig());
+  TenantSpec spec;
+  spec.name = "t";
+  spec.schema = schema;
+  spec.facts = DenseFacts(schema, 2);
+  const TenantId id = service.RegisterTenant(std::move(spec)).value();
+
+  // Bare verb reports the current model (name + its JSON description).
+  const std::string initial = service.Dispatch("t", "costmodel").value();
+  EXPECT_EQ(initial.rfind("costmodel analytic", 0), 0u);
+  EXPECT_NE(initial.find("{"), std::string::npos);
+
+  // Presets switch live; status and telemetry pick the new name up.
+  EXPECT_EQ(service.Dispatch("t", "costmodel hdd").value(), "costmodel hdd");
+  EXPECT_EQ(service.StatusOf(id).value().cost_model, "hdd");
+  EXPECT_NE(service.Dispatch("t", "status").value().find("cost model hdd"),
+            std::string::npos);
+  EXPECT_EQ(service.Dispatch("t", "costmodel ssd").value(), "costmodel ssd");
+  EXPECT_EQ(service.Dispatch("t", "costmodel").value().rfind("costmodel ssd",
+                                                             0),
+            0u);
+
+  // Calibrated with inline coefficients JSON.
+  EXPECT_EQ(service
+                .Dispatch("t",
+                          "costmodel calibrated {\"intercept_ms\": 0.5, "
+                          "\"coefficients\": {\"seeks\": 2.0}}")
+                .value(),
+            "costmodel calibrated");
+  EXPECT_EQ(service.StatusOf(id).value().cost_model, "calibrated");
+  const TelemetrySnapshot telemetry = service.Telemetry();
+  ASSERT_EQ(telemetry.tenants.size(), 1u);
+  EXPECT_EQ(telemetry.tenants[0].cost_model, "calibrated");
+  EXPECT_NE(telemetry.ToJson().find("\"cost_model\": \"calibrated\""),
+            std::string::npos);
+
+  // Malformed payloads are errors and leave the model untouched.
+  EXPECT_FALSE(service.Dispatch("t", "costmodel floppy").ok());
+  EXPECT_FALSE(service.Dispatch("t", "costmodel calibrated").ok());
+  EXPECT_FALSE(
+      service.Dispatch("t", "costmodel calibrated {\"bad\": 1}").ok());
+  EXPECT_EQ(service.StatusOf(id).value().cost_model, "calibrated");
+}
+
+TEST(ServiceCostModelTest, SwitchKeepsWarmAdviseCacheHitting) {
+  // The acceptance criterion: switching a tenant's cost model must NOT
+  // invalidate its class-cost memo — the cached integers are model-
+  // independent (the seek surrogate); only the ms conversion at the edge
+  // changes. A re-advise after the switch evaluates zero classes, keeps
+  // expected_cost bit-identical, and reprices expected_ms.
+  auto schema = SmallSchema();
+  MetricsRegistry metrics;
+  ServiceConfig config = SmallConfig();
+  config.obs.metrics = &metrics;
+  AdvisorService service(config);
+  TenantSpec spec;
+  spec.name = "t";
+  spec.schema = schema;
+  spec.facts = DenseFacts(schema, 2);
+  const TenantId id = service.RegisterTenant(std::move(spec)).value();
+
+  const Recommendation cold = service.Advise(id).value();
+  const uint64_t evals_after_cold =
+      metrics.GetCounter("advisor.incremental_cost_evaluations")->value();
+  EXPECT_GT(evals_after_cold, 0u);
+
+  CostModelSpec hdd;
+  hdd.kind = CostModelKind::kHdd;
+  ASSERT_TRUE(service.SetCostModel(id, hdd).ok());
+  const Recommendation warm = service.Advise(id).value();
+
+  // Zero new class evaluations, all hits: the memo survived the switch.
+  EXPECT_EQ(metrics.GetCounter("advisor.incremental_cost_evaluations")->value(),
+            evals_after_cold);
+  EXPECT_GT(metrics.GetCounter("advisor.incremental_cost_hits")->value(), 0u);
+  EXPECT_GT(metrics.GetCounter("service.costmodel_switches")->value(), 0u);
+
+  // Ranking key bit-identical; the priced edge moved with the model.
+  ASSERT_EQ(warm.ranked.size(), cold.ranked.size());
+  const auto hdd_model = MakeCostModel(CostModelKind::kHdd).value();
+  for (size_t i = 0; i < warm.ranked.size(); ++i) {
+    EXPECT_EQ(warm.ranked[i].name, cold.ranked[i].name);
+    EXPECT_TRUE(
+        SameBits(warm.ranked[i].expected_cost, cold.ranked[i].expected_cost));
+    EXPECT_NE(warm.ranked[i].expected_ms, cold.ranked[i].expected_ms);
+    // Unmeasured advises price the seek surrogate directly.
+    EXPECT_EQ(warm.ranked[i].expected_ms,
+              warm.ranked[i].expected_cost * hdd_model->SeekMs());
+    EXPECT_EQ(cold.ranked[i].expected_ms,
+              cold.ranked[i].expected_cost * DefaultCostModel()->SeekMs());
+  }
+
+  EXPECT_FALSE(service.SetCostModel(9999, hdd).ok());  // unknown tenant
+}
+
+TEST(ServiceCostModelTest, RegistrationSpecSeedsTheTenantModel) {
+  auto schema = SmallSchema();
+  AdvisorService service(SmallConfig());
+  TenantSpec spec;
+  spec.name = "t";
+  spec.schema = schema;
+  spec.facts = DenseFacts(schema, 2);
+  spec.cost_model.kind = CostModelKind::kSsd;
+  const TenantId id = service.RegisterTenant(std::move(spec)).value();
+  EXPECT_EQ(service.StatusOf(id).value().cost_model, "ssd");
+  const auto ssd = MakeCostModel(CostModelKind::kSsd).value();
+  const Recommendation rec = service.Advise(id).value();
+  ASSERT_TRUE(rec.has_best());
+  EXPECT_EQ(rec.best().expected_ms, rec.best().expected_cost * ssd->SeekMs());
+
+  // A bad registration spec fails cleanly.
+  TenantSpec bad;
+  bad.name = "u";
+  bad.schema = schema;
+  bad.cost_model.kind = CostModelKind::kCalibrated;  // no payload
+  EXPECT_FALSE(service.RegisterTenant(std::move(bad)).ok());
 }
 
 TEST(ServiceDispatchTest, QueryVerbsRequireDimensionTables) {

@@ -138,6 +138,56 @@ print("micropartition bench ok: %d partitions, %.1f%% pruned" %
       (d["partitions"], 100.0 * d["restricted_pruned_fraction"]))
 EOF
 
+# Calibration smoke: the measured-cost loop end to end. calibrate_cost
+# sweeps real file_store executions on a small TPC-D warehouse, fits the
+# linear time model in-repo, and writes both artifacts; python validates the
+# samples/coefficients JSON shapes, that the coefficients load as a model
+# (the service's `costmodel calibrated <path>` payload), and that the fit
+# explains the measurements within the 25% median-relative-error bound. The
+# bench additionally SNAKES_CHECKs that picking a strategy by the fitted
+# model costs <= 10% measured regret against the actual fastest.
+echo "==> [calibration] fit smoke"
+CAL_SAMPLES="$ROOT/build-release/calibration-samples.json"
+CAL_COEF="$ROOT/build-release/calibration-coefficients.json"
+(cd "$ROOT/build-release" && ./tools/calibrate_cost --orders 2000 \
+  --queries 2 --reps 2 --samples "$CAL_SAMPLES" \
+  --coefficients "$CAL_COEF" > /dev/null)
+python3 - "$CAL_SAMPLES" "$CAL_COEF" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["page_size_bytes"] > 0 and s["record_size_bytes"] > 0
+assert s["samples"], "sweep produced no samples"
+for sample in s["samples"]:
+    assert sample["measured_ns"] >= 0, "negative measured time"
+    for key in ("class", "strategy", "backend", "seeks", "pages"):
+        assert key in sample, "sample missing " + key
+c = json.load(open(sys.argv[2]))
+assert c["model"] == "calibrated", "coefficients not model-loadable"
+assert "intercept_ms" in c and c["coefficients"], "missing fit terms"
+for v in [c["intercept_ms"], *c["coefficients"].values()]:
+    assert v == v and abs(v) != float("inf"), "non-finite coefficient"
+assert c["samples"] == len(s["samples"]), "fit did not use the sweep"
+assert c["median_relative_error"] <= 0.25, \
+    "calibrated model median relative error %.3f exceeds the 25%% bound" \
+    % c["median_relative_error"]
+assert c["per_class_relative_error"], "no per-class error report"
+print("calibration smoke ok: %d samples, r^2 %.3f, median rel error %.3f" %
+      (c["samples"], c["r_squared"], c["median_relative_error"]))
+EOF
+echo "==> [calibration] ranking bench"
+(cd "$ROOT/build-release" && ./bench/micro_calibration > /dev/null)
+python3 - "$ROOT/build-release/BENCH_calibration.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["bench"] == "calibration"
+assert d["median_relative_error"] <= d["required_median_relative_error"]
+assert d["model_pick_measured_regret"] <= d["required_regret"]
+assert d["per_strategy"], "no per-strategy aggregates"
+print("calibration bench ok: median rel error %.3f, model-pick regret %.2f%%"
+      % (d["median_relative_error"],
+         100.0 * d["model_pick_measured_regret"]))
+EOF
+
 # Telemetry smoke: the always-on request-telemetry layer end to end.
 #  1. service_sim --telemetry dumps the flight recorder + SLO windows +
 #     audit log; python checks request ids are strictly increasing with
@@ -247,14 +297,17 @@ import json, sys
 
 # Line hit counts per source file, merged across translation units. The
 # storage-backend entry gates the two files behind the StorageBackend API
-# (backend.cc, micro_partition.cc) rather than all of src/storage, and
+# (backend.cc, micro_partition.cc) rather than all of src/storage,
 # obs-telemetry gates the request-telemetry primitives (request context,
-# flight recorder, SLO windows) rather than all of src/obs.
+# flight recorder, SLO windows) rather than all of src/obs, and cost-model
+# gates the pluggable CostModel + calibration fit rather than all of
+# src/cost (the older analytic estimators live there too).
 cov = {"src/cv": {}, "src/recluster": {}, "src/service": {},
-       "storage-backend": {}, "obs-telemetry": {}}
+       "storage-backend": {}, "obs-telemetry": {}, "cost-model": {}}
 backend_files = ("src/storage/backend.cc", "src/storage/micro_partition.cc")
 telemetry_files = ("src/obs/request_context.cc", "src/obs/flight_recorder.cc",
                    "src/obs/slo_window.cc")
+cost_files = ("src/cost/cost_model.cc", "src/cost/calibration.cc")
 with open(sys.argv[1]) as jsonl:
     for line in jsonl:
         line = line.strip()
@@ -267,6 +320,8 @@ with open(sys.argv[1]) as jsonl:
                 module = "storage-backend"
             elif name.endswith(telemetry_files):
                 module = "obs-telemetry"
+            elif name.endswith(cost_files):
+                module = "cost-model"
             else:
                 module = next(
                     (m for m in cov if "/" + m + "/" in "/" + name), None)
