@@ -1,0 +1,209 @@
+// Run-emission throughput on the TPC-D warehouse: batched class emission
+// (AppendClassRuns into a reused RunArena, with the degenerate-class
+// detector) against the seed's per-query loop (QueryAt + BoxOf + AppendRuns
+// into a cleared vector per box).
+//
+// Setup: the Table-4 LineItem warehouse grid (200 x 10 x 84) under the
+// snaked optimal lattice path for the uniform workload — the advisor's
+// hottest emission workload. The payoff target is the *fine* classes, the
+// ones at leaf level in the path's innermost dimension ((0,*,*)-style):
+// their queries are tiny and numerous, so the seed loop pays per-query
+// setup (box construction, emitter state) millions of times while the
+// batched emitter pays once per class — and the fully-degenerate classes
+// short-circuit to the closed form without emitting at all. The guard
+// SNAKES_CHECKs >= 5x aggregate fine-class speedup and <= 2% regression on
+// the coarse classes, checks both paths emit identical fragment counts, and
+// writes BENCH_run_emission.json.
+//
+//   $ ./micro_run_emission
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "curves/path_order.h"
+#include "curves/rank_run.h"
+#include "curves/run_arena.h"
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "path/snaked_dp.h"
+#include "tpcd/dbgen.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace snakes {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds per call: adaptively batches `fn` so one repetition lasts
+/// long enough to time, then takes the best of three repetitions (the
+/// steady-state cost, robust against scheduler noise on small classes).
+double TimeMs(const std::function<void()>& fn) {
+  auto once = [&fn]() {
+    const auto start = Clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  const double single = once();
+  const int iters =
+      static_cast<int>(std::min(1000.0, std::max(1.0, 2.0 / single)));
+  double best = single;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count() /
+        iters;
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+struct ClassEmission {
+  QueryClass cls;
+  uint64_t num_queries = 0;
+  uint64_t fragments = 0;
+  bool degenerate = false;
+  double seed_ms = 0.0;
+  double batched_ms = 0.0;
+};
+
+void Run() {
+  tpcd::Config config;
+  const auto warehouse = tpcd::GenerateWarehouse(config).ValueOrDie();
+  const StarSchema& schema = *warehouse.schema;
+  const QueryClassLattice lattice(schema);
+
+  const Workload uniform = Workload::Uniform(lattice);
+  const auto dp = FindOptimalSnakedLatticePath(uniform).ValueOrDie();
+  const auto order =
+      MakePathOrder(warehouse.schema, dp.path, /*snaked=*/true).ValueOrDie();
+  const Linearization& lin = *order;
+  std::fprintf(stderr, "emitting under %s (%llu cells)...\n",
+               lin.name().c_str(),
+               static_cast<unsigned long long>(lin.num_cells()));
+
+  RunArena arena;
+  std::vector<RankRun> runs;
+  std::vector<ClassEmission> per_class;
+  for (uint64_t i = 0; i < lattice.size(); ++i) {
+    ClassEmission em;
+    em.cls = lattice.ClassAt(i);
+    em.num_queries = NumQueriesInClass(schema, em.cls);
+    em.degenerate = lin.ClassRunsDegenerate(em.cls);
+
+    // Seed path: one AppendRuns per query box into a cleared vector — the
+    // pre-batching inner loop of cost measurement.
+    uint64_t seed_fragments = 0;
+    const auto seed_pass = [&]() {
+      seed_fragments = 0;
+      for (uint64_t q = 0; q < em.num_queries; ++q) {
+        runs.clear();
+        lin.AppendRuns(BoxOf(schema, QueryAt(schema, em.cls, q)), &runs);
+        seed_fragments += runs.size();
+      }
+    };
+    em.seed_ms = TimeMs(seed_pass);
+
+    // Production path: the detector's closed form, or one batched
+    // subdivision pass over the whole class into the reused arena.
+    uint64_t batched_fragments = 0;
+    const auto batched_pass = [&]() {
+      if (lin.ClassRunsDegenerate(em.cls)) {
+        batched_fragments = lin.num_cells();
+      } else {
+        lin.AppendClassRuns(em.cls, &arena);
+        batched_fragments = arena.num_runs();
+      }
+    };
+    em.batched_ms = TimeMs(batched_pass);
+
+    SNAKES_CHECK(seed_fragments == batched_fragments)
+        << "emission divergence in class " << em.cls.ToString() << ": seed "
+        << seed_fragments << " vs batched " << batched_fragments;
+    em.fragments = batched_fragments;
+    per_class.push_back(em);
+  }
+
+  // Fine classes: leaf level in the path's innermost dimension — the
+  // (0,*,*)-style classes whose queries are smallest and most numerous.
+  const int inner_dim = dp.path.steps().front();
+  double fine_seed_ms = 0.0, fine_batched_ms = 0.0;
+  double coarse_seed_ms = 0.0, coarse_batched_ms = 0.0;
+  TextTable table({"class", "queries", "fragments", "degenerate", "seed ms",
+                   "batched ms", "speedup"});
+  for (const ClassEmission& em : per_class) {
+    const bool fine = em.cls.level(inner_dim) == 0;
+    (fine ? fine_seed_ms : coarse_seed_ms) += em.seed_ms;
+    (fine ? fine_batched_ms : coarse_batched_ms) += em.batched_ms;
+    table.AddRow({em.cls.ToString() + (fine ? " *" : ""),
+                  std::to_string(em.num_queries),
+                  std::to_string(em.fragments), em.degenerate ? "yes" : "no",
+                  FormatDouble(em.seed_ms, 3), FormatDouble(em.batched_ms, 3),
+                  FormatDouble(em.batched_ms > 0.0
+                                   ? em.seed_ms / em.batched_ms
+                                   : 0.0,
+                               1)});
+  }
+  const double fine_speedup =
+      fine_batched_ms > 0.0 ? fine_seed_ms / fine_batched_ms : 0.0;
+  const double coarse_ratio =
+      coarse_seed_ms > 0.0 ? coarse_batched_ms / coarse_seed_ms : 0.0;
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("fine classes (*): %.2f ms seed vs %.2f ms batched (%.1fx); "
+              "coarse: %.2f ms seed vs %.2f ms batched (%.2fx of seed)\n",
+              fine_seed_ms, fine_batched_ms, fine_speedup, coarse_seed_ms,
+              coarse_batched_ms, coarse_ratio);
+
+  SNAKES_CHECK(fine_speedup >= 5.0)
+      << "batched emission is only " << fine_speedup
+      << "x the seed loop on fine classes (need >= 5x)";
+  SNAKES_CHECK(coarse_ratio <= 1.02)
+      << "batched emission regressed coarse classes to " << coarse_ratio
+      << "x the seed loop (allowed <= 1.02x)";
+
+  std::string json = "{\n  \"bench\": \"run_emission\",\n";
+  json += "  \"layout\": \"" + lin.name() + "\",\n";
+  json += "  \"cells\": " + std::to_string(lin.num_cells()) + ",\n";
+  json += "  \"fine_seed_ms\": " + FormatDouble(fine_seed_ms, 3) + ",\n";
+  json += "  \"fine_batched_ms\": " + FormatDouble(fine_batched_ms, 3) + ",\n";
+  json += "  \"fine_speedup\": " + FormatDouble(fine_speedup, 2) + ",\n";
+  json += "  \"coarse_seed_ms\": " + FormatDouble(coarse_seed_ms, 3) + ",\n";
+  json +=
+      "  \"coarse_batched_ms\": " + FormatDouble(coarse_batched_ms, 3) + ",\n";
+  json += "  \"coarse_ratio\": " + FormatDouble(coarse_ratio, 3) + ",\n";
+  json += "  \"required_fine_speedup\": 5.0,\n";
+  json += "  \"allowed_coarse_ratio\": 1.02,\n";
+  json += "  \"classes\": [\n";
+  for (size_t i = 0; i < per_class.size(); ++i) {
+    const ClassEmission& em = per_class[i];
+    json += "    {\"class\": \"" + em.cls.ToString() + "\", \"queries\": " +
+            std::to_string(em.num_queries) + ", \"fragments\": " +
+            std::to_string(em.fragments) + ", \"degenerate\": " +
+            (em.degenerate ? "true" : "false") + ", \"seed_ms\": " +
+            FormatDouble(em.seed_ms, 4) + ", \"batched_ms\": " +
+            FormatDouble(em.batched_ms, 4) + "}";
+    json += i + 1 < per_class.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  const char* path = "BENCH_run_emission.json";
+  std::ofstream out(path);
+  out << json;
+  SNAKES_CHECK(out.good()) << "failed to write " << path;
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace snakes
+
+int main() {
+  snakes::Run();
+  return 0;
+}

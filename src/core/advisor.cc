@@ -237,6 +237,10 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
     const Clock::time_point started = obs.enabled() ? Clock::now() : Clock::time_point();
     ScopedSpan span(obs.tracer, candidate.linearization->name(), "strategy");
     span.AddArg("factory", candidate.factory);
+    // One run arena per task: cost measurement and storage simulation of
+    // this candidate reuse its storage across every class; tasks never share
+    // one (the arena is single-threaded state).
+    RunArena arena;
     StrategyReport report;
     report.name = candidate.linearization->name();
     report.linearization = candidate.linearization;
@@ -244,15 +248,16 @@ Result<Recommendation> ClusteringAdvisor::Evaluate(
         plan.cost_cache != nullptr
             ? MeasureExpectedCostCached(plan.workload,
                                         *candidate.linearization,
-                                        plan.cost_cache, obs, plan.cost_mode)
+                                        plan.cost_cache, obs, plan.cost_mode,
+                                        &arena)
             : MeasureExpectedCost(plan.workload, *candidate.linearization,
-                                  obs, plan.cost_mode);
+                                  obs, plan.cost_mode, &arena);
     if (plan.measure_storage) {
       SNAKES_ASSIGN_OR_RETURN(
           std::shared_ptr<const StorageBackend> backend,
           MakeStorageBackend(plan.backend, candidate.linearization,
                              plan.facts, plan.storage, obs));
-      const IoSimulator sim(*backend, obs);
+      const IoSimulator sim(*backend, obs, &arena);
       report.io = IoSimulator::Expect(plan.workload, sim.MeasureAllClasses());
     }
     // The ms conversion happens here at the edge: the model prices the

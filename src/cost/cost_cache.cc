@@ -39,7 +39,7 @@ void ClassCostCache::Clear() {
 
 double MeasureExpectedCostCached(const Workload& mu, const Linearization& lin,
                                  ClassCostCache* cache, const ObsSink& obs,
-                                 CostEvalMode mode) {
+                                 CostEvalMode mode, RunArena* arena) {
   SNAKES_CHECK(cache != nullptr)
       << "MeasureExpectedCostCached requires a cache";
   ScopedSpan span(obs.tracer, "cost/measure_cached", "cost");
@@ -71,16 +71,19 @@ double MeasureExpectedCostCached(const Workload& mu, const Linearization& lin,
     const bool per_class_runs =
         lin.HasRunDecomposition() && mode != CostEvalMode::kEdgeWalk;
     if (per_class_runs) {
+      RunArena local;
+      RunArena* fill_arena = arena != nullptr ? arena : &local;
       uint64_t total_runs = 0;
-      std::vector<RankRun> runs;
       for (const uint64_t i : missing) {
         const QueryClass cls = lat.ClassAt(i);
         const uint64_t num_queries = NumQueriesInClass(schema, cls);
-        uint64_t class_fragments = 0;
-        for (uint64_t q = 0; q < num_queries; ++q) {
-          runs.clear();
-          lin.AppendRuns(BoxOf(schema, QueryAt(schema, cls, q)), &runs);
-          class_fragments += runs.size();
+        uint64_t class_fragments;
+        if (lin.ClassRunsDegenerate(cls)) {
+          // One cell per run over a grid-tiling class: the closed form.
+          class_fragments = lin.num_cells();
+        } else {
+          lin.AppendClassRuns(cls, fill_arena);
+          class_fragments = fill_arena->num_runs();
         }
         entry->fragments[i] = class_fragments;
         entry->queries[i] = num_queries;

@@ -87,10 +87,13 @@ class ClassCostCache {
 /// MeasureExpectedCost(mu, lin, obs, mode) on every input, but per-class
 /// fragment counts are computed at most once per cache lifetime. Classes
 /// with zero probability are neither computed nor charged. `cache` must not
-/// be null; pass the same instance across epochs to amortize.
+/// be null; pass the same instance across epochs to amortize. `arena`
+/// (optional) is per-thread reusable run storage for cache-miss fills —
+/// identical fragment integers either way.
 double MeasureExpectedCostCached(const Workload& mu, const Linearization& lin,
                                  ClassCostCache* cache, const ObsSink& obs = {},
-                                 CostEvalMode mode = CostEvalMode::kAuto);
+                                 CostEvalMode mode = CostEvalMode::kAuto,
+                                 RunArena* arena = nullptr);
 
 }  // namespace snakes
 

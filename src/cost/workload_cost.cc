@@ -50,8 +50,8 @@ namespace {
 /// with zero probability are skipped (fragments 0 over 1 query) — ExpectedCost
 /// never reads them.
 ClassCostTable RunCountClassCosts(const Workload& mu,
-                                  const Linearization& lin,
-                                  const ObsSink& obs) {
+                                  const Linearization& lin, const ObsSink& obs,
+                                  RunArena* arena) {
   const StarSchema& schema = lin.schema();
   const QueryClassLattice& lat = mu.lattice();
   std::vector<uint64_t> fragments(lat.size(), 0);
@@ -61,18 +61,23 @@ ClassCostTable RunCountClassCosts(const Workload& mu,
           ? obs.metrics->GetHistogram("curves.cells_per_run")
           : nullptr;
   uint64_t total_runs = 0;
-  std::vector<RankRun> runs;
   for (uint64_t i = 0; i < lat.size(); ++i) {
     if (mu.probability_at(i) == 0.0) continue;
     const QueryClass cls = lat.ClassAt(i);
     const uint64_t num_queries = NumQueriesInClass(schema, cls);
-    uint64_t class_fragments = 0;
-    for (uint64_t q = 0; q < num_queries; ++q) {
-      runs.clear();
-      lin.AppendRuns(BoxOf(schema, QueryAt(schema, cls, q)), &runs);
-      class_fragments += runs.size();
+    uint64_t class_fragments;
+    if (lin.ClassRunsDegenerate(cls)) {
+      // Every run is one cell and the class's queries tile the grid, so the
+      // fragment total is num_cells() — no need to materialize anything.
+      // (Single-cell runs are also not worth a histogram pass.)
+      class_fragments = lin.num_cells();
+    } else {
+      lin.AppendClassRuns(cls, arena);
+      class_fragments = arena->num_runs();
       if (cells_per_run != nullptr) {
-        for (const RankRun& r : runs) cells_per_run->Record(r.len);
+        for (size_t r = 0; r < arena->num_runs(); ++r) {
+          cells_per_run->Record(arena->run(r).len);
+        }
       }
     }
     fragments[i] = class_fragments;
@@ -101,7 +106,8 @@ uint64_t NonZeroQueries(const Workload& mu, const StarSchema& schema,
 }  // namespace
 
 double MeasureExpectedCost(const Workload& mu, const Linearization& lin,
-                           const ObsSink& obs, CostEvalMode mode) {
+                           const ObsSink& obs, CostEvalMode mode,
+                           RunArena* arena) {
   ScopedSpan span(obs.tracer, "cost/measure", "cost");
   span.AddArg("strategy", lin.name());
   const bool use_runs =
@@ -110,7 +116,9 @@ double MeasureExpectedCost(const Workload& mu, const Linearization& lin,
        NonZeroQueries(mu, lin.schema(), lin.num_cells()) <= lin.num_cells());
   span.AddArg("mode", use_runs ? "rank-runs" : "edge-walk");
   if (use_runs) {
-    return ExpectedCost(mu, RunCountClassCosts(mu, lin, obs));
+    RunArena local;
+    return ExpectedCost(
+        mu, RunCountClassCosts(mu, lin, obs, arena != nullptr ? arena : &local));
   }
   if (obs.metrics != nullptr) {
     obs.metrics->GetCounter("cost.cells_scanned")->Inc(lin.num_cells());

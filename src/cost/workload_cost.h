@@ -3,6 +3,7 @@
 
 #include "cost/class_cost.h"
 #include "cost/edge_model.h"
+#include "curves/run_arena.h"
 #include "lattice/workload.h"
 #include "obs/obs.h"
 #include "path/lattice_path.h"
@@ -41,10 +42,15 @@ enum class CostEvalMode {
 /// its rank-run count, and the run path feeds per-class totals through the
 /// same ExpectedCost summation as the edge walk. `obs` (optional) wraps the
 /// measurement in a "cost/measure" span and counts cost.cells_scanned (edge
-/// walk) or curves.runs_emitted / curves.cells_per_run (run path).
+/// walk) or curves.runs_emitted / curves.cells_per_run (run path; degenerate
+/// classes short-circuit to their closed-form fragment count — num_cells()
+/// — and contribute to runs_emitted but not to the per-run histogram).
+/// `arena` (optional) is reused run storage for the run path — identical
+/// results, fewer allocations; pass one per thread.
 double MeasureExpectedCost(const Workload& mu, const Linearization& lin,
                            const ObsSink& obs = {},
-                           CostEvalMode mode = CostEvalMode::kAuto);
+                           CostEvalMode mode = CostEvalMode::kAuto,
+                           RunArena* arena = nullptr);
 
 }  // namespace snakes
 

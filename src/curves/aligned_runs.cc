@@ -51,6 +51,62 @@ class AlignedEmitter {
   const size_t k_;
 };
 
+class AlignedClassEmitter {
+ public:
+  AlignedClassEmitter(const Linearization& lin, const AlignedLevels& levels,
+                      const QueryClass& cls, RunArena* arena)
+      : lin_(lin),
+        levels_(levels),
+        cls_(cls),
+        arena_(arena),
+        k_(static_cast<size_t>(lin.schema().num_dims())) {
+    // Dense query-id strides matching QueryAt: dimension 0 slowest.
+    stride_.resize(k_);
+    uint64_t s = 1;
+    for (size_t d = k_; d-- > 0;) {
+      stride_[d] = s;
+      s *= lin_.schema().dim(static_cast<int>(d)).num_blocks(
+          cls_.level(static_cast<int>(d)));
+    }
+  }
+
+  void Recurse(size_t depth, uint64_t rank_base) {
+    const uint64_t cells = levels_.subtree_cells[depth];
+    const CellCoord& width = levels_.width[depth];
+    const CellCoord cell = lin_.CellAt(rank_base);
+    uint64_t qid = 0;
+    bool contained = true;
+    for (size_t d = 0; d < k_; ++d) {
+      const Hierarchy& h = lin_.schema().dim(static_cast<int>(d));
+      const int level = cls_.level(static_cast<int>(d));
+      const uint64_t lo = cell[d] & ~(width[d] - 1);
+      const uint64_t block = h.AncestorAt(lo, level);
+      if (width[d] > 1 && h.AncestorAt(lo + width[d] - 1, level) != block) {
+        contained = false;
+        break;
+      }
+      qid += block * stride_[d];
+    }
+    if (contained) {
+      arena_->Append(qid, rank_base, cells);
+      return;
+    }
+    SNAKES_DCHECK(depth + 1 < levels_.subtree_cells.size());
+    const uint64_t child_cells = levels_.subtree_cells[depth + 1];
+    for (uint64_t r = rank_base; r < rank_base + cells; r += child_cells) {
+      Recurse(depth + 1, r);
+    }
+  }
+
+ private:
+  const Linearization& lin_;
+  const AlignedLevels& levels_;
+  const QueryClass& cls_;
+  RunArena* arena_;
+  const size_t k_;
+  FixedVector<uint64_t, kMaxDimensions> stride_;
+};
+
 }  // namespace
 
 void AppendAlignedRuns(const Linearization& lin, const AlignedLevels& levels,
@@ -62,6 +118,17 @@ void AppendAlignedRuns(const Linearization& lin, const AlignedLevels& levels,
     if (box.hi[d] <= box.lo[d]) return;
   }
   AlignedEmitter emitter(lin, levels, box, runs);
+  emitter.Recurse(0, 0);
+}
+
+void AppendAlignedClassRuns(const Linearization& lin,
+                            const AlignedLevels& levels, const QueryClass& cls,
+                            RunArena* arena) {
+  SNAKES_DCHECK(!levels.subtree_cells.empty());
+  SNAKES_DCHECK(levels.subtree_cells.front() == lin.num_cells());
+  SNAKES_DCHECK(levels.subtree_cells.back() == 1);
+  arena->BeginClass(NumQueriesInClass(lin.schema(), cls));
+  AlignedClassEmitter emitter(lin, levels, cls, arena);
   emitter.Recurse(0, 0);
 }
 

@@ -28,6 +28,18 @@ struct AlignedLevels {
 void AppendAlignedRuns(const Linearization& lin, const AlignedLevels& levels,
                        const CellBox& box, std::vector<RankRun>* runs);
 
+/// Batched form of the same subdivision for *all* queries of a lattice
+/// class at once. The class's query boxes tile the grid, so a single
+/// unpruned descent suffices: every subtree is either contained in exactly
+/// one query box (all dimensions stay inside one hierarchy block at the
+/// class level — emit one run for that query) or straddles a block boundary
+/// (descend). Runs are emitted in global rank order, so per-query lists come
+/// out sorted and coalesced in the arena; sibling boxes share all recursion
+/// prefixes instead of re-descending from the root per box.
+void AppendAlignedClassRuns(const Linearization& lin,
+                            const AlignedLevels& levels, const QueryClass& cls,
+                            RunArena* arena);
+
 }  // namespace curve_internal
 }  // namespace snakes
 

@@ -1,0 +1,183 @@
+#include "curves/bit_interleave.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace snakes {
+namespace curve_internal {
+
+uint64_t PortablePdep(uint64_t src, uint64_t mask) {
+  uint64_t result = 0;
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    if (src & 1) result |= m & ~(m - 1);
+    src >>= 1;
+  }
+  return result;
+}
+
+uint64_t PortablePext(uint64_t src, uint64_t mask) {
+  uint64_t result = 0;
+  uint64_t out_bit = 1;
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    if (src & m & ~(m - 1)) result |= out_bit;
+    out_bit <<= 1;
+  }
+  return result;
+}
+
+#if defined(__x86_64__)
+
+__attribute__((target("bmi2"))) uint64_t Bmi2Pdep(uint64_t src, uint64_t mask) {
+  return _pdep_u64(src, mask);
+}
+
+__attribute__((target("bmi2"))) uint64_t Bmi2Pext(uint64_t src, uint64_t mask) {
+  return _pext_u64(src, mask);
+}
+
+bool Bmi2Supported() { return __builtin_cpu_supports("bmi2") != 0; }
+
+#else
+
+bool Bmi2Supported() { return false; }
+
+#endif  // defined(__x86_64__)
+
+namespace {
+
+// -1 = unresolved, 0 = portable, 1 = BMI2. Resolved lazily so the
+// environment override is read after main()'s setenv calls in tests.
+std::atomic<int> g_kernel{-1};
+
+int ResolveKernel() {
+#if defined(SNAKES_FORCE_PORTABLE_KERNELS)
+  return 0;
+#else
+  const char* env = std::getenv("SNAKES_FORCE_PORTABLE_KERNELS");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') return 0;
+  return Bmi2Supported() ? 1 : 0;
+#endif
+}
+
+inline int KernelIndex() {
+  int k = g_kernel.load(std::memory_order_relaxed);
+  if (k < 0) {
+    k = ResolveKernel();
+    g_kernel.store(k, std::memory_order_relaxed);
+  }
+  return k;
+}
+
+inline uint64_t Pdep(uint64_t src, uint64_t mask) {
+#if defined(__x86_64__)
+  if (KernelIndex() == 1) return Bmi2Pdep(src, mask);
+#endif
+  return PortablePdep(src, mask);
+}
+
+inline uint64_t Pext(uint64_t src, uint64_t mask) {
+#if defined(__x86_64__)
+  if (KernelIndex() == 1) return Bmi2Pext(src, mask);
+#endif
+  return PortablePext(src, mask);
+}
+
+}  // namespace
+
+KernelKind ActiveKernel() {
+  return KernelIndex() == 1 ? KernelKind::kBmi2 : KernelKind::kPortable;
+}
+
+void ForcePortableKernels(bool force) {
+  g_kernel.store(force ? 0 : ResolveKernel(), std::memory_order_relaxed);
+}
+
+bool KernelsForcedPortableAtBuild() {
+#if defined(SNAKES_FORCE_PORTABLE_KERNELS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+InterleaveMasks MakeInterleaveMasks(const std::vector<int>& bit_owner,
+                                    int num_dims) {
+  SNAKES_CHECK(bit_owner.size() <= 64);
+  InterleaveMasks masks;
+  masks.mask.resize(num_dims);
+  for (int d = 0; d < num_dims; ++d) masks.mask[d] = 0;
+  masks.total_bits = static_cast<int>(bit_owner.size());
+  for (size_t p = 0; p < bit_owner.size(); ++p) {
+    SNAKES_CHECK(bit_owner[p] >= 0 && bit_owner[p] < num_dims);
+    masks.mask[bit_owner[p]] |= uint64_t{1} << p;
+  }
+  return masks;
+}
+
+uint64_t InterleaveBits(const InterleaveMasks& masks, const CellCoord& coord) {
+  uint64_t value = 0;
+  for (size_t d = 0; d < masks.mask.size(); ++d) {
+    value |= Pdep(coord[d], masks.mask[d]);
+  }
+  return value;
+}
+
+CellCoord DeinterleaveBits(const InterleaveMasks& masks, uint64_t value) {
+  CellCoord coord;
+  coord.resize(masks.mask.size());
+  for (size_t d = 0; d < masks.mask.size(); ++d) {
+    coord[d] = Pext(value, masks.mask[d]);
+  }
+  return coord;
+}
+
+uint64_t GrayCodeToRank(uint64_t gray) {
+  // Prefix XOR over all higher bits, by doubling: after step s, each bit
+  // holds the XOR of itself and the next (1 << s) - 1 higher bits. Equals
+  // the serial `rank = gray; while (gray >>= 1) rank ^= gray;` loop.
+  gray ^= gray >> 1;
+  gray ^= gray >> 2;
+  gray ^= gray >> 4;
+  gray ^= gray >> 8;
+  gray ^= gray >> 16;
+  gray ^= gray >> 32;
+  return gray;
+}
+
+TransposeMasks MakeTransposeMasks(int bits, int dims) {
+  SNAKES_CHECK(bits > 0 && dims > 0 && bits * dims <= 62);
+  TransposeMasks masks;
+  masks.mask.resize(dims);
+  for (int d = 0; d < dims; ++d) masks.mask[d] = 0;
+  masks.total_bits = bits * dims;
+  // Rank bit q (q = 0 is the LSB) carries local bit q / dims of dimension
+  // (dims - 1 - q % dims): the most significant rank bit belongs to
+  // dimension 0's top bit, matching the scalar distribution loop.
+  for (int q = 0; q < bits * dims; ++q) {
+    masks.mask[dims - 1 - q % dims] |= uint64_t{1} << q;
+  }
+  return masks;
+}
+
+void RankToTranspose(const TransposeMasks& masks, uint64_t rank, uint32_t* x) {
+  for (size_t d = 0; d < masks.mask.size(); ++d) {
+    x[d] = static_cast<uint32_t>(Pext(rank, masks.mask[d]));
+  }
+}
+
+uint64_t TransposeToRank(const TransposeMasks& masks, const uint32_t* x) {
+  uint64_t rank = 0;
+  for (size_t d = 0; d < masks.mask.size(); ++d) {
+    rank |= Pdep(x[d], masks.mask[d]);
+  }
+  return rank;
+}
+
+}  // namespace curve_internal
+}  // namespace snakes

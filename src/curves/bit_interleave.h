@@ -1,0 +1,103 @@
+#ifndef SNAKES_CURVES_BIT_INTERLEAVE_H_
+#define SNAKES_CURVES_BIT_INTERLEAVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/star_schema.h"
+
+namespace snakes {
+namespace curve_internal {
+
+/// Bit scatter/gather kernels behind the interleaved curves (Z, Gray,
+/// Hilbert). Interleaving a coordinate vector is exactly a parallel bit
+/// deposit per dimension (pdep) and de-interleaving a parallel bit extract
+/// (pext), so on x86 with BMI2 the whole CellAt/RankOf bit loop collapses to
+/// k instructions. A bit-identical portable fallback is always compiled; the
+/// choice is made once at runtime (see ActiveKernel below) and can be forced
+/// to the fallback three ways, strongest first:
+///
+///   * building with -DSNAKES_FORCE_PORTABLE_KERNELS=ON (compile-time pin,
+///     the tools/check.sh fallback leg);
+///   * exporting SNAKES_FORCE_PORTABLE_KERNELS=1 in the environment;
+///   * calling ForcePortableKernels(true) (the in-process test hook).
+///
+/// Every kernel produces the same bits on every path — the differential
+/// suite in tests/bit_interleave_test.cc enforces it — so advisor
+/// recommendations and simulator measurements never depend on the host CPU.
+
+/// Reference bit-serial pdep: deposits the low bits of `src` into the set
+/// positions of `mask`, lowest first.
+uint64_t PortablePdep(uint64_t src, uint64_t mask);
+
+/// Reference bit-serial pext: gathers the bits of `src` at the set positions
+/// of `mask` into the low bits of the result, lowest first.
+uint64_t PortablePext(uint64_t src, uint64_t mask);
+
+/// True when the host CPU executes BMI2 (always false off x86-64).
+bool Bmi2Supported();
+
+#if defined(__x86_64__)
+/// Hardware kernels, compiled with a function-level "bmi2" target so the
+/// rest of the library keeps its baseline ISA. Call only when
+/// Bmi2Supported(); exposed raw for the differential parity tests.
+uint64_t Bmi2Pdep(uint64_t src, uint64_t mask);
+uint64_t Bmi2Pext(uint64_t src, uint64_t mask);
+#endif
+
+enum class KernelKind { kPortable, kBmi2 };
+
+/// The kernel the dispatched entry points below currently use.
+KernelKind ActiveKernel();
+
+/// Test hook: `true` pins the portable kernels; `false` re-derives the
+/// default from the build pin, the environment variable and the CPU. Takes
+/// effect process-wide, including already-constructed curves (they hold
+/// masks, not kernel choices).
+void ForcePortableKernels(bool force);
+
+/// True when the build was configured with SNAKES_FORCE_PORTABLE_KERNELS=ON
+/// (ForcePortableKernels(false) cannot re-enable BMI2 in that case).
+bool KernelsForcedPortableAtBuild();
+
+/// Per-dimension scatter masks for a round-robin interleaved code:
+/// mask[d] has interleaved bit p set iff bit_owner[p] == d. Because each
+/// dimension's bits appear in increasing significance, Interleave is exactly
+/// sum_d pdep(coord[d], mask[d]) and Deinterleave coord[d] = pext(v, mask[d]).
+struct InterleaveMasks {
+  FixedVector<uint64_t, kMaxDimensions> mask;
+  int total_bits = 0;
+};
+
+InterleaveMasks MakeInterleaveMasks(const std::vector<int>& bit_owner,
+                                    int num_dims);
+
+/// Kernel-dispatched Interleave/Deinterleave; bit-identical to the scalar
+/// curve_internal::Interleave/Deinterleave reference on every input.
+uint64_t InterleaveBits(const InterleaveMasks& masks, const CellCoord& coord);
+CellCoord DeinterleaveBits(const InterleaveMasks& masks, uint64_t value);
+
+/// Inverse of the binary-reflected Gray code by prefix-XOR doubling:
+/// identical bits to the serial `while (g >>= 1) r ^= g` loop in O(log w).
+uint64_t GrayCodeToRank(uint64_t gray);
+
+/// Strided masks for the Hilbert transpose form: rank bit q belongs to
+/// dimension (total - 1 - q) mod k, ascending q ascending local bit, so the
+/// distribute/collect loops in CellAt/RankOf are one pext/pdep per dimension.
+struct TransposeMasks {
+  FixedVector<uint64_t, kMaxDimensions> mask;
+  int total_bits = 0;
+};
+
+TransposeMasks MakeTransposeMasks(int bits, int dims);
+
+/// rank -> transpose words x[0..dims) (each holding `bits` bits).
+void RankToTranspose(const TransposeMasks& masks, uint64_t rank, uint32_t* x);
+
+/// transpose words -> rank (inverse of RankToTranspose).
+uint64_t TransposeToRank(const TransposeMasks& masks, const uint32_t* x);
+
+}  // namespace curve_internal
+}  // namespace snakes
+
+#endif  // SNAKES_CURVES_BIT_INTERLEAVE_H_

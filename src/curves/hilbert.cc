@@ -57,6 +57,26 @@ void HilbertAxesToTranspose(uint32_t* x, int bits, int dims) {
 
 }  // namespace curve_internal
 
+HilbertCurve::HilbertCurve(std::shared_ptr<const StarSchema> schema, int bits,
+                           bool swap_first_two)
+    : Linearization(std::move(schema)), bits_(bits), swap_(swap_first_two) {
+  const int k = this->schema().num_dims();
+  masks_ = curve_internal::MakeTransposeMasks(bits_, k);
+  levels_.subtree_cells.resize(static_cast<size_t>(bits_) + 1);
+  levels_.width.resize(static_cast<size_t>(bits_) + 1);
+  for (int j = 0; j <= bits_; ++j) {
+    levels_.subtree_cells[static_cast<size_t>(j)] =
+        uint64_t{1} << (static_cast<unsigned>(k) *
+                        static_cast<unsigned>(bits_ - j));
+    CellCoord width;
+    width.resize(static_cast<size_t>(k));
+    for (size_t d = 0; d < width.size(); ++d) {
+      width[d] = uint64_t{1} << (bits_ - j);
+    }
+    levels_.width[static_cast<size_t>(j)] = width;
+  }
+}
+
 Result<std::unique_ptr<HilbertCurve>> HilbertCurve::Make(
     std::shared_ptr<const StarSchema> schema, bool swap_first_two) {
   const int k = schema->num_dims();
@@ -89,15 +109,10 @@ Result<std::unique_ptr<HilbertCurve>> HilbertCurve::Make(
 CellCoord HilbertCurve::CellAt(uint64_t rank) const {
   const int k = schema().num_dims();
   uint32_t x[kMaxDimensions] = {0};
-  // Distribute rank bits into the transpose form: the most significant rank
-  // bit goes to x[0]'s top bit, the next to x[1]'s top bit, and so on.
-  const int total = bits_ * k;
-  for (int q = 0; q < total; ++q) {
-    const int from_msb = total - 1 - q;  // index from the top
-    const int dim = from_msb % k;
-    const int bit = bits_ - 1 - from_msb / k;
-    x[dim] |= static_cast<uint32_t>((rank >> q) & 1u) << bit;
-  }
+  // Distribute rank bits into the transpose form (the most significant rank
+  // bit is x[0]'s top bit, the next x[1]'s top bit, ...): one pext per
+  // dimension through the strided masks.
+  curve_internal::RankToTranspose(masks_, rank, x);
   curve_internal::HilbertTransposeToAxes(x, bits_, k);
   if (swap_) std::swap(x[0], x[1]);
   CellCoord coord;
@@ -108,20 +123,12 @@ CellCoord HilbertCurve::CellAt(uint64_t rank) const {
 
 void HilbertCurve::AppendRuns(const CellBox& box,
                               std::vector<RankRun>* runs) const {
-  const size_t k = static_cast<size_t>(schema().num_dims());
-  curve_internal::AlignedLevels levels;
-  levels.subtree_cells.resize(static_cast<size_t>(bits_) + 1);
-  levels.width.resize(static_cast<size_t>(bits_) + 1);
-  for (int j = 0; j <= bits_; ++j) {
-    levels.subtree_cells[static_cast<size_t>(j)] =
-        uint64_t{1} << (static_cast<unsigned>(k) *
-                        static_cast<unsigned>(bits_ - j));
-    CellCoord width;
-    width.resize(k);
-    for (size_t d = 0; d < k; ++d) width[d] = uint64_t{1} << (bits_ - j);
-    levels.width[static_cast<size_t>(j)] = width;
-  }
-  curve_internal::AppendAlignedRuns(*this, levels, box, runs);
+  curve_internal::AppendAlignedRuns(*this, levels_, box, runs);
+}
+
+void HilbertCurve::AppendClassRuns(const QueryClass& cls,
+                                   RunArena* arena) const {
+  curve_internal::AppendAlignedClassRuns(*this, levels_, cls, arena);
 }
 
 uint64_t HilbertCurve::RankOf(const CellCoord& coord) const {
@@ -132,15 +139,7 @@ uint64_t HilbertCurve::RankOf(const CellCoord& coord) const {
   }
   if (swap_) std::swap(x[0], x[1]);
   curve_internal::HilbertAxesToTranspose(x, bits_, k);
-  uint64_t rank = 0;
-  const int total = bits_ * k;
-  for (int q = 0; q < total; ++q) {
-    const int from_msb = total - 1 - q;
-    const int dim = from_msb % k;
-    const int bit = bits_ - 1 - from_msb / k;
-    rank |= static_cast<uint64_t>((x[dim] >> bit) & 1u) << q;
-  }
-  return rank;
+  return curve_internal::TransposeToRank(masks_, x);
 }
 
 }  // namespace snakes

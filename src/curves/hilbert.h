@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "curves/aligned_runs.h"
+#include "curves/bit_interleave.h"
 #include "curves/linearization.h"
 
 namespace snakes {
@@ -35,16 +37,22 @@ class HilbertCurve : public Linearization {
   void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
       const override;
   bool HasRunDecomposition() const override { return true; }
+  /// Same whole-level orthant subdivision as AppendRuns, batched over every
+  /// query of the class in one pass. Degeneracy detection stays with the
+  /// base single-cell-query test: sub-orthant rotations make a closed-form
+  /// edge analysis per class unprofitable.
+  void AppendClassRuns(const QueryClass& cls, RunArena* arena) const override;
 
  private:
   HilbertCurve(std::shared_ptr<const StarSchema> schema, int bits,
-               bool swap_first_two)
-      : Linearization(std::move(schema)),
-        bits_(bits),
-        swap_(swap_first_two) {}
+               bool swap_first_two);
 
   int bits_;   // bits per dimension (equal extents 2^bits_)
   bool swap_;  // exchange dimensions 0 and 1
+  // pext/pdep masks for the rank <-> transpose bit redistribution and the
+  // cached whole-level orthant geometry for run emission.
+  curve_internal::TransposeMasks masks_;
+  curve_internal::AlignedLevels levels_;
 };
 
 namespace curve_internal {

@@ -20,6 +20,22 @@ void Linearization::AppendRuns(const CellBox& box,
   AppendRunsByRankScan(box, runs);
 }
 
+void Linearization::AppendClassRuns(const QueryClass& cls,
+                                    RunArena* arena) const {
+  const uint64_t num_queries = NumQueriesInClass(schema(), cls);
+  arena->BeginClass(num_queries);
+  std::vector<RankRun>& scratch = arena->scratch();
+  for (uint64_t q = 0; q < num_queries; ++q) {
+    scratch.clear();
+    AppendRuns(BoxOf(schema(), QueryAt(schema(), cls, q)), &scratch);
+    for (const RankRun& r : scratch) arena->Append(q, r.start, r.len);
+  }
+}
+
+bool Linearization::ClassRunsDegenerate(const QueryClass& cls) const {
+  return NumQueriesInClass(schema(), cls) == num_cells();
+}
+
 void Linearization::AppendRunsByRankScan(const CellBox& box,
                                          std::vector<RankRun>* runs) const {
   const size_t k = box.lo.size();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "curves/rank_run.h"
+#include "curves/run_arena.h"
 #include "hierarchy/star_schema.h"
 #include "lattice/grid_query.h"
 #include "util/result.h"
@@ -59,6 +60,24 @@ class Linearization {
   /// True when AppendRuns costs roughly O(runs) rather than O(cells in box),
   /// so interval-based query evaluation is a win. Default false.
   virtual bool HasRunDecomposition() const { return false; }
+
+  /// Emits the run decomposition of *every* query box of class `cls` into
+  /// `arena` (which is BeginClass-reset here). Query ids follow the dense
+  /// QueryAt order (dimension 0 slowest); each query's runs equal what
+  /// AppendRuns on its box alone would produce. Because the queries of a
+  /// class tile the grid, structured strategies override this with a single
+  /// unpruned subdivision pass over the whole curve — sibling boxes share
+  /// every recursion prefix instead of re-descending per box. The default
+  /// loops AppendRuns per query through the arena's scratch vector.
+  virtual void AppendClassRuns(const QueryClass& cls, RunArena* arena) const;
+
+  /// True when every run of every query of `cls` is provably a single cell
+  /// (the class "degenerates": fragment count == num_cells()), so callers
+  /// can use the closed-form edge model instead of materializing runs.
+  /// Soundness contract: a true return is a guarantee; false is always
+  /// allowed. The default detects the one case sound for any bijection —
+  /// every query of the class selects exactly one cell.
+  virtual bool ClassRunsDegenerate(const QueryClass& cls) const;
 
   /// The reference decomposition the default AppendRuns delegates to:
   /// RankOf on every cell of the box, sort, coalesce. Public so tests can

@@ -195,6 +195,98 @@ class PathRunEmitter {
   const size_t floor_;
 };
 
+/// Batched digit recursion for a whole lattice class. Digits above index `i`
+/// being fixed pins a box whose per-dimension widths are hierarchy block
+/// sizes, and uniform blocks nest, so node-in-one-query containment depends
+/// only on `i`: every dimension's reached level must be at or below the
+/// class level. The constructor finds that cut depth once; Recurse then
+/// descends without any per-node box tests and emits one run per cut node
+/// into the arena, which coalesces adjacent runs of the same query (snaked
+/// sweeps re-enter a query from the far end, so cross-node coalescing does
+/// happen).
+class PathClassEmitter {
+ public:
+  PathClassEmitter(const StarSchema& schema,
+                   const std::vector<PathOrder::LoopDigit>& digits, bool snaked,
+                   const QueryClass& cls, RunArena* arena)
+      : digits_(digits),
+        snaked_(snaked),
+        arena_(arena),
+        k_(static_cast<size_t>(schema.num_dims())) {
+    qstride_.resize(k_);
+    block_leaves_.resize(k_);
+    uint64_t s = 1;
+    for (size_t d = k_; d-- > 0;) {
+      const Hierarchy& h = schema.dim(static_cast<int>(d));
+      const int level = cls.level(static_cast<int>(d));
+      qstride_[d] = s;
+      s *= h.num_blocks(level);
+      block_leaves_[d] = h.BlockLeafCount(level, 0);
+    }
+    // Walk down from the root fixing digits outermost-first until every
+    // dimension's level is within the class level.
+    FixedVector<int, kMaxDimensions> lvl(k_, 0);
+    for (size_t d = 0; d < k_; ++d) {
+      lvl[d] = schema.dim(static_cast<int>(d)).num_levels();
+    }
+    auto contained = [&] {
+      for (size_t d = 0; d < k_; ++d) {
+        if (lvl[d] > cls.level(static_cast<int>(d))) return false;
+      }
+      return true;
+    };
+    int i = static_cast<int>(digits_.size()) - 1;
+    while (i >= 0 && !contained()) {
+      const PathOrder::LoopDigit& digit = digits_[static_cast<size_t>(i)];
+      lvl[static_cast<size_t>(digit.dim)] = digit.level - 1;
+      --i;
+    }
+    cut_ = i;  // with all digits fixed every level is 0, so cut_ >= -1 holds
+  }
+
+  void Emit() {
+    CellCoord base;
+    base.resize(k_);
+    Recurse(static_cast<int>(digits_.size()) - 1, 0, base, /*parity=*/false);
+  }
+
+ private:
+  uint64_t SubtreeCells(int i) const {
+    return i < 0 ? 1 : digits_[static_cast<size_t>(i)].place *
+                           digits_[static_cast<size_t>(i)].radix;
+  }
+
+  void Recurse(int i, uint64_t rank_base, const CellCoord& base, bool parity) {
+    if (i == cut_) {
+      uint64_t qid = 0;
+      for (size_t d = 0; d < k_; ++d) {
+        qid += (base[d] / block_leaves_[d]) * qstride_[d];
+      }
+      arena_->Append(qid, rank_base, SubtreeCells(i));
+      return;
+    }
+    const PathOrder::LoopDigit& digit = digits_[static_cast<size_t>(i)];
+    const size_t dim = static_cast<size_t>(digit.dim);
+    CellCoord child_base = base;
+    for (uint64_t raw = 0; raw < digit.radix; ++raw) {
+      const uint64_t value =
+          (snaked_ && parity) ? digit.radix - 1 - raw : raw;
+      child_base[dim] = base[dim] + value * digit.coord_unit;
+      const bool child_parity =
+          snaked_ && ((parity && (digit.radix & 1)) != ((raw & 1) != 0));
+      Recurse(i - 1, rank_base + raw * digit.place, child_base, child_parity);
+    }
+  }
+
+  const std::vector<PathOrder::LoopDigit>& digits_;
+  const bool snaked_;
+  RunArena* arena_;
+  const size_t k_;
+  FixedVector<uint64_t, kMaxDimensions> qstride_;
+  FixedVector<uint64_t, kMaxDimensions> block_leaves_;
+  int cut_;
+};
+
 }  // namespace
 
 void PathOrder::AppendRuns(const CellBox& box,
@@ -208,6 +300,32 @@ void PathOrder::AppendRuns(const CellBox& box,
   }
   PathRunEmitter emitter(digits_, snaked_, box, runs);
   emitter.Emit(extents);
+}
+
+void PathOrder::AppendClassRuns(const QueryClass& cls, RunArena* arena) const {
+  arena->BeginClass(NumQueriesInClass(schema(), cls));
+  PathClassEmitter emitter(schema(), digits_, snaked_, cls, arena);
+  emitter.Emit();
+}
+
+bool PathOrder::ClassRunsDegenerate(const QueryClass& cls) const {
+  if (snaked_) {
+    // Every edge steps exactly one loop digit by +-1 within its parent
+    // block; the step stays inside one query iff the class level of the
+    // digit's dimension is at least the digit's level.
+    for (const LoopDigit& digit : digits_) {
+      if (digit.radix > 1 && cls.level(digit.dim) >= digit.level) return false;
+    }
+    return true;
+  }
+  // Unsnaked: every edge increments some digit and wraps all (nontrivial)
+  // digits below it, so every edge moves the innermost nontrivial digit's
+  // dimension. If the class absorbs that digit the very edges that only
+  // step it are absorbed; if not, no edge anywhere is.
+  for (const LoopDigit& digit : digits_) {
+    if (digit.radix > 1) return cls.level(digit.dim) < digit.level;
+  }
+  return true;  // single-cell grid: no edges at all
 }
 
 void PathOrder::Walk(

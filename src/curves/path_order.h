@@ -47,6 +47,16 @@ class PathOrder : public Linearization {
   void AppendRuns(const CellBox& box, std::vector<RankRun>* runs)
       const override;
   bool HasRunDecomposition() const override { return true; }
+  /// One unpruned digit recursion for the whole class. Hierarchy blocks nest
+  /// and every digit prefix pins a block-aligned box, so whether a subtree
+  /// lies inside a single query depends only on the recursion depth — the
+  /// emitter descends to a fixed cut depth and emits one run per node there.
+  void AppendClassRuns(const QueryClass& cls, RunArena* arena) const override;
+  /// Exact for path orders: an edge between consecutive ranks changes the
+  /// grid only in its incrementing loop digit (plus, unsnaked, the wrapped
+  /// digits below), and a digit step is absorbed into a longer run iff the
+  /// class level of its dimension reaches the digit's level.
+  bool ClassRunsDegenerate(const QueryClass& cls) const override;
 
   const LatticePath& path() const { return path_; }
   bool snaked() const { return snaked_; }

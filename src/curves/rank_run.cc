@@ -61,41 +61,52 @@ Status ValidateRuns(const std::vector<RankRun>& runs) {
   return Status::OK();
 }
 
-void AppendRowMajorBoxRuns(const uint64_t* extents, const uint64_t* lo,
-                           const uint64_t* hi, int k, uint64_t base,
-                           size_t floor, std::vector<RankRun>* runs) {
-  SNAKES_DCHECK(k > 0);
-  for (int p = 0; p < k; ++p) {
-    SNAKES_DCHECK(hi[p] <= extents[p]);
+void RowMajorBoxEmitter::Reset(const uint64_t* extents, int k) {
+  SNAKES_CHECK(k > 0 && k <= kMaxRankRunDims);
+  k_ = k;
+  for (int p = 0; p < k; ++p) extents_[p] = extents[p];
+  stride_[k - 1] = 1;
+  for (int p = k - 2; p >= 0; --p) stride_[p] = stride_[p + 1] * extents[p + 1];
+}
+
+void RowMajorBoxEmitter::Append(const uint64_t* lo, const uint64_t* hi,
+                                uint64_t base, size_t floor,
+                                std::vector<RankRun>* runs) const {
+  SNAKES_DCHECK(k_ > 0);
+  for (int p = 0; p < k_; ++p) {
+    SNAKES_DCHECK(hi[p] <= extents_[p]);
     if (hi[p] <= lo[p]) return;  // empty box
   }
-  uint64_t stride[kMaxRankRunDims];
-  SNAKES_CHECK(k <= kMaxRankRunDims);
-  stride[k - 1] = 1;
-  for (int p = k - 2; p >= 0; --p) stride[p] = stride[p + 1] * extents[p + 1];
   // Fully-covered fastest positions fold into one contiguous stretch per
   // setting of the remaining (outer) positions.
-  int split = k - 1;
-  while (split > 0 && lo[split] == 0 && hi[split] == extents[split]) --split;
-  const uint64_t run_len = (hi[split] - lo[split]) * stride[split];
+  int split = k_ - 1;
+  while (split > 0 && lo[split] == 0 && hi[split] == extents_[split]) --split;
+  const uint64_t run_len = (hi[split] - lo[split]) * stride_[split];
   // Odometer over positions 0..split-1 within [lo, hi).
   uint64_t coord[kMaxRankRunDims];
-  uint64_t offset = base + lo[split] * stride[split];
+  uint64_t offset = base + lo[split] * stride_[split];
   for (int p = 0; p < split; ++p) {
     coord[p] = lo[p];
-    offset += lo[p] * stride[p];
+    offset += lo[p] * stride_[p];
   }
   for (;;) {
     AppendRun(runs, floor, offset, run_len);
     int p = split - 1;
     for (; p >= 0; --p) {
-      offset += stride[p];
+      offset += stride_[p];
       if (++coord[p] < hi[p]) break;
-      offset -= (hi[p] - lo[p]) * stride[p];
+      offset -= (hi[p] - lo[p]) * stride_[p];
       coord[p] = lo[p];
     }
     if (p < 0) break;
   }
+}
+
+void AppendRowMajorBoxRuns(const uint64_t* extents, const uint64_t* lo,
+                           const uint64_t* hi, int k, uint64_t base,
+                           size_t floor, std::vector<RankRun>* runs) {
+  RowMajorBoxEmitter emitter(extents, k);
+  emitter.Append(lo, hi, base, floor, runs);
 }
 
 }  // namespace snakes

@@ -55,11 +55,40 @@ uint64_t TotalRunCells(const std::vector<RankRun>& runs);
 /// rank).
 Status ValidateRuns(const std::vector<RankRun>& runs);
 
+/// Reusable row-major box decomposer. The position strides depend only on
+/// the grid's extent vector, so a caller decomposing many boxes of the same
+/// grid (a chunked order emits one box per partially-covered chunk) computes
+/// them once here instead of per box. Append is otherwise identical to
+/// AppendRowMajorBoxRuns — ascending, coalesced against index >= floor,
+/// O(runs) per box.
+class RowMajorBoxEmitter {
+ public:
+  RowMajorBoxEmitter() = default;
+  RowMajorBoxEmitter(const uint64_t* extents, int k) { Reset(extents, k); }
+
+  /// Re-targets the emitter at a k-position grid with the given extents
+  /// (position 0 slowest, position k-1 fastest). k must be in (0,
+  /// kMaxRankRunDims].
+  void Reset(const uint64_t* extents, int k);
+
+  /// Appends the runs of the half-open box [lo, hi), offset by `base`, to
+  /// `runs`, coalescing only against entries at index >= `floor`.
+  void Append(const uint64_t* lo, const uint64_t* hi, uint64_t base,
+              size_t floor, std::vector<RankRun>* runs) const;
+
+ private:
+  uint64_t extents_[kMaxRankRunDims];
+  uint64_t stride_[kMaxRankRunDims];
+  int k_ = 0;
+};
+
 /// Decomposes the half-open box [lo, hi) of a k-dimensional row-major grid
 /// with per-position extents `extents` (position 0 slowest, position k-1
 /// fastest) into rank runs offset by `base`. Runs are appended in ascending
 /// order and coalesced against entries at index >= `floor`. O(runs) time:
 /// the fully-covered fastest positions fold into the per-row run length.
+/// One-shot convenience over RowMajorBoxEmitter — callers with a fixed grid
+/// and many boxes should hold an emitter instead.
 void AppendRowMajorBoxRuns(const uint64_t* extents, const uint64_t* lo,
                            const uint64_t* hi, int k, uint64_t base,
                            size_t floor, std::vector<RankRun>* runs);

@@ -29,6 +29,19 @@ Result<std::unique_ptr<RowMajorOrder>> RowMajorOrder::Make(
       std::move(schema), std::move(outer_to_inner), std::move(strides)));
 }
 
+RowMajorOrder::RowMajorOrder(std::shared_ptr<const StarSchema> schema,
+                             std::vector<int> order,
+                             std::vector<uint64_t> strides)
+    : Linearization(std::move(schema)),
+      order_(std::move(order)),
+      strides_(std::move(strides)) {
+  uint64_t extents[kMaxRankRunDims];
+  for (size_t pos = 0; pos < order_.size(); ++pos) {
+    extents[pos] = this->schema().extent(order_[pos]);
+  }
+  emitter_.Reset(extents, static_cast<int>(order_.size()));
+}
+
 std::string RowMajorOrder::name() const {
   std::string out = "row-major(";
   for (size_t i = 0; i < order_.size(); ++i) {
@@ -62,17 +75,14 @@ void RowMajorOrder::AppendRuns(const CellBox& box,
                                std::vector<RankRun>* runs) const {
   const size_t k = order_.size();
   SNAKES_DCHECK(box.lo.size() == k);
-  uint64_t extents[kMaxRankRunDims];
   uint64_t lo[kMaxRankRunDims];
   uint64_t hi[kMaxRankRunDims];
   for (size_t pos = 0; pos < k; ++pos) {
     const size_t d = static_cast<size_t>(order_[pos]);
-    extents[pos] = schema().extent(order_[pos]);
     lo[pos] = box.lo[d];
     hi[pos] = box.hi[d];
   }
-  AppendRowMajorBoxRuns(extents, lo, hi, static_cast<int>(k), /*base=*/0,
-                        runs->size(), runs);
+  emitter_.Append(lo, hi, /*base=*/0, runs->size(), runs);
 }
 
 void RowMajorOrder::Walk(

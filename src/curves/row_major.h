@@ -35,13 +35,11 @@ class RowMajorOrder : public Linearization {
 
  private:
   RowMajorOrder(std::shared_ptr<const StarSchema> schema,
-                std::vector<int> order, std::vector<uint64_t> strides)
-      : Linearization(std::move(schema)),
-        order_(std::move(order)),
-        strides_(std::move(strides)) {}
+                std::vector<int> order, std::vector<uint64_t> strides);
 
   std::vector<int> order_;        // outermost first
   std::vector<uint64_t> strides_; // stride of each position in order_
+  RowMajorBoxEmitter emitter_;    // fixed position-space grid, set up once
 };
 
 /// All k! row-major orders of `schema` (the Section 6 baseline family).

@@ -1,0 +1,14 @@
+#include "curves/run_arena.h"
+
+#include <algorithm>
+
+namespace snakes {
+
+void RunArena::BeginClass(uint64_t num_queries) {
+  runs_.clear();
+  qids_.clear();
+  per_query_last_.assign(num_queries, -1);
+  per_query_runs_.assign(num_queries, 0);
+}
+
+}  // namespace snakes

@@ -30,6 +30,49 @@ AlignedLevels BitLevels(const std::vector<int>& bit_owner, int num_dims) {
   return levels;
 }
 
+/// Shared degenerate-class test for the interleaved curves. An edge
+/// rank r -> r+1 where r has exactly `t` trailing one bits changes, in the
+/// Z order, dimension owner(t) by +1 (carrying through its c_owner low bits)
+/// and every dimension d with c_d > 0 interleaved bits below t by
+/// -(2^c_d - 1); in the Gray order only owner(t)'s local bit c_owner flips.
+/// With uniform power-of-two blocks of 2^sigma_d leaves at the class level,
+/// the edge stays inside one query box iff every changed dimension keeps its
+/// block index, i.e. all flipped coordinate bits sit below sigma_d. The
+/// class is degenerate (every run one cell) iff no trailing-ones count t in
+/// [0, total_bits) is absorbed. Exact for uniform power-of-two hierarchies;
+/// anything else falls back to the base single-cell-query test.
+bool InterleavedClassDegenerate(const Linearization& lin,
+                                const std::vector<int>& bit_owner,
+                                const QueryClass& cls, bool gray) {
+  const StarSchema& schema = lin.schema();
+  const int k = schema.num_dims();
+  FixedVector<int, kMaxDimensions> sigma(static_cast<size_t>(k), 0);
+  for (int d = 0; d < k; ++d) {
+    const Hierarchy& h = schema.dim(d);
+    const uint64_t block_leaves = h.is_uniform()
+                                      ? h.BlockLeafCount(cls.level(d), 0)
+                                      : uint64_t{0};
+    if (block_leaves == 0 || !IsPowerOfTwo(block_leaves)) {
+      return NumQueriesInClass(schema, cls) == lin.num_cells();
+    }
+    sigma[static_cast<size_t>(d)] = FloorLog2(block_leaves);
+  }
+  // c[d] = number of dimension-d bits at interleaved positions below t.
+  FixedVector<int, kMaxDimensions> c(static_cast<size_t>(k), 0);
+  for (size_t t = 0; t < bit_owner.size(); ++t) {
+    const size_t o = static_cast<size_t>(bit_owner[t]);
+    bool absorbed = sigma[o] >= c[o] + 1;
+    if (!gray) {
+      for (size_t d = 0; d < static_cast<size_t>(k) && absorbed; ++d) {
+        if (d != o && c[d] > 0 && sigma[d] < c[d]) absorbed = false;
+      }
+    }
+    if (absorbed) return false;  // some run spans this edge
+    ++c[o];
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<std::vector<int>> AllocateBits(const StarSchema& schema) {
@@ -91,6 +134,14 @@ CellCoord Deinterleave(const std::vector<int>& bit_owner, int num_dims,
 
 }  // namespace curve_internal
 
+ZCurve::ZCurve(std::shared_ptr<const StarSchema> schema,
+               std::vector<int> bit_owner)
+    : Linearization(std::move(schema)), bit_owner_(std::move(bit_owner)) {
+  masks_ = curve_internal::MakeInterleaveMasks(bit_owner_,
+                                               this->schema().num_dims());
+  levels_ = curve_internal::BitLevels(bit_owner_, this->schema().num_dims());
+}
+
 Result<std::unique_ptr<ZCurve>> ZCurve::Make(
     std::shared_ptr<const StarSchema> schema) {
   SNAKES_ASSIGN_OR_RETURN(std::vector<int> owner,
@@ -99,17 +150,32 @@ Result<std::unique_ptr<ZCurve>> ZCurve::Make(
 }
 
 CellCoord ZCurve::CellAt(uint64_t rank) const {
-  return curve_internal::Deinterleave(bit_owner_, schema().num_dims(), rank);
+  return curve_internal::DeinterleaveBits(masks_, rank);
 }
 
 uint64_t ZCurve::RankOf(const CellCoord& coord) const {
-  return curve_internal::Interleave(bit_owner_, coord);
+  return curve_internal::InterleaveBits(masks_, coord);
 }
 
 void ZCurve::AppendRuns(const CellBox& box, std::vector<RankRun>* runs) const {
-  curve_internal::AppendAlignedRuns(
-      *this, curve_internal::BitLevels(bit_owner_, schema().num_dims()), box,
-      runs);
+  curve_internal::AppendAlignedRuns(*this, levels_, box, runs);
+}
+
+void ZCurve::AppendClassRuns(const QueryClass& cls, RunArena* arena) const {
+  curve_internal::AppendAlignedClassRuns(*this, levels_, cls, arena);
+}
+
+bool ZCurve::ClassRunsDegenerate(const QueryClass& cls) const {
+  return curve_internal::InterleavedClassDegenerate(*this, bit_owner_, cls,
+                                                    /*gray=*/false);
+}
+
+GrayCurve::GrayCurve(std::shared_ptr<const StarSchema> schema,
+                     std::vector<int> bit_owner)
+    : Linearization(std::move(schema)), bit_owner_(std::move(bit_owner)) {
+  masks_ = curve_internal::MakeInterleaveMasks(bit_owner_,
+                                               this->schema().num_dims());
+  levels_ = curve_internal::BitLevels(bit_owner_, this->schema().num_dims());
 }
 
 Result<std::unique_ptr<GrayCurve>> GrayCurve::Make(
@@ -122,15 +188,12 @@ Result<std::unique_ptr<GrayCurve>> GrayCurve::Make(
 
 CellCoord GrayCurve::CellAt(uint64_t rank) const {
   const uint64_t gray = rank ^ (rank >> 1);
-  return curve_internal::Deinterleave(bit_owner_, schema().num_dims(), gray);
+  return curve_internal::DeinterleaveBits(masks_, gray);
 }
 
 uint64_t GrayCurve::RankOf(const CellCoord& coord) const {
-  uint64_t gray = curve_internal::Interleave(bit_owner_, coord);
-  // Invert the binary-reflected Gray code.
-  uint64_t rank = gray;
-  while (gray >>= 1) rank ^= gray;
-  return rank;
+  return curve_internal::GrayCodeToRank(
+      curve_internal::InterleaveBits(masks_, coord));
 }
 
 void GrayCurve::AppendRuns(const CellBox& box,
@@ -138,9 +201,16 @@ void GrayCurve::AppendRuns(const CellBox& box,
   // Gray bit j is rank bit j xor rank bit j+1, so a fixed high-bit rank
   // prefix fixes the same high Gray bits: the per-bit geometry is identical
   // to the Z-curve's even though the order within each subtree differs.
-  curve_internal::AppendAlignedRuns(
-      *this, curve_internal::BitLevels(bit_owner_, schema().num_dims()), box,
-      runs);
+  curve_internal::AppendAlignedRuns(*this, levels_, box, runs);
+}
+
+void GrayCurve::AppendClassRuns(const QueryClass& cls, RunArena* arena) const {
+  curve_internal::AppendAlignedClassRuns(*this, levels_, cls, arena);
+}
+
+bool GrayCurve::ClassRunsDegenerate(const QueryClass& cls) const {
+  return curve_internal::InterleavedClassDegenerate(*this, bit_owner_, cls,
+                                                    /*gray=*/true);
 }
 
 }  // namespace snakes

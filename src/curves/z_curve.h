@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "curves/aligned_runs.h"
+#include "curves/bit_interleave.h"
 #include "curves/linearization.h"
 
 namespace snakes {
@@ -32,14 +34,19 @@ class ZCurve : public Linearization {
       const override;
   bool HasRunDecomposition() const override { return true; }
 
+  void AppendClassRuns(const QueryClass& cls, RunArena* arena) const override;
+  bool ClassRunsDegenerate(const QueryClass& cls) const override;
+
  private:
-  ZCurve(std::shared_ptr<const StarSchema> schema,
-         std::vector<int> bit_owner)
-      : Linearization(std::move(schema)), bit_owner_(std::move(bit_owner)) {}
+  ZCurve(std::shared_ptr<const StarSchema> schema, std::vector<int> bit_owner);
 
   // bit_owner_[p] = dimension owning interleaved bit p (p = 0 is the LSB);
   // bits of each dimension appear in increasing significance.
   std::vector<int> bit_owner_;
+  // Kernel masks and aligned per-bit geometry derived from bit_owner_ once
+  // at construction (the scalar reference path keeps using bit_owner_).
+  curve_internal::InterleaveMasks masks_;
+  curve_internal::AlignedLevels levels_;
 };
 
 /// The Gray-code curve (Faloutsos): cells are visited in the order of the
@@ -59,12 +66,16 @@ class GrayCurve : public Linearization {
       const override;
   bool HasRunDecomposition() const override { return true; }
 
+  void AppendClassRuns(const QueryClass& cls, RunArena* arena) const override;
+  bool ClassRunsDegenerate(const QueryClass& cls) const override;
+
  private:
   GrayCurve(std::shared_ptr<const StarSchema> schema,
-            std::vector<int> bit_owner)
-      : Linearization(std::move(schema)), bit_owner_(std::move(bit_owner)) {}
+            std::vector<int> bit_owner);
 
   std::vector<int> bit_owner_;
+  curve_internal::InterleaveMasks masks_;
+  curve_internal::AlignedLevels levels_;
 };
 
 namespace curve_internal {

@@ -138,6 +138,9 @@ void ChunkedOrder::AppendRuns(const CellBox& box,
   for (int d = 0; d < k; ++d) {
     extents[d] = chunk_extent_[static_cast<size_t>(d)];
   }
+  // One emitter for every partially-covered chunk: the within-chunk grid is
+  // the same for all of them, so the strides are set up once.
+  const RowMajorBoxEmitter emitter(extents, k);
   for (const RankRun& chunk_run : chunk_runs) {
     for (uint64_t cr = chunk_run.start; cr < chunk_run.end(); ++cr) {
       const CellCoord chunk = chunk_order_->CellAt(cr);
@@ -154,7 +157,7 @@ void ChunkedOrder::AppendRuns(const CellBox& box,
       if (full) {
         AppendRun(runs, floor, base, chunk_volume_);
       } else {
-        AppendRowMajorBoxRuns(extents, lo, hi, k, base, floor, runs);
+        emitter.Append(lo, hi, base, floor, runs);
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "curves/run_arena.h"
 #include "lattice/grid_query.h"
 #include "lattice/lattice.h"
 #include "lattice/workload.h"
@@ -86,7 +87,14 @@ struct WorkloadIoStats {
 /// are resolved once here, so the per-measurement cost is a null test.
 class IoSimulator {
  public:
-  explicit IoSimulator(const StorageBackend& backend, const ObsSink& obs = {});
+  /// `arena`, when non-null, is the run storage every measurement on this
+  /// simulator reuses (per-box scratch and batched per-class emission);
+  /// otherwise the simulator owns one. Either way the arena makes the
+  /// simulator single-threaded state: one IoSimulator (and one external
+  /// arena) per thread. Results are bit-identical with or without a shared
+  /// arena — only allocation traffic changes.
+  explicit IoSimulator(const StorageBackend& backend, const ObsSink& obs = {},
+                       RunArena* arena = nullptr);
 
   /// I/O of one query from its rank-run decomposition, O(runs). When
   /// `prune` is non-null it receives the zone-map outcome for this query
@@ -121,6 +129,10 @@ class IoSimulator {
 
  private:
   /// Run-based per-class pass; requires run-decomposition to be worthwhile.
+  /// On unpartitioned backends all queries of the class are emitted in one
+  /// batched AppendClassRuns pass through the arena; partitioned backends
+  /// keep the per-query loop so zone-map pruning (and its counters) applies
+  /// before each decomposition. Both produce identical stats.
   ClassIoStats MeasureClassRuns(const QueryClass& cls) const;
 
   /// Consults the backend's zone maps for `box` and mirrors the outcome
@@ -131,6 +143,10 @@ class IoSimulator {
                            PruneStats* prune = nullptr) const;
 
   const StorageBackend& backend_;
+  // Reused run storage; `mutable` because measurement is logically const.
+  // Points at the caller's arena when one was supplied.
+  mutable RunArena owned_arena_;
+  RunArena* arena_ = nullptr;
   Tracer* tracer_ = nullptr;
   Counter* pages_read_ = nullptr;
   Counter* seeks_ = nullptr;

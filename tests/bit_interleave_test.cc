@@ -1,0 +1,319 @@
+// Differential kernel-parity suite for the bit-interleave layer
+// (src/curves/bit_interleave.h): the BMI2 pdep/pext kernels and the portable
+// bit-serial fallbacks must produce identical bits on every input — that is
+// the contract letting advisor recommendations, simulator measurements and
+// curve ranks be independent of the host CPU. Covered here:
+//
+//  * exhaustive (mask, src) parity on every small width, randomized 64-bit
+//    patterns, and the pdep/pext round-trip identities;
+//  * interleave/transpose mask algebra against bit-serial references,
+//    including non-power-of-two per-dimension bit widths and the
+//    partial-level Hilbert rotation edge (a hierarchy level cutting through
+//    the middle of the dimension's bits);
+//  * whole-curve bit-identity (CellAt / RankOf / AppendRuns / advisor
+//    recommendations) under forced-portable vs dispatched kernels.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/advisor.h"
+#include "curves/bit_interleave.h"
+#include "curves/hilbert.h"
+#include "curves/z_curve.h"
+#include "hierarchy/star_schema.h"
+#include "lattice/grid_query.h"
+#include "lattice/workload.h"
+#include "util/rng.h"
+
+namespace snakes {
+namespace curve_internal {
+namespace {
+
+// Restores the process-wide kernel choice on scope exit so a failing test
+// cannot leak a forced-portable state into its neighbours.
+struct KernelGuard {
+  ~KernelGuard() { ForcePortableKernels(false); }
+};
+
+// True when the dispatched kernels can actually differ from the portable
+// ones in this process: BMI2 present and not pinned out at build time.
+bool DispatchCanUseBmi2() {
+  if (KernelsForcedPortableAtBuild()) return false;
+  const char* env = std::getenv("SNAKES_FORCE_PORTABLE_KERNELS");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') return false;
+  return Bmi2Supported();
+}
+
+// ---------------------------------------------------------------------------
+// Raw pdep/pext parity.
+
+#if defined(__x86_64__)
+TEST(BitInterleaveTest, PdepPextExhaustiveSmallWidths) {
+  if (!Bmi2Supported()) GTEST_SKIP() << "no BMI2 on this host";
+  // Every mask over w bits crossed with every source over w bits: the source
+  // space covers all deposit patterns because pdep only reads popcount(mask)
+  // low bits.
+  for (int w = 1; w <= 8; ++w) {
+    const uint64_t space = uint64_t{1} << w;
+    for (uint64_t mask = 0; mask < space; ++mask) {
+      for (uint64_t src = 0; src < space; ++src) {
+        ASSERT_EQ(PortablePdep(src, mask), Bmi2Pdep(src, mask))
+            << "pdep w=" << w << " src=" << src << " mask=" << mask;
+        ASSERT_EQ(PortablePext(src, mask), Bmi2Pext(src, mask))
+            << "pext w=" << w << " src=" << src << " mask=" << mask;
+      }
+    }
+  }
+}
+
+TEST(BitInterleaveTest, PdepPextRandomFullWidth) {
+  if (!Bmi2Supported()) GTEST_SKIP() << "no BMI2 on this host";
+  Rng rng(20260809);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t src = rng.Next64();
+    // Vary mask density: dense, sparse and byte-striped masks all occur.
+    uint64_t mask = rng.Next64();
+    if (i % 3 == 1) mask &= rng.Next64();
+    if (i % 3 == 2) mask &= 0x0f0f0f0f0f0f0f0fULL;
+    ASSERT_EQ(PortablePdep(src, mask), Bmi2Pdep(src, mask))
+        << "src=" << src << " mask=" << mask;
+    ASSERT_EQ(PortablePext(src, mask), Bmi2Pext(src, mask))
+        << "src=" << src << " mask=" << mask;
+  }
+}
+#endif  // __x86_64__
+
+TEST(BitInterleaveTest, PdepPextRoundTripIdentities) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Next64();
+    const uint64_t mask = rng.Next64() & rng.Next64();
+    // pdep(pext(v, m), m) keeps exactly the masked bits.
+    EXPECT_EQ(PortablePdep(PortablePext(v, mask), mask), v & mask);
+    // pext(pdep(s, m), m) recovers the low popcount(m) bits of s.
+    const int bits = __builtin_popcountll(mask);
+    const uint64_t low =
+        bits >= 64 ? v : v & ((uint64_t{1} << bits) - 1);
+    EXPECT_EQ(PortablePext(PortablePdep(v, mask), mask), low);
+  }
+}
+
+TEST(BitInterleaveTest, GrayCodeToRankMatchesSerialLoop) {
+  const auto serial = [](uint64_t gray) {
+    uint64_t rank = gray;
+    while (gray >>= 1) rank ^= gray;
+    return rank;
+  };
+  for (uint64_t g = 0; g < (uint64_t{1} << 16); ++g) {
+    ASSERT_EQ(GrayCodeToRank(g), serial(g)) << "gray=" << g;
+  }
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t g = rng.Next64();
+    ASSERT_EQ(GrayCodeToRank(g), serial(g)) << "gray=" << g;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mask algebra against bit-serial references.
+
+uint64_t RefInterleave(const std::vector<int>& owner,
+                       const std::vector<uint64_t>& coord) {
+  std::vector<int> next(coord.size(), 0);
+  uint64_t value = 0;
+  for (size_t p = 0; p < owner.size(); ++p) {
+    const size_t d = static_cast<size_t>(owner[p]);
+    if ((coord[d] >> next[d]) & 1) value |= uint64_t{1} << p;
+    ++next[d];
+  }
+  return value;
+}
+
+TEST(BitInterleaveTest, InterleaveMasksMatchReferenceOnUnevenWidths) {
+  KernelGuard guard;
+  // Dimension bit widths 3, 5 and 1 — none a power of two, deliberately
+  // unequal — with an irregular ownership pattern rather than round-robin.
+  const std::vector<int> owner = {0, 1, 0, 1, 1, 2, 0, 1, 1};
+  std::vector<int> width(3, 0);
+  for (int d : owner) ++width[static_cast<size_t>(d)];
+  const InterleaveMasks masks = MakeInterleaveMasks(owner, 3);
+  EXPECT_EQ(masks.total_bits, static_cast<int>(owner.size()));
+  Rng rng(13);
+  for (bool forced : {false, true}) {
+    ForcePortableKernels(forced);
+    for (int i = 0; i < 2000; ++i) {
+      std::vector<uint64_t> coord(3);
+      CellCoord cell;
+      cell.resize(3);
+      for (size_t d = 0; d < 3; ++d) {
+        coord[d] = rng.Below(uint64_t{1} << width[d]);
+        cell[d] = coord[d];
+      }
+      const uint64_t expected = RefInterleave(owner, coord);
+      ASSERT_EQ(InterleaveBits(masks, cell), expected);
+      const CellCoord back = DeinterleaveBits(masks, expected);
+      for (size_t d = 0; d < 3; ++d) ASSERT_EQ(back[d], coord[d]);
+    }
+  }
+}
+
+TEST(BitInterleaveTest, TransposeMasksMatchReferenceDistribution) {
+  KernelGuard guard;
+  Rng rng(17);
+  for (int dims = 1; dims <= 5; ++dims) {
+    for (int bits = 1; bits * dims <= 30; ++bits) {
+      const TransposeMasks masks = MakeTransposeMasks(bits, dims);
+      const int total = bits * dims;
+      for (bool forced : {false, true}) {
+        ForcePortableKernels(forced);
+        for (int i = 0; i < 200; ++i) {
+          const uint64_t rank = rng.Below(uint64_t{1} << total);
+          // Reference: rank bit q feeds transpose word dims-1 - q%dims,
+          // local bit q/dims (the scalar distribution loop the masks fold).
+          uint32_t expected[8] = {0};
+          for (int q = 0; q < total; ++q) {
+            if ((rank >> q) & 1) {
+              expected[dims - 1 - q % dims] |=
+                  uint32_t{1} << (q / dims);
+            }
+          }
+          uint32_t x[8] = {0};
+          RankToTranspose(masks, rank, x);
+          for (int d = 0; d < dims; ++d) {
+            ASSERT_EQ(x[d], expected[d])
+                << "dims=" << dims << " bits=" << bits << " rank=" << rank;
+          }
+          ASSERT_EQ(TransposeToRank(masks, x), rank);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch plumbing.
+
+TEST(BitInterleaveTest, ForcePortableTogglesActiveKernel) {
+  KernelGuard guard;
+  ForcePortableKernels(true);
+  EXPECT_EQ(ActiveKernel(), KernelKind::kPortable);
+  ForcePortableKernels(false);
+  EXPECT_EQ(ActiveKernel(), DispatchCanUseBmi2() ? KernelKind::kBmi2
+                                                 : KernelKind::kPortable);
+}
+
+TEST(BitInterleaveTest, BuildPinImpliesPortable) {
+  if (!KernelsForcedPortableAtBuild()) {
+    GTEST_SKIP() << "build not configured with SNAKES_FORCE_PORTABLE_KERNELS";
+  }
+  KernelGuard guard;
+  ForcePortableKernels(false);
+  EXPECT_EQ(ActiveKernel(), KernelKind::kPortable);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-curve bit-identity across kernels. These run the same curve twice —
+// forced portable, then dispatched — and demand identical ranks, cells, runs
+// and recommendations. On hosts without BMI2 both passes use the portable
+// kernels and the comparison is trivially (still correctly) green.
+
+struct CurveObservations {
+  std::vector<uint64_t> ranks;
+  std::vector<CellCoord> cells;
+  std::vector<RankRun> runs;
+};
+
+CurveObservations Observe(const Linearization& lin) {
+  CurveObservations obs;
+  const StarSchema& schema = lin.schema();
+  for (uint64_t r = 0; r < lin.num_cells(); ++r) {
+    const CellCoord cell = lin.CellAt(r);
+    obs.cells.push_back(cell);
+    obs.ranks.push_back(lin.RankOf(cell));
+  }
+  const QueryClassLattice lat(schema);
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    const uint64_t num_queries = NumQueriesInClass(schema, cls);
+    for (uint64_t q = 0; q < num_queries; ++q) {
+      lin.AppendRuns(BoxOf(schema, QueryAt(schema, cls, q)), &obs.runs);
+    }
+  }
+  return obs;
+}
+
+void ExpectSameObservations(const CurveObservations& a,
+                            const CurveObservations& b) {
+  ASSERT_EQ(a.ranks, b.ranks);
+  ASSERT_EQ(a.runs, b.runs);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    ASSERT_EQ(a.cells[i].size(), b.cells[i].size());
+    for (size_t d = 0; d < a.cells[i].size(); ++d) {
+      ASSERT_EQ(a.cells[i][d], b.cells[i][d]);
+    }
+  }
+}
+
+std::shared_ptr<const StarSchema> UnevenPow2Schema() {
+  // Extents 8 and 32: bit widths 3 and 5 (neither a power of two), split
+  // over two hierarchy levels each.
+  std::vector<Hierarchy> dims;
+  dims.push_back(Hierarchy::Uniform("x", {4, 2}).value());
+  dims.push_back(Hierarchy::Uniform("y", {8, 4}).value());
+  return std::make_shared<StarSchema>(
+      StarSchema::Make("uneven", std::move(dims)).value());
+}
+
+std::shared_ptr<const StarSchema> PartialLevelHilbertSchema() {
+  // Fanouts {2, 4} per dimension: extent 8, and the level boundary after one
+  // bit cuts through the middle of the 3-bit Hilbert coordinate — the
+  // partial-level rotation edge where class boxes are not axis-aligned to
+  // whole Hilbert levels.
+  std::vector<Hierarchy> dims;
+  dims.push_back(Hierarchy::Uniform("x", {2, 4}).value());
+  dims.push_back(Hierarchy::Uniform("y", {2, 4}).value());
+  return std::make_shared<StarSchema>(
+      StarSchema::Make("partial-hilbert", std::move(dims)).value());
+}
+
+TEST(BitInterleaveTest, CurvesBitIdenticalAcrossKernels) {
+  KernelGuard guard;
+  auto uneven = UnevenPow2Schema();
+  auto partial = PartialLevelHilbertSchema();
+  std::vector<std::shared_ptr<const Linearization>> curves;
+  curves.push_back(ZCurve::Make(uneven).value());
+  curves.push_back(GrayCurve::Make(uneven).value());
+  curves.push_back(HilbertCurve::Make(partial, false).value());
+  curves.push_back(HilbertCurve::Make(partial, true).value());
+  for (const auto& lin : curves) {
+    ForcePortableKernels(true);
+    const CurveObservations portable = Observe(*lin);
+    ForcePortableKernels(false);
+    const CurveObservations dispatched = Observe(*lin);
+    SCOPED_TRACE(lin->name());
+    ExpectSameObservations(portable, dispatched);
+  }
+}
+
+TEST(BitInterleaveTest, AdvisorBitIdenticalAcrossKernels) {
+  KernelGuard guard;
+  auto schema = UnevenPow2Schema();
+  const ClusteringAdvisor advisor(schema);
+  Rng rng(23);
+  const Workload mu = Workload::Random(advisor.Lattice(), &rng);
+  EvaluationRequest request{mu};
+  request.num_threads = 1;
+  ForcePortableKernels(true);
+  const Recommendation portable = advisor.Advise(request).value();
+  ForcePortableKernels(false);
+  const Recommendation dispatched = advisor.Advise(request).value();
+  EXPECT_TRUE(BitIdenticalRecommendations(portable, dispatched));
+}
+
+}  // namespace
+}  // namespace curve_internal
+}  // namespace snakes

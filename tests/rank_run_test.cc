@@ -79,6 +79,56 @@ TEST(RankRunTest, ValidateRejectsBadLists) {
   EXPECT_TRUE(ValidateRuns({{0, 2}, {3, 4}}).ok());
 }
 
+TEST(RankRunTest, RowMajorBoxEmitterReusedAcrossBoxes) {
+  // One emitter, many boxes of the same grid (the chunked-order reuse
+  // pattern): identical output to the one-shot helper per box.
+  const uint64_t extents[] = {3, 4, 5};
+  RowMajorBoxEmitter emitter(extents, 3);
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t lo[3];
+    uint64_t hi[3];
+    for (int p = 0; p < 3; ++p) {
+      const uint64_t a = rng.Below(extents[p] + 1);
+      const uint64_t b = rng.Below(extents[p] + 1);
+      lo[p] = std::min(a, b);
+      hi[p] = std::max(a, b);
+    }
+    const uint64_t base = rng.Below(1000);
+    std::vector<RankRun> expected{{0, 1}};
+    AppendRowMajorBoxRuns(extents, lo, hi, 3, base, 1, &expected);
+    std::vector<RankRun> actual{{0, 1}};
+    emitter.Append(lo, hi, base, 1, &actual);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(RankRunTest, RowMajorBoxRunsClippedInnermostRows) {
+  // Regression pin for the odometer's offset bookkeeping: an innermost
+  // position clipped on *both* sides, under an outer position that wraps,
+  // exercises the per-wrap rewind (hi-lo)*stride against hand-computed runs.
+  const uint64_t extents[] = {2, 3, 5};
+  const uint64_t lo[] = {0, 1, 2};
+  const uint64_t hi[] = {2, 3, 4};
+  std::vector<RankRun> runs;
+  AppendRowMajorBoxRuns(extents, lo, hi, 3, /*base=*/7, 0, &runs);
+  // Rows (p0,p1): (0,1) off 5, (0,2) off 10, (1,1) off 20, (1,2) off 25 —
+  // each clipped to cols [2,4), then shifted by base 7.
+  const std::vector<RankRun> expected = {
+      {14, 2}, {19, 2}, {29, 2}, {34, 2}};
+  EXPECT_EQ(runs, expected);
+  EXPECT_TRUE(ValidateRuns(runs).ok());
+
+  // Same box with the innermost position fully covered: rows (0,1)-(0,2)
+  // and (1,1)-(1,2) are contiguous and must coalesce into two runs.
+  const uint64_t full_lo[] = {0, 1, 0};
+  const uint64_t full_hi[] = {2, 3, 5};
+  runs.clear();
+  AppendRowMajorBoxRuns(extents, full_lo, full_hi, 3, /*base=*/0, 0, &runs);
+  const std::vector<RankRun> folded = {{5, 10}, {20, 10}};
+  EXPECT_EQ(runs, folded);
+}
+
 TEST(RankRunTest, RowMajorBoxRuns) {
   // 4x6 grid, box rows [1,3) x cols [2,5): two 3-cell runs.
   const uint64_t extents[] = {4, 6};
@@ -295,10 +345,8 @@ TEST_P(RankRunRandomizedTest, ChunkedOrders) {
   CheckStrategy(*chunked, &rng);
 }
 
-// ---------------------------------------------------------------------------
-// Simulator and cost-model cross-checks: run-based evaluation must equal the
-// seed's cell walk on every number it produces.
-
+/// A spread of run-decomposing strategies (plus one materialized copy) over
+/// one schema, shared by the class-emission and simulator cross-checks.
 std::vector<std::shared_ptr<const Linearization>> RandomStrategies(
     std::shared_ptr<const StarSchema> schema, Rng* rng) {
   const QueryClassLattice lat(*schema);
@@ -313,6 +361,135 @@ std::vector<std::shared_ptr<const Linearization>> RandomStrategies(
       MaterializedLinearization::From(*strategies.back()));
   return strategies;
 }
+
+// ---------------------------------------------------------------------------
+// Batched class emission, arena reuse and the degenerate-class detector.
+
+/// AppendClassRuns into an arena must equal the per-box AppendRuns reference
+/// query for query; a reused arena must reproduce a fresh one exactly (no
+/// stale-run leakage); and ClassRunsDegenerate must be sound: when it fires,
+/// every run of the class is a single cell and the class's queries tile the
+/// grid (total fragments == num_cells). With `exact_detector`, additionally
+/// pin the converse: the detector fires on *every* class whose runs are all
+/// single cells — it never leaves closed-form classes on the slow path, and
+/// never fires on a class whose runs would coalesce.
+void CheckClassEmission(const Linearization& lin, bool exact_detector,
+                        RunArena* reused) {
+  const StarSchema& schema = lin.schema();
+  const QueryClassLattice lat(schema);
+  for (uint64_t i = 0; i < lat.size(); ++i) {
+    const QueryClass cls = lat.ClassAt(i);
+    const uint64_t num_queries = NumQueriesInClass(schema, cls);
+    std::vector<std::vector<RankRun>> expected(num_queries);
+    uint64_t total = 0;
+    bool all_single_cell = true;
+    for (uint64_t q = 0; q < num_queries; ++q) {
+      lin.AppendRuns(BoxOf(schema, QueryAt(schema, cls, q)), &expected[q]);
+      total += expected[q].size();
+      for (const RankRun& run : expected[q]) {
+        all_single_cell = all_single_cell && run.len == 1;
+      }
+    }
+
+    RunArena fresh;
+    lin.AppendClassRuns(cls, &fresh);
+    lin.AppendClassRuns(cls, reused);
+
+    // Arena reuse is bit-identical to a fresh arena: same emission order,
+    // same runs, same query ids — previous (larger) classes leave nothing.
+    ASSERT_EQ(fresh.num_queries(), num_queries) << lin.name();
+    ASSERT_EQ(reused->num_queries(), num_queries) << lin.name();
+    ASSERT_EQ(fresh.num_runs(), reused->num_runs()) << lin.name();
+    for (size_t r = 0; r < fresh.num_runs(); ++r) {
+      ASSERT_EQ(fresh.run(r), reused->run(r)) << lin.name();
+      ASSERT_EQ(fresh.run_qid(r), reused->run_qid(r)) << lin.name();
+    }
+
+    // Batched emission == per-box reference, query by query.
+    ASSERT_EQ(fresh.num_runs(), total) << lin.name() << " " << cls.ToString();
+    std::vector<std::vector<RankRun>> grouped(num_queries);
+    for (size_t r = 0; r < fresh.num_runs(); ++r) {
+      ASSERT_LT(fresh.run_qid(r), num_queries) << lin.name();
+      grouped[fresh.run_qid(r)].push_back(fresh.run(r));
+    }
+    for (uint64_t q = 0; q < num_queries; ++q) {
+      ASSERT_EQ(grouped[q], expected[q])
+          << lin.name() << " " << cls.ToString() << " query " << q;
+      ASSERT_EQ(fresh.query_run_count(q), expected[q].size()) << lin.name();
+    }
+
+    // Detector soundness (and exactness where promised).
+    const bool degenerate = lin.ClassRunsDegenerate(cls);
+    if (degenerate) {
+      EXPECT_EQ(total, lin.num_cells())
+          << lin.name() << ": detector fired but runs do not tile the grid ("
+          << cls.ToString() << ")";
+      EXPECT_TRUE(all_single_cell)
+          << lin.name() << ": detector fired on a class with a coalesced run ("
+          << cls.ToString() << ")";
+    }
+    if (exact_detector) {
+      EXPECT_EQ(degenerate, all_single_cell && total == lin.num_cells())
+          << lin.name() << " " << cls.ToString();
+    }
+  }
+}
+
+TEST_P(RankRunRandomizedTest, BatchedClassEmissionMatchesPerBox) {
+  Rng rng(GetParam() * 809);
+  auto schema = RandomSchema(&rng, 512);
+  RunArena reused;
+  const auto strategies = RandomStrategies(schema, &rng);
+  // Path orders carry exact degeneracy predicates; row-major and
+  // materialized fall back to the (sound, inexact) base detector.
+  CheckClassEmission(*strategies[0], /*exact_detector=*/true, &reused);
+  CheckClassEmission(*strategies[1], /*exact_detector=*/true, &reused);
+  CheckClassEmission(*strategies[2], /*exact_detector=*/false, &reused);
+  CheckClassEmission(*strategies[3], /*exact_detector=*/false, &reused);
+}
+
+TEST_P(RankRunRandomizedTest, BatchedClassEmissionInterleavedCurves) {
+  Rng rng(GetParam() * 907);
+  auto schema = RandomSchema(&rng, 512, /*pow2=*/true);
+  RunArena reused;
+  // Uniform power-of-two hierarchies: the Z and Gray detectors are exact.
+  CheckClassEmission(*ZCurve::Make(schema).value(), /*exact_detector=*/true,
+                     &reused);
+  CheckClassEmission(*GrayCurve::Make(schema).value(), /*exact_detector=*/true,
+                     &reused);
+}
+
+TEST_P(RankRunRandomizedTest, BatchedClassEmissionHilbertAndChunked) {
+  Rng rng(GetParam() * 1009);
+  RunArena reused;
+  // Hilbert on a two-level grid (the partial-level rotation edge).
+  std::vector<Hierarchy> dims;
+  dims.push_back(Hierarchy::Uniform("x", {2, 4}).value());
+  dims.push_back(Hierarchy::Uniform("y", {2, 4}).value());
+  auto hschema = std::make_shared<StarSchema>(
+      StarSchema::Make("hilbert-grid", std::move(dims)).value());
+  CheckClassEmission(*HilbertCurve::Make(hschema, rng.Chance(0.5)).value(),
+                     /*exact_detector=*/false, &reused);
+
+  // A chunked order exercises the default per-box AppendClassRuns.
+  auto schema = RandomSchema(&rng, 256);
+  const QueryClassLattice lat(*schema);
+  QueryClass chunk_class = lat.Bottom();
+  for (int d = 0; d < lat.num_dims(); ++d) {
+    chunk_class.set_level(
+        d, static_cast<int>(rng.Below(static_cast<uint64_t>(lat.levels(d)))));
+  }
+  auto chunk_grid = ChunkGridSchema(*schema, chunk_class).value();
+  const QueryClassLattice chunk_lat(*chunk_grid);
+  auto chunk_order = std::shared_ptr<const Linearization>(
+      MakePathOrder(chunk_grid, RandomPath(chunk_lat, &rng), true).value());
+  auto chunked = ChunkedOrder::Make(schema, chunk_class, chunk_order).value();
+  CheckClassEmission(*chunked, /*exact_detector=*/false, &reused);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator and cost-model cross-checks: run-based evaluation must equal the
+// seed's cell walk on every number it produces.
 
 TEST_P(RankRunRandomizedTest, SimulatorMatchesCellWalk) {
   Rng rng(GetParam() * 607);

@@ -28,6 +28,19 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
   run_matrix_entry tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSNAKES_SANITIZE=thread
 
+# Portable-kernels leg: rebuild with the BMI2 interleave kernels pinned out
+# (-DSNAKES_FORCE_PORTABLE_KERNELS=ON) and rerun the curve/run suites — the
+# differential half of the kernel-parity contract, proving the portable
+# fallback carries the same bits on a build that can never dispatch to BMI2.
+echo "==> [portable-kernels] configure"
+cmake -B "$ROOT/build-portable" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DSNAKES_FORCE_PORTABLE_KERNELS=ON
+echo "==> [portable-kernels] build"
+cmake --build "$ROOT/build-portable" -j "$JOBS"
+echo "==> [portable-kernels] ctest (curves / rank runs / kernels)"
+ctest --test-dir "$ROOT/build-portable" --output-on-failure -j "$JOBS" \
+  -R 'Curve|Curves|Hilbert|ZCurve|Gray|RankRun|BitInterleave|PathOrder|Linearization'
+
 # Service concurrency leg: the epoch-publication and reader-pinning contract
 # of src/service is the part of the tree where a silent race would corrupt
 # results instead of crashing, so the service suites (including the seeded
@@ -301,13 +314,17 @@ import json, sys
 # obs-telemetry gates the request-telemetry primitives (request context,
 # flight recorder, SLO windows) rather than all of src/obs, and cost-model
 # gates the pluggable CostModel + calibration fit rather than all of
-# src/cost (the older analytic estimators live there too).
+# src/cost (the older analytic estimators live there too), and
+# curves-kernels gates the bit-interleave kernel layer plus the run arena
+# (src/curves/bit_interleave*, run_arena*) rather than all of src/curves.
 cov = {"src/cv": {}, "src/recluster": {}, "src/service": {},
-       "storage-backend": {}, "obs-telemetry": {}, "cost-model": {}}
+       "storage-backend": {}, "obs-telemetry": {}, "cost-model": {},
+       "curves-kernels": {}}
 backend_files = ("src/storage/backend.cc", "src/storage/micro_partition.cc")
 telemetry_files = ("src/obs/request_context.cc", "src/obs/flight_recorder.cc",
                    "src/obs/slo_window.cc")
 cost_files = ("src/cost/cost_model.cc", "src/cost/calibration.cc")
+kernel_files = ("src/curves/bit_interleave.cc", "src/curves/run_arena.cc")
 with open(sys.argv[1]) as jsonl:
     for line in jsonl:
         line = line.strip()
@@ -322,6 +339,8 @@ with open(sys.argv[1]) as jsonl:
                 module = "obs-telemetry"
             elif name.endswith(cost_files):
                 module = "cost-model"
+            elif name.endswith(kernel_files):
+                module = "curves-kernels"
             else:
                 module = next(
                     (m for m in cov if "/" + m + "/" in "/" + name), None)
